@@ -1,0 +1,68 @@
+"""Shared helpers for the paper-reproduction benchmarks.
+
+Every ``test_table*`` / ``test_figure*`` module reproduces one artifact
+of the paper (see DESIGN.md's experiment index).  Modules compute their
+comparison once in a session-scoped fixture, print the paper-style
+table, assert the qualitative orderings, and expose representative
+kernels to pytest-benchmark for wall-clock measurement.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import TpccLoader, TpccScale
+from repro.engines import make_engine
+
+#: One compact scale for all engine benches: big enough for stable
+#: shapes, small enough that the distributed engine stays fast.
+BENCH_SCALE = TpccScale(
+    warehouses=1,
+    districts=2,
+    customers=20,
+    items=60,
+    initial_orders=12,
+    suppliers=10,
+)
+
+ENGINE_SETTINGS: dict[str, dict] = {
+    "a": {},
+    "b": {"n_storage_nodes": 3, "seed": 5},
+    "c": {"buffer_capacity": 64, "propagation_threshold": 256},
+    "d": {},
+}
+
+ENGINE_LABELS = {
+    "a": "(a) row store + in-memory column store",
+    "b": "(b) distributed row store + column replica",
+    "c": "(c) disk row store + distributed column store",
+    "d": "(d) primary column store + delta row store",
+}
+
+
+def build_engine(category: str, scale: TpccScale | None = None, **overrides):
+    kwargs = dict(ENGINE_SETTINGS[category])
+    kwargs.update(overrides)
+    engine = make_engine(category, **kwargs)
+    TpccLoader(scale=scale or BENCH_SCALE, seed=1).load(engine)
+    return engine
+
+
+def print_table(title: str, headers: list[str], rows: list[list], widths=None):
+    """Render one paper-style comparison table to stdout."""
+    widths = widths or [max(14, len(h) + 2) for h in headers]
+    print(f"\n=== {title} ===")
+    print("".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    print("-" * sum(widths))
+    for row in rows:
+        print(
+            "".join(
+                (f"{v:.2f}" if isinstance(v, float) else str(v)).ljust(w)
+                for v, w in zip(row, widths)
+            )
+        )
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> TpccScale:
+    return BENCH_SCALE

@@ -1,0 +1,113 @@
+"""Experiment B1 — §2.3(1): CH-benCHmark vs HTAPBench.
+
+The survey compares the two end-to-end HTAP benchmarks on three axes:
+data generation (both extend the TPC-C generator; CH adds supplier/
+nation/region), execution rule (CH free-runs both streams; HTAPBench
+admits analytical workers only while OLTP holds a target), and metrics
+(tpmC + QphH vs the unified QpHpW).
+
+This bench runs both protocols on the same engine and prints each
+benchmark's native report.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import (
+    CH_QUERIES,
+    ChBenchmarkDriver,
+    HTAPBenchDriver,
+    MixedRunConfig,
+    MixedWorkloadRunner,
+    tpcc_schemas,
+)
+
+from conftest import BENCH_SCALE, build_engine, print_table
+
+
+@pytest.fixture(scope="module")
+def suite_results():
+    # CH-benCHmark protocol: free-running mixed streams.
+    ch_engine = build_engine("a")
+    runner = MixedWorkloadRunner(
+        ch_engine, BENCH_SCALE, MixedRunConfig(n_transactions=150, n_queries=12)
+    )
+    ch_mixed = runner.run_mixed()
+    # HTAPBench protocol: client balancer.  Architecture (c) has an
+    # isolated analytics tier, so the balancer can actually admit
+    # workers before OLTP degrades — the interesting regime.
+    htap_engine = build_engine("c")
+    htap_engine.force_sync()
+    driver = HTAPBenchDriver(htap_engine, BENCH_SCALE, txns_per_step=80)
+    htap = driver.run(max_workers=5)
+    return ch_mixed, htap
+
+
+def test_print_suites(suite_results):
+    ch_mixed, htap = suite_results
+    print_table(
+        "CH-benCHmark (free-running mixed streams)",
+        ["metric", "value"],
+        [
+            ["tpmC (NewOrder/min)", round(ch_mixed.tpmc)],
+            ["QphH (queries/hour)", round(ch_mixed.qph)],
+            ["freshness score", round(ch_mixed.freshness_score(), 3)],
+            ["analytical queries", ch_mixed.ap_ops],
+        ],
+        widths=[26, 14],
+    )
+    rows = [
+        [s.workers, round(s.tpmc), f"{100 * s.tp_kept_fraction:.0f}%",
+         round(s.qph), round(s.qphpw)]
+        for s in htap.steps
+    ]
+    print_table(
+        "HTAPBench (client balancer; tolerance 20%)",
+        ["AP workers", "tpmC", "TP kept", "QphH", "QpHpW"],
+        rows,
+        widths=[12, 10, 9, 10, 10],
+    )
+    print(
+        f"baseline tpmC={htap.baseline_tpmc:.0f}; sustainable workers="
+        f"{htap.sustainable_workers}; final QpHpW={htap.final_qphpw:.0f}"
+    )
+
+
+class TestSuiteClaims:
+    def test_data_generation_ch_adds_tables(self):
+        """CH extends TPC-C's 9 tables with supplier/nation/region."""
+        names = {s.table_name for s in tpcc_schemas()}
+        assert {"supplier", "nation", "region"} <= names
+        assert len(names) == 12
+
+    def test_ch_query_suite_covers_tpch_shapes(self):
+        ids = {q.query_id for q in CH_QUERIES}
+        assert {"Q1", "Q5", "Q6", "Q18"} <= ids
+        assert len(CH_QUERIES) >= 12
+
+    def test_ch_reports_both_metrics(self, suite_results):
+        ch_mixed, _ = suite_results
+        assert ch_mixed.tpmc > 0
+        assert ch_mixed.qph > 0
+
+    def test_htapbench_execution_rule(self, suite_results):
+        """The balancer stops admitting workers once OLTP drops below
+        the tolerance of its baseline."""
+        _, htap = suite_results
+        assert htap.baseline_tpmc > 0
+        assert len(htap.steps) >= 1
+        for step in htap.steps[:-1]:
+            assert step.tp_kept_fraction >= 1 - htap.tolerance
+
+    def test_qphpw_normalizes_by_workers(self, suite_results):
+        _, htap = suite_results
+        for step in htap.steps:
+            assert step.qphpw == pytest.approx(step.qph / step.workers)
+
+
+@pytest.mark.benchmark(group="suites")
+def test_bench_htapbench_step(benchmark):
+    engine = build_engine("a")
+    driver = HTAPBenchDriver(engine, BENCH_SCALE, txns_per_step=40)
+    benchmark.pedantic(lambda: driver._run_step(workers=1), rounds=3, iterations=1)

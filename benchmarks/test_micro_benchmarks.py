@@ -1,0 +1,151 @@
+"""Experiment M1 — §2.3(1): the ADAPT and HAP micro-benchmarks.
+
+ADAPT (Arulraj et al.): row vs column vs hybrid layouts across narrow
+scans, wide scans, and point operations — the headline result being
+that neither pure layout wins everywhere and a hybrid tracks the winner.
+
+HAP (Athanassoulis et al.): the optimal column layout shifts with the
+update fraction — compressed layouts win read-heavy mixes, but their
+maintenance cost grows with updates.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import run_adapt, run_hap_grid
+
+from conftest import print_table
+
+
+@pytest.fixture(scope="module")
+def adapt_cells():
+    return run_adapt(
+        n_rows=3_000,
+        narrow_selectivities=(0.01, 0.1, 1.0),
+        wide_projectivities=(1, 10, 30),
+        n_attributes=30,
+    )
+
+
+@pytest.fixture(scope="module")
+def hap_cells():
+    return run_hap_grid(
+        encodings=("plain", "dictionary", "rle", "bitpack"),
+        update_fractions=(0.0, 0.5, 0.9),
+        selectivity=0.1,
+        n_rows=3_000,
+        n_ops=150,
+        merge_threshold=48,
+    )
+
+
+def test_print_adapt(adapt_cells):
+    print_table(
+        "ADAPT (measured): simulated us per operation",
+        ["operation", "row path", "column path", "hybrid", "winner"],
+        [
+            [c.operation, round(c.row_us), round(c.column_us),
+             round(c.hybrid_us), c.winner]
+            for c in adapt_cells
+        ],
+        widths=[18, 11, 13, 10, 9],
+    )
+
+
+def test_print_hap(hap_cells):
+    print_table(
+        "HAP (measured): layout cost under scan/update mixes",
+        ["encoding", "update frac", "scan us", "maintain us", "total us", "mem B"],
+        [
+            [c.encoding, c.update_fraction, round(c.scan_us),
+             round(c.update_us + c.merge_us), round(c.total_us), c.memory_bytes]
+            for c in hap_cells
+        ],
+        widths=[12, 13, 10, 13, 11, 10],
+    )
+
+
+class TestAdaptClaims:
+    def test_column_wins_narrow_scans(self, adapt_cells):
+        narrow = [c for c in adapt_cells if c.operation.startswith("narrow")]
+        assert all(c.winner == "column" for c in narrow)
+        # And by a wide margin at full selectivity on one attribute.
+        full = next(c for c in narrow if "sel=1.0" in c.operation)
+        assert full.row_us > 5 * full.column_us
+
+    def test_row_wins_points(self, adapt_cells):
+        point = next(c for c in adapt_cells if c.operation.startswith("point"))
+        assert point.winner == "row"
+        assert point.column_us > 10 * point.row_us
+
+    def test_gap_narrows_with_projectivity(self, adapt_cells):
+        """Wide projections erode the column advantage (the crossover
+        that motivated hybrid tile layouts)."""
+        wides = {c.operation: c for c in adapt_cells if c.operation.startswith("wide")}
+        ratio_narrow = wides["wide proj=1"].row_us / wides["wide proj=1"].column_us
+        ratio_wide = wides["wide proj=30"].row_us / wides["wide proj=30"].column_us
+        assert ratio_wide < ratio_narrow / 3
+
+    def test_hybrid_tracks_winner(self, adapt_cells):
+        # Near the row/column crossover the estimate can pick the
+        # slightly-worse side; within ~35% of the winner everywhere.
+        for cell in adapt_cells:
+            best = min(cell.row_us, cell.column_us)
+            assert cell.hybrid_us <= best * 1.35 + 1e-6
+
+
+class TestHapClaims:
+    def _by(self, cells, encoding, u):
+        return next(
+            c for c in cells if c.encoding == encoding and c.update_fraction == u
+        )
+
+    def test_compressed_layouts_scan_cheaper(self, hap_cells):
+        plain = self._by(hap_cells, "plain", 0.0)
+        rle = self._by(hap_cells, "rle", 0.0)
+        dictionary = self._by(hap_cells, "dictionary", 0.0)
+        assert rle.scan_us < plain.scan_us
+        assert dictionary.scan_us < plain.scan_us
+
+    def test_maintenance_grows_with_updates(self, hap_cells):
+        for encoding in ("plain", "dictionary", "rle"):
+            low = self._by(hap_cells, encoding, 0.0)
+            high = self._by(hap_cells, encoding, 0.9)
+            assert (high.update_us + high.merge_us) > (low.update_us + low.merge_us)
+
+    def test_compressed_maintenance_costs_more(self, hap_cells):
+        """The HAP trade-off: dictionary pays more per merge than plain."""
+        plain = self._by(hap_cells, "plain", 0.9)
+        dictionary = self._by(hap_cells, "dictionary", 0.9)
+        assert dictionary.merge_us > plain.merge_us
+
+    def test_advantage_shrinks_with_update_fraction(self, hap_cells):
+        """Relative scan advantage of rle erodes as updates dominate."""
+        adv_read = (
+            self._by(hap_cells, "plain", 0.0).total_us
+            / self._by(hap_cells, "rle", 0.0).total_us
+        )
+        adv_write = (
+            self._by(hap_cells, "plain", 0.9).total_us
+            / self._by(hap_cells, "rle", 0.9).total_us
+        )
+        assert adv_write < adv_read
+
+
+@pytest.mark.benchmark(group="micro")
+def test_bench_adapt_grid(benchmark):
+    benchmark.pedantic(
+        lambda: run_adapt(n_rows=1_000, n_attributes=10), rounds=3, iterations=1
+    )
+
+
+@pytest.mark.benchmark(group="micro")
+def test_bench_hap_cell(benchmark):
+    from repro.bench import run_hap_cell
+
+    benchmark.pedantic(
+        lambda: run_hap_cell("dictionary", 0.5, 0.1, n_rows=1_000, n_ops=60),
+        rounds=3,
+        iterations=1,
+    )

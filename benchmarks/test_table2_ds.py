@@ -1,0 +1,163 @@
+"""Experiment T2-DS — Table 2, Data Synchronization rows.
+
+Paper claims:
+
+    In-memory delta merge : High Efficiency / Low Scalability
+    Log-based delta merge : High Scalability / High Merge Cost
+    Rebuild from row store: Small Memory Size / High Load Cost
+
+Measured: apply the same update stream through each technique, then
+compare merge cost (simulated us per merged row), steady-state memory
+held, and total end-to-end cost.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common import Column, CostModel, DataType, Schema
+from repro.storage.column_store import ColumnStore
+from repro.storage.delta_log import LogDeltaManager
+from repro.storage.delta_store import InMemoryDeltaStore
+from repro.storage.row_store import MVCCRowStore
+from repro.sync import ColumnStoreRebuilder, InMemoryDeltaMerger, LogDeltaMerger
+
+from conftest import print_table
+
+
+def make_schema():
+    return Schema(
+        "t",
+        [Column("id", DataType.INT64), Column("v", DataType.FLOAT64)],
+        ["id"],
+    )
+
+
+N_BASE = 3_000
+N_UPDATES = 600
+
+
+def run_in_memory_merge() -> dict:
+    schema = make_schema()
+    cost = CostModel()
+    main = ColumnStore(schema, cost)
+    main.append_rows([(i, float(i)) for i in range(N_BASE)], commit_ts=1)
+    delta = InMemoryDeltaStore(schema, cost)
+    merger = InMemoryDeltaMerger(delta, main, cost, threshold_rows=128)
+    peak_memory = 0
+    for i in range(N_UPDATES):
+        delta.record_update((i % N_BASE, float(i)), commit_ts=i + 2)
+        peak_memory = max(peak_memory, delta.memory_bytes())
+        merger.maybe_merge()
+    merger.merge()
+    return {
+        "merge_us_per_row": merger.stats.merge_time_us / max(merger.stats.rows_merged, 1),
+        "total_us": merger.stats.merge_time_us,
+        "peak_memory": peak_memory,
+        "rows": merger.stats.rows_merged,
+    }
+
+
+def run_log_merge() -> dict:
+    schema = make_schema()
+    cost = CostModel()
+    main = ColumnStore(schema, cost)
+    main.append_rows([(i, float(i)) for i in range(N_BASE)], commit_ts=1)
+    log = LogDeltaManager(schema, cost, seal_threshold=64)
+    merger = LogDeltaMerger(log, main, cost, threshold_files=2)
+    peak_memory = 0
+    for i in range(N_UPDATES):
+        log.record_update((i % N_BASE, float(i)), commit_ts=i + 2)
+        peak_memory = max(peak_memory, log.disk_bytes())
+        merger.maybe_merge()
+    merger.merge(seal_first=True)
+    return {
+        "merge_us_per_row": merger.stats.merge_time_us / max(merger.stats.rows_merged, 1),
+        "total_us": merger.stats.merge_time_us,
+        "peak_memory": peak_memory,
+        "rows": merger.stats.rows_merged,
+    }
+
+
+def run_rebuild() -> dict:
+    schema = make_schema()
+    cost = CostModel()
+    rows = MVCCRowStore(schema, cost)
+    for i in range(N_BASE):
+        rows.install_insert((i, float(i)), commit_ts=1)
+    main = ColumnStore(schema, cost)
+    rebuilder = ColumnStoreRebuilder(rows, main, cost, staleness_threshold=0.1)
+    rebuilder.rebuild(snapshot_ts=1)
+    peak_memory = 0  # no delta structure retained at all
+    for i in range(N_UPDATES):
+        ts = i + 2
+        rows.install_update(i % N_BASE, (i % N_BASE, float(i)), ts)
+        rebuilder.on_change()
+        rebuilder.maybe_rebuild(ts)
+    rebuilder.rebuild(N_UPDATES + 2)
+    return {
+        "merge_us_per_row": rebuilder.stats.rebuild_time_us
+        / max(rebuilder.stats.rows_loaded, 1),
+        "total_us": rebuilder.stats.rebuild_time_us,
+        "peak_memory": peak_memory,
+        "rows": rebuilder.stats.rows_loaded,
+    }
+
+
+@pytest.fixture(scope="module")
+def ds_results():
+    return {
+        "in-memory delta merge": run_in_memory_merge(),
+        "log-based delta merge": run_log_merge(),
+        "rebuild from row store": run_rebuild(),
+    }
+
+
+def test_print_table2_ds(ds_results):
+    print_table(
+        "Table 2 DS (measured): synchronization techniques",
+        ["technique", "us per merged row", "total sync us", "peak delta mem B"],
+        [
+            [
+                name,
+                round(r["merge_us_per_row"], 2),
+                round(r["total_us"]),
+                r["peak_memory"],
+            ]
+            for name, r in ds_results.items()
+        ],
+        widths=[26, 19, 15, 18],
+    )
+
+
+class TestDsClaims:
+    def test_in_memory_merge_most_efficient(self, ds_results):
+        mem = ds_results["in-memory delta merge"]["merge_us_per_row"]
+        assert mem < ds_results["log-based delta merge"]["merge_us_per_row"]
+        assert mem < ds_results["rebuild from row store"]["merge_us_per_row"]
+
+    def test_log_merge_high_cost(self, ds_results):
+        """Page I/O on every merged file makes per-row merge pricier."""
+        assert (
+            ds_results["log-based delta merge"]["merge_us_per_row"]
+            > 1.5 * ds_results["in-memory delta merge"]["merge_us_per_row"]
+        )
+
+    def test_rebuild_small_memory_high_load(self, ds_results):
+        rebuild = ds_results["rebuild from row store"]
+        assert rebuild["peak_memory"] == 0
+        # High load cost: every rebuild rereads the whole table, so the
+        # total cost dwarfs incremental merging.
+        assert rebuild["total_us"] > 2 * ds_results["in-memory delta merge"]["total_us"]
+        assert rebuild["rows"] > N_UPDATES  # full reloads, not just deltas
+
+
+@pytest.mark.benchmark(group="table2-ds")
+@pytest.mark.parametrize("technique", ["memory", "log", "rebuild"])
+def test_bench_sync_techniques(benchmark, technique):
+    fn = {
+        "memory": run_in_memory_merge,
+        "log": run_log_merge,
+        "rebuild": run_rebuild,
+    }[technique]
+    benchmark.pedantic(fn, rounds=3, iterations=1)

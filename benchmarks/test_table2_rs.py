@@ -1,0 +1,112 @@
+"""Experiment T2-RS — Table 2, Resource Scheduling rows.
+
+Paper claims:
+
+    Freshness-driven scheduling (RDE)        : High Freshness / Low Throughput
+    Workload-driven scheduling (HANA, Siper) : High Throughput / Low Freshness
+
+Measured: the same mixed workload (queued arrivals, fixed CPU slots)
+run under each scheduler; compare completed work and mean freshness
+lag.  The static scheduler is the no-scheduling baseline.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import ScheduledRunConfig, ScheduledWorkloadRunner
+from repro.scheduler import (
+    FreshnessDrivenScheduler,
+    StaticScheduler,
+    WorkloadDrivenScheduler,
+)
+
+from conftest import BENCH_SCALE, build_engine, print_table
+
+SLOTS = 8
+CONFIG = ScheduledRunConfig(
+    rounds=16,
+    round_slot_us=3_000.0,
+    tp_arrivals_per_round=60,
+    ap_arrivals_per_round=2,
+)
+
+
+def run_with(scheduler_factory) -> dict:
+    engine = build_engine("a")
+    engine.force_sync()
+    scheduler = scheduler_factory()
+    runner = ScheduledWorkloadRunner(engine, scheduler, BENCH_SCALE, CONFIG)
+    result = runner.run()
+    return {
+        "scheduler": scheduler.name,
+        "tp_done": result.tp_completed,
+        "ap_done": result.ap_completed,
+        "mean_lag": result.mean_lag,
+        "modes": result.trace.mode_fractions(),
+        "syncs": sum(1 for a in result.trace.allocations if a.run_sync),
+    }
+
+
+@pytest.fixture(scope="module")
+def rs_results():
+    return {
+        "static": run_with(lambda: StaticScheduler(SLOTS, sync_every=8)),
+        "workload": run_with(lambda: WorkloadDrivenScheduler(SLOTS, sync_every=8)),
+        "freshness": run_with(lambda: FreshnessDrivenScheduler(SLOTS, lag_threshold=60)),
+    }
+
+
+def test_print_table2_rs(rs_results):
+    print_table(
+        "Table 2 RS (measured): scheduling techniques",
+        ["scheduler", "TP done", "AP done", "mean lag", "syncs"],
+        [
+            [r["scheduler"], r["tp_done"], r["ap_done"], round(r["mean_lag"], 1),
+             r["syncs"]]
+            for r in rs_results.values()
+        ],
+        widths=[20, 10, 10, 10, 8],
+    )
+
+
+class TestRsClaims:
+    def test_workload_driven_high_throughput(self, rs_results):
+        """Backlog-chasing beats the static split on completed work."""
+        total_w = rs_results["workload"]["tp_done"] + rs_results["workload"]["ap_done"]
+        total_s = rs_results["static"]["tp_done"] + rs_results["static"]["ap_done"]
+        assert total_w >= total_s
+
+    def test_workload_driven_low_freshness(self, rs_results):
+        """It never looks at lag, so data goes stale between rare syncs."""
+        assert rs_results["workload"]["mean_lag"] > rs_results["freshness"]["mean_lag"]
+
+    def test_freshness_driven_high_freshness(self, rs_results):
+        assert rs_results["freshness"]["mean_lag"] < rs_results["static"]["mean_lag"]
+
+    def test_freshness_driven_throughput_price(self, rs_results):
+        """Forced syncs + shared mode cost TP throughput."""
+        assert (
+            rs_results["freshness"]["tp_done"]
+            <= rs_results["workload"]["tp_done"]
+        )
+
+    def test_freshness_driven_syncs_more(self, rs_results):
+        assert rs_results["freshness"]["syncs"] >= rs_results["workload"]["syncs"]
+
+
+@pytest.mark.benchmark(group="table2-rs")
+@pytest.mark.parametrize("name", ["workload", "freshness"])
+def test_bench_scheduled_round(benchmark, name):
+    factory = {
+        "workload": lambda: WorkloadDrivenScheduler(SLOTS),
+        "freshness": lambda: FreshnessDrivenScheduler(SLOTS, lag_threshold=60),
+    }[name]
+
+    def run_short():
+        engine = build_engine("a")
+        engine.force_sync()
+        cfg = ScheduledRunConfig(rounds=3, tp_arrivals_per_round=20, ap_arrivals_per_round=1)
+        ScheduledWorkloadRunner(engine, factory(), BENCH_SCALE, cfg).run()
+
+    benchmark.pedantic(run_short, rounds=3, iterations=1)

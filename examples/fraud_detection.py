@@ -1,0 +1,80 @@
+"""Fraud detection on a distributed HTAP cluster — the paper's finance
+motivation.
+
+"In finance applications, vendors can leverage an HTAP system to
+process the customer transactions efficiently while detecting the
+fraudulent transactions simultaneously."  (§1)
+
+Payments commit through 2PC+Raft on architecture (b); a fraud analyst
+periodically scans the columnar replica for suspicious patterns
+(many large payments by one customer in a short window).  The example
+shows the learner-replica pipeline: detection only sees what has been
+shipped and merged — the freshness price of high workload isolation.
+
+Run:  python examples/fraud_detection.py
+"""
+
+import random
+
+from repro import TpccLoader, TpccScale, make_engine
+
+SCALE = TpccScale(warehouses=1, districts=2, customers=25, items=40)
+FRAUD_CUSTOMER = 7   # this account will misbehave
+FRAUD_SQL = """
+    SELECT h_c_id, COUNT(*) AS n_payments, SUM(h_amount) AS total, MAX(h_amount) AS biggest
+    FROM history
+    WHERE h_amount > 3000.0
+    GROUP BY h_c_id
+    ORDER BY total DESC
+    LIMIT 3
+"""
+
+
+def main() -> None:
+    engine = make_engine("b", n_storage_nodes=3, seed=13)
+    TpccLoader(scale=SCALE, seed=3).load(engine)
+    rng = random.Random(99)
+    history_id = 5_000_000
+
+    def pay(customer: int, amount: float) -> None:
+        nonlocal history_id
+        with engine.session() as s:
+            row = s.read("customer", (1, 1, customer))
+            s.update("customer", row[:7] + (row[7] - amount,) + row[8:])
+            s.insert("history", (history_id, 1, 1, customer, 1, amount))
+        history_id += 1
+
+    print("processing payments on the distributed row store...")
+    for i in range(30):
+        pay(rng.randrange(1, SCALE.customers + 1), round(rng.uniform(10, 800), 2))
+        if i % 4 == 0:  # the fraudster drains the account in big chunks
+            pay(FRAUD_CUSTOMER, round(rng.uniform(3500, 5000), 2))
+    print(f"committed {engine.cluster.commits} transactions "
+          f"across {engine.cluster.n_regions} Raft regions\n")
+
+    print("analyst scan BEFORE the columnar replica catches up:")
+    early = engine.query(FRAUD_SQL)
+    print(f"  suspicious accounts visible: {early.rows}")
+    print(f"  freshness lag: {engine.freshness_lag()} commits "
+          "(learner data not yet sealed/merged)\n")
+
+    merged = engine.sync()
+    print(f"log-based delta merge shipped {merged} rows to the column store")
+    late = engine.query(FRAUD_SQL)
+    print("analyst scan AFTER sync:")
+    for c_id, n, total, biggest in late.rows:
+        flag = "  <-- FRAUD ALERT" if c_id == FRAUD_CUSTOMER else ""
+        print(f"  customer {c_id}: {n} large payments, total {total:.2f}, "
+              f"max {biggest:.2f}{flag}")
+
+    top = late.rows[0]
+    assert top[0] == FRAUD_CUSTOMER, "the fraudster should top the list"
+    print(
+        f"\nOLTP stayed isolated: row nodes busy "
+        f"{engine.ledger.makespan_us(engine.tp_nodes()):.0f}us; analytics ran on "
+        f"{engine.ap_nodes()} without touching them."
+    )
+
+
+if __name__ == "__main__":
+    main()

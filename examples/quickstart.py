@@ -1,0 +1,60 @@
+"""Quickstart: one HTAP engine, transactions, and SQL analytics.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import TpccLoader, TpccScale, make_engine
+
+
+def main() -> None:
+    # 1. Build architecture (a): Primary Row Store + In-Memory Column
+    #    Store (the Oracle Dual-Format / SQL Server CSI family).
+    engine = make_engine("a")
+
+    # 2. Load a small TPC-C/CH-benCHmark database.
+    scale = TpccScale(warehouses=1, districts=2, customers=30, items=80)
+    TpccLoader(scale=scale, seed=7).load(engine)
+    print(f"loaded TPC-C at scale {scale}")
+
+    # 3. OLTP: a read-modify-write transaction through a session.
+    with engine.session() as s:
+        warehouse = s.read("warehouse", 1)
+        s.update("warehouse", warehouse[:4] + (warehouse[4] + 100.0,))
+        print(f"payment applied; warehouse ytd now {warehouse[4] + 100.0:.2f}")
+
+    # 4. OLAP: SQL through the cost-based optimizer. The scan is
+    #    columnar but patched with the change we just committed —
+    #    "in-memory delta and column scan" gives fresh answers.
+    result = engine.query(
+        "SELECT w_id, w_ytd FROM warehouse WHERE w_id = 1"
+    )
+    print(f"analytical read sees the new ytd: {result.rows[0][1]:.2f}")
+
+    # 5. A bigger analytical query with joins and grouping.
+    result = engine.query(
+        """
+        SELECT o_ol_cnt, COUNT(*) AS orders, SUM(ol_amount) AS revenue
+        FROM orders JOIN order_line ON ol_o_id = o_id
+        WHERE o_w_id = ol_w_id AND o_d_id = ol_d_id AND ol_amount > 0
+        GROUP BY o_ol_cnt ORDER BY o_ol_cnt
+        """
+    )
+    print("\norders by line count:")
+    for ol_cnt, n, revenue in result.rows:
+        print(f"  {ol_cnt:>2} lines: {n:>4} orders, revenue {revenue:>12.2f}")
+
+    # 6. Look at the plan the hybrid optimizer chose.
+    print("\nplan for a selective point read:")
+    print(engine.explain("SELECT i_price FROM item WHERE i_id = 5"))
+    print("\nplan for a full analytical scan:")
+    print(engine.explain("SELECT SUM(ol_amount) FROM order_line"))
+
+    # 7. Run the architecture's data synchronization and check freshness.
+    moved = engine.sync()
+    print(f"\nsync merged/rebuilt {moved} rows; "
+          f"freshness lag = {engine.freshness_lag()} commits")
+    print(f"memory: { {k: f'{v/1e3:.1f}KB' for k, v in engine.memory_report().items()} }")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,17 @@
+"""Legacy setup shim: lets ``pip install -e .`` work without the wheel
+package (offline environments with older setuptools)."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "HTAP database testbed reproducing 'HTAP Databases: "
+        "What is New and What is Next' (SIGMOD 2022)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.24"],
+)

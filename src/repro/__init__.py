@@ -1,0 +1,96 @@
+"""repro — an HTAP database testbed.
+
+A from-scratch Python reproduction of the systems landscape surveyed in
+*"HTAP Databases: What is New and What is Next"* (Li & Zhang, SIGMOD
+2022): the four storage architectures of Figure 1, every technique row
+of Table 2 (transaction processing, analytical processing, data
+synchronization, query optimization, resource scheduling), and the
+benchmarks the paper discusses (TPC-C, CH-benCHmark, HTAPBench, ADAPT,
+HAP).
+
+Quick start::
+
+    from repro import make_engine, TpccLoader, TpccScale
+
+    engine = make_engine("a")            # Figure 1 architecture (a)-(d)
+    TpccLoader(TpccScale()).load(engine)
+    with engine.session() as s:          # OLTP
+        row = s.read("warehouse", 1)
+    result = engine.query(               # OLAP, cost-based hybrid scan
+        "SELECT SUM(ol_amount) FROM order_line WHERE ol_quantity < 5"
+    )
+"""
+
+from .bench import (
+    ChBenchmarkDriver,
+    HTAPBenchDriver,
+    MixedWorkloadRunner,
+    ScheduledWorkloadRunner,
+    TpccLoader,
+    TpccScale,
+    TpccWorkload,
+    run_adapt,
+    run_hap_grid,
+)
+from .common import (
+    Column,
+    CostModel,
+    DataType,
+    LogicalClock,
+    Predicate,
+    ReproError,
+    Schema,
+    SimClock,
+)
+from .engines import (
+    ColumnDeltaEngine,
+    DiskRowIMCSEngine,
+    DistributedReplicaEngine,
+    HTAPEngine,
+    RowIMCSEngine,
+    make_engine,
+)
+from .query import AccessPath, Executor, Planner, parse
+from .scheduler import (
+    AdaptiveHTAPScheduler,
+    FreshnessDrivenScheduler,
+    GPUDevice,
+    WorkloadDrivenScheduler,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AccessPath",
+    "AdaptiveHTAPScheduler",
+    "ChBenchmarkDriver",
+    "Column",
+    "ColumnDeltaEngine",
+    "CostModel",
+    "DataType",
+    "DiskRowIMCSEngine",
+    "DistributedReplicaEngine",
+    "Executor",
+    "FreshnessDrivenScheduler",
+    "GPUDevice",
+    "HTAPBenchDriver",
+    "HTAPEngine",
+    "LogicalClock",
+    "MixedWorkloadRunner",
+    "Planner",
+    "Predicate",
+    "ReproError",
+    "RowIMCSEngine",
+    "ScheduledWorkloadRunner",
+    "Schema",
+    "SimClock",
+    "TpccLoader",
+    "TpccScale",
+    "TpccWorkload",
+    "WorkloadDrivenScheduler",
+    "__version__",
+    "make_engine",
+    "parse",
+    "run_adapt",
+    "run_hap_grid",
+]

@@ -1,0 +1,69 @@
+"""Benchmarks: TPC-C, CH-benCHmark, HTAPBench, ADAPT & HAP micro-benches."""
+
+from .adapt import AdaptCell, adapt_schema, build_fixture, run_adapt
+from .chbenchmark import (
+    CH_QUERIES,
+    QUERY_IDS,
+    ChBenchmarkDriver,
+    ChQuery,
+    ChRunResult,
+    get_query,
+)
+from .hap import HapCell, hap_schema, run_hap_cell, run_hap_grid
+from .htapbench import HTAPBenchDriver, HtapBenchResult, HtapBenchStep
+from .metrics import (
+    HtapRunMetrics,
+    degradation,
+    isolation_score,
+    per_hour,
+    per_minute,
+    per_second,
+    qphpw,
+    rank_label,
+)
+from .tpcc import TpccLoader, TpccScale, TpccWorkload, TxnCounters, tpcc_schemas
+from .workload import (
+    MixedRunConfig,
+    MixedWorkloadRunner,
+    ScheduledRunConfig,
+    ScheduledRunResult,
+    ScheduledWorkloadRunner,
+)
+
+__all__ = [
+    "AdaptCell",
+    "CH_QUERIES",
+    "ChBenchmarkDriver",
+    "ChQuery",
+    "ChRunResult",
+    "HTAPBenchDriver",
+    "HapCell",
+    "HtapBenchResult",
+    "HtapBenchStep",
+    "HtapRunMetrics",
+    "MixedRunConfig",
+    "MixedWorkloadRunner",
+    "QUERY_IDS",
+    "ScheduledRunConfig",
+    "ScheduledRunResult",
+    "ScheduledWorkloadRunner",
+    "TpccLoader",
+    "TpccScale",
+    "TpccWorkload",
+    "TxnCounters",
+    "adapt_schema",
+    "build_fixture",
+    "degradation",
+    "get_query",
+    "hap_schema",
+    "isolation_score",
+    "per_hour",
+    "per_minute",
+    "per_second",
+    "qphpw",
+    "rank_label",
+    "run_adapt",
+    "run_hap_cell",
+    "run_hap_grid",
+    "tpcc_schemas",
+]

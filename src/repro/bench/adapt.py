@@ -1,0 +1,177 @@
+"""The ADAPT micro-benchmark (Arulraj, Pavlo, Menon — SIGMOD 2016).
+
+One of the two HTAP micro-benchmarks the survey presents (§2.3).  ADAPT
+stresses the row-vs-column layout decision with a single wide table and
+two query families:
+
+* **narrow scans** project one attribute over a selective range —
+  column layouts win (read 1 of k columns);
+* **wide scans** project most attributes — row layouts close the gap
+  (full-tuple materialization dominates);
+* **point lookups / updates** touch whole tuples by key — row layouts
+  win outright.
+
+The bench runs each operation against the same data through a forced
+row path, a forced column path, and the cost-based hybrid, measuring
+simulated time, and reports the crossover that motivated tile-based
+hybrid storage in the original paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from ..common.cost import CostModel
+from ..common.predicate import Between
+from ..common.rng import make_rng
+from ..common.types import Column, DataType, Schema
+from ..query.access import AccessPath
+from ..query.adapters import DualStoreTableAccess
+from ..query.ast import Aggregate, AggFunc, ColumnRef, Query, SelectItem
+from ..query.executor import Executor
+from ..query.optimizer import Planner
+from ..storage.column_store import ColumnStore
+from ..storage.row_store import MVCCRowStore
+
+N_ATTRIBUTES = 10
+
+
+def adapt_schema(n_attributes: int = N_ATTRIBUTES) -> Schema:
+    columns = [Column("id", DataType.INT64)]
+    columns += [Column(f"a{i}", DataType.INT64) for i in range(n_attributes)]
+    return Schema("adapt", columns, ["id"])
+
+
+@dataclass
+class AdaptFixture:
+    """The populated dual-store table plus per-path planners."""
+
+    cost: CostModel
+    access: DualStoreTableAccess
+    executor: Executor
+    planners: dict[str, Planner]
+    n_rows: int
+
+    def run(self, path: str, query: Query) -> float:
+        """Execute via the named path; returns simulated microseconds."""
+        plan = self.planners[path].plan(query)
+        before = self.cost.now_us()
+        self.executor.execute(plan)
+        return self.cost.now_us() - before
+
+
+def build_fixture(
+    n_rows: int = 5_000, seed: int = 21, n_attributes: int = N_ATTRIBUTES
+) -> AdaptFixture:
+    rng = make_rng(seed)
+    schema = adapt_schema(n_attributes)
+    cost = CostModel()
+    rows = MVCCRowStore(schema, cost)
+    data = []
+    for i in range(n_rows):
+        data.append(tuple([i] + [rng.randrange(0, 1_000) for _ in range(n_attributes)]))
+    for row in data:
+        rows.install_insert(row, commit_ts=1)
+    columns = ColumnStore(schema, cost)
+    columns.append_rows(data, commit_ts=1)
+    access = DualStoreTableAccess(rows, columns, cost)
+    catalog = {"adapt": access}
+    planners = {
+        "row": Planner(catalog, cost, force_path=AccessPath.ROW_SCAN),
+        "index": Planner(catalog, cost, force_path=AccessPath.INDEX_LOOKUP),
+        "column": Planner(catalog, cost, force_path=AccessPath.COLUMN_SCAN),
+        "hybrid": Planner(catalog, cost),
+    }
+    return AdaptFixture(
+        cost=cost,
+        access=access,
+        executor=Executor(catalog, cost),
+        planners=planners,
+        n_rows=n_rows,
+    )
+
+
+def narrow_scan_query(selectivity: float, n_rows: int) -> Query:
+    """SUM over one attribute for an id range covering ``selectivity``."""
+    high = int(n_rows * selectivity)
+    return Query(
+        tables=["adapt"],
+        select=[SelectItem(Aggregate(AggFunc.SUM, ColumnRef("a0")), alias="s")],
+        where=Between("id", 0, max(high - 1, 0)),
+    )
+
+
+def wide_scan_query(projectivity: int, n_rows: int) -> Query:
+    """Aggregate over ``projectivity`` attributes, full table."""
+    items = [
+        SelectItem(Aggregate(AggFunc.SUM, ColumnRef(f"a{i}")), alias=f"s{i}")
+        for i in range(projectivity)
+    ]
+    return Query(tables=["adapt"], select=items, where=Between("id", 0, n_rows))
+
+
+@dataclass
+class AdaptCell:
+    operation: str
+    row_us: float
+    column_us: float
+    hybrid_us: float
+
+    @property
+    def winner(self) -> str:
+        best = min(("row", self.row_us), ("column", self.column_us), key=lambda p: p[1])
+        return best[0]
+
+
+def run_adapt(
+    n_rows: int = 5_000,
+    narrow_selectivities: tuple = (0.01, 0.1, 1.0),
+    wide_projectivities: tuple = (1, 5, 10),
+    seed: int = 21,
+    n_attributes: int = N_ATTRIBUTES,
+) -> list[AdaptCell]:
+    """The full grid; returns one cell per operation."""
+    fixture = build_fixture(n_rows=n_rows, seed=seed, n_attributes=n_attributes)
+    cells: list[AdaptCell] = []
+    for sel in narrow_selectivities:
+        q = narrow_scan_query(sel, n_rows)
+        cells.append(
+            AdaptCell(
+                operation=f"narrow sel={sel}",
+                row_us=fixture.run("row", q),
+                column_us=fixture.run("column", q),
+                hybrid_us=fixture.run("hybrid", q),
+            )
+        )
+    for proj in wide_projectivities:
+        q = wide_scan_query(proj, n_rows)
+        cells.append(
+            AdaptCell(
+                operation=f"wide proj={proj}",
+                row_us=fixture.run("row", q),
+                column_us=fixture.run("column", q),
+                hybrid_us=fixture.run("hybrid", q),
+            )
+        )
+    # Point lookups by primary key: the "row side" of ADAPT is the
+    # B+-tree/index path, which column layouts lack.
+    from ..common.predicate import Comparison
+
+    point = Query(
+        tables=["adapt"],
+        select=[SelectItem(ColumnRef("a0"))],
+        where=Comparison("id", "=", n_rows // 2),
+    )
+    row_us = col_us = hyb_us = 0.0
+    for _i in range(20):
+        row_us += fixture.run("index", point)
+        col_us += fixture.run("column", point)
+        hyb_us += fixture.run("hybrid", point)
+    cells.append(
+        AdaptCell(
+            operation="point x20",
+            row_us=row_us,
+            column_us=col_us,
+            hybrid_us=hyb_us,
+        )
+    )
+    return cells

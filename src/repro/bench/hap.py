@@ -1,0 +1,126 @@
+"""The HAP micro-benchmark (Athanassoulis, Bøgh, Idreos — VLDB 2019).
+
+The second micro-benchmark the survey names (§2.3): *optimal column
+layout for hybrid workloads*.  HAP mixes point updates with range scans
+over one column and asks how the physical layout (here: the encoding of
+the sealed segments and how often deltas merge) should change as the
+update fraction and the read pattern change.
+
+The testbed version sweeps
+
+* update fraction u in the operation mix,
+* scan selectivity, and
+* the segment encoding (plain / dictionary / RLE / bit-packed),
+
+measuring total simulated time of the mixed sequence.  The expected
+shape from the paper: compressed, scan-optimized layouts win read-heavy
+mixes; as u grows, the merge/maintenance cost of the compressed layouts
+erodes their advantage until plainer layouts win — a crossover in u.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..common.cost import CostModel
+from ..common.predicate import Between
+from ..common.rng import make_rng
+from ..common.types import Column, DataType, Schema
+from ..storage.column_store import ColumnStore
+from ..storage.delta_store import InMemoryDeltaStore
+from ..sync.delta_merge import InMemoryDeltaMerger
+
+
+def hap_schema() -> Schema:
+    return Schema(
+        "hap",
+        [
+            Column("id", DataType.INT64),
+            Column("val", DataType.INT64),
+            Column("grp", DataType.INT64),
+        ],
+        ["id"],
+    )
+
+
+@dataclass
+class HapCell:
+    encoding: str
+    update_fraction: float
+    selectivity: float
+    total_us: float
+    scan_us: float
+    update_us: float
+    merge_us: float
+    memory_bytes: int
+
+
+def run_hap_cell(
+    encoding: str,
+    update_fraction: float,
+    selectivity: float,
+    n_rows: int = 4_000,
+    n_ops: int = 200,
+    merge_threshold: int = 64,
+    seed: int = 5,
+) -> HapCell:
+    """One (encoding, u, selectivity) cell of the HAP grid."""
+    rng = make_rng(seed)
+    schema = hap_schema()
+    cost = CostModel()
+    # grp is low-cardinality (RLE/dict-friendly); val is wide-range.
+    rows = [(i, rng.randrange(0, 1_000_000), i % 8) for i in range(n_rows)]
+    store = ColumnStore(schema, cost, forced_encoding=encoding)
+    store.append_rows(rows, commit_ts=1)
+    delta = InMemoryDeltaStore(schema, cost)
+    merger = InMemoryDeltaMerger(delta, store, cost, threshold_rows=merge_threshold)
+    scan_us = update_us = merge_us = 0.0
+    ts = 1
+    span = max(1, int(n_rows * selectivity))
+    for _op in range(n_ops):
+        if rng.random() < update_fraction:
+            ts += 1
+            key = rng.randrange(0, n_rows)
+            before = cost.now_us()
+            delta.record_update((key, rng.randrange(0, 1_000_000), key % 8), ts)
+            maybe = merger.maybe_merge()
+            after = cost.now_us()
+            if maybe:
+                merge_us += after - before
+            else:
+                update_us += after - before
+        else:
+            low = rng.randrange(0, n_rows - span + 1)
+            predicate = Between("id", low, low + span - 1)
+            before = cost.now_us()
+            result = store.scan(["val"], predicate)
+            # Scans must also consult the unmerged delta (HTAP reads
+            # are fresh); charge its scan too.
+            delta.effective_rows(ts, predicate)
+            scan_us += cost.now_us() - before
+            assert len(result) <= span
+    return HapCell(
+        encoding=encoding,
+        update_fraction=update_fraction,
+        selectivity=selectivity,
+        total_us=scan_us + update_us + merge_us,
+        scan_us=scan_us,
+        update_us=update_us,
+        merge_us=merge_us,
+        memory_bytes=store.memory_bytes(),
+    )
+
+
+def run_hap_grid(
+    encodings: tuple = ("plain", "dictionary", "rle", "bitpack"),
+    update_fractions: tuple = (0.0, 0.2, 0.5, 0.8),
+    selectivity: float = 0.1,
+    **kwargs,
+) -> list[HapCell]:
+    cells = []
+    for encoding in encodings:
+        for u in update_fractions:
+            cells.append(
+                run_hap_cell(encoding, u, selectivity, **kwargs)
+            )
+    return cells

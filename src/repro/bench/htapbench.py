@@ -1,0 +1,121 @@
+"""HTAPBench driver (Coelho et al. 2017).
+
+The survey contrasts HTAPBench with CH-benCHmark on three axes:
+
+* *data generation* — same TPC-C generator, but the analytical stream
+  is admitted only while OLTP holds a target rate;
+* *execution rule* — a Client Balancer adds analytical workers one at a
+  time and stops when the OLTP throughput drops below a tolerance of
+  its baseline tpmC;
+* *metric* — QpHpW: analytical queries per hour *per worker*, reported
+  at the largest worker count that still preserved the OLTP target.
+
+The driver reproduces that protocol on any engine: measure baseline
+tpmC alone, then sweep analytical workers (modelled as proportionally
+denser query interleave) until the degradation budget is exhausted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..engines.base import HTAPEngine
+from .chbenchmark import QUERY_IDS, ChBenchmarkDriver
+from .metrics import per_hour, per_minute, qphpw
+from .tpcc import TpccScale, TpccWorkload
+
+
+@dataclass
+class HtapBenchStep:
+    workers: int
+    tpmc: float
+    qph: float
+    qphpw: float
+    tp_kept_fraction: float
+
+
+@dataclass
+class HtapBenchResult:
+    baseline_tpmc: float
+    tolerance: float
+    steps: list[HtapBenchStep] = field(default_factory=list)
+
+    @property
+    def sustainable_workers(self) -> int:
+        ok = [s.workers for s in self.steps if s.tp_kept_fraction >= 1 - self.tolerance]
+        return max(ok, default=0)
+
+    @property
+    def final_qphpw(self) -> float:
+        for step in reversed(self.steps):
+            if step.tp_kept_fraction >= 1 - self.tolerance:
+                return step.qphpw
+        return 0.0
+
+
+class HTAPBenchDriver:
+    """Client-Balancer protocol over the shared TPC-C + CH workload."""
+
+    def __init__(
+        self,
+        engine: HTAPEngine,
+        scale: TpccScale,
+        txns_per_step: int = 120,
+        queries_per_worker: int = 4,
+        tolerance: float = 0.20,
+        seed: int = 13,
+    ):
+        self.engine = engine
+        self.scale = scale
+        self.txns_per_step = txns_per_step
+        self.queries_per_worker = queries_per_worker
+        self.tolerance = tolerance
+        self.workload = TpccWorkload(engine, scale, seed=seed)
+        self.driver = ChBenchmarkDriver(engine)
+
+    def _run_step(self, workers: int) -> tuple[float, float, int]:
+        """One step: txns_per_step transactions with workers' queries
+        interleaved; returns (tp makespan, ap makespan, new orders)."""
+        engine = self.engine
+        tp_nodes = engine.tp_nodes()
+        ap_nodes = engine.ap_nodes()
+        all_nodes = set(tp_nodes) | set(ap_nodes)
+        before = {n: engine.ledger.busy(n) for n in all_nodes}
+        new_orders_before = self.workload.counters.new_order
+        n_queries = workers * self.queries_per_worker
+        query_every = max(1, self.txns_per_step // max(n_queries, 1))
+        q = 0
+        for i in range(self.txns_per_step):
+            self.workload.run_one()
+            if workers and (i + 1) % query_every == 0 and q < n_queries:
+                self.driver.run_query(QUERY_IDS[q % len(QUERY_IDS)])
+                q += 1
+            if (i + 1) % 60 == 0:
+                engine.sync()
+        while q < n_queries:
+            self.driver.run_query(QUERY_IDS[q % len(QUERY_IDS)])
+            q += 1
+        tp_makespan = max(engine.ledger.busy(n) - before[n] for n in tp_nodes)
+        ap_makespan = max(engine.ledger.busy(n) - before[n] for n in ap_nodes)
+        return tp_makespan, ap_makespan, self.workload.counters.new_order - new_orders_before
+
+    def run(self, max_workers: int = 6) -> HtapBenchResult:
+        # Baseline: OLTP alone.
+        tp_makespan, _ap, new_orders = self._run_step(workers=0)
+        baseline = per_minute(new_orders, tp_makespan)
+        result = HtapBenchResult(baseline_tpmc=baseline, tolerance=self.tolerance)
+        for workers in range(1, max_workers + 1):
+            tp_makespan, ap_makespan, new_orders = self._run_step(workers)
+            tpmc = per_minute(new_orders, tp_makespan)
+            n_queries = workers * self.queries_per_worker
+            step = HtapBenchStep(
+                workers=workers,
+                tpmc=tpmc,
+                qph=per_hour(n_queries, ap_makespan),
+                qphpw=qphpw(n_queries, ap_makespan, workers),
+                tp_kept_fraction=tpmc / baseline if baseline else 0.0,
+            )
+            result.steps.append(step)
+            if step.tp_kept_fraction < 1 - self.tolerance:
+                break
+        return result

@@ -1,0 +1,95 @@
+"""HTAP benchmark metrics (§2.3 of the survey).
+
+tpmC (TPC-C NewOrder transactions per minute), QphH (analytical queries
+per hour), HTAPBench's QpHpW (queries per hour *per analytical worker*
+while OLTP holds its target), freshness score, and the isolation
+degradation the survey's evaluation practices quantify.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+def per_minute(ops: int, makespan_us: float) -> float:
+    if makespan_us <= 0:
+        return 0.0
+    return ops / (makespan_us / 60e6)
+
+
+def per_hour(ops: int, makespan_us: float) -> float:
+    if makespan_us <= 0:
+        return 0.0
+    return ops / (makespan_us / 3600e6)
+
+
+def per_second(ops: int, makespan_us: float) -> float:
+    if makespan_us <= 0:
+        return 0.0
+    return ops / (makespan_us / 1e6)
+
+
+@dataclass
+class HtapRunMetrics:
+    """One mixed-workload run, fully reduced."""
+
+    label: str
+    tp_ops: int = 0
+    ap_ops: int = 0
+    tp_makespan_us: float = 0.0
+    ap_makespan_us: float = 0.0
+    new_orders: int = 0
+    freshness_lags: list[int] = field(default_factory=list)
+
+    @property
+    def tpmc(self) -> float:
+        return per_minute(self.new_orders, self.tp_makespan_us)
+
+    @property
+    def tp_per_sec(self) -> float:
+        return per_second(self.tp_ops, self.tp_makespan_us)
+
+    @property
+    def qph(self) -> float:
+        return per_hour(self.ap_ops, self.ap_makespan_us)
+
+    @property
+    def ap_per_sec(self) -> float:
+        return per_second(self.ap_ops, self.ap_makespan_us)
+
+    def mean_freshness_lag(self) -> float:
+        if not self.freshness_lags:
+            return 0.0
+        return sum(self.freshness_lags) / len(self.freshness_lags)
+
+    def freshness_score(self) -> float:
+        return 1.0 / (1.0 + self.mean_freshness_lag())
+
+
+def qphpw(ap_ops: int, makespan_us: float, workers: int) -> float:
+    """HTAPBench's unified metric: QphH per analytical worker."""
+    if workers <= 0:
+        return 0.0
+    return per_hour(ap_ops, makespan_us) / workers
+
+
+def degradation(alone: float, mixed: float) -> float:
+    """Fraction of throughput lost to the co-running workload."""
+    if alone <= 0:
+        return 0.0
+    return max(0.0, 1.0 - mixed / alone)
+
+
+def isolation_score(alone: float, mixed: float) -> float:
+    """1.0 = perfectly isolated, 0.0 = fully starved."""
+    return 1.0 - degradation(alone, mixed)
+
+
+def rank_label(value: float, thresholds: tuple[float, float]) -> str:
+    """Map a measured value onto the paper's High/Medium/Low scale."""
+    low_cut, high_cut = thresholds
+    if value >= high_cut:
+        return "High"
+    if value >= low_cut:
+        return "Medium"
+    return "Low"

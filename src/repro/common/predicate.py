@@ -1,0 +1,272 @@
+"""Predicates evaluable both row-at-a-time and vectorized.
+
+The same predicate object is pushed into the row store (tuple-at-a-time
+``matches``) and into the column store (NumPy ``mask`` over whole column
+arrays).  Having one representation for both paths is what makes the
+hybrid row/column access-path choice of Table 2 a pure optimizer
+decision with identical semantics either way.
+"""
+
+from __future__ import annotations
+
+import operator
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+import numpy as np
+
+from .errors import QueryError
+from .types import Row, Schema
+
+_OPS: dict[str, Callable[[Any, Any], Any]] = {
+    "=": operator.eq,
+    "!=": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+
+class Predicate:
+    """Base predicate. Subclasses implement both evaluation strategies."""
+
+    def matches(self, row: Row, schema: Schema) -> bool:
+        raise NotImplementedError
+
+    def mask(self, arrays: Mapping[str, np.ndarray]) -> np.ndarray:
+        """Boolean mask over columnar data (one array per referenced column)."""
+        raise NotImplementedError
+
+    def referenced_columns(self) -> set[str]:
+        raise NotImplementedError
+
+    # Composition sugar so call sites read naturally.
+    def __and__(self, other: "Predicate") -> "Predicate":
+        return And((self, other))
+
+    def __or__(self, other: "Predicate") -> "Predicate":
+        return Or((self, other))
+
+    def __invert__(self) -> "Predicate":
+        return Not(self)
+
+
+@dataclass(frozen=True)
+class TruePredicate(Predicate):
+    """Matches everything; the default WHERE clause."""
+
+    def matches(self, row: Row, schema: Schema) -> bool:
+        return True
+
+    def mask(self, arrays: Mapping[str, np.ndarray]) -> np.ndarray:
+        n = len(next(iter(arrays.values()))) if arrays else 0
+        return np.ones(n, dtype=bool)
+
+    def referenced_columns(self) -> set[str]:
+        return set()
+
+
+ALWAYS_TRUE = TruePredicate()
+
+
+@dataclass(frozen=True)
+class Comparison(Predicate):
+    """``column <op> literal`` for op in =, !=, <, <=, >, >=."""
+
+    column: str
+    op: str
+    value: Any
+
+    def __post_init__(self) -> None:
+        if self.op not in _OPS:
+            raise QueryError(f"unknown comparison operator {self.op!r}")
+
+    def matches(self, row: Row, schema: Schema) -> bool:
+        cell = row[schema.index_of(self.column)]
+        if cell is None:
+            return False
+        return bool(_OPS[self.op](cell, self.value))
+
+    def mask(self, arrays: Mapping[str, np.ndarray]) -> np.ndarray:
+        arr = arrays[self.column]
+        result = _OPS[self.op](arr, self.value)
+        return np.asarray(result, dtype=bool)
+
+    def referenced_columns(self) -> set[str]:
+        return {self.column}
+
+
+@dataclass(frozen=True)
+class Between(Predicate):
+    """``low <= column <= high`` — the classic zone-map-friendly range."""
+
+    column: str
+    low: Any
+    high: Any
+
+    def matches(self, row: Row, schema: Schema) -> bool:
+        cell = row[schema.index_of(self.column)]
+        if cell is None:
+            return False
+        return self.low <= cell <= self.high
+
+    def mask(self, arrays: Mapping[str, np.ndarray]) -> np.ndarray:
+        arr = arrays[self.column]
+        return np.asarray((arr >= self.low) & (arr <= self.high), dtype=bool)
+
+    def referenced_columns(self) -> set[str]:
+        return {self.column}
+
+
+@dataclass(frozen=True)
+class InList(Predicate):
+    """``column IN (values...)``."""
+
+    column: str
+    values: tuple
+
+    def __init__(self, column: str, values: Iterable[Any]):
+        object.__setattr__(self, "column", column)
+        object.__setattr__(self, "values", tuple(values))
+
+    def matches(self, row: Row, schema: Schema) -> bool:
+        return row[schema.index_of(self.column)] in self.values
+
+    def mask(self, arrays: Mapping[str, np.ndarray]) -> np.ndarray:
+        arr = arrays[self.column]
+        return np.isin(arr, np.array(list(self.values), dtype=arr.dtype))
+
+    def referenced_columns(self) -> set[str]:
+        return {self.column}
+
+
+@dataclass(frozen=True)
+class And(Predicate):
+    children: tuple
+
+    def __init__(self, children: Sequence[Predicate]):
+        object.__setattr__(self, "children", tuple(children))
+
+    def matches(self, row: Row, schema: Schema) -> bool:
+        return all(child.matches(row, schema) for child in self.children)
+
+    def mask(self, arrays: Mapping[str, np.ndarray]) -> np.ndarray:
+        result: np.ndarray | None = None
+        for child in self.children:
+            m = child.mask(arrays)
+            result = m if result is None else result & m
+        if result is None:
+            return TruePredicate().mask(arrays)
+        return result
+
+    def referenced_columns(self) -> set[str]:
+        cols: set[str] = set()
+        for child in self.children:
+            cols |= child.referenced_columns()
+        return cols
+
+
+@dataclass(frozen=True)
+class Or(Predicate):
+    children: tuple
+
+    def __init__(self, children: Sequence[Predicate]):
+        object.__setattr__(self, "children", tuple(children))
+
+    def matches(self, row: Row, schema: Schema) -> bool:
+        return any(child.matches(row, schema) for child in self.children)
+
+    def mask(self, arrays: Mapping[str, np.ndarray]) -> np.ndarray:
+        result: np.ndarray | None = None
+        for child in self.children:
+            m = child.mask(arrays)
+            result = m if result is None else result | m
+        if result is None:
+            return TruePredicate().mask(arrays)
+        return result
+
+    def referenced_columns(self) -> set[str]:
+        cols: set[str] = set()
+        for child in self.children:
+            cols |= child.referenced_columns()
+        return cols
+
+
+@dataclass(frozen=True)
+class Not(Predicate):
+    child: Predicate
+
+    def matches(self, row: Row, schema: Schema) -> bool:
+        return not self.child.matches(row, schema)
+
+    def mask(self, arrays: Mapping[str, np.ndarray]) -> np.ndarray:
+        return ~self.child.mask(arrays)
+
+    def referenced_columns(self) -> set[str]:
+        return self.child.referenced_columns()
+
+
+def key_equality(predicate: Predicate, key_columns: Sequence[str]) -> Any | None:
+    """If ``predicate`` pins every key column with equality, return the key.
+
+    Used by the optimizer to recognize point lookups (scalar key for a
+    single key column, tuple otherwise); returns ``None`` when the
+    predicate does not fully determine the key.
+    """
+    bindings: dict[str, Any] = {}
+
+    def collect(p: Predicate) -> bool:
+        if isinstance(p, Comparison) and p.op == "=":
+            bindings.setdefault(p.column, p.value)
+            return True
+        if isinstance(p, And):
+            return all(collect(c) for c in p.children)
+        if isinstance(p, TruePredicate):
+            return True
+        return False
+
+    # A disjunction (or negation) anywhere means we cannot prove a point.
+    if not collect(predicate):
+        return None
+    if not all(col in bindings for col in key_columns):
+        return None
+    if len(key_columns) == 1:
+        return bindings[key_columns[0]]
+    return tuple(bindings[col] for col in key_columns)
+
+
+def column_range(predicate: Predicate, column: str) -> tuple[Any, Any] | None:
+    """Extract a ``[low, high]`` bound on ``column`` from AND-ed comparisons.
+
+    Feeds zone-map pruning in the column store.  Returns ``None`` when
+    the predicate gives no usable bound (or uses OR/NOT at the top).
+    """
+    low: Any = None
+    high: Any = None
+
+    def visit(p: Predicate) -> bool:
+        nonlocal low, high
+        if isinstance(p, And):
+            return all(visit(c) for c in p.children)
+        if isinstance(p, Between) and p.column == column:
+            low = p.low if low is None else max(low, p.low)
+            high = p.high if high is None else min(high, p.high)
+            return True
+        if isinstance(p, Comparison) and p.column == column:
+            if p.op == "=":
+                low = p.value if low is None else max(low, p.value)
+                high = p.value if high is None else min(high, p.value)
+            elif p.op in (">", ">="):
+                low = p.value if low is None else max(low, p.value)
+            elif p.op in ("<", "<="):
+                high = p.value if high is None else min(high, p.value)
+            return True
+        # Comparisons on other columns are fine; OR/NOT poison the bound.
+        return isinstance(p, (Comparison, Between, InList, TruePredicate))
+
+    if not visit(predicate):
+        return None
+    if low is None and high is None:
+        return None
+    return (low, high)

@@ -1,0 +1,217 @@
+"""Schema primitives shared by the row store, column store, and planner.
+
+A *row* in this library is a plain tuple whose positions line up with the
+columns of a :class:`Schema`.  Keeping rows as tuples (instead of objects)
+keeps every storage engine cheap to copy and trivially hashable.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+import numpy as np
+
+from .errors import SchemaError
+
+Row = tuple
+Key = Any
+
+
+class DataType(enum.Enum):
+    """Logical column types understood by every store and the executor."""
+
+    INT64 = "int64"
+    FLOAT64 = "float64"
+    STRING = "string"
+    BOOL = "bool"
+    # Dates are stored as int64 days-since-epoch; DATE only affects parsing
+    # and formatting, never storage.
+    DATE = "date"
+
+    @property
+    def numpy_dtype(self) -> np.dtype:
+        """The NumPy dtype used when this column is held columnar."""
+        if self is DataType.INT64 or self is DataType.DATE:
+            return np.dtype(np.int64)
+        if self is DataType.FLOAT64:
+            return np.dtype(np.float64)
+        if self is DataType.BOOL:
+            return np.dtype(np.bool_)
+        return np.dtype(object)
+
+    def validate(self, value: Any) -> bool:
+        """Whether ``value`` is acceptable for a column of this type."""
+        if value is None:
+            return True
+        if self is DataType.INT64 or self is DataType.DATE:
+            return isinstance(value, (int, np.integer)) and not isinstance(value, bool)
+        if self is DataType.FLOAT64:
+            return isinstance(value, (int, float, np.integer, np.floating)) and not isinstance(
+                value, bool
+            )
+        if self is DataType.BOOL:
+            return isinstance(value, (bool, np.bool_))
+        return isinstance(value, str)
+
+
+@dataclass(frozen=True)
+class Column:
+    """One column of a table schema."""
+
+    name: str
+    dtype: DataType
+    nullable: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.name or not self.name.isidentifier():
+            raise SchemaError(f"invalid column name: {self.name!r}")
+
+
+@dataclass(frozen=True)
+class Schema:
+    """An ordered set of columns plus the primary-key column names.
+
+    The primary key may be composite; the key of a row is then a tuple of
+    the key column values in declaration order.
+    """
+
+    table_name: str
+    columns: tuple[Column, ...]
+    primary_key: tuple[str, ...]
+    _index_of: dict = field(default_factory=dict, compare=False, repr=False)
+
+    def __init__(
+        self,
+        table_name: str,
+        columns: Sequence[Column],
+        primary_key: Sequence[str],
+    ):
+        object.__setattr__(self, "table_name", table_name)
+        object.__setattr__(self, "columns", tuple(columns))
+        object.__setattr__(self, "primary_key", tuple(primary_key))
+        names = [c.name for c in self.columns]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate column names in table {table_name!r}")
+        if not self.primary_key:
+            raise SchemaError(f"table {table_name!r} needs a primary key")
+        index_of = {name: i for i, name in enumerate(names)}
+        for key_col in self.primary_key:
+            if key_col not in index_of:
+                raise SchemaError(f"primary key column {key_col!r} not in schema")
+            if self.columns[index_of[key_col]].nullable:
+                raise SchemaError(f"primary key column {key_col!r} must not be nullable")
+        object.__setattr__(self, "_index_of", index_of)
+
+    @property
+    def column_names(self) -> list[str]:
+        return [c.name for c in self.columns]
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def has_column(self, name: str) -> bool:
+        return name in self._index_of
+
+    def index_of(self, name: str) -> int:
+        """Position of ``name`` in a row tuple; raises on unknown columns."""
+        try:
+            return self._index_of[name]
+        except KeyError:
+            raise SchemaError(
+                f"no column {name!r} in table {self.table_name!r}"
+            ) from None
+
+    def column(self, name: str) -> Column:
+        return self.columns[self.index_of(name)]
+
+    def key_indexes(self) -> tuple[int, ...]:
+        return tuple(self.index_of(name) for name in self.primary_key)
+
+    def key_of(self, row: Row) -> Key:
+        """Extract the primary key of ``row`` (scalar for 1-column keys)."""
+        idx = self.key_indexes()
+        if len(idx) == 1:
+            return row[idx[0]]
+        return tuple(row[i] for i in idx)
+
+    def validate_row(self, row: Sequence[Any]) -> Row:
+        """Check arity, types, and nullability; return the row as a tuple."""
+        if len(row) != len(self.columns):
+            raise SchemaError(
+                f"row has {len(row)} values, table {self.table_name!r} "
+                f"has {len(self.columns)} columns"
+            )
+        for value, col in zip(row, self.columns):
+            if value is None:
+                if not col.nullable:
+                    raise SchemaError(
+                        f"column {col.name!r} of {self.table_name!r} is not nullable"
+                    )
+            elif not col.dtype.validate(value):
+                raise SchemaError(
+                    f"value {value!r} is not valid for column "
+                    f"{col.name!r} ({col.dtype.value})"
+                )
+        return tuple(row)
+
+    def project(self, names: Iterable[str]) -> list[int]:
+        """Indexes of ``names`` in row order, validating each name."""
+        return [self.index_of(n) for n in names]
+
+
+#: SQL NULL in an INT64/DATE column array.  Far enough from real data
+#: that range predicates with sane constants exclude it, like NULL
+#: semantics require; floats use NaN, strings/objects use None directly.
+NULL_INT: int = -(2**62)
+
+
+def encode_cell(value: Any, dtype: DataType) -> Any:
+    """Map a (possibly-None) row cell to its columnar representation."""
+    if value is not None:
+        return value
+    if dtype is DataType.INT64 or dtype is DataType.DATE:
+        return NULL_INT
+    if dtype is DataType.FLOAT64:
+        return float("nan")
+    if dtype is DataType.BOOL:
+        return False
+    return None
+
+
+def decode_cell(value: Any, dtype: DataType) -> Any:
+    """Inverse of :func:`encode_cell` (columnar -> row cell)."""
+    if hasattr(value, "item"):
+        value = value.item()
+    if dtype is DataType.INT64 or dtype is DataType.DATE:
+        return None if value == NULL_INT else value
+    if dtype is DataType.FLOAT64:
+        return None if value != value else value  # NaN check
+    return value
+
+
+def rows_to_columns(schema: Schema, rows: Sequence[Row]) -> dict[str, np.ndarray]:
+    """Pivot row tuples into one NumPy array per column.
+
+    The work-horse conversion used when deltas are merged into columnar
+    form and when the vectorized executor pulls row-store data.  NULLs
+    become per-dtype sentinels (see :data:`NULL_INT`).
+    """
+    arrays: dict[str, np.ndarray] = {}
+    for i, col in enumerate(schema.columns):
+        values = [encode_cell(row[i], col.dtype) for row in rows]
+        arrays[col.name] = np.array(values, dtype=col.dtype.numpy_dtype)
+    return arrays
+
+
+def columns_to_rows(schema: Schema, arrays: dict[str, np.ndarray]) -> list[Row]:
+    """Inverse of :func:`rows_to_columns` (column order from the schema)."""
+    if not arrays:
+        return []
+    ordered = [(arrays[c.name], c.dtype) for c in schema.columns]
+    length = len(ordered[0][0]) if ordered else 0
+    return [
+        tuple(decode_cell(col[i], dtype) for col, dtype in ordered)
+        for i in range(length)
+    ]

@@ -1,0 +1,53 @@
+"""Distributed substrate: simulated network, Raft, 2PC, regions, cluster."""
+
+from .cluster import (
+    BusyLedger,
+    ColumnarReplica,
+    DistributedCluster,
+    RegionStateMachine,
+    WriteKind,
+    WriteOp,
+)
+from .network import SimNetwork
+from .partitioner import HashPartitioner, Partitioner, RangePartitioner
+from .raft import (
+    AppendEntries,
+    AppendEntriesReply,
+    LogEntry,
+    RaftGroup,
+    RaftNode,
+    RequestVote,
+    RequestVoteReply,
+    Role,
+)
+from .two_phase_commit import (
+    TwoPhaseCoordinator,
+    TwoPhaseResult,
+    TxnOutcome,
+    Vote,
+)
+
+__all__ = [
+    "AppendEntries",
+    "AppendEntriesReply",
+    "BusyLedger",
+    "ColumnarReplica",
+    "DistributedCluster",
+    "HashPartitioner",
+    "LogEntry",
+    "Partitioner",
+    "RaftGroup",
+    "RaftNode",
+    "RangePartitioner",
+    "RegionStateMachine",
+    "RequestVote",
+    "RequestVoteReply",
+    "Role",
+    "SimNetwork",
+    "TwoPhaseCoordinator",
+    "TwoPhaseResult",
+    "TxnOutcome",
+    "Vote",
+    "WriteKind",
+    "WriteOp",
+]

@@ -1,0 +1,521 @@
+"""A simulated distributed HTAP cluster (architecture (b)'s substrate).
+
+Physical layout: ``n_storage_nodes`` row-store nodes host the voting
+replicas of every region's Raft group (placement round-robin), and one
+or more analytics nodes host non-voting *learner* replicas that convert
+the replicated log into columnar form (per-table delta logs + column
+store) — precisely TiDB's design as the survey describes it:
+
+    "asynchronously replicates Raft logs from the leader node to
+    follower nodes storing the data in the row-based replicas. The
+    logs are also sent to learner nodes that store the data in
+    columnar format."
+
+Transactions touching one region commit through that region's Raft
+group alone; cross-region transactions run two-phase commit whose
+participants are Raft-replicated regions ("2PC+Raft+logging").
+
+Simulated time measures *latency*; per-physical-node busy time in a
+:class:`BusyLedger` measures *throughput* (makespan = the bottleneck
+node's busy time), which is how scale-out shows up in the benches.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any
+
+from ..common.clock import LogicalClock, Timestamp
+from ..common.cost import CostModel
+from ..common.errors import (
+    DuplicateKeyError,
+    KeyNotFoundError,
+    TransactionAborted,
+    TwoPhaseCommitError,
+)
+from ..common.predicate import ALWAYS_TRUE, Predicate
+from ..common.types import Key, Row, Schema
+from ..storage.column_store import ColumnScanResult, ColumnStore
+from ..storage.delta_log import LogDeltaManager
+from ..storage.delta_store import DeltaEntry, collapse_entries
+from .network import SimNetwork
+from .partitioner import HashPartitioner
+from .raft import RaftGroup
+from .two_phase_commit import TwoPhaseCoordinator, TxnOutcome, Vote
+
+
+class WriteKind(enum.Enum):
+    INSERT = "insert"
+    UPDATE = "update"
+    DELETE = "delete"
+
+
+@dataclass(frozen=True)
+class WriteOp:
+    kind: WriteKind
+    table: str
+    key: Key
+    row: Row | None = None
+
+
+class BusyLedger:
+    """Per-physical-node busy time; makespan models parallel execution."""
+
+    def __init__(self) -> None:
+        self._busy: dict[str, float] = {}
+
+    def charge(self, node: str, micros: float) -> None:
+        self._busy[node] = self._busy.get(node, 0.0) + micros
+
+    def busy(self, node: str) -> float:
+        return self._busy.get(node, 0.0)
+
+    def makespan_us(self, nodes: list[str] | None = None) -> float:
+        """Bottleneck busy time; restrict to ``nodes`` when given (e.g.
+        only the nodes serving OLTP, to measure interference there)."""
+        if nodes is None:
+            return max(self._busy.values(), default=0.0)
+        return max((self._busy.get(n, 0.0) for n in nodes), default=0.0)
+
+    def total_us(self) -> float:
+        return sum(self._busy.values())
+
+    def nodes(self) -> list[str]:
+        return sorted(self._busy)
+
+    def reset(self) -> None:
+        self._busy.clear()
+
+    def snapshot(self) -> dict[str, float]:
+        return dict(self._busy)
+
+
+class RegionStateMachine:
+    """Deterministic row-store state machine replicated by one Raft group."""
+
+    def __init__(self, region_id: int, schemas: dict[str, Schema]):
+        self.region_id = region_id
+        self.schemas = schemas
+        self.rows: dict[str, dict[Key, Row]] = {t: {} for t in schemas}
+        self.prepared: dict[int, tuple[list[WriteOp], Timestamp]] = {}
+        self.vote_log: dict[int, bool] = {}
+        self.last_commit_ts: Timestamp = 0
+        self.applied_commands = 0
+
+    def apply(self, _index: int, command: tuple) -> None:
+        self.applied_commands += 1
+        op = command[0]
+        if op == "prepare":
+            _op, txn_id, writes, commit_ts = command
+            ok = self._validate(writes)
+            self.vote_log[txn_id] = ok
+            if ok:
+                self.prepared[txn_id] = (writes, commit_ts)
+        elif op == "commit":
+            _op, txn_id = command
+            staged = self.prepared.pop(txn_id, None)
+            if staged is None:
+                return  # already applied or never prepared here
+            writes, commit_ts = staged
+            self._install(writes, commit_ts)
+        elif op == "abort":
+            _op, txn_id = command
+            self.prepared.pop(txn_id, None)
+            self.vote_log.pop(txn_id, None)
+        else:
+            raise TwoPhaseCommitError(f"unknown region command {op!r}")
+
+    def _validate(self, writes: list[WriteOp]) -> bool:
+        for w in writes:
+            table = self.rows[w.table]
+            if w.kind is WriteKind.INSERT and w.key in table:
+                return False
+            if w.kind in (WriteKind.UPDATE, WriteKind.DELETE) and w.key not in table:
+                return False
+        return True
+
+    def _install(self, writes: list[WriteOp], commit_ts: Timestamp) -> None:
+        for w in writes:
+            table = self.rows[w.table]
+            if w.kind is WriteKind.DELETE:
+                table.pop(w.key, None)
+            else:
+                table[w.key] = w.row
+        self.last_commit_ts = max(self.last_commit_ts, commit_ts)
+
+
+class ColumnarReplica:
+    """The analytics side fed by learner applies: per-table delta logs
+    that the log-based delta merge folds into per-table column stores."""
+
+    def __init__(
+        self,
+        schemas: dict[str, Schema],
+        cost: CostModel,
+        seal_threshold: int = 64,
+    ):
+        self._cost = cost
+        self.delta_logs = {
+            name: LogDeltaManager(schema, cost=cost, seal_threshold=seal_threshold)
+            for name, schema in schemas.items()
+        }
+        self.column_stores = {
+            name: ColumnStore(schema, cost=cost) for name, schema in schemas.items()
+        }
+        self.applied_ts: Timestamp = 0
+        # Keyed by (region, txn_id): each region's learner stream carries
+        # only that region's slice of a 2PC transaction, and streams from
+        # different regions interleave arbitrarily.
+        self._pending: dict[tuple[int, int], tuple[list[WriteOp], Timestamp]] = {}
+
+    def learner_apply(self, region: int, _index: int, command: tuple) -> None:
+        op = command[0]
+        if op == "prepare":
+            _op, txn_id, writes, commit_ts = command
+            self._pending[(region, txn_id)] = (writes, commit_ts)
+        elif op == "commit":
+            _op, txn_id = command
+            staged = self._pending.pop((region, txn_id), None)
+            if staged is None:
+                return
+            writes, commit_ts = staged
+            for w in writes:
+                log = self.delta_logs[w.table]
+                if w.kind is WriteKind.INSERT:
+                    log.record_insert(w.row, commit_ts)
+                elif w.kind is WriteKind.UPDATE:
+                    log.record_update(w.row, commit_ts)
+                else:
+                    log.record_delete(w.key, commit_ts)
+            self.applied_ts = max(self.applied_ts, commit_ts)
+        elif op == "abort":
+            _op, txn_id = command
+            self._pending.pop((region, txn_id), None)
+
+    # ------------------------------------------------------------- queries
+
+    def scan(
+        self,
+        table: str,
+        columns: list[str] | None,
+        predicate: Predicate = ALWAYS_TRUE,
+        read_delta: bool = True,
+    ) -> ColumnScanResult:
+        """Log-based delta + column scan (Table 2's second AP technique)."""
+        store = self.column_stores[table]
+        result = store.scan(columns, predicate)
+        if not read_delta:
+            return result
+        live, tombstones = self.delta_logs[table].effective_rows()
+        if not live and not tombstones:
+            return result
+        schema = store.schema
+        import numpy as np
+
+        from ..common.types import rows_to_columns
+
+        drop = tombstones | set(live)
+        if drop:
+            keep = [i for i, k in enumerate(result.keys) if k not in drop]
+            for name in list(result.arrays):
+                result.arrays[name] = result.arrays[name][keep]
+            result.keys = [result.keys[i] for i in keep]
+        fresh_rows = [
+            row for row in live.values() if predicate.matches(row, schema)
+        ]
+        if fresh_rows:
+            wanted = columns if columns is not None else schema.column_names
+            arrays = rows_to_columns(schema, fresh_rows)
+            for name in wanted:
+                result.arrays[name] = np.concatenate(
+                    [result.arrays[name], arrays[name]]
+                )
+            result.keys.extend(schema.key_of(r) for r in fresh_rows)
+        return result
+
+    def merge_deltas(self) -> int:
+        """Log-based delta merge: seal + fold every delta file into the
+        column stores.  Returns rows merged."""
+        merged = 0
+        for table, log in self.delta_logs.items():
+            log.seal()
+            files = log.drain_files()
+            if not files:
+                continue
+            entries: list[DeltaEntry] = []
+            for f in files:
+                self._cost.charge(self._cost.page_read_us * f.page_count())
+                entries.extend(f.entries)
+            live, tombstones = collapse_entries(entries)
+            store = self.column_stores[table]
+            if tombstones:
+                store.delete_keys(tombstones)
+            if live:
+                rows = list(live.values())
+                max_ts = max(e.commit_ts for e in entries)
+                self._cost.charge_rows(self._cost.merge_per_row_us, len(rows))
+                store.append_rows(rows, commit_ts=max_ts)
+                merged += len(rows)
+            if entries:
+                store.advance_sync_ts(max(e.commit_ts for e in entries))
+        return merged
+
+    def unmerged_entries(self) -> int:
+        return sum(log.pending_entries() for log in self.delta_logs.values())
+
+
+class DistributedCluster:
+    """Regions × Raft × 2PC with columnar learner replicas."""
+
+    def __init__(
+        self,
+        n_storage_nodes: int = 3,
+        replication: int = 3,
+        n_regions: int | None = None,
+        n_analytic_nodes: int = 1,
+        cost: CostModel | None = None,
+        clock: LogicalClock | None = None,
+        seed: int = 0,
+    ):
+        if replication > n_storage_nodes:
+            replication = n_storage_nodes
+        self.cost = cost or CostModel()
+        self.clock = clock or LogicalClock()
+        self.network = SimNetwork(self.cost)
+        self.ledger = BusyLedger()
+        self.n_storage_nodes = n_storage_nodes
+        self.n_analytic_nodes = max(1, n_analytic_nodes)
+        self.replication = replication
+        self.n_regions = n_regions if n_regions is not None else n_storage_nodes
+        self._seed = seed
+        self.schemas: dict[str, Schema] = {}
+        self.partitioner = HashPartitioner(self.n_regions)
+        self.coordinator = TwoPhaseCoordinator(cost=self.cost)
+        self.columnar = ColumnarReplica({}, self.cost)
+        self._groups: list[RaftGroup] = []
+        self._region_sms: list[dict[str, RegionStateMachine]] = []
+        self._region_leader_node: list[list[str]] = []  # physical placement
+        self._built = False
+        self.commits = 0
+        self.aborts = 0
+
+    # ------------------------------------------------------------- build
+
+    def create_table(self, schema: Schema) -> None:
+        if self._built:
+            raise TwoPhaseCommitError("create every table before first commit")
+        self.schemas[schema.table_name] = schema
+
+    def _build(self) -> None:
+        if self._built:
+            return
+        self._built = True
+        self.columnar = ColumnarReplica(self.schemas, self.cost)
+        for region in range(self.n_regions):
+            voters = []
+            placement = []
+            for r in range(self.replication):
+                phys = (region + r) % self.n_storage_nodes
+                voters.append(f"r{region}.n{phys}")
+                placement.append(f"n{phys}")
+            learner_id = f"r{region}.learner"
+            sms = {v: RegionStateMachine(region, self.schemas) for v in voters}
+            apply_fns = {v: sms[v].apply for v in voters}
+
+            def _learner_apply(index, command, _region=region):
+                self.columnar.learner_apply(_region, index, command)
+
+            apply_fns[learner_id] = _learner_apply
+            group = RaftGroup(
+                group_id=f"region{region}",
+                voter_ids=voters,
+                learner_ids=[learner_id],
+                network=self.network,
+                cost=self.cost,
+                apply_fns=apply_fns,
+                seed=self._seed + region,
+                # Home-node preference spreads leaders round-robin over
+                # the physical nodes (PD-style leader balancing).
+                preferred_leader=voters[0],
+            )
+            self._groups.append(group)
+            self._region_sms.append(sms)
+            self._region_leader_node.append(placement)
+        for group in self._groups:
+            group.elect_leader()
+
+    def _phys_node_of_leader(self, region: int) -> str:
+        leader = self._groups[region].elect_leader()
+        # leader id is "r<region>.n<phys>"
+        return leader.node_id.split(".", 1)[1]
+
+    # ------------------------------------------------------------- writes
+
+    def region_of(self, table: str, key: Key) -> int:
+        return self.partitioner.region_of((table, key))
+
+    def execute_transaction(self, writes: list[WriteOp]) -> Timestamp:
+        """Commit ``writes`` atomically; raises TransactionAborted on
+        validation failure at any region."""
+        self._build()
+        if not writes:
+            raise TwoPhaseCommitError("empty transaction")
+        by_region: dict[int, list[WriteOp]] = {}
+        for w in writes:
+            if w.table not in self.schemas:
+                raise KeyNotFoundError(f"no table {w.table!r}")
+            by_region.setdefault(self.region_of(w.table, w.key), []).append(w)
+        commit_ts = self.clock.tick()
+        participants = {
+            f"region{r}": _RaftRegionParticipant(self, r) for r in by_region
+        }
+        payloads = {
+            f"region{r}": (ws, commit_ts) for r, ws in by_region.items()
+        }
+        # Busy accounting: the leader node of each region does the work.
+        for r, ws in by_region.items():
+            phys = self._phys_node_of_leader(r)
+            per_write = self.cost.row_point_write_us + self.cost.wal_append_us
+            self.ledger.charge(phys, len(ws) * per_write + self.cost.wal_fsync_us)
+            # Follower replication work (parallel, on other nodes).
+            for replica_node in self._region_leader_node[r][1:]:
+                self.ledger.charge(replica_node, len(ws) * self.cost.wal_append_us)
+        result = self.coordinator.execute(payloads, participants)
+        if result.outcome is TxnOutcome.ABORTED:
+            self.aborts += 1
+            raise TransactionAborted(result.txn_id, "region validation failed")
+        self.commits += 1
+        return commit_ts
+
+    # ------------------------------------------------------------- reads
+
+    def read(self, table: str, key: Key) -> Row | None:
+        """Point read served by the owning region's leader replica."""
+        self._build()
+        region = self.region_of(table, key)
+        self.cost.charge(self.cost.network_rtt_us)
+        leader = self._groups[region].elect_leader()
+        sm = self._region_sms[region][leader.node_id]
+        self.cost.charge(self.cost.row_point_read_us)
+        self.ledger.charge(
+            self._phys_node_of_leader(region), self.cost.row_point_read_us
+        )
+        return sm.rows[table].get(key)
+
+    def row_scan(self, table: str, predicate: Predicate = ALWAYS_TRUE) -> list[Row]:
+        """Scatter-gather scan over every region's leader (row path)."""
+        self._build()
+        schema = self.schemas[table]
+        out: list[Row] = []
+        for region in range(self.n_regions):
+            self.cost.charge(self.cost.network_rtt_us)
+            leader = self._groups[region].elect_leader()
+            sm = self._region_sms[region][leader.node_id]
+            rows = sm.rows[table]
+            self.cost.charge_rows(self.cost.row_scan_per_row_us, max(len(rows), 1))
+            self.ledger.charge(
+                self._phys_node_of_leader(region),
+                self.cost.row_scan_per_row_us * max(len(rows), 1),
+            )
+            out.extend(r for r in rows.values() if predicate.matches(r, schema))
+        return out
+
+    def analytic_scan(
+        self,
+        table: str,
+        columns: list[str] | None = None,
+        predicate: Predicate = ALWAYS_TRUE,
+        read_delta: bool = True,
+    ) -> ColumnScanResult:
+        """Columnar scan on the analytics tier (learner-fed)."""
+        self._build()
+        return self.columnar.scan(table, columns, predicate, read_delta)
+
+    # ------------------------------------------------------------- sync & time
+
+    def advance(self, delta_us: float) -> None:
+        """Let replication/heartbeats make progress (world-wide tick)."""
+        self._build()
+        self.network.advance(delta_us)
+
+    def drain_replication(self, max_us: float = 50_000.0) -> None:
+        """Advance until learners have applied everything committed."""
+        self._build()
+        spent = 0.0
+        while spent < max_us:
+            lagging = any(
+                g.elect_leader().commit_index
+                > g.nodes[f"r{i}.learner"].last_applied
+                for i, g in enumerate(self._groups)
+            )
+            if not lagging and self.network.pending() == 0:
+                return
+            self.advance(500.0)
+            spent += 500.0
+
+    def sync(self) -> int:
+        """Ship + merge learner delta logs into the column stores."""
+        self._build()
+        self.drain_replication()
+        return self.columnar.merge_deltas()
+
+    def freshness_lag_ts(self) -> int:
+        """Commit-timestamp distance between OLTP truth and the AP view.
+
+        Measured at the most-stale table: a table with unsealed (not yet
+        shipped) delta entries is only fresh up to its last sealed or
+        merged timestamp.
+        """
+        newest = self.clock.now()
+        lags = []
+        for table, log in self.columnar.delta_logs.items():
+            store_ts = self.columnar.column_stores[table].max_commit_ts()
+            visible = max(log.max_sealed_ts(), store_ts)
+            if log.unsealed_entries() > 0:
+                lags.append(max(0, newest - visible))
+        return max(lags, default=0)
+
+    # ------------------------------------------------------------- helpers
+
+    def insert(self, table: str, row: Row) -> Timestamp:
+        schema = self.schemas[table]
+        row = schema.validate_row(row)
+        return self.execute_transaction(
+            [WriteOp(WriteKind.INSERT, table, schema.key_of(row), row)]
+        )
+
+    def update(self, table: str, row: Row) -> Timestamp:
+        schema = self.schemas[table]
+        row = schema.validate_row(row)
+        return self.execute_transaction(
+            [WriteOp(WriteKind.UPDATE, table, schema.key_of(row), row)]
+        )
+
+    def delete(self, table: str, key: Key) -> Timestamp:
+        return self.execute_transaction([WriteOp(WriteKind.DELETE, table, key, None)])
+
+
+class _RaftRegionParticipant:
+    """Adapts one Raft-replicated region to the 2PC Participant protocol."""
+
+    def __init__(self, cluster: DistributedCluster, region: int):
+        self._cluster = cluster
+        self._region = region
+        self._group = cluster._groups[region]
+
+    def _leader_sm(self) -> RegionStateMachine:
+        leader = self._group.elect_leader()
+        return self._cluster._region_sms[self._region][leader.node_id]
+
+    def prepare(self, txn_id: int, payload: Any) -> Vote:
+        writes, commit_ts = payload
+        self._group.propose_and_wait(("prepare", txn_id, writes, commit_ts))
+        ok = self._leader_sm().vote_log.get(txn_id, False)
+        return Vote.YES if ok else Vote.NO
+
+    def commit(self, txn_id: int) -> None:
+        self._group.propose_and_wait(("commit", txn_id))
+
+    def abort(self, txn_id: int) -> None:
+        self._group.propose_and_wait(("abort", txn_id))

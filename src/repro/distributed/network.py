@@ -1,0 +1,160 @@
+"""A deterministic simulated network.
+
+Message passing for the distributed substrate (architecture (b)):
+every send is enqueued with a delivery time = now + one-way latency,
+and the cluster advances simulated time step by step, delivering due
+messages to registered node handlers.  Partitions drop messages in
+either direction.  Everything is seeded and single-threaded, so Raft
+elections and 2PC outcomes are reproducible bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from ..common.cost import CostModel
+
+Handler = Callable[[str, Any], None]
+"""(source node id, message) -> None."""
+
+
+@dataclass(order=True)
+class _Envelope:
+    deliver_at_us: float
+    seq: int
+    src: str = field(compare=False)
+    dst: str = field(compare=False)
+    message: Any = field(compare=False)
+
+
+class SimNetwork:
+    """Priority-queue message bus over the shared simulated clock."""
+
+    def __init__(self, cost: CostModel | None = None):
+        self._cost = cost or CostModel()
+        self._handlers: dict[str, Handler] = {}
+        self._queue: list[_Envelope] = []
+        self._seq = itertools.count()
+        self._cut: set[frozenset[str]] = set()
+        self._down: set[str] = set()
+        self._tickers: list[Callable[[], None]] = []
+        self.sent = 0
+        self.delivered = 0
+        self.dropped = 0
+
+    def add_ticker(self, ticker: Callable[[], None]) -> None:
+        """Register a callback run after every delivery hop in
+        :meth:`advance` — how Raft groups drive their timeouts in step
+        with the whole simulated world, not just their own activity."""
+        self._tickers.append(ticker)
+
+    def _run_tickers(self) -> None:
+        for ticker in self._tickers:
+            ticker()
+
+    # ------------------------------------------------------------- topology
+
+    def register(self, node_id: str, handler: Handler) -> None:
+        if node_id in self._handlers:
+            raise ValueError(f"node {node_id!r} already registered")
+        self._handlers[node_id] = handler
+
+    def node_ids(self) -> list[str]:
+        return list(self._handlers)
+
+    def partition(self, a: str, b: str) -> None:
+        """Cut the link between ``a`` and ``b`` (both directions)."""
+        self._cut.add(frozenset((a, b)))
+
+    def heal(self, a: str, b: str) -> None:
+        self._cut.discard(frozenset((a, b)))
+
+    def heal_all(self) -> None:
+        self._cut.clear()
+        self._down.clear()
+
+    def crash(self, node_id: str) -> None:
+        """Silence a node: nothing is delivered to or from it."""
+        self._down.add(node_id)
+
+    def restart(self, node_id: str) -> None:
+        self._down.discard(node_id)
+
+    def _link_ok(self, src: str, dst: str) -> bool:
+        if src in self._down or dst in self._down:
+            return False
+        return frozenset((src, dst)) not in self._cut
+
+    # ------------------------------------------------------------- transport
+
+    def send(self, src: str, dst: str, message: Any) -> None:
+        """Queue a message; latency/drops are decided at delivery time."""
+        self.sent += 1
+        deliver_at = self._cost.now_us() + self._cost.network_oneway_us
+        heapq.heappush(
+            self._queue, _Envelope(deliver_at, next(self._seq), src, dst, message)
+        )
+
+    def broadcast(self, src: str, dsts: list[str], message: Any) -> None:
+        for dst in dsts:
+            self.send(src, dst, message)
+
+    # ------------------------------------------------------------- simulation
+
+    def pending(self) -> int:
+        return len(self._queue)
+
+    def next_delivery_us(self) -> float | None:
+        return self._queue[0].deliver_at_us if self._queue else None
+
+    def deliver_due(self) -> int:
+        """Deliver every message whose time has come; returns the count."""
+        count = 0
+        now = self._cost.now_us()
+        while self._queue and self._queue[0].deliver_at_us <= now:
+            env = heapq.heappop(self._queue)
+            if not self._link_ok(env.src, env.dst):
+                self.dropped += 1
+                continue
+            handler = self._handlers.get(env.dst)
+            if handler is None:
+                self.dropped += 1
+                continue
+            handler(env.src, env.message)
+            self.delivered += 1
+            count += 1
+        return count
+
+    def advance(self, delta_us: float) -> int:
+        """Advance simulated time by ``delta_us``, delivering en route.
+
+        Time moves in hops to each delivery instant so that handlers
+        observing ``now_us()`` see causally consistent clocks.
+        """
+        target = self._cost.now_us() + delta_us
+        delivered = 0
+        while True:
+            nxt = self.next_delivery_us()
+            if nxt is None or nxt > target:
+                break
+            self._cost.clock.advance(max(0.0, nxt - self._cost.now_us()))
+            delivered += self.deliver_due()
+            self._run_tickers()
+        remaining = target - self._cost.now_us()
+        if remaining > 0:
+            self._cost.clock.advance(remaining)
+        self._run_tickers()
+        return delivered
+
+    def run_until_quiet(self, max_us: float = 10_000_000.0) -> None:
+        """Advance until no messages remain (bounded by ``max_us``)."""
+        spent = 0.0
+        while self._queue and spent < max_us:
+            nxt = self.next_delivery_us()
+            assert nxt is not None
+            hop = max(0.0, nxt - self._cost.now_us())
+            self.advance(hop or 1.0)
+            spent += hop or 1.0

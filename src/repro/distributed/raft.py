@@ -1,0 +1,455 @@
+"""Raft consensus with learner replicas.
+
+The heart of architecture (b): each partition (region) of the row store
+is a Raft group.  The leader appends client commands to its log and
+replicates them to voting followers (row replicas) *and* to non-voting
+learners — the columnar replicas TiDB uses for OLAP.  Commit requires a
+quorum of voters only, so learner lag never slows transactions, which
+is exactly why the architecture gets High isolation and Low freshness
+in Table 1.
+
+The implementation covers leader election with randomized timeouts,
+log replication with consistency checks and conflict rollback, commit
+on majority match, and apply callbacks per node.  It is tick-driven
+over the deterministic :class:`~repro.distributed.network.SimNetwork`.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from ..common.cost import CostModel
+from ..common.errors import ConsensusError, NotLeaderError
+from ..common.rng import make_rng
+from .network import SimNetwork
+
+ApplyFn = Callable[[int, Any], None]
+"""(log index, command) invoked exactly once per node as entries commit."""
+
+
+class Role(enum.Enum):
+    FOLLOWER = "follower"
+    CANDIDATE = "candidate"
+    LEADER = "leader"
+    LEARNER = "learner"
+
+
+@dataclass(frozen=True)
+class LogEntry:
+    term: int
+    command: Any
+
+
+# ----------------------------------------------------------------- messages
+
+
+@dataclass(frozen=True)
+class RequestVote:
+    term: int
+    candidate_id: str
+    last_log_index: int
+    last_log_term: int
+
+
+@dataclass(frozen=True)
+class RequestVoteReply:
+    term: int
+    granted: bool
+
+
+@dataclass(frozen=True)
+class AppendEntries:
+    term: int
+    leader_id: str
+    prev_log_index: int
+    prev_log_term: int
+    entries: tuple
+    leader_commit: int
+
+
+@dataclass(frozen=True)
+class AppendEntriesReply:
+    term: int
+    success: bool
+    match_index: int
+
+
+_ELECTION_TIMEOUT_RANGE_US = (1_500.0, 3_000.0)
+#: Preferred leaders time out much sooner, so they win first elections —
+#: the testbed's stand-in for PD-style leader balancing across nodes.
+_PREFERRED_TIMEOUT_RANGE_US = (300.0, 500.0)
+_HEARTBEAT_INTERVAL_US = 400.0
+
+
+class RaftNode:
+    """One Raft participant (voter or learner)."""
+
+    def __init__(
+        self,
+        node_id: str,
+        voters: list[str],
+        learners: list[str],
+        network: SimNetwork,
+        cost: CostModel,
+        apply_fn: ApplyFn | None = None,
+        seed: int = 0,
+        preferred: bool = False,
+    ):
+        self.node_id = node_id
+        self.voters = list(voters)
+        self.learners = list(learners)
+        self.preferred = preferred
+        self._network = network
+        self._cost = cost
+        self._apply_fn = apply_fn
+        # zlib.crc32 is stable across processes (unlike str hash, which
+        # is salted and would make elections nondeterministic).
+        import zlib
+
+        self._rng = make_rng(seed ^ (zlib.crc32(node_id.encode()) & 0xFFFF))
+
+        self.role = Role.LEARNER if node_id in learners else Role.FOLLOWER
+        self.current_term = 0
+        self.voted_for: str | None = None
+        # log[0] is a sentinel so Raft's 1-based indexing reads naturally.
+        self.log: list[LogEntry] = [LogEntry(term=0, command=None)]
+        self.commit_index = 0
+        self.last_applied = 0
+        self.leader_id: str | None = None
+
+        self._votes_received: set[str] = set()
+        self._next_index: dict[str, int] = {}
+        self._match_index: dict[str, int] = {}
+        self._election_deadline_us = self._new_election_deadline()
+        self._heartbeat_due_us = 0.0
+        self._last_tick_us = cost.now_us()
+
+        network.register(node_id, self._on_message)
+
+    # ------------------------------------------------------------- helpers
+
+    def _new_election_deadline(self) -> float:
+        lo, hi = (
+            _PREFERRED_TIMEOUT_RANGE_US if self.preferred else _ELECTION_TIMEOUT_RANGE_US
+        )
+        return self._cost.now_us() + self._rng.uniform(lo, hi)
+
+    def last_log_index(self) -> int:
+        return len(self.log) - 1
+
+    def last_log_term(self) -> int:
+        return self.log[-1].term
+
+    def _other_voters(self) -> list[str]:
+        return [v for v in self.voters if v != self.node_id]
+
+    def _replication_targets(self) -> list[str]:
+        return self._other_voters() + [l for l in self.learners if l != self.node_id]
+
+    def quorum(self) -> int:
+        return len(self.voters) // 2 + 1
+
+    def is_leader(self) -> bool:
+        return self.role is Role.LEADER
+
+    # ------------------------------------------------------------- tick
+
+    #: A single simulated-time hop larger than this means the *whole
+    #: world* was suspended (a long local computation advanced the cost
+    #: clock), not that the leader went silent — re-arm timers instead
+    #: of starting elections, like clock-jump guards in real systems.
+    _SUSPEND_GUARD_US = 1_000.0
+
+    def tick(self) -> None:
+        """Drive timeouts; the group calls this after advancing time."""
+        now = self._cost.now_us()
+        jump = now - self._last_tick_us
+        self._last_tick_us = now
+        if self.role is Role.LEARNER:
+            return
+        if jump > self._SUSPEND_GUARD_US:
+            self._election_deadline_us = self._new_election_deadline()
+            if self.role is Role.LEADER:
+                self._heartbeat_due_us = now  # catch followers up now
+            return
+        if self.role is Role.LEADER:
+            if now >= self._heartbeat_due_us:
+                self._send_heartbeats()
+        elif now >= self._election_deadline_us:
+            self._start_election()
+
+    def _start_election(self) -> None:
+        self.role = Role.CANDIDATE
+        self.current_term += 1
+        self.voted_for = self.node_id
+        self._votes_received = {self.node_id}
+        self.leader_id = None
+        self._election_deadline_us = self._new_election_deadline()
+        message = RequestVote(
+            term=self.current_term,
+            candidate_id=self.node_id,
+            last_log_index=self.last_log_index(),
+            last_log_term=self.last_log_term(),
+        )
+        if len(self.voters) == 1:
+            self._become_leader()
+            return
+        self._network.broadcast(self.node_id, self._other_voters(), message)
+
+    def _become_leader(self) -> None:
+        self.role = Role.LEADER
+        self.leader_id = self.node_id
+        nxt = self.last_log_index() + 1
+        self._next_index = {peer: nxt for peer in self._replication_targets()}
+        self._match_index = {peer: 0 for peer in self._replication_targets()}
+        self._send_heartbeats()
+
+    # ------------------------------------------------------------- client API
+
+    def client_propose(self, command: Any) -> int:
+        """Append a command (leader only); returns its log index."""
+        if self.role is not Role.LEADER:
+            raise NotLeaderError(self.node_id, self.leader_id)
+        self.log.append(LogEntry(term=self.current_term, command=command))
+        index = self.last_log_index()
+        self._cost.charge(self._cost.wal_append_us)  # leader's local log write
+        self._send_heartbeats()  # eager replication
+        if len(self.voters) == 1:
+            self._advance_commit()
+        return index
+
+    # ------------------------------------------------------------- replication
+
+    def _send_heartbeats(self) -> None:
+        self._heartbeat_due_us = self._cost.now_us() + _HEARTBEAT_INTERVAL_US
+        for peer in self._replication_targets():
+            self._send_append(peer)
+
+    def _send_append(self, peer: str) -> None:
+        next_idx = self._next_index.get(peer, self.last_log_index() + 1)
+        prev_idx = next_idx - 1
+        if prev_idx >= len(self.log):
+            prev_idx = self.last_log_index()
+            next_idx = prev_idx + 1
+        entries = tuple(self.log[next_idx:])
+        message = AppendEntries(
+            term=self.current_term,
+            leader_id=self.node_id,
+            prev_log_index=prev_idx,
+            prev_log_term=self.log[prev_idx].term,
+            entries=entries,
+            leader_commit=self.commit_index,
+        )
+        self._network.send(self.node_id, peer, message)
+
+    # ------------------------------------------------------------- handlers
+
+    def _on_message(self, src: str, message: Any) -> None:
+        if isinstance(message, RequestVote):
+            self._on_request_vote(src, message)
+        elif isinstance(message, RequestVoteReply):
+            self._on_vote_reply(src, message)
+        elif isinstance(message, AppendEntries):
+            self._on_append_entries(src, message)
+        elif isinstance(message, AppendEntriesReply):
+            self._on_append_reply(src, message)
+        else:
+            raise ConsensusError(f"unknown raft message {message!r}")
+
+    def _maybe_step_down(self, term: int) -> None:
+        if term > self.current_term:
+            self.current_term = term
+            self.voted_for = None
+            if self.role is not Role.LEARNER:
+                self.role = Role.FOLLOWER
+
+    def _on_request_vote(self, src: str, msg: RequestVote) -> None:
+        self._maybe_step_down(msg.term)
+        grant = False
+        if msg.term >= self.current_term and self.role is not Role.LEARNER:
+            up_to_date = (msg.last_log_term, msg.last_log_index) >= (
+                self.last_log_term(),
+                self.last_log_index(),
+            )
+            if up_to_date and self.voted_for in (None, msg.candidate_id):
+                grant = True
+                self.voted_for = msg.candidate_id
+                self._election_deadline_us = self._new_election_deadline()
+        self._network.send(
+            self.node_id, src, RequestVoteReply(term=self.current_term, granted=grant)
+        )
+
+    def _on_vote_reply(self, src: str, msg: RequestVoteReply) -> None:
+        self._maybe_step_down(msg.term)
+        if self.role is not Role.CANDIDATE or msg.term < self.current_term:
+            return
+        if msg.granted:
+            self._votes_received.add(src)
+            if len(self._votes_received) >= self.quorum():
+                self._become_leader()
+
+    def _on_append_entries(self, src: str, msg: AppendEntries) -> None:
+        self._maybe_step_down(msg.term)
+        if msg.term < self.current_term:
+            self._network.send(
+                self.node_id,
+                src,
+                AppendEntriesReply(self.current_term, False, 0),
+            )
+            return
+        # A valid leader exists: reset election pressure.
+        self.leader_id = msg.leader_id
+        if self.role is Role.CANDIDATE:
+            self.role = Role.FOLLOWER
+        self._election_deadline_us = self._new_election_deadline()
+        # Log consistency check.
+        if msg.prev_log_index >= len(self.log) or (
+            self.log[msg.prev_log_index].term != msg.prev_log_term
+        ):
+            self._network.send(
+                self.node_id,
+                src,
+                AppendEntriesReply(self.current_term, False, 0),
+            )
+            return
+        # Append, truncating conflicts.
+        index = msg.prev_log_index
+        for entry in msg.entries:
+            index += 1
+            if index < len(self.log):
+                if self.log[index].term != entry.term:
+                    del self.log[index:]
+                    self.log.append(entry)
+            else:
+                self.log.append(entry)
+        if msg.leader_commit > self.commit_index:
+            self.commit_index = min(msg.leader_commit, self.last_log_index())
+            self._apply_committed()
+        self._network.send(
+            self.node_id,
+            src,
+            AppendEntriesReply(self.current_term, True, index),
+        )
+
+    def _on_append_reply(self, src: str, msg: AppendEntriesReply) -> None:
+        self._maybe_step_down(msg.term)
+        if self.role is not Role.LEADER:
+            return
+        if msg.success:
+            self._match_index[src] = max(self._match_index.get(src, 0), msg.match_index)
+            self._next_index[src] = self._match_index[src] + 1
+            self._advance_commit()
+        else:
+            # Back off and retry immediately.
+            self._next_index[src] = max(1, self._next_index.get(src, 1) - 1)
+            self._send_append(src)
+
+    def _advance_commit(self) -> None:
+        """Commit the highest index replicated on a quorum of voters."""
+        for index in range(self.last_log_index(), self.commit_index, -1):
+            if self.log[index].term != self.current_term:
+                continue  # §5.4.2: only commit entries from the current term
+            votes = 1  # self
+            for voter in self._other_voters():
+                if self._match_index.get(voter, 0) >= index:
+                    votes += 1
+            if votes >= self.quorum():
+                self.commit_index = index
+                self._apply_committed()
+                break
+
+    def _apply_committed(self) -> None:
+        while self.last_applied < self.commit_index:
+            self.last_applied += 1
+            entry = self.log[self.last_applied]
+            if self._apply_fn is not None and entry.command is not None:
+                self._apply_fn(self.last_applied, entry.command)
+
+
+class RaftGroup:
+    """A convenience wrapper: builds the nodes and drives the simulation."""
+
+    def __init__(
+        self,
+        group_id: str,
+        voter_ids: list[str],
+        learner_ids: list[str],
+        network: SimNetwork,
+        cost: CostModel,
+        apply_fns: dict[str, ApplyFn] | None = None,
+        seed: int = 0,
+        preferred_leader: str | None = None,
+    ):
+        self.group_id = group_id
+        self.network = network
+        self._cost = cost
+        apply_fns = apply_fns or {}
+        self.nodes: dict[str, RaftNode] = {}
+        for node_id in list(voter_ids) + list(learner_ids):
+            self.nodes[node_id] = RaftNode(
+                node_id,
+                voters=voter_ids,
+                learners=learner_ids,
+                network=network,
+                cost=cost,
+                apply_fn=apply_fns.get(node_id),
+                seed=seed,
+                preferred=(node_id == preferred_leader),
+            )
+        network.add_ticker(self._tick_all)
+
+    def _tick_all(self) -> None:
+        for node in self.nodes.values():
+            node.tick()
+
+    def advance(self, delta_us: float) -> None:
+        """Advance the shared world clock (ticks every registered group)."""
+        self.network.advance(delta_us)
+
+    def run_for(self, total_us: float, step_us: float = 100.0) -> None:
+        spent = 0.0
+        while spent < total_us:
+            self.advance(step_us)
+            spent += step_us
+
+    def leader(self) -> RaftNode | None:
+        leaders = [n for n in self.nodes.values() if n.is_leader()]
+        if not leaders:
+            return None
+        # With partitions a stale leader can linger; prefer highest term.
+        return max(leaders, key=lambda n: n.current_term)
+
+    def elect_leader(self, max_us: float = 50_000.0) -> RaftNode:
+        spent = 0.0
+        while spent < max_us:
+            leader = self.leader()
+            if leader is not None:
+                return leader
+            self.advance(100.0)
+            spent += 100.0
+        raise ConsensusError(f"group {self.group_id}: no leader after {max_us}us")
+
+    def propose_and_wait(self, command: Any, max_us: float = 400_000.0) -> int:
+        """Propose on the leader and advance time until it commits.
+
+        If the leader is deposed mid-flight the command is re-proposed
+        on the new leader (at-least-once delivery; the testbed's state
+        machine commands are all idempotent per txn id).
+        """
+        spent = 0.0
+        while spent < max_us:
+            leader = self.elect_leader()
+            index = leader.client_propose(command)
+            term = leader.current_term
+            while spent < max_us:
+                if leader.commit_index >= index and leader.current_term == term:
+                    return index
+                if not leader.is_leader() or leader.current_term != term:
+                    break  # deposed: re-elect and re-propose
+                self.advance(100.0)
+                spent += 100.0
+        raise ConsensusError(
+            f"group {self.group_id}: command uncommitted after {max_us}us"
+        )

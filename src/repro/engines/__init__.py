@@ -1,0 +1,37 @@
+"""The four HTAP architectures of Figure 1, behind one engine API."""
+
+from .base import EngineInfo, EngineSession, HTAPEngine
+from .column_delta import ColumnDeltaEngine, HanaTable
+from .disk_row_imcs import DiskRowIMCSEngine
+from .distributed_replica import DistributedReplicaEngine
+from .row_imcs import RowIMCSEngine
+
+ENGINE_CLASSES = {
+    "a": RowIMCSEngine,
+    "b": DistributedReplicaEngine,
+    "c": DiskRowIMCSEngine,
+    "d": ColumnDeltaEngine,
+}
+
+
+def make_engine(category: str, **kwargs) -> HTAPEngine:
+    """Build the engine for a Figure 1 category ('a'..'d')."""
+    try:
+        cls = ENGINE_CLASSES[category]
+    except KeyError:
+        raise ValueError(f"unknown architecture category {category!r}") from None
+    return cls(**kwargs)
+
+
+__all__ = [
+    "ColumnDeltaEngine",
+    "DiskRowIMCSEngine",
+    "DistributedReplicaEngine",
+    "ENGINE_CLASSES",
+    "EngineInfo",
+    "EngineSession",
+    "HTAPEngine",
+    "HanaTable",
+    "RowIMCSEngine",
+    "make_engine",
+]

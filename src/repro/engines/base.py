@@ -1,0 +1,222 @@
+"""The common engine surface all four architectures implement.
+
+An :class:`HTAPEngine` owns a clock, a cost model, a busy-time ledger,
+and a planner/executor pair over its architecture-specific
+TableAccess adapters.  Uniform API:
+
+* ``create_table(schema)`` then ``session()`` for interactive OLTP
+  (read / insert / update / delete / commit with snapshot semantics as
+  the architecture provides them);
+* ``query(sql_or_Query)`` for OLAP through the cost-based optimizer;
+* ``sync()`` to run the architecture's data-synchronization technique;
+* ``freshness_lag()`` / ``memory_report()`` / ``tp_nodes()`` /
+  ``ap_nodes()`` for the benches.
+
+Engines charge simulated time to the shared clock (latency) and busy
+time to named nodes in the ledger (throughput/makespan); the Table 1
+bench derives every metric from those two ledgers.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Any
+
+from ..common.clock import LogicalClock, Timestamp
+from ..common.cost import CostModel
+from ..common.predicate import ALWAYS_TRUE, Predicate
+from ..common.types import Key, Row, Schema
+from ..distributed.cluster import BusyLedger
+from ..query.access import AccessPath
+from ..query.ast import Query, QueryResult
+from ..query.executor import Executor
+from ..query.optimizer import Planner
+from ..query.parser import parse
+
+
+@dataclass
+class EngineInfo:
+    name: str
+    category: str          # the Figure 1 panel: "a" | "b" | "c" | "d"
+    description: str
+
+
+class EngineSession(abc.ABC):
+    """One interactive transaction against an engine.
+
+    Implementations must set ``finished = True`` in commit/abort so the
+    context manager does not double-finish an explicitly closed session.
+    """
+
+    finished: bool = False
+
+    @abc.abstractmethod
+    def read(self, table: str, key: Key) -> Row | None: ...
+
+    @abc.abstractmethod
+    def scan(self, table: str, predicate: Predicate = ALWAYS_TRUE) -> list[Row]: ...
+
+    @abc.abstractmethod
+    def insert(self, table: str, row: Row) -> Key: ...
+
+    @abc.abstractmethod
+    def update(self, table: str, row: Row) -> None: ...
+
+    @abc.abstractmethod
+    def delete(self, table: str, key: Key) -> None: ...
+
+    @abc.abstractmethod
+    def commit(self) -> Timestamp: ...
+
+    @abc.abstractmethod
+    def abort(self) -> None: ...
+
+    def __enter__(self) -> "EngineSession":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if self.finished:
+            return
+        if exc_type is None:
+            self.commit()
+        else:
+            self.abort()
+
+
+class HTAPEngine(abc.ABC):
+    """Base class for the four Figure 1 architectures."""
+
+    info: EngineInfo
+
+    def __init__(self, cost: CostModel | None = None, clock: LogicalClock | None = None):
+        self.cost = cost or CostModel()
+        self.clock = clock or LogicalClock()
+        self.ledger = BusyLedger()
+        self._catalog: dict[str, Any] = {}
+        self._planner: Planner | None = None
+        self._executor: Executor | None = None
+        self.queries_run = 0
+        #: When False, analytical scans skip delta patching (isolated
+        #: execution mode — faster and staler); schedulers toggle this.
+        self.read_fresh = True
+
+    # ------------------------------------------------------------- schema
+
+    @abc.abstractmethod
+    def create_table(self, schema: Schema) -> None: ...
+
+    @abc.abstractmethod
+    def session(self) -> EngineSession: ...
+
+    @abc.abstractmethod
+    def sync(self) -> int:
+        """Run the architecture's DS technique; returns rows moved."""
+
+    @abc.abstractmethod
+    def freshness_lag(self) -> int:
+        """Commit-ts distance between OLTP truth and the AP read path."""
+
+    def image_freshness_lag(self) -> int:
+        """Staleness of the columnar *image* itself, ignoring whether
+        queries currently patch fresh data in (used by schedulers)."""
+        saved = self.read_fresh
+        self.read_fresh = False
+        try:
+            return self.freshness_lag()
+        finally:
+            self.read_fresh = saved
+
+    @abc.abstractmethod
+    def memory_report(self) -> dict[str, int]:
+        """Bytes per component (row store, column store, delta, ...)."""
+
+    def tp_nodes(self) -> list[str]:
+        """Ledger nodes that serve OLTP (isolation is measured here)."""
+        return ["node0"]
+
+    def ap_nodes(self) -> list[str]:
+        return ["node0"]
+
+    # ------------------------------------------------------------- catalog
+
+    @property
+    def catalog(self) -> dict[str, Any]:
+        return self._catalog
+
+    def _register_adapter(self, table: str, adapter: Any) -> None:
+        self._catalog[table] = adapter
+        self._planner = None
+        self._executor = None
+
+    @property
+    def planner(self) -> Planner:
+        if self._planner is None:
+            self._planner = Planner(self._catalog, self.cost)
+        return self._planner
+
+    @property
+    def executor(self) -> Executor:
+        if self._executor is None:
+            self._executor = Executor(self._catalog, self.cost)
+        return self._executor
+
+    # ------------------------------------------------------------- OLAP
+
+    def query(
+        self,
+        query: str | Query,
+        force_path: AccessPath | None = None,
+    ) -> QueryResult:
+        """Plan + execute; AP busy time lands on the engine's AP nodes."""
+        logical = parse(query) if isinstance(query, str) else query
+        planner = (
+            self.planner
+            if force_path is None
+            else Planner(self._catalog, self.cost, force_path=force_path)
+        )
+        plan = planner.plan(logical)
+        before = self.cost.now_us()
+        result = self.executor.execute(plan)
+        spent = self.cost.now_us() - before
+        ap_nodes = self.ap_nodes()
+        for node in ap_nodes:
+            self.ledger.charge(node, spent / len(ap_nodes))
+        self.queries_run += 1
+        return result
+
+    def explain(self, query: str | Query) -> str:
+        logical = parse(query) if isinstance(query, str) else query
+        return self.planner.plan(logical).explain()
+
+    # ------------------------------------------------------------- OLTP sugar
+
+    def insert(self, table: str, row: Row) -> Timestamp:
+        with self.session() as s:
+            s.insert(table, row)
+        return self.clock.now()
+
+    def update(self, table: str, row: Row) -> Timestamp:
+        with self.session() as s:
+            s.update(table, row)
+        return self.clock.now()
+
+    def delete(self, table: str, key: Key) -> Timestamp:
+        with self.session() as s:
+            s.delete(table, key)
+        return self.clock.now()
+
+    def load_rows(self, table: str, rows: list[Row], batch: int = 1000) -> None:
+        """Bulk load used by benchmark data generators."""
+        for start in range(0, len(rows), batch):
+            with self.session() as s:
+                for row in rows[start : start + batch]:
+                    s.insert(table, row)
+
+    # ------------------------------------------------------------- metrics
+
+    def memory_bytes(self) -> int:
+        return sum(self.memory_report().values())
+
+    def reset_meters(self) -> None:
+        self.ledger.reset()

@@ -1,0 +1,488 @@
+"""Architecture (d): Primary Column Store + Delta Row Store (SAP HANA).
+
+The survey: "It divides the in-memory data store into three layers:
+L1-delta, L2-delta, and Main. The L1-delta keeps data updates in a
+row-wise format. When the threshold is reached, the data in L1-delta is
+appended to L2-delta. The L2-delta transforms the data into columnar
+data, then merges the data into the main column store."
+
+* OLTP writes append to the row-wise L1 delta (cheap); point reads must
+  probe L1 → L2 → Main (pricier than architecture (a)'s single hash
+  probe — the source of (d)'s weaker OLTP profile).
+* OLAP scans Main + L2 + the visible L1 entries ("in-memory delta and
+  column scan"): freshness High, AP throughput High (read-optimized
+  main store).
+* Sync: L1→L2 columnarization, then L2→Main via the dictionary-encoded
+  sorting merge.
+
+Key invariant maintained by the merges: any key lives in *at most one*
+of {Main, L2} (merges upsert), while L1 entries override both.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..common.clock import LogicalClock, Timestamp
+from ..common.cost import CostModel
+from ..common.errors import DuplicateKeyError, KeyNotFoundError, TransactionError
+from ..common.predicate import ALWAYS_TRUE, Predicate, key_equality
+from ..common.types import Key, Row, Schema, rows_to_columns
+from ..query.access import AccessPath
+from ..query.statistics import TableStats
+from ..query.stats_cache import StatsCache
+from ..storage.column_store import ColumnStore
+from ..storage.delta_store import InMemoryDeltaStore, collapse_entries
+from ..txn.wal import WalKind, WriteAheadLog
+from .base import EngineInfo, EngineSession, HTAPEngine
+
+_NODE = "node0"
+
+
+class HanaTable:
+    """One table's L1-delta / L2-delta / Main trio."""
+
+    def __init__(self, schema: Schema, cost: CostModel):
+        self.schema = schema
+        self._cost = cost
+        self.l1 = InMemoryDeltaStore(schema, cost)
+        self.l2 = ColumnStore(schema, cost)
+        self.main = ColumnStore(schema, cost)
+        # Current-state view of L1 for cheap point reads:
+        # key -> row, or None for an L1 tombstone.
+        self._l1_view: dict[Key, Row | None] = {}
+        self.l1_to_l2_merges = 0
+        self.l2_to_main_merges = 0
+
+    # ------------------------------------------------------------- OLTP reads
+
+    def read_latest(self, key: Key) -> Row | None:
+        """Point read resolving L1 → L2 → Main.
+
+        Priced above a plain row-store probe: every read pays the
+        L1 lookup (hash probe + delta-versioning overhead) and misses
+        fall through to columnar point reads — the read amplification
+        behind (d)'s Medium OLTP throughput in Table 1.
+        """
+        self._cost.charge(
+            self._cost.row_point_read_us + self._cost.delta_scan_per_row_us * 0.5
+        )
+        if key in self._l1_view:
+            return self._l1_view[key]
+        row = self.l2.get_row(key)
+        if row is not None:
+            return row
+        return self.main.get_row(key)
+
+    def key_exists(self, key: Key) -> bool:
+        return self.read_latest(key) is not None
+
+    # ------------------------------------------------------------- writes
+
+    def apply_insert(self, row: Row, commit_ts: Timestamp) -> None:
+        self.l1.record_insert(row, commit_ts)
+        self._l1_view[self.schema.key_of(row)] = row
+
+    def apply_update(self, row: Row, commit_ts: Timestamp) -> None:
+        self.l1.record_update(row, commit_ts)
+        self._l1_view[self.schema.key_of(row)] = row
+
+    def apply_delete(self, key: Key, commit_ts: Timestamp) -> None:
+        self.l1.record_delete(key, commit_ts)
+        self._l1_view[key] = None
+
+    # ------------------------------------------------------------- merges
+
+    def merge_l1_to_l2(self) -> int:
+        """Columnarize the L1 delta into L2 (upserting over Main/L2)."""
+        entries = self.l1.clear()
+        self._l1_view.clear()
+        if not entries:
+            return 0
+        live, tombstones = collapse_entries(entries)
+        touched = set(live) | tombstones
+        self.main.delete_keys(touched)
+        self.l2.delete_keys(touched)
+        max_ts = max(e.commit_ts for e in entries)
+        if live:
+            self.l2.append_rows(list(live.values()), commit_ts=max_ts)
+        self.l2.advance_sync_ts(max_ts)
+        self.main.advance_sync_ts(max_ts)
+        self.l1_to_l2_merges += 1
+        return len(live)
+
+    def merge_l2_to_main(self) -> int:
+        """Fold L2 into Main and re-sort dictionaries (compact)."""
+        rows = self.l2.all_rows()
+        max_ts = max(self.l2.max_commit_ts(), self.main.max_commit_ts())
+        if rows:
+            keys = [self.schema.key_of(r) for r in rows]
+            self.main.delete_keys(keys)
+            self.main.append_rows(rows, commit_ts=max_ts)
+        # Dictionary-encoded sorting merge: the compaction rebuilds every
+        # segment (and thus every sorted dictionary) in one pass.
+        self._cost.charge(
+            self._cost.dict_rebuild_per_value_us
+            * max(len(self.main), 1)
+            * len(self.schema.columns)
+        )
+        self.main.compact()
+        self.main.advance_sync_ts(max_ts)
+        self.l2 = ColumnStore(self.schema, self._cost)
+        self.l2.advance_sync_ts(max_ts)
+        self.l2_to_main_merges += 1
+        return len(rows)
+
+    # ------------------------------------------------------------- AP scan
+
+    def scan_columns(
+        self, columns: list[str], predicate: Predicate, read_fresh: bool
+    ) -> dict[str, np.ndarray]:
+        """Main + L2 + (optionally) visible L1 entries, newest wins."""
+        main_res = self.main.scan(columns, predicate)
+        l2_res = self.l2.scan(columns, predicate)
+        arrays = {
+            name: np.concatenate([main_res.arrays[name], l2_res.arrays[name]])
+            for name in main_res.arrays
+        }
+        keys = main_res.keys + l2_res.keys
+        if not read_fresh or not len(self.l1):
+            return arrays
+        live, tombstones = self.l1.effective_rows(
+            self.l1.max_commit_ts(), ALWAYS_TRUE
+        )
+        drop = tombstones | set(live)
+        if drop:
+            keep = [i for i, k in enumerate(keys) if k not in drop]
+            arrays = {name: arr[keep] for name, arr in arrays.items()}
+        fresh = [r for r in live.values() if predicate.matches(r, self.schema)]
+        if fresh:
+            fresh_arrays = rows_to_columns(self.schema, fresh)
+            arrays = {
+                name: np.concatenate([arrays[name], fresh_arrays[name]])
+                for name in arrays
+            }
+        return arrays
+
+    def all_latest_rows(self) -> list[Row]:
+        """Materialize current state across all three layers (row path)."""
+        arrays = self.scan_columns(
+            self.schema.column_names, ALWAYS_TRUE, read_fresh=True
+        )
+        from ..common.types import columns_to_rows
+
+        n = len(next(iter(arrays.values()))) if arrays else 0
+        self._cost.charge_rows(self._cost.column_materialize_per_row_us, n)
+        return columns_to_rows(self.schema, arrays)
+
+    def row_count(self) -> int:
+        live, tombstones = self.l1.effective_rows(self.l1.max_commit_ts())
+        overlay = set(live) | tombstones
+        base = sum(
+            1
+            for store in (self.main, self.l2)
+            for k in _store_keys(store)
+            if k not in overlay
+        )
+        return base + len(live)
+
+    def memory_report(self) -> dict[str, int]:
+        return {
+            "l1_delta": self.l1.memory_bytes(),
+            "l2_delta": self.l2.memory_bytes(),
+            "main": self.main.memory_bytes(),
+        }
+
+
+def _store_keys(store: ColumnStore):
+    for segment in store.segments:
+        for pos, key in enumerate(segment.keys):
+            if not segment.delete_mask[pos]:
+                yield key
+
+
+class ColumnDeltaEngine(HTAPEngine):
+    """HANA-style single-node engine over HanaTable layers."""
+
+    info = EngineInfo(
+        name="column+delta",
+        category="d",
+        description="Primary Column Store + Delta Row Store (SAP HANA style)",
+    )
+
+    def __init__(
+        self,
+        cost: CostModel | None = None,
+        clock: LogicalClock | None = None,
+        l1_threshold: int = 128,
+        l2_threshold: int = 2048,
+        l1_fraction: float = 0.05,
+        group_commit_size: int = 8,
+    ):
+        super().__init__(cost, clock)
+        self.wal = WriteAheadLog(cost=self.cost, group_commit_size=group_commit_size)
+        self.l1_threshold = l1_threshold
+        self.l2_threshold = l2_threshold
+        #: L1 also merges once it reaches this fraction of the columnar
+        #: rows, so small hot tables do not drag every scan through a
+        #: row-wise overlay (HANA merges L1 aggressively for the same
+        #: reason).
+        self.l1_fraction = l1_fraction
+        self._tables: dict[str, HanaTable] = {}
+        self.commits = 0
+        self.aborts = 0
+        self._next_txn_id = 1
+
+    # ------------------------------------------------------------- schema
+
+    def create_table(self, schema: Schema) -> None:
+        if schema.table_name in self._tables:
+            raise TransactionError(f"table {schema.table_name!r} already exists")
+        table = HanaTable(schema, self.cost)
+        self._tables[schema.table_name] = table
+        self._register_adapter(schema.table_name, _HanaTableAccess(self, schema.table_name))
+
+    def table(self, name: str) -> HanaTable:
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise KeyNotFoundError(f"no table {name!r}") from None
+
+    @classmethod
+    def recover(
+        cls, wal: WriteAheadLog, schemas: list[Schema], **kwargs
+    ) -> "ColumnDeltaEngine":
+        """Rebuild an engine from a crashed instance's redo log.
+
+        Replays committed transactions in LSN order into fresh L1
+        layers (redo-winners-only; the WAL never holds loser effects).
+        """
+        engine = cls(**kwargs)
+        for schema in schemas:
+            engine.create_table(schema)
+        committed = wal.committed_txn_ids()
+        for record in wal.records:
+            if record.txn_id not in committed or record.table is None:
+                continue  # BEGIN/COMMIT/ABORT markers carry no data
+            engine.clock.advance_to(record.commit_ts)
+            if record.kind is WalKind.INSERT:
+                engine.table(record.table).apply_insert(record.row, record.commit_ts)
+            elif record.kind is WalKind.UPDATE:
+                engine.table(record.table).apply_update(record.row, record.commit_ts)
+            elif record.kind is WalKind.DELETE:
+                engine.table(record.table).apply_delete(record.key, record.commit_ts)
+        return engine
+
+    # ------------------------------------------------------------- OLTP
+
+    def session(self) -> EngineSession:
+        txn_id = self._next_txn_id
+        self._next_txn_id += 1
+        return _HanaSession(self, txn_id)
+
+    # ------------------------------------------------------------- DS
+
+    def sync(self) -> int:
+        """Threshold-driven L1→L2 and L2→Main merges."""
+        moved = 0
+        before = self.cost.now_us()
+        for table in self._tables.values():
+            base = len(table.main) + len(table.l2)
+            trigger = min(self.l1_threshold, max(16, int(base * self.l1_fraction)))
+            if len(table.l1) >= trigger:
+                moved += table.merge_l1_to_l2()
+            if len(table.l2) >= self.l2_threshold:
+                moved += table.merge_l2_to_main()
+        self.ledger.charge(_NODE, self.cost.now_us() - before)
+        return moved
+
+    def force_sync(self) -> int:
+        moved = 0
+        for table in self._tables.values():
+            moved += table.merge_l1_to_l2()
+            moved += table.merge_l2_to_main()
+        return moved
+
+    def freshness_lag(self) -> int:
+        if self.read_fresh:
+            return 0  # L1 is merged into every scan
+        newest = self.clock.now()
+        lags = [
+            newest - max(t.main.max_commit_ts(), t.l2.max_commit_ts())
+            for t in self._tables.values()
+            if len(t.l1)  # only tables with unmerged L1 entries are stale
+        ]
+        return max(lags, default=0)
+
+    def memory_report(self) -> dict[str, int]:
+        out = {"l1_delta": 0, "l2_delta": 0, "main": 0, "wal": len(self.wal) * 64}
+        for table in self._tables.values():
+            report = table.memory_report()
+            out["l1_delta"] += report["l1_delta"]
+            out["l2_delta"] += report["l2_delta"]
+            out["main"] += report["main"]
+        return out
+
+
+class _HanaSession(EngineSession):
+    """Buffered-write transaction with commit-time validation."""
+
+    def __init__(self, engine: ColumnDeltaEngine, txn_id: int):
+        self._engine = engine
+        self._txn_id = txn_id
+        self._writes: list[tuple[str, str, Key, Row | None]] = []
+        self._view: dict[tuple[str, Key], Row | None] = {}
+        self._done = False
+
+    def _charged(self, fn, *args):
+        before = self._engine.cost.now_us()
+        try:
+            return fn(*args)
+        finally:
+            self._engine.ledger.charge(_NODE, self._engine.cost.now_us() - before)
+
+    def _require_open(self) -> None:
+        if self._done:
+            raise TransactionError(f"transaction {self._txn_id} already finished")
+
+    # --------------------------------------------------------------- reads
+
+    def read(self, table: str, key: Key) -> Row | None:
+        self._require_open()
+        if (table, key) in self._view:
+            return self._view[(table, key)]
+        return self._charged(self._engine.table(table).read_latest, key)
+
+    def scan(self, table: str, predicate: Predicate = ALWAYS_TRUE) -> list[Row]:
+        self._require_open()
+        schema = self._engine.table(table).schema
+        rows = {
+            schema.key_of(r): r
+            for r in self._charged(self._engine.table(table).all_latest_rows)
+            if predicate.matches(r, schema)
+        }
+        for (t, key), row in self._view.items():
+            if t != table:
+                continue
+            if row is None:
+                rows.pop(key, None)
+            elif predicate.matches(row, schema):
+                rows[key] = row
+            else:
+                rows.pop(key, None)
+        return list(rows.values())
+
+    # --------------------------------------------------------------- writes
+
+    def insert(self, table: str, row: Row) -> Key:
+        self._require_open()
+        schema = self._engine.table(table).schema
+        row = schema.validate_row(row)
+        key = schema.key_of(row)
+        if self.read(table, key) is not None:
+            raise DuplicateKeyError(f"key {key!r} already exists in {table!r}")
+        self._writes.append(("insert", table, key, row))
+        self._view[(table, key)] = row
+        return key
+
+    def update(self, table: str, row: Row) -> None:
+        self._require_open()
+        schema = self._engine.table(table).schema
+        row = schema.validate_row(row)
+        key = schema.key_of(row)
+        if self.read(table, key) is None:
+            raise KeyNotFoundError(f"key {key!r} not found in {table!r}")
+        self._writes.append(("update", table, key, row))
+        self._view[(table, key)] = row
+
+    def delete(self, table: str, key: Key) -> None:
+        self._require_open()
+        if self.read(table, key) is None:
+            raise KeyNotFoundError(f"key {key!r} not found in {table!r}")
+        self._writes.append(("delete", table, key, None))
+        self._view[(table, key)] = None
+
+    # --------------------------------------------------------------- finish
+
+    def commit(self) -> Timestamp:
+        self._require_open()
+        engine = self._engine
+        before = engine.cost.now_us()
+        commit_ts = engine.clock.tick()
+        engine.wal.append(self._txn_id, WalKind.BEGIN)
+        for kind, table, key, row in self._writes:
+            wal_kind = {
+                "insert": WalKind.INSERT,
+                "update": WalKind.UPDATE,
+                "delete": WalKind.DELETE,
+            }[kind]
+            engine.wal.append(self._txn_id, wal_kind, table, key, row, commit_ts)
+            target = engine.table(table)
+            if kind == "insert":
+                target.apply_insert(row, commit_ts)
+            elif kind == "update":
+                target.apply_update(row, commit_ts)
+            else:
+                target.apply_delete(key, commit_ts)
+        engine.wal.append(self._txn_id, WalKind.COMMIT, commit_ts=commit_ts)
+        engine.commits += 1
+        self._done = True
+        self.finished = True
+        engine.ledger.charge(_NODE, engine.cost.now_us() - before)
+        return commit_ts
+
+    def abort(self) -> None:
+        self._require_open()
+        self._engine.wal.append(self._txn_id, WalKind.ABORT)
+        self._engine.aborts += 1
+        self._done = True
+        self.finished = True
+
+
+class _HanaTableAccess:
+    """TableAccess over the three HANA layers."""
+
+    def __init__(self, engine: ColumnDeltaEngine, table: str):
+        self._engine = engine
+        self._table = table
+        self._stats = StatsCache(self._compute_stats)
+
+    def _target(self) -> HanaTable:
+        return self._engine.table(self._table)
+
+    def schema(self) -> Schema:
+        return self._target().schema
+
+    def _compute_stats(self) -> TableStats:
+        return TableStats.from_rows(self.schema(), self._target().all_latest_rows())
+
+    def stats(self) -> TableStats:
+        target = self._target()
+        version = len(target.l1) + len(target.l2) + len(target.main)
+        return self._stats.get(version)
+
+    def available_paths(self) -> set[AccessPath]:
+        # The "row path" here is a full materialization — the primary
+        # store is columnar, so there is no cheap tuple heap to scan.
+        return {AccessPath.ROW_SCAN, AccessPath.INDEX_LOOKUP, AccessPath.COLUMN_SCAN}
+
+    def scan_rows(self, predicate: Predicate) -> list[Row]:
+        schema = self.schema()
+        return [
+            r for r in self._target().all_latest_rows() if predicate.matches(r, schema)
+        ]
+
+    def scan_columns(self, columns: list[str], predicate: Predicate):
+        return self._target().scan_columns(
+            columns, predicate, read_fresh=self._engine.read_fresh
+        )
+
+    def index_lookup_rows(self, predicate: Predicate) -> list[Row] | None:
+        schema = self.schema()
+        key = key_equality(predicate, schema.primary_key)
+        if key is None:
+            return None
+        row = self._target().read_latest(key)
+        if row is not None and predicate.matches(row, schema):
+            return [row]
+        return []

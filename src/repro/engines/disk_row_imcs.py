@@ -1,0 +1,443 @@
+"""Architecture (c): Disk Row Store + Distributed In-Memory Column Store.
+
+The MySQL Heatwave shape: a disk-based RDBMS (slotted pages behind a
+buffer pool) keeps "full capacity for OLTP workloads"; a distributed
+in-memory column-store (IMCS) cluster is bolted on for analytics.
+Columns are *loaded* into the IMCS (all by default, or picked by the
+column-selection policy under a memory budget); committed changes
+buffer in a per-table delta and propagate to the IMCS when the
+threshold fires ("threshold-based change propagation") — hence
+Table 1's Medium freshness.  Queries whose columns are loaded push down
+to the IMCS nodes; anything else falls back to the disk row store on
+the primary node (the documented downside of column selection).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..common.clock import LogicalClock, Timestamp
+from ..common.cost import CostModel
+from ..common.errors import DuplicateKeyError, KeyNotFoundError, TransactionError
+from ..common.predicate import ALWAYS_TRUE, Predicate, key_equality
+from ..common.types import Key, Row, Schema, rows_to_columns
+from ..query.access import AccessPath
+from ..query.column_selection import (
+    AccessTracker,
+    HeatmapColumnSelector,
+    LearnedColumnSelector,
+)
+from ..query.statistics import TableStats
+from ..query.stats_cache import StatsCache
+from ..storage.column_store import ColumnStore
+from ..storage.delta_store import InMemoryDeltaStore, collapse_entries
+from ..storage.disk_row_store import DiskRowStore
+from ..txn.wal import WalKind, WriteAheadLog
+from .base import EngineInfo, EngineSession, HTAPEngine
+
+_PRIMARY = "mysql"
+
+
+class DiskRowIMCSEngine(HTAPEngine):
+    """Disk RDBMS primary + IMCS cluster with change propagation."""
+
+    info = EngineInfo(
+        name="disk-row+imcs-cluster",
+        category="c",
+        description="Disk Row Store + Distributed In-Memory Column Store "
+        "(MySQL Heatwave style)",
+    )
+
+    def __init__(
+        self,
+        cost: CostModel | None = None,
+        clock: LogicalClock | None = None,
+        n_imcs_nodes: int = 2,
+        buffer_capacity: int = 256,
+        propagation_threshold: int = 512,
+        column_budget_bytes: int | None = None,
+        column_selector: str = "heatmap",
+        group_commit_size: int = 8,
+    ):
+        super().__init__(cost, clock)
+        self.wal = WriteAheadLog(cost=self.cost, group_commit_size=group_commit_size)
+        self.n_imcs_nodes = max(1, n_imcs_nodes)
+        self.buffer_capacity = buffer_capacity
+        self.propagation_threshold = propagation_threshold
+        #: None = load every column; otherwise the selector packs this
+        #: budget with the hottest columns.
+        self.column_budget_bytes = column_budget_bytes
+        self.tracker = AccessTracker()
+        if column_selector == "heatmap":
+            self._selector = HeatmapColumnSelector(self.tracker)
+        elif column_selector == "learned":
+            # §2.4's lightweight learned method: trend-aware scoring.
+            self._selector = LearnedColumnSelector(self.tracker)
+        else:
+            raise ValueError(f"unknown column selector {column_selector!r}")
+        self._stores: dict[str, DiskRowStore] = {}
+        self._imcs: dict[str, ColumnStore] = {}
+        self._deltas: dict[str, InMemoryDeltaStore] = {}
+        self._loaded: dict[str, set[str]] = {}
+        self.commits = 0
+        self.aborts = 0
+        self.pushdowns = 0
+        self.fallbacks = 0
+        self._next_txn_id = 1
+
+    # ------------------------------------------------------------- schema
+
+    def create_table(self, schema: Schema) -> None:
+        name = schema.table_name
+        if name in self._stores:
+            raise TransactionError(f"table {name!r} already exists")
+        store = DiskRowStore(schema, self.cost, buffer_capacity=self.buffer_capacity)
+        self._stores[name] = store
+        self._imcs[name] = ColumnStore(schema, self.cost)
+        self._deltas[name] = InMemoryDeltaStore(schema, self.cost)
+        self._loaded[name] = (
+            set(schema.column_names) if self.column_budget_bytes is None else set()
+        )
+        store.add_change_listener(self._make_listener(name))
+        self._register_adapter(name, _HeatwaveTableAccess(self, name))
+
+    def _make_listener(self, table: str):
+        def listener(kind: str, key: Key, row: Row | None, ts: Timestamp) -> None:
+            delta = self._deltas[table]
+            if kind == "insert":
+                delta.record_insert(row, ts)
+            elif kind == "update":
+                delta.record_update(row, ts)
+            else:
+                delta.record_delete(key, ts)
+
+        return listener
+
+    def store(self, table: str) -> DiskRowStore:
+        try:
+            return self._stores[table]
+        except KeyError:
+            raise KeyNotFoundError(f"no table {table!r}") from None
+
+    @classmethod
+    def recover(cls, wal: WriteAheadLog, schemas: list[Schema], **kwargs) -> "DiskRowIMCSEngine":
+        """Rebuild from a crashed instance's redo log (committed txns
+        only, LSN order), then re-extract the IMCS from the row store."""
+        engine = cls(**kwargs)
+        for schema in schemas:
+            engine.create_table(schema)
+        committed = wal.committed_txn_ids()
+        for record in wal.records:
+            if record.txn_id not in committed or record.table is None:
+                continue  # BEGIN/COMMIT/ABORT markers carry no data
+            engine.clock.advance_to(record.commit_ts)
+            store = engine.store(record.table)
+            if record.kind is WalKind.INSERT:
+                store.insert(record.row, record.commit_ts)
+            elif record.kind is WalKind.UPDATE:
+                store.update(record.key, record.row, record.commit_ts)
+            elif record.kind is WalKind.DELETE:
+                store.delete(record.key, record.commit_ts)
+        engine.force_sync()
+        return engine
+
+    def imcs_store(self, table: str) -> ColumnStore:
+        return self._imcs[table]
+
+    def loaded_columns(self, table: str) -> set[str]:
+        return self._loaded[table]
+
+    # ------------------------------------------------------------- OLTP
+
+    def session(self) -> EngineSession:
+        txn_id = self._next_txn_id
+        self._next_txn_id += 1
+        return _HeatwaveSession(self, txn_id)
+
+    # ------------------------------------------------------------- DS
+
+    def pending_changes(self, table: str | None = None) -> int:
+        if table is not None:
+            return len(self._deltas[table])
+        return sum(len(d) for d in self._deltas.values())
+
+    def sync(self) -> int:
+        """Threshold-based change propagation into the IMCS."""
+        moved = 0
+        before = self.cost.now_us()
+        for table, delta in self._deltas.items():
+            if len(delta) >= self.propagation_threshold:
+                moved += self._propagate(table)
+        self.ledger.charge(_PRIMARY, self.cost.now_us() - before)
+        return moved
+
+    def force_sync(self) -> int:
+        return sum(self._propagate(table) for table in self._deltas)
+
+    def _propagate(self, table: str) -> int:
+        delta = self._deltas[table]
+        entries = delta.clear()
+        if not entries:
+            return 0
+        live, tombstones = collapse_entries(entries)
+        imcs = self._imcs[table]
+        imcs.delete_keys(set(live) | tombstones)
+        max_ts = max(e.commit_ts for e in entries)
+        if live:
+            self.cost.charge_rows(self.cost.merge_per_row_us, len(live))
+            imcs.append_rows(list(live.values()), commit_ts=max_ts)
+        imcs.advance_sync_ts(max_ts)
+        return len(live)
+
+    def freshness_lag(self) -> int:
+        newest = self.clock.now()
+        lags = []
+        for table, imcs in self._imcs.items():
+            visible = imcs.max_commit_ts()
+            lags.append(max(0, newest - visible) if len(self._deltas[table]) else 0)
+        return max(lags, default=0)
+
+    # ------------------------------------------------------------- column selection
+
+    def reselect_columns(self) -> dict[str, set[str]]:
+        """Re-run the heatmap selector against the budget; load/evict."""
+        if self.column_budget_bytes is None:
+            return dict(self._loaded)
+        self.tracker.close_window()
+        sizes: dict[tuple[str, str], int] = {}
+        for table, store in self._stores.items():
+            n = max(len(store), 1)
+            for col in store.schema.column_names:
+                sizes[(table, col)] = n * 8
+        decision = self._selector.select(sizes, self.column_budget_bytes)
+        new_loaded: dict[str, set[str]] = {t: set() for t in self._stores}
+        for table, col in decision.chosen:
+            new_loaded[table].add(col)
+        for table in self._stores:
+            if new_loaded[table] != self._loaded[table]:
+                self._loaded[table] = new_loaded[table]
+                self._reload_table(table)
+        return dict(self._loaded)
+
+    def _reload_table(self, table: str) -> None:
+        """(Re)extract loaded columns from the row store into the IMCS."""
+        store = self._stores[table]
+        rows = [row for _key, row in store.iter_rows()]
+        self._imcs[table] = ColumnStore(store.schema, self.cost)
+        self._deltas[table] = InMemoryDeltaStore(store.schema, self.cost)
+        store._listeners.clear()
+        store.add_change_listener(self._make_listener(table))
+        if rows:
+            self.cost.charge_rows(self.cost.rebuild_per_row_us, len(rows))
+            self._imcs[table].append_rows(rows, commit_ts=self.clock.now())
+
+    # ------------------------------------------------------------- metrics
+
+    def tp_nodes(self) -> list[str]:
+        return [_PRIMARY]
+
+    def ap_nodes(self) -> list[str]:
+        return [f"imcs{i}" for i in range(self.n_imcs_nodes)]
+
+    def memory_report(self) -> dict[str, int]:
+        return {
+            "disk_pages": sum(s.disk_bytes() for s in self._stores.values()),
+            # Only loaded columns are resident in the IMCS cluster.
+            "imcs": sum(
+                c.memory_bytes(sorted(self._loaded[t]))
+                for t, c in self._imcs.items()
+            ),
+            "propagation_delta": sum(d.memory_bytes() for d in self._deltas.values()),
+            "wal": len(self.wal) * 64,
+        }
+
+
+class _HeatwaveSession(EngineSession):
+    """Buffered-write transaction validated against the disk store."""
+
+    def __init__(self, engine: DiskRowIMCSEngine, txn_id: int):
+        self._engine = engine
+        self._txn_id = txn_id
+        self._writes: list[tuple[str, str, Key, Row | None]] = []
+        self._view: dict[tuple[str, Key], Row | None] = {}
+        self._done = False
+
+    def _charged(self, fn, *args):
+        before = self._engine.cost.now_us()
+        try:
+            return fn(*args)
+        finally:
+            self._engine.ledger.charge(
+                _PRIMARY, self._engine.cost.now_us() - before
+            )
+
+    def _require_open(self) -> None:
+        if self._done:
+            raise TransactionError(f"transaction {self._txn_id} already finished")
+
+    def read(self, table: str, key: Key) -> Row | None:
+        self._require_open()
+        if (table, key) in self._view:
+            return self._view[(table, key)]
+        return self._charged(self._engine.store(table).read, key)
+
+    def scan(self, table: str, predicate: Predicate = ALWAYS_TRUE) -> list[Row]:
+        self._require_open()
+        store = self._engine.store(table)
+        rows = {
+            store.schema.key_of(r): r for r in self._charged(store.scan, predicate)
+        }
+        for (t, key), row in self._view.items():
+            if t != table:
+                continue
+            if row is None:
+                rows.pop(key, None)
+            elif predicate.matches(row, store.schema):
+                rows[key] = row
+            else:
+                rows.pop(key, None)
+        return list(rows.values())
+
+    def insert(self, table: str, row: Row) -> Key:
+        self._require_open()
+        schema = self._engine.store(table).schema
+        row = schema.validate_row(row)
+        key = schema.key_of(row)
+        if self.read(table, key) is not None:
+            raise DuplicateKeyError(f"key {key!r} already exists in {table!r}")
+        self._writes.append(("insert", table, key, row))
+        self._view[(table, key)] = row
+        return key
+
+    def update(self, table: str, row: Row) -> None:
+        self._require_open()
+        schema = self._engine.store(table).schema
+        row = schema.validate_row(row)
+        key = schema.key_of(row)
+        if self.read(table, key) is None:
+            raise KeyNotFoundError(f"key {key!r} not found in {table!r}")
+        self._writes.append(("update", table, key, row))
+        self._view[(table, key)] = row
+
+    def delete(self, table: str, key: Key) -> None:
+        self._require_open()
+        if self.read(table, key) is None:
+            raise KeyNotFoundError(f"key {key!r} not found in {table!r}")
+        self._writes.append(("delete", table, key, None))
+        self._view[(table, key)] = None
+
+    def commit(self) -> Timestamp:
+        self._require_open()
+        engine = self._engine
+        before = engine.cost.now_us()
+        commit_ts = engine.clock.tick()
+        engine.wal.append(self._txn_id, WalKind.BEGIN)
+        for kind, table, key, row in self._writes:
+            wal_kind = {
+                "insert": WalKind.INSERT,
+                "update": WalKind.UPDATE,
+                "delete": WalKind.DELETE,
+            }[kind]
+            engine.wal.append(self._txn_id, wal_kind, table, key, row, commit_ts)
+            store = engine.store(table)
+            if kind == "insert":
+                store.insert(row, commit_ts)
+            elif kind == "update":
+                store.update(key, row, commit_ts)
+            else:
+                store.delete(key, commit_ts)
+        engine.wal.append(self._txn_id, WalKind.COMMIT, commit_ts=commit_ts)
+        engine.commits += 1
+        self._done = True
+        self.finished = True
+        engine.ledger.charge(_PRIMARY, engine.cost.now_us() - before)
+        return commit_ts
+
+    def abort(self) -> None:
+        self._require_open()
+        self._engine.wal.append(self._txn_id, WalKind.ABORT)
+        self._engine.aborts += 1
+        self._done = True
+        self.finished = True
+
+
+class _HeatwaveTableAccess:
+    """TableAccess with pushdown-or-fallback semantics."""
+
+    def __init__(self, engine: DiskRowIMCSEngine, table: str):
+        self._engine = engine
+        self._table = table
+        self._stats = StatsCache(self._compute_stats)
+
+    def schema(self) -> Schema:
+        return self._engine.store(self._table).schema
+
+    def _compute_stats(self) -> TableStats:
+        rows = [row for _k, row in self._engine.store(self._table).iter_rows()]
+        return TableStats.from_rows(self.schema(), rows)
+
+    def stats(self) -> TableStats:
+        return self._stats.get(self._engine.commits)
+
+    def _columns_loaded(self, needed: set[str]) -> bool:
+        return needed <= self._engine.loaded_columns(self._table)
+
+    def available_paths(self) -> set[AccessPath]:
+        return {AccessPath.ROW_SCAN, AccessPath.INDEX_LOOKUP, AccessPath.COLUMN_SCAN}
+
+    def scan_rows(self, predicate: Predicate) -> list[Row]:
+        before = self._engine.cost.now_us()
+        rows = self._engine.store(self._table).scan(predicate)
+        self._engine.ledger.charge(_PRIMARY, self._engine.cost.now_us() - before)
+        return rows
+
+    def scan_columns(
+        self, columns: list[str], predicate: Predicate
+    ) -> dict[str, np.ndarray]:
+        needed = set(columns) | predicate.referenced_columns()
+        self._engine.tracker.record_query(self._table, needed)
+        if not self._columns_loaded(needed):
+            # Not pushable: fall back to the disk row store (charged to
+            # the primary — exactly the column-selection downside).
+            self._engine.fallbacks += 1
+            rows = self.scan_rows(predicate)
+            arrays = rows_to_columns(self.schema(), rows)
+            return {name: arrays[name] for name in columns}
+        self._engine.pushdowns += 1
+        if self._engine.read_fresh and len(self._engine._deltas[self._table]):
+            # Shared mode: merge the unpropagated delta at query time.
+            return self._scan_with_delta(columns, predicate)
+        result = self._engine.imcs_store(self._table).scan(columns, predicate)
+        return result.arrays
+
+    def _scan_with_delta(self, columns: list[str], predicate: Predicate):
+        engine = self._engine
+        result = engine.imcs_store(self._table).scan(columns, predicate)
+        delta = engine._deltas[self._table]
+        live, tombstones = delta.effective_rows(delta.max_commit_ts())
+        schema = self.schema()
+        drop = tombstones | set(live)
+        arrays = result.arrays
+        if drop:
+            keep = [i for i, k in enumerate(result.keys) if k not in drop]
+            arrays = {name: arr[keep] for name, arr in arrays.items()}
+        fresh = [r for r in live.values() if predicate.matches(r, schema)]
+        if fresh:
+            fresh_arrays = rows_to_columns(schema, fresh)
+            arrays = {
+                name: np.concatenate([arrays[name], fresh_arrays[name]])
+                for name in arrays
+            }
+        return arrays
+
+    def index_lookup_rows(self, predicate: Predicate) -> list[Row] | None:
+        schema = self.schema()
+        key = key_equality(predicate, schema.primary_key)
+        if key is None:
+            return None
+        before = self._engine.cost.now_us()
+        row = self._engine.store(self._table).read(key)
+        self._engine.ledger.charge(_PRIMARY, self._engine.cost.now_us() - before)
+        if row is not None and predicate.matches(row, schema):
+            return [row]
+        return []

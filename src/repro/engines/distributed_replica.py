@@ -1,0 +1,241 @@
+"""Architecture (b): Distributed Row Store + Column Store Replica.
+
+The TiDB shape over the simulated cluster: transactions commit through
+2PC over Raft-replicated regions ("2PC+Raft+logging"); Raft learners
+feed a columnar replica on separate analytics nodes; OLAP runs the
+"log-based delta and column scan" against that replica.  Workload
+isolation is High (AP never touches the row nodes' CPU); freshness is
+Low (only *sealed, shipped* delta files are visible); both TP and AP
+scale out with node counts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..common.clock import LogicalClock, Timestamp
+from ..common.cost import CostModel
+from ..common.errors import (
+    DuplicateKeyError,
+    KeyNotFoundError,
+    TransactionError,
+)
+from ..common.predicate import ALWAYS_TRUE, Predicate, key_equality
+from ..common.types import Key, Row, Schema
+from ..distributed.cluster import DistributedCluster, WriteKind, WriteOp
+from ..query.access import AccessPath
+from ..query.statistics import TableStats
+from ..query.stats_cache import StatsCache
+from .base import EngineInfo, EngineSession, HTAPEngine
+
+
+class DistributedReplicaEngine(HTAPEngine):
+    """2PC+Raft row regions with learner-fed columnar replicas."""
+
+    info = EngineInfo(
+        name="distributed+replica",
+        category="b",
+        description="Distributed Row Store + Column Store Replica (TiDB style)",
+    )
+
+    def __init__(
+        self,
+        cost: CostModel | None = None,
+        clock: LogicalClock | None = None,
+        n_storage_nodes: int = 3,
+        replication: int = 3,
+        n_analytic_nodes: int = 1,
+        n_regions: int | None = None,
+        seed: int = 0,
+    ):
+        super().__init__(cost, clock)
+        self.cluster = DistributedCluster(
+            n_storage_nodes=n_storage_nodes,
+            replication=replication,
+            n_regions=n_regions,
+            n_analytic_nodes=n_analytic_nodes,
+            cost=self.cost,
+            clock=self.clock,
+            seed=seed,
+        )
+        # One ledger shared with the cluster so all busy time lands in
+        # one place.
+        self.ledger = self.cluster.ledger
+
+    # ------------------------------------------------------------- schema
+
+    def create_table(self, schema: Schema) -> None:
+        self.cluster.create_table(schema)
+        self._register_adapter(
+            schema.table_name, _ReplicaTableAccess(self, schema.table_name)
+        )
+
+    # ------------------------------------------------------------- OLTP
+
+    def session(self) -> EngineSession:
+        return _ClusterSession(self)
+
+    # ------------------------------------------------------------- DS / metrics
+
+    def sync(self) -> int:
+        return self.cluster.sync()
+
+    def force_sync(self) -> int:
+        return self.cluster.sync()
+
+    def freshness_lag(self) -> int:
+        return self.cluster.freshness_lag_ts()
+
+    def tp_nodes(self) -> list[str]:
+        return [f"n{i}" for i in range(self.cluster.n_storage_nodes)]
+
+    def ap_nodes(self) -> list[str]:
+        return [f"ap{i}" for i in range(self.cluster.n_analytic_nodes)]
+
+    def memory_report(self) -> dict[str, int]:
+        row_bytes = 0
+        for sms in self.cluster._region_sms:
+            for sm in sms.values():
+                for table_rows in sm.rows.values():
+                    width = 8
+                    row_bytes += len(table_rows) * width * 16
+        columnar = self.cluster.columnar
+        return {
+            "row_replicas": row_bytes,
+            "column_replica": sum(
+                cs.memory_bytes() for cs in columnar.column_stores.values()
+            ),
+            "delta_logs": sum(
+                log.disk_bytes() for log in columnar.delta_logs.values()
+            ),
+        }
+
+
+class _ClusterSession(EngineSession):
+    """Buffered writes committed through 2PC+Raft."""
+
+    def __init__(self, engine: DistributedReplicaEngine):
+        self._engine = engine
+        self._writes: list[WriteOp] = []
+        self._view: dict[tuple[str, Key], Row | None] = {}
+        self._done = False
+
+    def _require_open(self) -> None:
+        if self._done:
+            raise TransactionError("transaction already finished")
+
+    def read(self, table: str, key: Key) -> Row | None:
+        self._require_open()
+        if (table, key) in self._view:
+            return self._view[(table, key)]
+        return self._engine.cluster.read(table, key)
+
+    def scan(self, table: str, predicate: Predicate = ALWAYS_TRUE) -> list[Row]:
+        self._require_open()
+        schema = self._engine.cluster.schemas[table]
+        rows = {
+            schema.key_of(r): r
+            for r in self._engine.cluster.row_scan(table, predicate)
+        }
+        for (t, key), row in self._view.items():
+            if t != table:
+                continue
+            if row is None:
+                rows.pop(key, None)
+            elif predicate.matches(row, schema):
+                rows[key] = row
+            else:
+                rows.pop(key, None)
+        return list(rows.values())
+
+    def insert(self, table: str, row: Row) -> Key:
+        self._require_open()
+        schema = self._engine.cluster.schemas[table]
+        row = schema.validate_row(row)
+        key = schema.key_of(row)
+        if self.read(table, key) is not None:
+            raise DuplicateKeyError(f"key {key!r} already exists in {table!r}")
+        self._writes.append(WriteOp(WriteKind.INSERT, table, key, row))
+        self._view[(table, key)] = row
+        return key
+
+    def update(self, table: str, row: Row) -> None:
+        self._require_open()
+        schema = self._engine.cluster.schemas[table]
+        row = schema.validate_row(row)
+        key = schema.key_of(row)
+        if self.read(table, key) is None:
+            raise KeyNotFoundError(f"key {key!r} not found in {table!r}")
+        self._writes.append(WriteOp(WriteKind.UPDATE, table, key, row))
+        self._view[(table, key)] = row
+
+    def delete(self, table: str, key: Key) -> None:
+        self._require_open()
+        if self.read(table, key) is None:
+            raise KeyNotFoundError(f"key {key!r} not found in {table!r}")
+        self._writes.append(WriteOp(WriteKind.DELETE, table, key, None))
+        self._view[(table, key)] = None
+
+    def commit(self) -> Timestamp:
+        self._require_open()
+        self._done = True
+        self.finished = True
+        if not self._writes:
+            return self._engine.clock.now()
+        return self._engine.cluster.execute_transaction(self._writes)
+
+    def abort(self) -> None:
+        self._require_open()
+        self._done = True
+        self.finished = True
+        self._writes.clear()
+
+
+class _ReplicaTableAccess:
+    """TableAccess over the learner-fed columnar replica + row regions."""
+
+    def __init__(self, engine: DistributedReplicaEngine, table: str):
+        self._engine = engine
+        self._table = table
+        self._stats = StatsCache(self._compute_stats)
+
+    def schema(self) -> Schema:
+        return self._engine.cluster.schemas[self._table]
+
+    def _compute_stats(self) -> TableStats:
+        # Statistics come from the columnar replica (cheap, slightly
+        # stale — like real learner-side statistics).
+        cluster = self._engine.cluster
+        cluster.drain_replication()
+        result = cluster.analytic_scan(self._table, None, ALWAYS_TRUE)
+        return TableStats.from_arrays(result.arrays)
+
+    def stats(self) -> TableStats:
+        return self._stats.get(self._engine.cluster.commits)
+
+    def available_paths(self) -> set[AccessPath]:
+        return {AccessPath.ROW_SCAN, AccessPath.INDEX_LOOKUP, AccessPath.COLUMN_SCAN}
+
+    def scan_rows(self, predicate: Predicate) -> list[Row]:
+        return self._engine.cluster.row_scan(self._table, predicate)
+
+    def scan_columns(
+        self, columns: list[str], predicate: Predicate
+    ) -> dict[str, np.ndarray]:
+        result = self._engine.cluster.analytic_scan(
+            self._table,
+            columns,
+            predicate,
+            read_delta=self._engine.read_fresh,
+        )
+        return result.arrays
+
+    def index_lookup_rows(self, predicate: Predicate) -> list[Row] | None:
+        schema = self.schema()
+        key = key_equality(predicate, schema.primary_key)
+        if key is None:
+            return None
+        row = self._engine.cluster.read(self._table, key)
+        if row is not None and predicate.matches(row, schema):
+            return [row]
+        return []

@@ -1,0 +1,256 @@
+"""Architecture (a): Primary Row Store + In-Memory Column Store.
+
+The Oracle Dual-Format / SQL Server CSI / DB2 BLU family.  All data
+lives in a memory-optimized MVCC row store (the primary); selected
+tables are *populated* into in-memory column units (IMCUs).  Committed
+changes are recorded in each IMCU's snapshot metadata unit (SMU);
+analytical scans read the columnar image and patch the stale keys from
+the row store at query time ("in-memory delta and column scan"), so
+freshness is High.  When staleness crosses a threshold, sync
+repopulates the unit from the primary ("rebuild from primary row
+store").  Everything runs on one node, which is why Table 1 scores the
+category Low on isolation and AP scalability.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..common.cost import CostModel
+from ..common.clock import LogicalClock, Timestamp
+from ..common.predicate import ALWAYS_TRUE, Comparison, Predicate, key_equality
+from ..common.types import Key, Row, Schema
+from ..query.access import AccessPath
+from ..query.optimizer import split_conjuncts
+from ..query.statistics import TableStats
+from ..query.stats_cache import StatsCache
+from ..storage.imcu import InMemoryColumnUnit
+from ..txn.transaction import Transaction, TransactionManager
+from .base import EngineInfo, EngineSession, HTAPEngine
+
+_NODE = "node0"
+
+
+class RowIMCSEngine(HTAPEngine):
+    """Primary row store + IMCU-per-table, single node."""
+
+    info = EngineInfo(
+        name="row+imcs",
+        category="a",
+        description="Primary Row Store + In-Memory Column Store "
+        "(Oracle Dual-Format / SQL Server CSI style)",
+    )
+
+    def __init__(
+        self,
+        cost: CostModel | None = None,
+        clock: LogicalClock | None = None,
+        repopulate_staleness: float = 0.05,
+        group_commit_size: int = 8,
+    ):
+        super().__init__(cost, clock)
+        from ..txn.wal import WriteAheadLog
+
+        self.txn_manager = TransactionManager(
+            clock=self.clock,
+            cost=self.cost,
+            wal=WriteAheadLog(cost=self.cost, group_commit_size=group_commit_size),
+        )
+        self.repopulate_staleness = repopulate_staleness
+        self._imcus: dict[str, InMemoryColumnUnit] = {}
+        #: When set, row-path reads serve this historical snapshot
+        #: instead of "now" (see :meth:`time_travel_query`).
+        self._read_ts_override: Timestamp | None = None
+        self.txn_manager.add_commit_listener(self._on_commit)
+
+    # ------------------------------------------------------------- schema
+
+    def create_table(self, schema: Schema) -> None:
+        store = self.txn_manager.create_table(schema)
+        imcu = InMemoryColumnUnit(schema, store, self.cost)
+        imcu.populate(self.clock.now())
+        self._imcus[schema.table_name] = imcu
+        self._register_adapter(
+            schema.table_name, _ImcuTableAccess(self, schema.table_name)
+        )
+
+    def _on_commit(self, table: str, entries, _commit_ts: Timestamp) -> None:
+        imcu = self._imcus[table]
+        for entry in entries:
+            imcu.on_change(entry.key)
+
+    # ------------------------------------------------------------- OLTP
+
+    def session(self) -> EngineSession:
+        return _RowImcsSession(self)
+
+    # ------------------------------------------------------------- DS / metrics
+
+    def sync(self) -> int:
+        """Rebuild every IMCU whose staleness crossed the threshold."""
+        rebuilt = 0
+        snapshot = self.clock.now()
+        before = self.cost.now_us()
+        for imcu in self._imcus.values():
+            if imcu.staleness() >= self.repopulate_staleness:
+                rebuilt += imcu.populate(snapshot)
+        self.ledger.charge(_NODE, self.cost.now_us() - before)
+        return rebuilt
+
+    def force_sync(self) -> int:
+        snapshot = self.clock.now()
+        return sum(imcu.populate(snapshot) for imcu in self._imcus.values())
+
+    def freshness_lag(self) -> int:
+        if self.read_fresh:
+            return 0  # queries patch from the primary at scan time
+        newest = self.clock.now()
+        lags = [
+            newest - imcu.smu.populate_ts
+            for imcu in self._imcus.values()
+            # An image with no pending changes is fresh no matter how
+            # long ago it was populated.
+            if imcu.smu.stale_keys or imcu.smu.new_keys
+        ]
+        return max(lags, default=0)
+
+    def memory_report(self) -> dict[str, int]:
+        return {
+            "row_store": sum(
+                self.txn_manager.store(t).memory_bytes()
+                for t in self.txn_manager.tables()
+            ),
+            "column_units": sum(u.memory_bytes() for u in self._imcus.values()),
+            "wal": len(self.txn_manager.wal) * 64,
+        }
+
+    def imcu(self, table: str) -> InMemoryColumnUnit:
+        return self._imcus[table]
+
+    def read_snapshot_ts(self) -> Timestamp:
+        if self._read_ts_override is not None:
+            return self._read_ts_override
+        return self.clock.now()
+
+    def time_travel_query(self, query, as_of: Timestamp):
+        """Run an analytical query AS OF an earlier commit timestamp.
+
+        MVCC version chains make historical snapshots first-class on
+        this architecture (Oracle flashback style).  The plan is pinned
+        to the row path: the primary store holds every version (until
+        vacuumed), while the columnar image only holds the present.
+        """
+        from ..query.access import AccessPath
+
+        self._read_ts_override = as_of
+        try:
+            return self.query(query, force_path=AccessPath.ROW_SCAN)
+        finally:
+            self._read_ts_override = None
+
+
+class _RowImcsSession(EngineSession):
+    """Thin ledger-charging wrapper over an MVCC transaction."""
+
+    def __init__(self, engine: RowIMCSEngine):
+        self._engine = engine
+        self._txn: Transaction = engine.txn_manager.begin()
+
+    def _charged(self, fn, *args):
+        before = self._engine.cost.now_us()
+        try:
+            return fn(*args)
+        finally:
+            self._engine.ledger.charge(
+                _NODE, self._engine.cost.now_us() - before
+            )
+
+    def read(self, table: str, key: Key) -> Row | None:
+        return self._charged(self._txn.read, table, key)
+
+    def scan(self, table: str, predicate: Predicate = ALWAYS_TRUE) -> list[Row]:
+        return self._charged(self._txn.scan, table, predicate)
+
+    def insert(self, table: str, row: Row) -> Key:
+        return self._charged(self._txn.insert, table, row)
+
+    def update(self, table: str, row: Row) -> None:
+        self._charged(self._txn.update, table, row)
+
+    def delete(self, table: str, key: Key) -> None:
+        self._charged(self._txn.delete, table, key)
+
+    def commit(self) -> Timestamp:
+        self.finished = True
+        return self._charged(self._txn.commit)
+
+    def abort(self) -> None:
+        self.finished = True
+        self._charged(self._txn.abort)
+
+
+class _ImcuTableAccess:
+    """TableAccess over (row store, IMCU) with query-time patching."""
+
+    def __init__(self, engine: RowIMCSEngine, table: str):
+        self._engine = engine
+        self._table = table
+        self._stats = StatsCache(self._compute_stats)
+
+    def _store(self):
+        return self._engine.txn_manager.store(self._table)
+
+    def schema(self) -> Schema:
+        return self._store().schema
+
+    def _compute_stats(self) -> TableStats:
+        rows = self._store().snapshot_rows(self._engine.clock.now())
+        return TableStats.from_rows(self.schema(), rows)
+
+    def stats(self) -> TableStats:
+        return self._stats.get(self._store().installs)
+
+    def available_paths(self) -> set[AccessPath]:
+        return {AccessPath.ROW_SCAN, AccessPath.INDEX_LOOKUP, AccessPath.COLUMN_SCAN}
+
+    def scan_rows(self, predicate: Predicate) -> list[Row]:
+        return self._store().scan(self._engine.read_snapshot_ts(), predicate)
+
+    def scan_columns(
+        self, columns: list[str], predicate: Predicate
+    ) -> dict[str, np.ndarray]:
+        imcu = self._engine.imcu(self._table)
+        if self._engine.read_fresh:
+            result = imcu.scan(self._engine.clock.now(), columns, predicate)
+            return result.arrays
+        # Isolated mode: serve the stale columnar image only (no patch
+        # reads against the primary) — faster, less fresh.
+        result = imcu.scan(imcu.smu.populate_ts, columns, predicate, patch=False)
+        return result.arrays
+
+    def index_lookup_rows(self, predicate: Predicate) -> list[Row] | None:
+        schema = self.schema()
+        snapshot = self._engine.read_snapshot_ts()
+        key = key_equality(predicate, schema.primary_key)
+        if key is not None:
+            row = self._store().read(key, snapshot)
+            if row is not None and predicate.matches(row, schema):
+                return [row]
+            return []
+        store = self._store()
+        for conjunct in split_conjuncts(predicate):
+            if (
+                isinstance(conjunct, Comparison)
+                and conjunct.op == "="
+                and store.has_index(conjunct.column)
+            ):
+                keys = store.index_lookup_range(
+                    conjunct.column, conjunct.value, conjunct.value
+                )
+                rows = []
+                for k in keys:
+                    row = store.read(k, snapshot)
+                    if row is not None and predicate.matches(row, schema):
+                        rows.append(row)
+                return rows
+        return None

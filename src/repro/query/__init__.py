@@ -1,0 +1,68 @@
+"""Query subsystem: SQL parser, planner, cost-based optimizer, executor."""
+
+from .access import AccessPath, Catalog, TableAccess
+from .adapters import DualStoreTableAccess
+from .ast import (
+    AggFunc,
+    Aggregate,
+    Arith,
+    ColumnRef,
+    Expr,
+    JoinCondition,
+    Literal,
+    OrderItem,
+    Query,
+    QueryResult,
+    SelectItem,
+)
+from .column_selection import (
+    AccessTracker,
+    HeatmapColumnSelector,
+    LearnedColumnSelector,
+    SelectionDecision,
+    hit_rate,
+)
+from .executor import Executor
+from .learned_optimizer import (
+    LearnedAccessPathChooser,
+    PathFeatures,
+    extract_features,
+)
+from .optimizer import PathChoice, PhysicalPlan, Planner, ScanPlan, split_conjuncts
+from .parser import parse
+from .statistics import ColumnStats, TableStats
+
+__all__ = [
+    "AccessPath",
+    "AccessTracker",
+    "AggFunc",
+    "Aggregate",
+    "Arith",
+    "Catalog",
+    "ColumnRef",
+    "ColumnStats",
+    "DualStoreTableAccess",
+    "Executor",
+    "Expr",
+    "HeatmapColumnSelector",
+    "JoinCondition",
+    "LearnedAccessPathChooser",
+    "LearnedColumnSelector",
+    "Literal",
+    "OrderItem",
+    "PathChoice",
+    "PathFeatures",
+    "PhysicalPlan",
+    "Planner",
+    "Query",
+    "QueryResult",
+    "ScanPlan",
+    "SelectItem",
+    "SelectionDecision",
+    "TableAccess",
+    "TableStats",
+    "extract_features",
+    "hit_rate",
+    "parse",
+    "split_conjuncts",
+]

@@ -1,0 +1,54 @@
+"""The access-path abstraction between engines and the query layer.
+
+Every HTAP engine exposes each of its tables as a :class:`TableAccess`:
+the *same* logical data reachable through a row path (tuple-at-a-time,
+cheap per lookup, expensive per full scan) and/or a column path
+(vectorized, cheap per value).  The optimizer's job — the "hybrid
+row/column scan" of Table 2 — is choosing between them per table per
+query, with identical results either way.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Protocol
+
+import numpy as np
+
+from ..common.predicate import Predicate
+from ..common.types import Row, Schema
+from .statistics import TableStats
+
+
+class AccessPath(enum.Enum):
+    ROW_SCAN = "row_scan"          # full scan of the row store
+    INDEX_LOOKUP = "index_lookup"  # selective B+-tree / pk access, then verify
+    COLUMN_SCAN = "column_scan"    # vectorized scan of the columnar image
+
+
+class TableAccess(Protocol):
+    """What the planner/executor need from one engine table."""
+
+    def schema(self) -> Schema: ...
+
+    def stats(self) -> TableStats: ...
+
+    def available_paths(self) -> set[AccessPath]: ...
+
+    def scan_rows(self, predicate: Predicate) -> list[Row]:
+        """Row path: matching rows from the (freshest) row-side store."""
+        ...
+
+    def scan_columns(
+        self, columns: list[str], predicate: Predicate
+    ) -> dict[str, np.ndarray]:
+        """Column path: arrays for ``columns`` of matching rows."""
+        ...
+
+    def index_lookup_rows(self, predicate: Predicate) -> list[Row] | None:
+        """Index path: matching rows, or None when no usable index."""
+        ...
+
+
+Catalog = dict
+"""table name -> TableAccess; what engines hand to the planner."""

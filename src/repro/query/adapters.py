@@ -1,0 +1,123 @@
+"""Reference TableAccess adapters.
+
+:class:`DualStoreTableAccess` wires an MVCC row store and a column
+store behind the planner's access-path abstraction — the minimal
+"dual-store" table every HTAP architecture in the survey builds on.
+Engines subclass or compose it to add their architecture's delta
+patching; unit tests use it directly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..common.clock import Timestamp
+from ..common.cost import CostModel
+from ..common.predicate import Comparison, Predicate, key_equality
+from ..common.types import Row, Schema, rows_to_columns
+from ..storage.column_store import ColumnStore
+from ..storage.row_store import MVCCRowStore
+from .access import AccessPath
+from .optimizer import split_conjuncts
+from .statistics import TableStats
+from .stats_cache import StatsCache
+
+
+class DualStoreTableAccess:
+    """Row + column access over the same logical table."""
+
+    def __init__(
+        self,
+        row_store: MVCCRowStore,
+        column_store: ColumnStore | None,
+        cost: CostModel | None = None,
+        snapshot_ts_fn=None,
+    ):
+        self._rows = row_store
+        self._columns = column_store
+        self._cost = cost or CostModel()
+        # Engines pass a callable yielding the current read timestamp;
+        # default reads "latest" using a far-future snapshot.
+        self._snapshot_ts_fn = snapshot_ts_fn or (lambda: 2**60)
+        self._stats = StatsCache(self._compute_stats)
+
+    # ------------------------------------------------------------- protocol
+
+    def schema(self) -> Schema:
+        return self._rows.schema
+
+    def _compute_stats(self) -> TableStats:
+        snapshot = self._rows.snapshot_rows(self._snapshot_ts_fn())
+        return TableStats.from_rows(self.schema(), snapshot)
+
+    def stats(self) -> TableStats:
+        """Statistics refreshed lazily with slack (like real engines)."""
+        return self._stats.get(self._rows.installs)
+
+    def available_paths(self) -> set[AccessPath]:
+        paths = {AccessPath.ROW_SCAN, AccessPath.INDEX_LOOKUP}
+        if self._columns is not None:
+            paths.add(AccessPath.COLUMN_SCAN)
+        return paths
+
+    def indexed_columns(self) -> set[str]:
+        """Secondary-index columns the planner may treat as sargable."""
+        return set(self._rows._secondary)
+
+    def scan_rows(self, predicate: Predicate) -> list[Row]:
+        return self._rows.scan(self._snapshot_ts_fn(), predicate)
+
+    def scan_columns(
+        self, columns: list[str], predicate: Predicate
+    ) -> dict[str, np.ndarray]:
+        if self._columns is None:
+            rows = self.scan_rows(predicate)
+            arrays = rows_to_columns(self.schema(), rows)
+            return {name: arrays[name] for name in columns}
+        result = self._columns.scan(columns, predicate)
+        return result.arrays
+
+    def index_lookup_rows(self, predicate: Predicate) -> list[Row] | None:
+        schema = self.schema()
+        snapshot_ts = self._snapshot_ts_fn()
+        key = key_equality(predicate, schema.primary_key)
+        if key is not None:
+            row = self._rows.read(key, snapshot_ts)
+            return [row] if row is not None and predicate.matches(row, schema) else []
+        # Secondary index: any indexed equality column.
+        for conjunct in split_conjuncts(predicate):
+            if (
+                isinstance(conjunct, Comparison)
+                and conjunct.op == "="
+                and self._rows.has_index(conjunct.column)
+            ):
+                keys = self._rows.index_lookup_range(
+                    conjunct.column, conjunct.value, conjunct.value
+                )
+                rows = []
+                for k in keys:
+                    row = self._rows.read(k, snapshot_ts)
+                    if row is not None and predicate.matches(row, schema):
+                        rows.append(row)
+                return rows
+        return None
+
+    # ------------------------------------------------------------- plumbing
+
+    @property
+    def row_store(self) -> MVCCRowStore:
+        return self._rows
+
+    @property
+    def column_store(self) -> ColumnStore | None:
+        return self._columns
+
+    def refresh_columns(self, snapshot_ts: Timestamp) -> None:
+        """Rebuild the columnar image from the row store (test helper)."""
+        if self._columns is None:
+            return
+        rows = self._rows.snapshot_rows(snapshot_ts)
+        stale = [self.schema().key_of(r) for r in rows]
+        self._columns.delete_keys(stale)
+        if rows:
+            self._columns.append_rows(rows, commit_ts=snapshot_ts)

@@ -1,0 +1,253 @@
+"""Query AST: expressions, aggregates, and the logical query shape.
+
+Expressions evaluate vectorized over a dict of NumPy column arrays —
+the same "SIMD-style" evaluation the survey attributes to columnar AP
+engines.  The AST is deliberately small but covers the CH-benCHmark
+query shapes: scans, arithmetic, equi-joins, grouping, aggregation,
+ordering, limits.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+import numpy as np
+
+from ..common.errors import QueryError
+from ..common.predicate import Predicate
+
+
+class Expr:
+    """A scalar expression over column arrays."""
+
+    def evaluate(self, arrays: Mapping[str, np.ndarray]) -> np.ndarray:
+        raise NotImplementedError
+
+    def referenced_columns(self) -> set[str]:
+        raise NotImplementedError
+
+    def display(self) -> str:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class ColumnRef(Expr):
+    name: str
+
+    def evaluate(self, arrays: Mapping[str, np.ndarray]) -> np.ndarray:
+        try:
+            return arrays[self.name]
+        except KeyError:
+            raise QueryError(f"column {self.name!r} not bound") from None
+
+    def referenced_columns(self) -> set[str]:
+        return {self.name}
+
+    def display(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class Literal(Expr):
+    value: Any
+
+    def evaluate(self, arrays: Mapping[str, np.ndarray]) -> np.ndarray:
+        n = len(next(iter(arrays.values()))) if arrays else 1
+        return np.full(n, self.value)
+
+    def referenced_columns(self) -> set[str]:
+        return set()
+
+    def display(self) -> str:
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class Arith(Expr):
+    """left <op> right for op in + - * /."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def __post_init__(self) -> None:
+        if self.op not in ("+", "-", "*", "/"):
+            raise QueryError(f"unknown arithmetic operator {self.op!r}")
+
+    def evaluate(self, arrays: Mapping[str, np.ndarray]) -> np.ndarray:
+        lhs = self.left.evaluate(arrays)
+        rhs = self.right.evaluate(arrays)
+        if self.op == "+":
+            return lhs + rhs
+        if self.op == "-":
+            return lhs - rhs
+        if self.op == "*":
+            return lhs * rhs
+        with np.errstate(divide="ignore", invalid="ignore"):
+            return lhs / rhs
+
+    def referenced_columns(self) -> set[str]:
+        return self.left.referenced_columns() | self.right.referenced_columns()
+
+    def display(self) -> str:
+        return f"({self.left.display()} {self.op} {self.right.display()})"
+
+
+class AggFunc(enum.Enum):
+    SUM = "sum"
+    COUNT = "count"
+    AVG = "avg"
+    MIN = "min"
+    MAX = "max"
+
+
+@dataclass(frozen=True)
+class Aggregate(Expr):
+    """An aggregate call; evaluated by the group-aggregate operator."""
+
+    func: AggFunc
+    arg: Expr | None = None  # None only for COUNT(*)
+
+    def __post_init__(self) -> None:
+        if self.arg is None and self.func is not AggFunc.COUNT:
+            raise QueryError(f"{self.func.value} requires an argument")
+
+    def evaluate(self, arrays: Mapping[str, np.ndarray]) -> np.ndarray:
+        raise QueryError("aggregates are evaluated by the aggregation operator")
+
+    def referenced_columns(self) -> set[str]:
+        return self.arg.referenced_columns() if self.arg is not None else set()
+
+    def display(self) -> str:
+        inner = self.arg.display() if self.arg is not None else "*"
+        return f"{self.func.value}({inner})"
+
+    def compute(self, values: np.ndarray | None, count: int) -> Any:
+        """Reduce pre-evaluated argument values for one group."""
+        if self.func is AggFunc.COUNT:
+            return count
+        assert values is not None
+        if len(values) == 0:
+            return None
+        if self.func is AggFunc.SUM:
+            return values.sum().item()
+        if self.func is AggFunc.AVG:
+            return values.mean().item()
+        if self.func is AggFunc.MIN:
+            return values.min().item()
+        return values.max().item()
+
+
+def is_aggregate(expr: Expr) -> bool:
+    if isinstance(expr, Aggregate):
+        return True
+    if isinstance(expr, Arith):
+        return is_aggregate(expr.left) or is_aggregate(expr.right)
+    return False
+
+
+@dataclass(frozen=True)
+class SelectItem:
+    expr: Expr
+    alias: str | None = None
+
+    @property
+    def output_name(self) -> str:
+        return self.alias if self.alias is not None else self.expr.display()
+
+
+@dataclass(frozen=True)
+class JoinCondition:
+    """Equi-join ``left_column = right_column`` (column names are unique
+    across the testbed's schemas, so no table qualification is needed)."""
+
+    left_column: str
+    right_column: str
+
+
+@dataclass(frozen=True)
+class OrderItem:
+    expr: Expr
+    ascending: bool = True
+
+
+@dataclass(frozen=True)
+class HavingCondition:
+    """``expr <op> literal`` evaluated per group after aggregation."""
+
+    expr: Expr
+    op: str
+    value: Any
+
+    def __post_init__(self) -> None:
+        if self.op not in ("=", "!=", "<", "<=", ">", ">="):
+            raise QueryError(f"unknown HAVING operator {self.op!r}")
+
+    def test(self, computed: Any) -> bool:
+        if computed is None:
+            return False
+        import operator as _op
+
+        table = {
+            "=": _op.eq, "!=": _op.ne, "<": _op.lt,
+            "<=": _op.le, ">": _op.gt, ">=": _op.ge,
+        }
+        return bool(table[self.op](computed, self.value))
+
+
+@dataclass
+class Query:
+    """A logical query over one or more tables."""
+
+    tables: list[str]
+    select: list[SelectItem]
+    where: Predicate
+    joins: list[JoinCondition] = field(default_factory=list)
+    group_by: list[str] = field(default_factory=list)
+    having: list[HavingCondition] = field(default_factory=list)
+    order_by: list[OrderItem] = field(default_factory=list)
+    limit: int | None = None
+    distinct: bool = False
+
+    def has_aggregates(self) -> bool:
+        return any(is_aggregate(item.expr) for item in self.select)
+
+    def referenced_columns(self) -> set[str]:
+        cols: set[str] = set(self.group_by)
+        cols |= self.where.referenced_columns()
+        for item in self.select:
+            cols |= item.expr.referenced_columns()
+        for join in self.joins:
+            cols.add(join.left_column)
+            cols.add(join.right_column)
+        for having in self.having:
+            cols |= having.expr.referenced_columns()
+        for order in self.order_by:
+            cols |= order.expr.referenced_columns()
+        return cols
+
+
+@dataclass
+class QueryResult:
+    """Materialized query output."""
+
+    columns: list[str]
+    rows: list[tuple]
+    sim_elapsed_us: float = 0.0
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def column(self, name: str) -> list:
+        idx = self.columns.index(name)
+        return [row[idx] for row in self.rows]
+
+    def scalar(self) -> Any:
+        """The single value of a 1x1 result (aggregate convenience)."""
+        if len(self.rows) != 1 or len(self.columns) != 1:
+            raise QueryError(
+                f"scalar() needs a 1x1 result, have {len(self.rows)}x{len(self.columns)}"
+            )
+        return self.rows[0][0]

@@ -1,0 +1,138 @@
+"""Column selection for HTAP (Table 2's first query-optimization row).
+
+Decides which columns to load from the primary (row) store into the
+in-memory column store under a memory budget:
+
+* :class:`HeatmapColumnSelector` — the Oracle-21c/Heatwave-style
+  baseline from the survey: rank columns by (decayed) historical access
+  frequency and greedily pack the budget.  "Expensive and inflexible":
+  it only reacts after the workload has already shifted.
+* :class:`LearnedColumnSelector` — the §2.4 open-problem prototype: a
+  lightweight online learner that models per-column access as an
+  exponentially-weighted moving estimate *plus* a first-order workload
+  trend (rising columns get boosted before they dominate), so it adapts
+  to shifts faster without executing the whole workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ColumnUsage:
+    """Rolling access statistics for one (table, column)."""
+
+    hits: float = 0.0          # decayed frequency
+    previous_hits: float = 0.0  # frequency one window ago (for trend)
+    total: int = 0
+
+
+class AccessTracker:
+    """Records which columns each query touched, in windows."""
+
+    def __init__(self, decay: float = 0.5):
+        if not 0.0 <= decay < 1.0:
+            raise ValueError("decay must be in [0, 1)")
+        self._decay = decay
+        self._usage: dict[tuple[str, str], ColumnUsage] = {}
+        self._window: dict[tuple[str, str], int] = {}
+        self.windows_closed = 0
+
+    def record_query(self, table: str, columns: set[str]) -> None:
+        for col in columns:
+            key = (table, col)
+            self._window[key] = self._window.get(key, 0) + 1
+            usage = self._usage.setdefault(key, ColumnUsage())
+            usage.total += 1
+
+    def close_window(self) -> None:
+        """Fold the current window into the decayed estimates."""
+        for key, usage in self._usage.items():
+            fresh = self._window.get(key, 0)
+            usage.previous_hits = usage.hits
+            usage.hits = self._decay * usage.hits + (1.0 - self._decay) * fresh
+        self._window.clear()
+        self.windows_closed += 1
+
+    def usage(self) -> dict[tuple[str, str], ColumnUsage]:
+        return self._usage
+
+
+@dataclass
+class SelectionDecision:
+    chosen: list[tuple[str, str]]
+    budget_bytes: int
+    used_bytes: int
+    scores: dict = field(default_factory=dict)
+
+
+class HeatmapColumnSelector:
+    """Frequency-ranked greedy packing (the historical-statistics baseline)."""
+
+    def __init__(self, tracker: AccessTracker):
+        self._tracker = tracker
+
+    def score(self, usage: ColumnUsage) -> float:
+        return usage.hits
+
+    def select(
+        self,
+        column_sizes: dict[tuple[str, str], int],
+        budget_bytes: int,
+    ) -> SelectionDecision:
+        scores = {
+            key: self.score(usage)
+            for key, usage in self._tracker.usage().items()
+            if key in column_sizes
+        }
+        ranked = sorted(
+            scores, key=lambda k: (scores[k] / max(column_sizes[k], 1), scores[k]),
+            reverse=True,
+        )
+        chosen: list[tuple[str, str]] = []
+        used = 0
+        for key in ranked:
+            if scores[key] <= 0:
+                continue
+            size = column_sizes[key]
+            if used + size <= budget_bytes:
+                chosen.append(key)
+                used += size
+        return SelectionDecision(
+            chosen=chosen, budget_bytes=budget_bytes, used_bytes=used, scores=scores
+        )
+
+
+class LearnedColumnSelector(HeatmapColumnSelector):
+    """Adds a first-order trend term so rising columns pre-load.
+
+    score = hits + trend_weight * max(0, hits - previous_hits)
+
+    The trend term is a deliberately tiny "learned" model (one feature,
+    online updates, no training pass over the full workload) in the
+    spirit of the lightweight methods §2.4 calls for.
+    """
+
+    def __init__(self, tracker: AccessTracker, trend_weight: float = 2.0):
+        super().__init__(tracker)
+        self.trend_weight = trend_weight
+
+    def score(self, usage: ColumnUsage) -> float:
+        trend = max(0.0, usage.hits - usage.previous_hits)
+        return usage.hits + self.trend_weight * trend
+
+
+def hit_rate(
+    decision: SelectionDecision, queries: list[tuple[str, set[str]]]
+) -> float:
+    """Fraction of queries fully answerable from the selected columns
+    (a miss forces row-based processing, the survey's noted downside)."""
+    if not queries:
+        return 1.0
+    loaded = set(decision.chosen)
+    hits = 0
+    for table, columns in queries:
+        if all((table, col) in loaded for col in columns):
+            hits += 1
+    return hits / len(queries)

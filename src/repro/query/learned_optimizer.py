@@ -1,0 +1,145 @@
+"""A learned access-path chooser (the §2.4 "Learned HTAP Query
+Optimizer" open problem, prototyped).
+
+The analytic cost model estimates selectivity under uniformity and
+independence; on skewed or correlated data those estimates — and hence
+the row-vs-column-vs-index choice — go wrong.  This module learns the
+mapping from cheap query features to the *observed* best path:
+
+* features: log table size, estimated selectivity, number of referenced
+  columns, whether the predicate is an equality sarg;
+* training: each executed query contributes (features, best path by
+  measured simulated cost);
+* inference: distance-weighted k-nearest-neighbours over normalized
+  features, falling back to the analytic choice until enough samples
+  accumulate.
+
+It is intentionally tiny — the point the paper makes is that even a
+lightweight learned mapping beats a misestimating analytic model, not
+that one needs a deep network.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..common.predicate import Comparison, Predicate
+from .access import AccessPath
+from .optimizer import Planner, split_conjuncts
+from .statistics import TableStats
+
+
+@dataclass(frozen=True)
+class PathFeatures:
+    log_rows: float
+    est_selectivity: float
+    n_columns: float
+    has_eq_sarg: float
+
+    def vector(self) -> tuple[float, ...]:
+        return (
+            self.log_rows / 20.0,  # normalize to ~[0, 1]
+            self.est_selectivity,
+            min(self.n_columns, 16.0) / 16.0,
+            self.has_eq_sarg,
+        )
+
+
+def extract_features(
+    stats: TableStats, predicate: Predicate, columns_needed: list[str]
+) -> PathFeatures:
+    has_eq = any(
+        isinstance(c, Comparison) and c.op == "="
+        for c in split_conjuncts(predicate)
+    )
+    needed = set(columns_needed) | predicate.referenced_columns()
+    return PathFeatures(
+        log_rows=math.log1p(max(stats.row_count, 0)),
+        est_selectivity=stats.selectivity(predicate),
+        n_columns=float(len(needed)),
+        has_eq_sarg=1.0 if has_eq else 0.0,
+    )
+
+
+@dataclass
+class TrainingSample:
+    features: PathFeatures
+    best_path: AccessPath
+    observed_costs: dict
+
+
+class LearnedAccessPathChooser:
+    """k-NN over observed executions; analytic fallback when cold."""
+
+    def __init__(self, planner: Planner, k: int = 3, min_samples: int = 5):
+        self._planner = planner
+        self.k = k
+        self.min_samples = min_samples
+        self.samples: list[TrainingSample] = []
+        self.fallbacks = 0
+        self.predictions = 0
+
+    # ------------------------------------------------------------- training
+
+    def observe(
+        self,
+        stats: TableStats,
+        predicate: Predicate,
+        columns_needed: list[str],
+        measured_costs: dict,
+    ) -> None:
+        """Record the measured simulated cost of each candidate path."""
+        if not measured_costs:
+            return
+        best = min(measured_costs, key=measured_costs.get)
+        self.samples.append(
+            TrainingSample(
+                features=extract_features(stats, predicate, columns_needed),
+                best_path=best,
+                observed_costs=dict(measured_costs),
+            )
+        )
+
+    # ------------------------------------------------------------- inference
+
+    def choose(
+        self,
+        table: str,
+        stats: TableStats,
+        predicate: Predicate,
+        columns_needed: list[str],
+    ) -> AccessPath:
+        available = {
+            c.path for c in self._planner.price_paths(table, columns_needed, predicate)
+        }
+        if len(self.samples) < self.min_samples:
+            self.fallbacks += 1
+            return self._analytic_choice(table, columns_needed, predicate)
+        self.predictions += 1
+        query_vec = extract_features(stats, predicate, columns_needed).vector()
+        scored = sorted(
+            self.samples,
+            key=lambda s: _distance(query_vec, s.features.vector()),
+        )[: self.k]
+        votes: dict[AccessPath, float] = {}
+        for sample in scored:
+            if sample.best_path not in available:
+                continue
+            weight = 1.0 / (
+                1e-6 + _distance(query_vec, sample.features.vector())
+            )
+            votes[sample.best_path] = votes.get(sample.best_path, 0.0) + weight
+        if not votes:
+            self.fallbacks += 1
+            return self._analytic_choice(table, columns_needed, predicate)
+        return max(votes, key=votes.get)
+
+    def _analytic_choice(
+        self, table: str, columns_needed: list[str], predicate: Predicate
+    ) -> AccessPath:
+        return self._planner.price_paths(table, columns_needed, predicate)[0].path
+
+
+def _distance(a: tuple[float, ...], b: tuple[float, ...]) -> float:
+    return math.sqrt(sum((x - y) ** 2 for x, y in zip(a, b)))

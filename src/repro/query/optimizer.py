@@ -1,0 +1,331 @@
+"""Cost-based planning: hybrid row/column access paths + join ordering.
+
+Implements the "hybrid row/column scan" query-optimization technique of
+Table 2: for every table in a query the planner prices a row scan, an
+index lookup (when a usable index exists), and a column scan against
+the engine's cost model and statistics, then picks the cheapest — so an
+SPJ query can combine "a row-based index scan and a complete
+column-based scan" exactly as §2.2(4) describes.  Join order is chosen
+greedily by estimated cardinality.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..common.cost import CostModel
+from ..common.errors import PlanningError
+from ..common.predicate import ALWAYS_TRUE, And, Comparison, Predicate, TruePredicate
+from .access import AccessPath, Catalog, TableAccess
+from .ast import Query
+
+
+@dataclass
+class PathChoice:
+    """One candidate access path with its estimated cost."""
+
+    path: AccessPath
+    cost_us: float
+    estimated_rows: int
+
+
+@dataclass
+class ScanPlan:
+    table: str
+    path: AccessPath
+    columns: list[str]
+    predicate: Predicate
+    estimated_rows: int
+    cost_us: float
+    candidates: list[PathChoice] = field(default_factory=list)
+
+
+@dataclass
+class JoinStep:
+    scan: ScanPlan
+    left_column: str   # bound in the rows accumulated so far
+    right_column: str  # bound in scan's table
+
+
+@dataclass
+class PhysicalPlan:
+    query: Query
+    base: ScanPlan
+    joins: list[JoinStep]
+    estimated_cost_us: float
+    #: Equi-join conditions between table pairs already connected by an
+    #: earlier join step; applied as post-join equality filters (how
+    #: composite-key joins like TPC-C's (w_id, d_id, o_id) execute).
+    residual_equalities: list[tuple[str, str]] = field(default_factory=list)
+
+    def scan_for(self, table: str) -> ScanPlan:
+        if self.base.table == table:
+            return self.base
+        for step in self.joins:
+            if step.scan.table == table:
+                return step.scan
+        raise PlanningError(f"table {table!r} not in plan")
+
+    def explain(self) -> str:
+        lines = [
+            f"scan {self.base.table} via {self.base.path.value} "
+            f"(~{self.base.estimated_rows} rows, {self.base.cost_us:.0f}us)"
+        ]
+        for step in self.joins:
+            lines.append(
+                f"  hash join {step.left_column} = {step.right_column} with "
+                f"{step.scan.table} via {step.scan.path.value} "
+                f"(~{step.scan.estimated_rows} rows, {step.scan.cost_us:.0f}us)"
+            )
+        lines.append(f"estimated total: {self.estimated_cost_us:.0f}us")
+        return "\n".join(lines)
+
+
+def split_conjuncts(predicate: Predicate) -> list[Predicate]:
+    """Flatten top-level ANDs into a conjunct list."""
+    if isinstance(predicate, TruePredicate):
+        return []
+    if isinstance(predicate, And):
+        out: list[Predicate] = []
+        for child in predicate.children:
+            out.extend(split_conjuncts(child))
+        return out
+    return [predicate]
+
+
+def conjoin(conjuncts: list[Predicate]) -> Predicate:
+    if not conjuncts:
+        return ALWAYS_TRUE
+    if len(conjuncts) == 1:
+        return conjuncts[0]
+    return And(conjuncts)
+
+
+class Planner:
+    """Builds physical plans against a catalog of TableAccess adapters."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        cost: CostModel | None = None,
+        force_path: AccessPath | None = None,
+    ):
+        self._catalog = catalog
+        self._cost = cost or CostModel()
+        #: When set, every scan uses this path (for ablation benches and
+        #: for engines that only have one side, e.g. pure column scan).
+        self.force_path = force_path
+
+    # ------------------------------------------------------------- resolution
+
+    def _adapter(self, table: str) -> TableAccess:
+        try:
+            return self._catalog[table]
+        except KeyError:
+            raise PlanningError(f"unknown table {table!r}") from None
+
+    def _owner_of(self, column: str, tables: list[str]) -> str:
+        owners = [
+            t for t in tables if self._adapter(t).schema().has_column(column)
+        ]
+        if not owners:
+            raise PlanningError(f"column {column!r} not found in {tables}")
+        if len(owners) > 1:
+            raise PlanningError(
+                f"column {column!r} is ambiguous across {owners}"
+            )
+        return owners[0]
+
+    def _predicates_by_table(self, query: Query) -> dict[str, list[Predicate]]:
+        by_table: dict[str, list[Predicate]] = {t: [] for t in query.tables}
+        for conjunct in split_conjuncts(query.where):
+            cols = conjunct.referenced_columns()
+            owners = {self._owner_of(c, query.tables) for c in cols}
+            if len(owners) == 1:
+                by_table[owners.pop()].append(conjunct)
+            elif len(owners) == 0:
+                continue  # constant-true style conjunct
+            else:
+                raise PlanningError(
+                    "non-join predicates spanning tables are not supported: "
+                    f"{conjunct!r}"
+                )
+        return by_table
+
+    # ------------------------------------------------------------- costing
+
+    def price_paths(
+        self,
+        table: str,
+        columns_needed: list[str],
+        predicate: Predicate,
+    ) -> list[PathChoice]:
+        """Price every available path for this (table, predicate)."""
+        adapter = self._adapter(table)
+        stats = adapter.stats()
+        cost = self._cost
+        n = max(stats.row_count, 1)
+        selectivity = stats.selectivity(predicate)
+        matching = max(1, int(round(n * selectivity)))
+        needed = set(columns_needed) | predicate.referenced_columns()
+        n_cols = max(len(needed), 1)
+        available = adapter.available_paths()
+        choices: list[PathChoice] = []
+        if AccessPath.ROW_SCAN in available:
+            choices.append(
+                PathChoice(
+                    AccessPath.ROW_SCAN,
+                    cost_us=n * cost.row_scan_per_row_us,
+                    estimated_rows=matching,
+                )
+            )
+        if AccessPath.INDEX_LOOKUP in available and self._has_sarg(
+            adapter, predicate
+        ):
+            choices.append(
+                PathChoice(
+                    AccessPath.INDEX_LOOKUP,
+                    cost_us=cost.index_lookup_us
+                    + matching * (cost.index_scan_per_row_us + cost.row_point_read_us),
+                    estimated_rows=matching,
+                )
+            )
+        if AccessPath.COLUMN_SCAN in available:
+            choices.append(
+                PathChoice(
+                    AccessPath.COLUMN_SCAN,
+                    cost_us=n * n_cols * cost.column_scan_per_value_us
+                    + matching * cost.column_materialize_per_row_us,
+                    estimated_rows=matching,
+                )
+            )
+        if not choices:
+            raise PlanningError(f"table {table!r} exposes no access path")
+        return sorted(choices, key=lambda c: c.cost_us)
+
+    @staticmethod
+    def _has_sarg(adapter: TableAccess, predicate: Predicate) -> bool:
+        """Is there an indexable (search-argument) conjunct?"""
+        schema = adapter.schema()
+        indexed = set(schema.primary_key)
+        # Adapters may expose secondary indexes (optional protocol).
+        extra = getattr(adapter, "indexed_columns", None)
+        if extra is not None:
+            indexed |= set(extra())
+        for conjunct in split_conjuncts(predicate):
+            if isinstance(conjunct, Comparison) and conjunct.op == "=":
+                if conjunct.column in indexed:
+                    return True
+        return False
+
+    def _plan_scan(
+        self,
+        table: str,
+        columns_needed: list[str],
+        predicate: Predicate,
+    ) -> ScanPlan:
+        choices = self.price_paths(table, columns_needed, predicate)
+        if self.force_path is not None:
+            forced = [c for c in choices if c.path is self.force_path]
+            if not forced:
+                raise PlanningError(
+                    f"path {self.force_path.value} unavailable for {table!r}"
+                )
+            best = forced[0]
+        else:
+            best = choices[0]
+        return ScanPlan(
+            table=table,
+            path=best.path,
+            columns=columns_needed,
+            predicate=predicate,
+            estimated_rows=best.estimated_rows,
+            cost_us=best.cost_us,
+            candidates=choices,
+        )
+
+    # ------------------------------------------------------------- planning
+
+    def plan(self, query: Query) -> PhysicalPlan:
+        for table in query.tables:
+            self._adapter(table)  # validate early
+        by_table = self._predicates_by_table(query)
+        referenced = query.referenced_columns()
+        referenced.discard("*")
+        # ORDER BY may reference output aliases, which no table owns.
+        aliases = {item.alias for item in query.select if item.alias is not None}
+        for column in referenced - aliases:
+            self._owner_of(column, query.tables)  # raises on unknown/ambiguous
+        # Columns each table must produce: referenced columns it owns.
+        cols_by_table: dict[str, list[str]] = {}
+        for table in query.tables:
+            schema = self._adapter(table).schema()
+            if any(item.expr.display() == "*" for item in query.select):
+                cols = schema.column_names
+            else:
+                cols = [c for c in referenced if schema.has_column(c)]
+            cols_by_table[table] = cols
+        scans = {
+            table: self._plan_scan(
+                table, cols_by_table[table], conjoin(by_table[table])
+            )
+            for table in query.tables
+        }
+        if len(query.tables) == 1:
+            base = scans[query.tables[0]]
+            return PhysicalPlan(query, base, [], base.cost_us)
+        return self._order_joins(query, scans)
+
+    def _order_joins(
+        self, query: Query, scans: dict[str, ScanPlan]
+    ) -> PhysicalPlan:
+        """Greedy join ordering: start at the most selective scan, then
+        repeatedly attach the cheapest join-connected table."""
+        edges: list[tuple[str, str, str, str]] = []  # (t1, c1, t2, c2)
+        for join in query.joins:
+            t1 = self._owner_of(join.left_column, query.tables)
+            t2 = self._owner_of(join.right_column, query.tables)
+            if t1 == t2:
+                raise PlanningError(
+                    f"self-join condition {join} is not supported"
+                )
+            edges.append((t1, join.left_column, t2, join.right_column))
+        base_table = min(query.tables, key=lambda t: scans[t].estimated_rows)
+        joined = {base_table}
+        steps: list[JoinStep] = []
+        used_edges: set[int] = set()
+        total_cost = scans[base_table].cost_us
+        remaining = set(query.tables) - joined
+        while remaining:
+            candidates = []
+            for i, (t1, c1, t2, c2) in enumerate(edges):
+                if i in used_edges:
+                    continue
+                if t1 in joined and t2 in remaining:
+                    candidates.append((scans[t2].estimated_rows, t2, c1, c2, i))
+                elif t2 in joined and t1 in remaining:
+                    candidates.append((scans[t1].estimated_rows, t1, c2, c1, i))
+            if not candidates:
+                raise PlanningError(
+                    f"tables {sorted(remaining)} are not join-connected"
+                )
+            candidates.sort(key=lambda c: (c[0], c[1]))
+            _rows, table, left_col, right_col, edge_i = candidates[0]
+            used_edges.add(edge_i)
+            steps.append(JoinStep(scans[table], left_col, right_col))
+            total_cost += scans[table].cost_us
+            total_cost += (
+                scans[table].estimated_rows * self._cost.hash_build_per_row_us
+            )
+            joined.add(table)
+            remaining.discard(table)
+        # Every unused edge connects two already-joined tables: apply it
+        # as a post-join equality filter.
+        residual = [
+            (edges[i][1], edges[i][3])
+            for i in range(len(edges))
+            if i not in used_edges
+        ]
+        return PhysicalPlan(
+            query, scans[base_table], steps, total_cost, residual_equalities=residual
+        )

@@ -1,0 +1,413 @@
+"""A compact SQL parser for the testbed's query subset.
+
+Covers what the CH-benCHmark-style workload needs::
+
+    SELECT expr [AS alias], ...
+    FROM t1 [, t2 ...] | t1 JOIN t2 ON a = b [JOIN ...]
+    [WHERE cond [AND|OR cond]...]
+    [GROUP BY col, ...]
+    [ORDER BY expr [ASC|DESC], ...]
+    [LIMIT n]
+
+Conditions support =, !=, <, <=, >, >=, BETWEEN..AND, IN (...), NOT and
+parentheses.  A comparison between two *column references* is treated
+as an equi-join condition; everything else folds into the row/column
+predicate.  Aggregates: SUM, COUNT(*), COUNT, AVG, MIN, MAX over
+arithmetic expressions.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from ..common.errors import SqlSyntaxError
+from ..common.predicate import (
+    ALWAYS_TRUE,
+    And,
+    Between,
+    Comparison,
+    InList,
+    Not,
+    Or,
+    Predicate,
+)
+from .ast import (
+    AggFunc,
+    Aggregate,
+    Arith,
+    ColumnRef,
+    Expr,
+    HavingCondition,
+    JoinCondition,
+    Literal,
+    OrderItem,
+    Query,
+    SelectItem,
+)
+
+_TOKEN_RE = re.compile(
+    r"""
+    \s*(?:
+        (?P<number>\d+\.\d+|\d+)
+      | (?P<string>'(?:[^']|'')*')
+      | (?P<ident>[A-Za-z_][A-Za-z_0-9]*)
+      | (?P<op><=|>=|!=|<>|=|<|>)
+      | (?P<punct>[(),*+\-/.])
+    )
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {
+    "select", "from", "where", "group", "order", "by", "limit", "and", "or",
+    "not", "between", "in", "as", "join", "on", "asc", "desc", "sum", "count",
+    "avg", "min", "max", "having", "distinct",
+}
+
+_AGG_FUNCS = {
+    "sum": AggFunc.SUM,
+    "count": AggFunc.COUNT,
+    "avg": AggFunc.AVG,
+    "min": AggFunc.MIN,
+    "max": AggFunc.MAX,
+}
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str  # number | string | ident | keyword | op | punct | eof
+    text: str
+    pos: int
+
+
+def tokenize(sql: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    pos = 0
+    while pos < len(sql):
+        if sql[pos].isspace():
+            pos += 1
+            continue
+        match = _TOKEN_RE.match(sql, pos)
+        if match is None or match.start() != pos:
+            raise SqlSyntaxError(f"unexpected character {sql[pos]!r}", pos)
+        if match.group("number") is not None:
+            tokens.append(_Token("number", match.group("number"), pos))
+        elif match.group("string") is not None:
+            tokens.append(_Token("string", match.group("string"), pos))
+        elif match.group("ident") is not None:
+            text = match.group("ident")
+            kind = "keyword" if text.lower() in _KEYWORDS else "ident"
+            tokens.append(_Token(kind, text, pos))
+        elif match.group("op") is not None:
+            tokens.append(_Token("op", match.group("op"), pos))
+        else:
+            tokens.append(_Token("punct", match.group("punct"), pos))
+        pos = match.end()
+    tokens.append(_Token("eof", "", len(sql)))
+    return tokens
+
+
+class _Parser:
+    def __init__(self, sql: str):
+        self._sql = sql
+        self._tokens = tokenize(sql)
+        self._i = 0
+
+    # ------------------------------------------------------------- cursor
+
+    def _peek(self) -> _Token:
+        return self._tokens[self._i]
+
+    def _next(self) -> _Token:
+        token = self._tokens[self._i]
+        self._i += 1
+        return token
+
+    def _accept_keyword(self, *words: str) -> bool:
+        token = self._peek()
+        if token.kind == "keyword" and token.text.lower() in words:
+            self._i += 1
+            return True
+        return False
+
+    def _expect_keyword(self, word: str) -> None:
+        if not self._accept_keyword(word):
+            raise SqlSyntaxError(
+                f"expected {word.upper()}, found {self._peek().text!r}",
+                self._peek().pos,
+            )
+
+    def _accept_punct(self, char: str) -> bool:
+        token = self._peek()
+        if token.kind == "punct" and token.text == char:
+            self._i += 1
+            return True
+        return False
+
+    def _expect_punct(self, char: str) -> None:
+        if not self._accept_punct(char):
+            raise SqlSyntaxError(
+                f"expected {char!r}, found {self._peek().text!r}", self._peek().pos
+            )
+
+    def _expect_ident(self) -> str:
+        token = self._peek()
+        if token.kind != "ident":
+            raise SqlSyntaxError(
+                f"expected identifier, found {token.text!r}", token.pos
+            )
+        self._i += 1
+        return token.text
+
+    # ------------------------------------------------------------- grammar
+
+    def parse_query(self) -> Query:
+        self._expect_keyword("select")
+        distinct = self._accept_keyword("distinct")
+        select = self._select_list()
+        self._expect_keyword("from")
+        tables, join_conditions = self._table_list()
+        where: Predicate = ALWAYS_TRUE
+        if self._accept_keyword("where"):
+            where, extra_joins = self._condition()
+            join_conditions.extend(extra_joins)
+        group_by: list[str] = []
+        if self._accept_keyword("group"):
+            self._expect_keyword("by")
+            group_by.append(self._expect_ident())
+            while self._accept_punct(","):
+                group_by.append(self._expect_ident())
+        having: list[HavingCondition] = []
+        if self._accept_keyword("having"):
+            having.append(self._having_condition())
+            while self._accept_keyword("and"):
+                having.append(self._having_condition())
+        order_by: list[OrderItem] = []
+        if self._accept_keyword("order"):
+            self._expect_keyword("by")
+            order_by.append(self._order_item())
+            while self._accept_punct(","):
+                order_by.append(self._order_item())
+        limit = None
+        if self._accept_keyword("limit"):
+            token = self._next()
+            if token.kind != "number":
+                raise SqlSyntaxError("LIMIT needs a number", token.pos)
+            limit = int(token.text)
+        if self._peek().kind != "eof":
+            raise SqlSyntaxError(
+                f"unexpected trailing input {self._peek().text!r}", self._peek().pos
+            )
+        return Query(
+            tables=tables,
+            select=select,
+            where=where,
+            joins=join_conditions,
+            group_by=group_by,
+            having=having,
+            order_by=order_by,
+            limit=limit,
+            distinct=distinct,
+        )
+
+    def _select_list(self) -> list[SelectItem]:
+        items: list[SelectItem] = []
+        while True:
+            if self._accept_punct("*"):
+                items.append(SelectItem(expr=ColumnRef("*")))
+            else:
+                expr = self._expr()
+                alias = None
+                if self._accept_keyword("as"):
+                    alias = self._expect_ident()
+                items.append(SelectItem(expr=expr, alias=alias))
+            if not self._accept_punct(","):
+                return items
+
+    def _table_list(self) -> tuple[list[str], list[JoinCondition]]:
+        tables = [self._expect_ident()]
+        joins: list[JoinCondition] = []
+        while True:
+            if self._accept_punct(","):
+                tables.append(self._expect_ident())
+            elif self._accept_keyword("join"):
+                tables.append(self._expect_ident())
+                self._expect_keyword("on")
+                left = self._expect_ident()
+                op = self._next()
+                if op.text != "=":
+                    raise SqlSyntaxError("JOIN ON supports only equality", op.pos)
+                right = self._expect_ident()
+                joins.append(JoinCondition(left, right))
+            else:
+                return tables, joins
+
+    def _having_condition(self) -> HavingCondition:
+        expr = self._expr()
+        op_token = self._next()
+        if op_token.kind != "op":
+            raise SqlSyntaxError(
+                f"expected comparison in HAVING, found {op_token.text!r}",
+                op_token.pos,
+            )
+        op = "!=" if op_token.text == "<>" else op_token.text
+        return HavingCondition(expr=expr, op=op, value=self._value())
+
+    def _order_item(self) -> OrderItem:
+        expr = self._expr()
+        ascending = True
+        if self._accept_keyword("desc"):
+            ascending = False
+        else:
+            self._accept_keyword("asc")
+        return OrderItem(expr=expr, ascending=ascending)
+
+    # --------------------------------------------------------- conditions
+
+    def _condition(self) -> tuple[Predicate, list[JoinCondition]]:
+        return self._or_condition()
+
+    def _or_condition(self) -> tuple[Predicate, list[JoinCondition]]:
+        pred, joins = self._and_condition()
+        parts = [pred]
+        while self._accept_keyword("or"):
+            rhs, rhs_joins = self._and_condition()
+            if rhs_joins or joins:
+                raise SqlSyntaxError("join conditions cannot appear under OR")
+            parts.append(rhs)
+        if len(parts) == 1:
+            return pred, joins
+        return Or(parts), joins
+
+    def _and_condition(self) -> tuple[Predicate, list[JoinCondition]]:
+        preds: list[Predicate] = []
+        joins: list[JoinCondition] = []
+        pred, j = self._not_condition()
+        if pred is not None:
+            preds.append(pred)
+        joins.extend(j)
+        while self._accept_keyword("and"):
+            pred, j = self._not_condition()
+            if pred is not None:
+                preds.append(pred)
+            joins.extend(j)
+        if not preds:
+            return ALWAYS_TRUE, joins
+        if len(preds) == 1:
+            return preds[0], joins
+        return And(preds), joins
+
+    def _not_condition(self) -> tuple[Predicate | None, list[JoinCondition]]:
+        if self._accept_keyword("not"):
+            pred, joins = self._not_condition()
+            if joins or pred is None:
+                raise SqlSyntaxError("NOT cannot wrap a join condition")
+            return Not(pred), []
+        if self._accept_punct("("):
+            pred, joins = self._condition()
+            self._expect_punct(")")
+            return pred, joins
+        return self._comparison()
+
+    def _comparison(self) -> tuple[Predicate | None, list[JoinCondition]]:
+        column = self._expect_ident()
+        if self._accept_keyword("between"):
+            low = self._value()
+            self._expect_keyword("and")
+            high = self._value()
+            return Between(column, low, high), []
+        if self._accept_keyword("in"):
+            self._expect_punct("(")
+            values = [self._value()]
+            while self._accept_punct(","):
+                values.append(self._value())
+            self._expect_punct(")")
+            return InList(column, values), []
+        op_token = self._next()
+        if op_token.kind != "op":
+            raise SqlSyntaxError(
+                f"expected comparison operator, found {op_token.text!r}", op_token.pos
+            )
+        op = "!=" if op_token.text == "<>" else op_token.text
+        rhs = self._peek()
+        if rhs.kind == "ident":
+            # column <op> column: an equi-join condition.
+            if op != "=":
+                raise SqlSyntaxError(
+                    "only equality joins are supported", rhs.pos
+                )
+            right = self._expect_ident()
+            return None, [JoinCondition(column, right)]
+        value = self._value()
+        return Comparison(column, op, value), []
+
+    def _value(self):
+        token = self._next()
+        if token.kind == "number":
+            return float(token.text) if "." in token.text else int(token.text)
+        if token.kind == "string":
+            return token.text[1:-1].replace("''", "'")
+        if token.kind == "punct" and token.text == "-":
+            inner = self._value()
+            return -inner
+        raise SqlSyntaxError(f"expected a literal, found {token.text!r}", token.pos)
+
+    # --------------------------------------------------------- expressions
+
+    def _expr(self) -> Expr:
+        left = self._term()
+        while True:
+            token = self._peek()
+            if token.kind == "punct" and token.text in ("+", "-"):
+                self._i += 1
+                left = Arith(token.text, left, self._term())
+            else:
+                return left
+
+    def _term(self) -> Expr:
+        left = self._factor()
+        while True:
+            token = self._peek()
+            if token.kind == "punct" and token.text in ("*", "/"):
+                self._i += 1
+                left = Arith(token.text, left, self._factor())
+            else:
+                return left
+
+    def _factor(self) -> Expr:
+        token = self._peek()
+        if token.kind == "number":
+            self._i += 1
+            value = float(token.text) if "." in token.text else int(token.text)
+            return Literal(value)
+        if token.kind == "string":
+            self._i += 1
+            return Literal(token.text[1:-1].replace("''", "'"))
+        if token.kind == "punct" and token.text == "(":
+            self._i += 1
+            expr = self._expr()
+            self._expect_punct(")")
+            return expr
+        if token.kind == "punct" and token.text == "-":
+            self._i += 1
+            return Arith("-", Literal(0), self._factor())
+        if token.kind == "keyword" and token.text.lower() in _AGG_FUNCS:
+            func = _AGG_FUNCS[token.text.lower()]
+            self._i += 1
+            self._expect_punct("(")
+            if func is AggFunc.COUNT and self._accept_punct("*"):
+                self._expect_punct(")")
+                return Aggregate(func=func, arg=None)
+            arg = self._expr()
+            self._expect_punct(")")
+            return Aggregate(func=func, arg=arg)
+        if token.kind == "ident":
+            self._i += 1
+            return ColumnRef(token.text)
+        raise SqlSyntaxError(f"unexpected token {token.text!r}", token.pos)
+
+
+def parse(sql: str) -> Query:
+    """Parse ``sql`` into a logical :class:`~repro.query.ast.Query`."""
+    return _Parser(sql).parse_query()

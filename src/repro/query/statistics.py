@@ -1,0 +1,145 @@
+"""Table statistics and selectivity estimation.
+
+The estimator deliberately makes the *uniformity and independence*
+assumptions the survey's §2.4 criticizes ("such methods are problematic
+for correlated and skewed data") — the learned access-path chooser in
+:mod:`repro.query.learned_optimizer` exists precisely to beat it on
+skewed inputs, and the open-problems bench measures that gap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from ..common.predicate import (
+    ALWAYS_TRUE,
+    And,
+    Between,
+    Comparison,
+    InList,
+    Not,
+    Or,
+    Predicate,
+    TruePredicate,
+)
+from ..common.types import Row, Schema
+
+
+@dataclass
+class ColumnStats:
+    ndv: int
+    min_value: Any = None
+    max_value: Any = None
+
+    @classmethod
+    def from_values(cls, values: list) -> "ColumnStats":
+        non_null = [v for v in values if v is not None]
+        if not non_null:
+            return cls(ndv=0)
+        ndv = len(set(non_null))
+        orderable = all(isinstance(v, (int, float)) for v in non_null)
+        if orderable:
+            return cls(ndv=ndv, min_value=min(non_null), max_value=max(non_null))
+        return cls(ndv=ndv)
+
+
+@dataclass
+class TableStats:
+    row_count: int
+    columns: dict[str, ColumnStats]
+
+    @classmethod
+    def from_rows(cls, schema: Schema, rows: list[Row]) -> "TableStats":
+        columns = {}
+        for i, col in enumerate(schema.columns):
+            columns[col.name] = ColumnStats.from_values([r[i] for r in rows])
+        return cls(row_count=len(rows), columns=columns)
+
+    @classmethod
+    def from_arrays(cls, arrays: dict[str, np.ndarray]) -> "TableStats":
+        columns = {}
+        n = 0
+        for name, arr in arrays.items():
+            n = len(arr)
+            ndv = len(np.unique(arr)) if len(arr) else 0
+            if arr.dtype != object and len(arr):
+                columns[name] = ColumnStats(
+                    ndv=ndv, min_value=arr.min().item(), max_value=arr.max().item()
+                )
+            else:
+                columns[name] = ColumnStats(ndv=ndv)
+        return cls(row_count=n, columns=columns)
+
+    def empty(self) -> bool:
+        return self.row_count == 0
+
+    # ------------------------------------------------------------- estimates
+
+    def selectivity(self, predicate: Predicate) -> float:
+        """Estimated fraction of rows matching (uniform + independent)."""
+        if isinstance(predicate, TruePredicate):
+            return 1.0
+        if isinstance(predicate, Comparison):
+            return self._comparison_selectivity(predicate)
+        if isinstance(predicate, Between):
+            return self._range_selectivity(
+                predicate.column, predicate.low, predicate.high
+            )
+        if isinstance(predicate, InList):
+            stats = self.columns.get(predicate.column)
+            if stats is None or stats.ndv == 0:
+                return 0.5
+            return min(1.0, len(predicate.values) / stats.ndv)
+        if isinstance(predicate, And):
+            # Independence assumption: multiply child selectivities.
+            sel = 1.0
+            for child in predicate.children:
+                sel *= self.selectivity(child)
+            return sel
+        if isinstance(predicate, Or):
+            sel = 0.0
+            for child in predicate.children:
+                child_sel = self.selectivity(child)
+                sel = sel + child_sel - sel * child_sel
+            return sel
+        if isinstance(predicate, Not):
+            return 1.0 - self.selectivity(predicate.child)
+        return 0.5
+
+    def _comparison_selectivity(self, cmp: Comparison) -> float:
+        stats = self.columns.get(cmp.column)
+        if stats is None or stats.ndv == 0:
+            return 0.5
+        if cmp.op == "=":
+            return 1.0 / stats.ndv
+        if cmp.op == "!=":
+            return 1.0 - 1.0 / stats.ndv
+        if stats.min_value is None or stats.max_value is None:
+            return 1.0 / 3.0  # classic System R default for ranges
+        span = stats.max_value - stats.min_value
+        if span <= 0:
+            return 1.0
+        if cmp.op in ("<", "<="):
+            frac = (cmp.value - stats.min_value) / span
+        else:
+            frac = (stats.max_value - cmp.value) / span
+        return float(min(1.0, max(0.0, frac)))
+
+    def _range_selectivity(self, column: str, low: Any, high: Any) -> float:
+        stats = self.columns.get(column)
+        if stats is None or stats.min_value is None or stats.max_value is None:
+            return 1.0 / 3.0
+        span = stats.max_value - stats.min_value
+        if span <= 0:
+            return 1.0
+        lo = max(low, stats.min_value)
+        hi = min(high, stats.max_value)
+        if hi < lo:
+            return 0.0
+        return float(min(1.0, (hi - lo) / span))
+
+    def estimate_matching_rows(self, predicate: Predicate) -> int:
+        return int(round(self.row_count * self.selectivity(predicate)))

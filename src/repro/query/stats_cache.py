@@ -1,0 +1,47 @@
+"""Slack-based statistics caching shared by engine table adapters.
+
+Real engines refresh optimizer statistics periodically, not on every
+commit.  Recomputing stats per query would bill the analytical path
+for work no real system does, so adapters wrap their computation in a
+:class:`StatsCache` that only refreshes once the table's change
+counter has drifted past a slack threshold.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from .statistics import TableStats
+
+
+class StatsCache:
+    """Caches a TableStats until the version counter drifts too far."""
+
+    def __init__(
+        self,
+        compute: Callable[[], TableStats],
+        min_slack: int = 2_000,
+        slack_fraction: float = 0.5,
+    ):
+        self._compute = compute
+        self._min_slack = min_slack
+        self._slack_fraction = slack_fraction
+        self._cached: TableStats | None = None
+        self._version_at: int = -1
+        self.refreshes = 0
+
+    def get(self, version: int) -> TableStats:
+        """Return cached stats unless ``version`` drifted past the slack."""
+        if self._cached is not None:
+            base = max(self._cached.row_count, 1)
+            slack = max(self._min_slack, int(base * self._slack_fraction))
+            if abs(version - self._version_at) <= slack:
+                return self._cached
+        self._cached = self._compute()
+        self._version_at = version
+        self.refreshes += 1
+        return self._cached
+
+    def invalidate(self) -> None:
+        self._cached = None
+        self._version_at = -1

@@ -1,0 +1,29 @@
+"""Resource scheduling: workload-driven, freshness-driven, adaptive, GPU."""
+
+from .adaptive import AdaptiveHTAPScheduler, AdaptiveWeights
+from .freshness_driven import FreshnessDrivenScheduler
+from .gpu import GPUDevice, GpuStats
+from .resources import (
+    ExecutionMode,
+    ResourceAllocation,
+    RoundMetrics,
+    Scheduler,
+    ScheduleTrace,
+    StaticScheduler,
+)
+from .workload_driven import WorkloadDrivenScheduler
+
+__all__ = [
+    "AdaptiveHTAPScheduler",
+    "AdaptiveWeights",
+    "ExecutionMode",
+    "FreshnessDrivenScheduler",
+    "GPUDevice",
+    "GpuStats",
+    "ResourceAllocation",
+    "RoundMetrics",
+    "ScheduleTrace",
+    "Scheduler",
+    "StaticScheduler",
+    "WorkloadDrivenScheduler",
+]

@@ -1,0 +1,116 @@
+"""Adaptive scheduling — the §2.4 open-problem prototype.
+
+The paper's critique: the freshness-driven rule "neglects the workload
+pattern" and the workload-driven approach "does not consider the
+freshness"; it calls for a lightweight adaptive method that does both.
+
+This scheduler optimizes a combined objective per round
+
+    score = w_tp * tp_rate + w_ap * ap_rate - w_fresh * lag_penalty
+
+with two decisions: the slot split (workload axis) and the
+mode/sync choice (freshness axis).  The split is tuned by online
+hill-climbing on the observed score (keep moving in the direction that
+improved it, reverse otherwise); the freshness axis uses a *predictive*
+trigger — it estimates next-round lag from the current lag plus the
+observed commit rate and syncs just before the lag would cross the
+target, instead of reacting after it already has.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .resources import (
+    ExecutionMode,
+    ResourceAllocation,
+    RoundMetrics,
+    Scheduler,
+)
+
+
+@dataclass
+class AdaptiveWeights:
+    tp: float = 1.0
+    ap: float = 1.0
+    freshness: float = 1.0
+
+
+class AdaptiveHTAPScheduler(Scheduler):
+    """Hill-climbing slot split + predictive freshness control."""
+
+    name = "adaptive"
+
+    def __init__(
+        self,
+        total_slots: int,
+        lag_target: int = 50,
+        weights: AdaptiveWeights | None = None,
+        step: int = 1,
+    ):
+        super().__init__(total_slots)
+        self.lag_target = lag_target
+        self.weights = weights or AdaptiveWeights()
+        self._step = max(1, step)
+        self._oltp_slots = total_slots // 2
+        self._direction = 1
+        self._last_score: float | None = None
+        self._lag_history: list[int] = []
+        self._tp_scale: float | None = None
+        self._ap_scale: float | None = None
+
+    # ------------------------------------------------------------- scoring
+
+    def _score(self, metrics: RoundMetrics) -> float:
+        # Normalize throughput terms by their first observed magnitude so
+        # the weights mean the same thing across workloads.
+        if self._tp_scale is None and metrics.oltp_completed > 0:
+            self._tp_scale = float(metrics.oltp_completed)
+        if self._ap_scale is None and metrics.olap_completed > 0:
+            self._ap_scale = float(metrics.olap_completed)
+        tp_rate = metrics.oltp_completed / (self._tp_scale or 1.0)
+        ap_rate = metrics.olap_completed / (self._ap_scale or 1.0)
+        lag_penalty = max(0.0, metrics.freshness_lag / max(self.lag_target, 1) - 1.0)
+        return (
+            self.weights.tp * tp_rate
+            + self.weights.ap * ap_rate
+            - self.weights.freshness * lag_penalty
+        )
+
+    def _predicted_lag(self, current_lag: int) -> float:
+        """First-order prediction: lag + recent per-round lag growth."""
+        history = self._lag_history[-3:]
+        if len(history) >= 2:
+            growth = (history[-1] - history[0]) / max(len(history) - 1, 1)
+        else:
+            growth = 0.0
+        return current_lag + max(0.0, growth)
+
+    # ------------------------------------------------------------- allocate
+
+    def allocate(self, last: RoundMetrics | None) -> ResourceAllocation:
+        run_sync = False
+        mode = ExecutionMode.ISOLATED
+        if last is not None:
+            self._lag_history.append(last.freshness_lag)
+            score = self._score(last)
+            if self._last_score is not None:
+                if score < self._last_score:
+                    self._direction = -self._direction  # that move hurt: reverse
+                self._oltp_slots += self._direction * self._step
+            self._last_score = score
+            # Predictive freshness control: sync *before* the lag target
+            # is crossed rather than after.
+            if self._predicted_lag(last.freshness_lag) >= self.lag_target:
+                run_sync = True
+            # If lag is already far beyond target (e.g. after a burst),
+            # fall back to shared mode until a sync lands.
+            if last.freshness_lag >= 2 * self.lag_target:
+                mode = ExecutionMode.SHARED
+        self._oltp_slots = max(1, min(self.total_slots - 1, self._oltp_slots))
+        return ResourceAllocation(
+            oltp_slots=self._oltp_slots,
+            olap_slots=self.total_slots - self._oltp_slots,
+            mode=mode,
+            run_sync=run_sync,
+        )

@@ -1,0 +1,64 @@
+"""Freshness-driven scheduling (RDE style, Table 2).
+
+"The scheduler controls the execution of OLTP and OLAP in isolation for
+high throughput, then periodically synchronizes the data. Once the data
+freshness becomes low, it switches to an execution mode with shared
+CPU, memory and data." (§2.2(5))
+
+A rule-based controller: below the staleness threshold it runs the
+isolated, throughput-favoring mode; when lag exceeds the threshold it
+switches to SHARED (queries merge live deltas) and forces a sync —
+restoring freshness at a throughput price (its documented con).
+"""
+
+from __future__ import annotations
+
+from .resources import (
+    ExecutionMode,
+    ResourceAllocation,
+    RoundMetrics,
+    Scheduler,
+)
+
+
+class FreshnessDrivenScheduler(Scheduler):
+    """Threshold rule on freshness lag; fixed half/half slot split."""
+
+    name = "freshness-driven"
+
+    def __init__(
+        self,
+        total_slots: int,
+        lag_threshold: int = 50,
+        recover_threshold: int | None = None,
+    ):
+        super().__init__(total_slots)
+        if lag_threshold < 1:
+            raise ValueError("lag_threshold must be >= 1")
+        self.lag_threshold = lag_threshold
+        # Hysteresis: switch back to ISOLATED only once lag has dropped
+        # well below the trigger.
+        self.recover_threshold = (
+            recover_threshold if recover_threshold is not None else lag_threshold // 4
+        )
+        self._mode = ExecutionMode.ISOLATED
+
+    def allocate(self, last: RoundMetrics | None) -> ResourceAllocation:
+        run_sync = False
+        if last is not None:
+            if last.freshness_lag >= self.lag_threshold:
+                self._mode = ExecutionMode.SHARED
+                run_sync = True
+            elif (
+                self._mode is ExecutionMode.SHARED
+                and last.freshness_lag <= self.recover_threshold
+            ):
+                self._mode = ExecutionMode.ISOLATED
+        oltp = self.total_slots // 2
+        oltp = max(1, min(self.total_slots - 1, oltp))
+        return ResourceAllocation(
+            oltp_slots=oltp,
+            olap_slots=self.total_slots - oltp,
+            mode=self._mode,
+            run_sync=run_sync,
+        )

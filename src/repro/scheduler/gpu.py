@@ -1,0 +1,121 @@
+"""A simulated GPU device for heterogeneous HTAP (Caldera/RateupDB).
+
+Table 2's third QO row: "CPU/GPU Acceleration for HTAP ... utilizes the
+task-parallel nature of CPUs and the data-parallel nature of GPUs for
+handling OLTP and OLAP, respectively", with the documented trade-off
+"High AP Throughput / Low TP Throughput".
+
+The model: columnar data must be *resident* on the device before a
+kernel can scan it.  Transfers pay a per-value PCIe cost; every OLTP
+commit invalidates the affected table's resident columns, so a
+write-heavy workload keeps re-paying transfers — which is exactly where
+the low TP throughput of GPU-centric HTAP designs comes from.
+Kernels themselves scan an order of magnitude faster per value than
+the CPU path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..common.cost import CostModel
+from ..common.predicate import ALWAYS_TRUE, Predicate
+
+
+@dataclass
+class GpuStats:
+    kernels_launched: int = 0
+    values_scanned: int = 0
+    values_transferred: int = 0
+    invalidations: int = 0
+    transfer_time_us: float = 0.0
+    kernel_time_us: float = 0.0
+
+
+@dataclass
+class _ResidentColumn:
+    array: np.ndarray
+    version: int
+
+
+class GPUDevice:
+    """Device memory + transfer accounting + vectorized kernels."""
+
+    def __init__(self, cost: CostModel | None = None, memory_budget_bytes: int = 1 << 30):
+        self._cost = cost or CostModel()
+        self.memory_budget_bytes = memory_budget_bytes
+        self._resident: dict[tuple[str, str], _ResidentColumn] = {}
+        self._table_versions: dict[str, int] = {}
+        self.stats = GpuStats()
+
+    # ------------------------------------------------------------- residency
+
+    def _version(self, table: str) -> int:
+        return self._table_versions.get(table, 0)
+
+    def invalidate_table(self, table: str) -> None:
+        """Called on every OLTP commit touching ``table``."""
+        self._table_versions[table] = self._version(table) + 1
+        self.stats.invalidations += 1
+
+    def resident_bytes(self) -> int:
+        return sum(col.array.nbytes for col in self._resident.values())
+
+    def _ensure_resident(self, table: str, name: str, array: np.ndarray) -> np.ndarray:
+        key = (table, name)
+        version = self._version(table)
+        cached = self._resident.get(key)
+        if cached is not None and cached.version == version:
+            return cached.array
+        # Transfer over PCIe (evicting LRU-ish if over budget).
+        start = self._cost.now_us()
+        self._cost.charge(
+            self._cost.gpu_transfer_per_value_us * max(len(array), 1)
+        )
+        self.stats.transfer_time_us += self._cost.now_us() - start
+        self.stats.values_transferred += len(array)
+        self._resident[key] = _ResidentColumn(array=array, version=version)
+        while self.resident_bytes() > self.memory_budget_bytes and self._resident:
+            evict_key = next(iter(self._resident))
+            if evict_key == key and len(self._resident) == 1:
+                break
+            if evict_key == key:
+                evict_key = next(k for k in self._resident if k != key)
+            del self._resident[evict_key]
+        return array
+
+    # ------------------------------------------------------------- kernels
+
+    def filtered_aggregate(
+        self,
+        table: str,
+        arrays: dict[str, np.ndarray],
+        predicate: Predicate = ALWAYS_TRUE,
+        agg_column: str | None = None,
+    ) -> tuple[float, int]:
+        """Device-side filter + sum kernel; returns (sum, match count).
+
+        ``arrays`` is the host columnar image; columns are uploaded
+        lazily and reused while their table version is unchanged.
+        """
+        device_arrays = {
+            name: self._ensure_resident(table, name, arr)
+            for name, arr in arrays.items()
+        }
+        start = self._cost.now_us()
+        n = len(next(iter(device_arrays.values()))) if device_arrays else 0
+        self._cost.charge(self._cost.gpu_kernel_launch_us)
+        self._cost.charge(
+            self._cost.gpu_scan_per_value_us * n * max(len(device_arrays), 1)
+        )
+        mask = predicate.mask(device_arrays) if device_arrays else np.array([], bool)
+        matched = int(mask.sum())
+        total = 0.0
+        if agg_column is not None and matched:
+            total = float(device_arrays[agg_column][mask].sum())
+        self.stats.kernels_launched += 1
+        self.stats.values_scanned += n * max(len(device_arrays), 1)
+        self.stats.kernel_time_us += self._cost.now_us() - start
+        return total, matched

@@ -1,0 +1,137 @@
+"""Resource-scheduling primitives.
+
+The survey frames HTAP resource scheduling as "dynamically allocating
+resources, e.g. CPU and memory" between OLTP and OLAP and switching
+*execution modes* (isolated vs shared).  This module defines the
+vocabulary every scheduler speaks: an allocation of CPU slots plus an
+execution mode, and the per-round metrics schedulers react to.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class ExecutionMode(enum.Enum):
+    """How OLTP and OLAP share data (RDE-style modes, §2.2(5)).
+
+    ISOLATED: queries read only the synced columnar image (fast, stale);
+    data moves in periodic sync steps.
+    SHARED: queries additionally merge the live delta at query time
+    (fresh, slower, interferes with OLTP).
+    """
+
+    ISOLATED = "isolated"
+    SHARED = "shared"
+
+
+@dataclass
+class ResourceAllocation:
+    """One round's decision: slot split, mode, and whether to sync now."""
+
+    oltp_slots: int
+    olap_slots: int
+    mode: ExecutionMode = ExecutionMode.ISOLATED
+    run_sync: bool = False
+
+    def __post_init__(self) -> None:
+        if self.oltp_slots < 0 or self.olap_slots < 0:
+            raise ValueError("slot counts must be non-negative")
+        if self.oltp_slots + self.olap_slots == 0:
+            raise ValueError("allocation needs at least one slot")
+
+    @property
+    def total_slots(self) -> int:
+        return self.oltp_slots + self.olap_slots
+
+
+@dataclass
+class RoundMetrics:
+    """What the runner observed during the last scheduling round."""
+
+    oltp_completed: int = 0
+    olap_completed: int = 0
+    oltp_backlog: int = 0
+    olap_backlog: int = 0
+    freshness_lag: int = 0
+    oltp_busy_us: float = 0.0
+    olap_busy_us: float = 0.0
+    sync_ran: bool = False
+
+
+@dataclass
+class ScheduleTrace:
+    """History of allocations + metrics, for benches and tests."""
+
+    allocations: list[ResourceAllocation] = field(default_factory=list)
+    metrics: list[RoundMetrics] = field(default_factory=list)
+
+    def record(self, allocation: ResourceAllocation, metrics: RoundMetrics) -> None:
+        self.allocations.append(allocation)
+        self.metrics.append(metrics)
+
+    def total_oltp(self) -> int:
+        return sum(m.oltp_completed for m in self.metrics)
+
+    def total_olap(self) -> int:
+        return sum(m.olap_completed for m in self.metrics)
+
+    def mean_freshness_lag(self) -> float:
+        if not self.metrics:
+            return 0.0
+        return sum(m.freshness_lag for m in self.metrics) / len(self.metrics)
+
+    def mode_fractions(self) -> dict[str, float]:
+        if not self.allocations:
+            return {}
+        out: dict[str, float] = {}
+        for alloc in self.allocations:
+            out[alloc.mode.value] = out.get(alloc.mode.value, 0.0) + 1.0
+        return {k: v / len(self.allocations) for k, v in out.items()}
+
+
+class Scheduler:
+    """Base class: decide the next round's allocation from history."""
+
+    name = "base"
+
+    def __init__(self, total_slots: int):
+        if total_slots < 2:
+            raise ValueError("need at least 2 CPU slots to split")
+        self.total_slots = total_slots
+
+    def allocate(self, last: RoundMetrics | None) -> ResourceAllocation:
+        raise NotImplementedError
+
+
+class StaticScheduler(Scheduler):
+    """Fixed split, fixed mode — the no-scheduling baseline."""
+
+    name = "static"
+
+    def __init__(
+        self,
+        total_slots: int,
+        oltp_fraction: float = 0.5,
+        mode: ExecutionMode = ExecutionMode.ISOLATED,
+        sync_every: int = 4,
+    ):
+        super().__init__(total_slots)
+        if not 0.0 < oltp_fraction < 1.0:
+            raise ValueError("oltp_fraction must be in (0, 1)")
+        self._fraction = oltp_fraction
+        self._mode = mode
+        self._sync_every = max(1, sync_every)
+        self._round = 0
+
+    def allocate(self, last: RoundMetrics | None) -> ResourceAllocation:
+        self._round += 1
+        oltp = max(1, round(self.total_slots * self._fraction))
+        oltp = min(oltp, self.total_slots - 1)
+        return ResourceAllocation(
+            oltp_slots=oltp,
+            olap_slots=self.total_slots - oltp,
+            mode=self._mode,
+            run_sync=(self._round % self._sync_every == 0),
+        )

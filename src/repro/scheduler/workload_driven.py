@@ -1,0 +1,64 @@
+"""Workload-driven scheduling (SAP HANA / Siper style, Table 2).
+
+Adjusts the OLTP/OLAP thread split from the observed execution status:
+"when CPU resource is saturated by OLAP threads, the task scheduler can
+decrease the parallelism of OLAP while enlarging the OLTP threads"
+(§2.2(5)).  Freshness is *not* an input — the technique's documented
+con ("High Throughput / Low Freshness"): it happily starves
+synchronization as long as both queues drain.
+"""
+
+from __future__ import annotations
+
+from .resources import (
+    ExecutionMode,
+    ResourceAllocation,
+    RoundMetrics,
+    Scheduler,
+)
+
+
+class WorkloadDrivenScheduler(Scheduler):
+    """Backlog-proportional slot balancing with hysteresis."""
+
+    name = "workload-driven"
+
+    def __init__(
+        self,
+        total_slots: int,
+        min_slots: int = 1,
+        smoothing: float = 0.5,
+        sync_every: int = 8,
+    ):
+        super().__init__(total_slots)
+        self.min_slots = min_slots
+        self.smoothing = smoothing
+        self._sync_every = max(1, sync_every)
+        self._round = 0
+        self._oltp_share = 0.5
+
+    def allocate(self, last: RoundMetrics | None) -> ResourceAllocation:
+        self._round += 1
+        if last is not None:
+            backlog_total = last.oltp_backlog + last.olap_backlog
+            if backlog_total > 0:
+                target = last.oltp_backlog / backlog_total
+            else:
+                # Balanced when both queues are empty; lean on busy time.
+                busy_total = last.oltp_busy_us + last.olap_busy_us
+                target = (
+                    last.oltp_busy_us / busy_total if busy_total > 0 else 0.5
+                )
+            self._oltp_share = (
+                self.smoothing * self._oltp_share + (1 - self.smoothing) * target
+            )
+        oltp = round(self.total_slots * self._oltp_share)
+        oltp = max(self.min_slots, min(self.total_slots - self.min_slots, oltp))
+        # Syncs run rarely and only on the fixed cadence: the scheduler
+        # never looks at freshness (its documented blind spot).
+        return ResourceAllocation(
+            oltp_slots=oltp,
+            olap_slots=self.total_slots - oltp,
+            mode=ExecutionMode.ISOLATED,
+            run_sync=(self._round % self._sync_every == 0),
+        )

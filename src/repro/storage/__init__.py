@@ -1,0 +1,49 @@
+"""Storage substrates: row stores, column store, delta stores, B+-tree."""
+
+from .btree import BPlusTree
+from .column_store import ColumnScanResult, ColumnStore, Segment
+from .compression import (
+    BitPackedEncoding,
+    DictionaryEncoding,
+    Encoding,
+    PlainEncoding,
+    RunLengthEncoding,
+    choose_encoding,
+    encoding_for_name,
+)
+from .delta_log import DeltaLogFile, LogDeltaManager
+from .delta_store import DeltaEntry, DeltaKind, InMemoryDeltaStore, collapse_entries
+from .disk_row_store import DiskRowStore
+from .imcu import InMemoryColumnUnit, SnapshotMetadataUnit
+from .mv_index import MultiVersionIndex
+from .pages import PAGE_CAPACITY, BufferPool, Page
+from .row_store import MVCCRowStore, RowVersion
+
+__all__ = [
+    "BPlusTree",
+    "BitPackedEncoding",
+    "BufferPool",
+    "ColumnScanResult",
+    "ColumnStore",
+    "DeltaEntry",
+    "DeltaKind",
+    "DeltaLogFile",
+    "DictionaryEncoding",
+    "DiskRowStore",
+    "Encoding",
+    "InMemoryColumnUnit",
+    "InMemoryDeltaStore",
+    "LogDeltaManager",
+    "MVCCRowStore",
+    "MultiVersionIndex",
+    "PAGE_CAPACITY",
+    "Page",
+    "PlainEncoding",
+    "RowVersion",
+    "RunLengthEncoding",
+    "Segment",
+    "SnapshotMetadataUnit",
+    "choose_encoding",
+    "collapse_entries",
+    "encoding_for_name",
+]

@@ -1,0 +1,328 @@
+"""A compressed, segment-based in-memory column store.
+
+The analytical substrate of all four architectures: immutable sealed
+segments of compressed column arrays with zone maps (min/max per
+segment) and a delete bitmap.  Inserted/merged rows always form new
+segments; deletes flip bits; updates are delete + re-insert — the
+standard append-only columnar contract that makes "column scan"
+(Table 2's AP rows) a pure vectorized operation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..common.clock import Timestamp
+from ..common.cost import CostModel
+from ..common.errors import StorageError
+from ..common.predicate import ALWAYS_TRUE, Predicate, column_range
+from ..common.types import Key, Row, Schema, decode_cell, rows_to_columns
+from .compression import Encoding, choose_encoding
+
+#: Relative per-value scan cost by codec: compressed layouts move fewer
+#: bytes per value (RLE best on runs, bit-packing next, dictionary adds
+#: one indirection but smaller codes); plain is the 1.0 baseline.
+SCAN_COST_FACTOR = {
+    "plain": 1.0,
+    "bitpack": 0.7,
+    "dictionary": 0.85,
+    "rle": 0.55,
+}
+
+#: Relative per-row seal (encode) cost: building dictionaries and run
+#: boundaries is costlier than memcpy — the maintenance price that
+#: erodes compressed layouts under update-heavy mixes (HAP's trade-off).
+SEAL_COST_FACTOR = {
+    "plain": 1.0,
+    "bitpack": 1.15,
+    "dictionary": 1.8,
+    "rle": 1.3,
+}
+
+
+@dataclass
+class Segment:
+    """One sealed, immutable batch of rows in columnar form."""
+
+    segment_id: int
+    n_rows: int
+    encodings: dict[str, Encoding]
+    keys: list[Key]
+    zone_maps: dict[str, tuple]
+    delete_mask: np.ndarray          # True = row is dead
+    max_commit_ts: Timestamp
+
+    def live_count(self) -> int:
+        return int(self.n_rows - self.delete_mask.sum())
+
+    def size_bytes(self) -> int:
+        return sum(enc.size_bytes() for enc in self.encodings.values())
+
+    def may_match(self, predicate: Predicate, schema: Schema) -> bool:
+        """Zone-map check: can any row here satisfy the predicate?"""
+        for col in predicate.referenced_columns():
+            bounds = column_range(predicate, col)
+            zone = self.zone_maps.get(col)
+            if bounds is None or zone is None:
+                continue
+            low, high = bounds
+            zmin, zmax = zone
+            if low is not None and zmax < low:
+                return False
+            if high is not None and zmin > high:
+                return False
+        return True
+
+
+@dataclass
+class ColumnScanResult:
+    """Arrays for the requested columns plus the matching keys."""
+
+    arrays: dict[str, np.ndarray]
+    keys: list[Key]
+    segments_scanned: int = 0
+    segments_pruned: int = 0
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+
+class ColumnStore:
+    """Segmented columnar table with pk-addressed deletes."""
+
+    def __init__(
+        self,
+        schema: Schema,
+        cost: CostModel | None = None,
+        forced_encoding: str | None = None,
+    ):
+        self.schema = schema
+        self._cost = cost or CostModel()
+        self._forced_encoding = forced_encoding
+        self._segments: list[Segment] = []
+        self._locations: dict[Key, tuple[int, int]] = {}  # key -> (segment_id, pos)
+        self._segment_by_id: dict[int, Segment] = {}
+        self._next_segment_id = 0
+        self._max_commit_ts: Timestamp = 0
+
+    # ------------------------------------------------------------- metadata
+
+    def __len__(self) -> int:
+        return sum(seg.live_count() for seg in self._segments)
+
+    @property
+    def segments(self) -> list[Segment]:
+        return self._segments
+
+    def segment_count(self) -> int:
+        return len(self._segments)
+
+    def memory_bytes(self, columns: list[str] | None = None) -> int:
+        """Encoded footprint; restrict to ``columns`` when the caller
+        only keeps a subset resident (column selection)."""
+        if columns is None:
+            return sum(seg.size_bytes() for seg in self._segments)
+        wanted = set(columns)
+        return sum(
+            enc.size_bytes()
+            for seg in self._segments
+            for name, enc in seg.encodings.items()
+            if name in wanted
+        )
+
+    def max_commit_ts(self) -> Timestamp:
+        """Commit timestamp of the freshest data in the store."""
+        return self._max_commit_ts
+
+    def contains_key(self, key: Key) -> bool:
+        return key in self._locations
+
+    # ------------------------------------------------------------- writes
+
+    def append_rows(self, rows: Sequence[Row], commit_ts: Timestamp) -> Segment:
+        """Seal ``rows`` into a new segment (upserting over prior versions)."""
+        if not rows:
+            raise StorageError("cannot seal an empty segment")
+        validated = [self.schema.validate_row(r) for r in rows]
+        keys = [self.schema.key_of(r) for r in validated]
+        # Upsert semantics: a key re-appended supersedes its old position.
+        stale = [k for k in keys if k in self._locations]
+        if stale:
+            self.delete_keys(stale)
+        arrays = rows_to_columns(self.schema, validated)
+        encodings: dict[str, Encoding] = {}
+        zone_maps: dict[str, tuple] = {}
+        for col in self.schema.columns:
+            arr = arrays[col.name]
+            if self._forced_encoding is not None:
+                from .compression import PlainEncoding, encoding_for_name
+
+                try:
+                    encodings[col.name] = encoding_for_name(self._forced_encoding, arr)
+                except (ValueError, TypeError):
+                    # Codec inapplicable to this dtype (e.g. bit-packing
+                    # strings): store plainly rather than failing the seal.
+                    encodings[col.name] = PlainEncoding(data=arr)
+            else:
+                encodings[col.name] = choose_encoding(arr)
+            if arr.dtype != object and len(arr):
+                zone_maps[col.name] = (arr.min().item(), arr.max().item())
+        segment = Segment(
+            segment_id=self._next_segment_id,
+            n_rows=len(validated),
+            encodings=encodings,
+            keys=keys,
+            zone_maps=zone_maps,
+            delete_mask=np.zeros(len(validated), dtype=bool),
+            max_commit_ts=commit_ts,
+        )
+        self._next_segment_id += 1
+        self._segments.append(segment)
+        self._segment_by_id[segment.segment_id] = segment
+        for pos, key in enumerate(keys):
+            self._locations[key] = (segment.segment_id, pos)
+        self._max_commit_ts = max(self._max_commit_ts, commit_ts)
+        seal_factor = sum(
+            SEAL_COST_FACTOR.get(enc.name, 1.0) for enc in encodings.values()
+        ) / max(len(encodings), 1)
+        self._cost.charge_rows(
+            self._cost.segment_seal_per_row_us * seal_factor, len(validated)
+        )
+        return segment
+
+    def delete_keys(self, keys: Iterable[Key]) -> int:
+        """Flip delete bits for ``keys``; returns how many were present."""
+        hit = 0
+        for key in keys:
+            loc = self._locations.pop(key, None)
+            if loc is None:
+                continue
+            segment_id, pos = loc
+            self._segment_by_id[segment_id].delete_mask[pos] = True
+            hit += 1
+        return hit
+
+    def advance_sync_ts(self, commit_ts: Timestamp) -> None:
+        """Record that the store reflects all commits up to ``commit_ts``.
+
+        Called by synchronizers after merging a delta batch that may
+        contain only deletes (which create no new segment).
+        """
+        self._max_commit_ts = max(self._max_commit_ts, commit_ts)
+
+    # ------------------------------------------------------------- reads
+
+    def get_row(self, key: Key) -> Row | None:
+        """Point lookup by primary key (materializes one row).
+
+        Deliberately priced above a row-store probe: reconstruction
+        gathers one value per column (k cache misses vs the row store's
+        one) — the read-amplification that makes pure column stores a
+        poor OLTP primary (Table 1, architecture (d)).
+        """
+        self._cost.charge(self._cost.row_point_read_us * 0.5)  # pk directory probe
+        loc = self._locations.get(key)
+        if loc is None:
+            return None
+        segment_id, pos = loc
+        segment = self._segment_by_id[segment_id]
+        self._cost.charge(self._cost.column_materialize_per_row_us * len(self.schema))
+        positions = np.array([pos])
+        return tuple(
+            decode_cell(segment.encodings[col.name].take(positions)[0], col.dtype)
+            for col in self.schema.columns
+        )
+
+    def scan(
+        self,
+        columns: Sequence[str] | None = None,
+        predicate: Predicate = ALWAYS_TRUE,
+    ) -> ColumnScanResult:
+        """Vectorized scan: decode needed columns, mask, gather, concat.
+
+        Cost is charged per (row, referenced column) pair actually
+        scanned; zone maps prune whole segments before any decode.
+        """
+        wanted = list(columns) if columns is not None else self.schema.column_names
+        for name in wanted:
+            self.schema.index_of(name)  # validate
+        needed = set(wanted) | predicate.referenced_columns()
+        out_arrays: dict[str, list[np.ndarray]] = {name: [] for name in wanted}
+        out_keys: list[Key] = []
+        scanned = 0
+        pruned = 0
+        for segment in self._segments:
+            if segment.live_count() == 0:
+                continue
+            if not segment.may_match(predicate, self.schema):
+                pruned += 1
+                continue
+            scanned += 1
+            decoded = {
+                name: segment.encodings[name].decode() for name in needed
+            }
+            scan_factor = sum(
+                SCAN_COST_FACTOR.get(segment.encodings[name].name, 1.0)
+                for name in needed
+            ) / max(len(needed), 1)
+            self._cost.charge(
+                self._cost.column_scan_per_value_us
+                * scan_factor
+                * segment.n_rows
+                * max(len(needed), 1)
+            )
+            mask = predicate.mask(decoded) & ~segment.delete_mask
+            if not mask.any():
+                continue
+            positions = np.flatnonzero(mask)
+            for name in wanted:
+                if name in decoded:
+                    out_arrays[name].append(decoded[name][positions])
+                else:
+                    out_arrays[name].append(segment.encodings[name].take(positions))
+            out_keys.extend(segment.keys[p] for p in positions)
+        final = {
+            name: (
+                np.concatenate(parts)
+                if parts
+                else np.array([], dtype=self.schema.column(name).dtype.numpy_dtype)
+            )
+            for name, parts in out_arrays.items()
+        }
+        return ColumnScanResult(
+            arrays=final, keys=out_keys, segments_scanned=scanned, segments_pruned=pruned
+        )
+
+    def all_rows(self) -> list[Row]:
+        """Materialize every live row (test/verification helper)."""
+        result = self.scan()
+        n = len(result.keys)
+        cols = [(result.arrays[c.name], c.dtype) for c in self.schema.columns]
+        self._cost.charge_rows(self._cost.column_materialize_per_row_us, n)
+        return [
+            tuple(decode_cell(col[i], dtype) for col, dtype in cols)
+            for i in range(n)
+        ]
+
+    # ------------------------------------------------------------- maintenance
+
+    def dead_fraction(self) -> float:
+        total = sum(seg.n_rows for seg in self._segments)
+        if total == 0:
+            return 0.0
+        dead = sum(int(seg.delete_mask.sum()) for seg in self._segments)
+        return dead / total
+
+    def compact(self) -> None:
+        """Rewrite all live rows into a single fresh segment."""
+        rows = self.all_rows()
+        max_ts = self._max_commit_ts
+        self._segments.clear()
+        self._segment_by_id.clear()
+        self._locations.clear()
+        if rows:
+            self.append_rows(rows, commit_ts=max_ts)
+        self._max_commit_ts = max_ts

@@ -1,0 +1,152 @@
+"""In-memory delta store + delete bitmap.
+
+Architecture (a) and (d) systems append every committed change to an
+in-memory, row-wise delta that analytical scans merge on the fly (the
+"in-memory delta and column scan" of Table 2) until the data
+synchronizer folds it into the main column store.  Deletes against
+rows already in the main store are tracked as a delete set — the
+"delete bitmap" of §2.2(1).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable
+
+from ..common.clock import Timestamp
+from ..common.cost import CostModel
+from ..common.predicate import ALWAYS_TRUE, Predicate
+from ..common.types import Key, Row, Schema
+
+
+class DeltaKind(enum.Enum):
+    INSERT = "insert"
+    UPDATE = "update"
+    DELETE = "delete"
+
+
+@dataclass(frozen=True)
+class DeltaEntry:
+    kind: DeltaKind
+    key: Key
+    row: Row | None         # None for deletes
+    commit_ts: Timestamp
+
+
+class InMemoryDeltaStore:
+    """Commit-ordered delta entries with a per-key latest index."""
+
+    def __init__(self, schema: Schema, cost: CostModel | None = None):
+        self.schema = schema
+        self._cost = cost or CostModel()
+        self._entries: list[DeltaEntry] = []
+        self._latest: dict[Key, int] = {}  # key -> index of newest entry
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def entries(self) -> list[DeltaEntry]:
+        return self._entries
+
+    def append(self, entry: DeltaEntry) -> None:
+        if self._entries and entry.commit_ts < self._entries[-1].commit_ts:
+            raise ValueError("delta entries must arrive in commit order")
+        self._cost.charge(self._cost.row_point_write_us)
+        self._entries.append(entry)
+        self._latest[entry.key] = len(self._entries) - 1
+
+    def record_insert(self, row: Row, commit_ts: Timestamp) -> None:
+        key = self.schema.key_of(row)
+        self.append(DeltaEntry(DeltaKind.INSERT, key, row, commit_ts))
+
+    def record_update(self, row: Row, commit_ts: Timestamp) -> None:
+        key = self.schema.key_of(row)
+        self.append(DeltaEntry(DeltaKind.UPDATE, key, row, commit_ts))
+
+    def record_delete(self, key: Key, commit_ts: Timestamp) -> None:
+        self.append(DeltaEntry(DeltaKind.DELETE, key, None, commit_ts))
+
+    # ------------------------------------------------------------- reads
+
+    def effective_rows(
+        self, snapshot_ts: Timestamp, predicate: Predicate = ALWAYS_TRUE
+    ) -> tuple[dict[Key, Row], set[Key]]:
+        """Collapse entries visible at ``snapshot_ts`` into final images.
+
+        Returns ``(live, tombstones)``: the newest row image per key that
+        still matches ``predicate``, and the set of keys deleted by the
+        delta (tombstones must also suppress main-store rows).
+        """
+        live: dict[Key, Row] = {}
+        tombstones: set[Key] = set()
+        examined = 0
+        for entry in self._entries:
+            if entry.commit_ts > snapshot_ts:
+                break  # entries are commit-ordered
+            examined += 1
+            if entry.kind is DeltaKind.DELETE:
+                live.pop(entry.key, None)
+                tombstones.add(entry.key)
+            else:
+                tombstones.discard(entry.key)
+                live[entry.key] = entry.row  # updates overwrite in place
+        self._cost.charge_rows(self._cost.delta_scan_per_row_us, max(examined, 1))
+        if not isinstance(predicate, type(ALWAYS_TRUE)):
+            live = {
+                key: row
+                for key, row in live.items()
+                if predicate.matches(row, self.schema)
+            }
+        return live, tombstones
+
+    def updated_keys(self) -> set[Key]:
+        return set(self._latest.keys())
+
+    def max_commit_ts(self) -> Timestamp:
+        return self._entries[-1].commit_ts if self._entries else 0
+
+    def min_commit_ts(self) -> Timestamp:
+        return self._entries[0].commit_ts if self._entries else 0
+
+    def memory_bytes(self) -> int:
+        width = max(1, len(self.schema.columns))
+        return len(self._entries) * width * 56  # row-wise deltas are fat
+
+    # ------------------------------------------------------------- merge support
+
+    def drain_up_to(self, ts: Timestamp) -> list[DeltaEntry]:
+        """Remove and return every entry with commit_ts <= ts.
+
+        The data synchronizer calls this inside its merge; remaining
+        entries (committed after ``ts``) stay behind for the next round.
+        """
+        cut = 0
+        while cut < len(self._entries) and self._entries[cut].commit_ts <= ts:
+            cut += 1
+        drained = self._entries[:cut]
+        self._entries = self._entries[cut:]
+        self._latest = {}
+        for i, entry in enumerate(self._entries):
+            self._latest[entry.key] = i
+        return drained
+
+    def clear(self) -> list[DeltaEntry]:
+        return self.drain_up_to(self.max_commit_ts())
+
+
+def collapse_entries(
+    entries: Iterable[DeltaEntry],
+) -> tuple[dict[Key, Row], set[Key]]:
+    """Final row image per key plus tombstoned keys, for a merge batch."""
+    live: dict[Key, Row] = {}
+    tombstones: set[Key] = set()
+    for entry in entries:
+        if entry.kind is DeltaKind.DELETE:
+            live.pop(entry.key, None)
+            tombstones.add(entry.key)
+        else:
+            tombstones.discard(entry.key)
+            live[entry.key] = entry.row
+    return live, tombstones

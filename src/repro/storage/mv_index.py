@@ -1,0 +1,151 @@
+"""A multi-version secondary index (MV-PBT style).
+
+§2.2's "other HTAP-related techniques" points at new HTAP indexing
+work (MV-PBT, multi-versioned indexes for snapshot isolation).  The
+plain secondary index in :mod:`repro.storage.row_store` reflects only
+the *latest* state, so an old snapshot probing it must re-verify every
+hit; analytical queries at older snapshots lose index usability
+entirely once data churns.
+
+This index versions its entries instead: each (value, key) posting
+carries a ``[begin_ts, end_ts)`` lifetime, so a lookup *at a snapshot*
+returns exactly the keys whose indexed column held the value at that
+time — no verification reads needed.  Old postings are garbage
+collected once no snapshot can see them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..common.clock import INFINITY_TS, Timestamp
+from ..common.cost import CostModel
+from ..common.errors import StorageError
+from ..common.types import Key
+from .btree import BPlusTree
+
+
+@dataclass
+class _Posting:
+    """One lifetime of (value -> key)."""
+
+    key: Key
+    begin_ts: Timestamp
+    end_ts: Timestamp = INFINITY_TS
+
+    def visible_at(self, snapshot_ts: Timestamp) -> bool:
+        return self.begin_ts <= snapshot_ts < self.end_ts
+
+
+class MultiVersionIndex:
+    """B+-tree of (value,) -> list of versioned postings."""
+
+    def __init__(self, column: str, cost: CostModel | None = None):
+        self.column = column
+        self._cost = cost or CostModel()
+        self._tree = BPlusTree()
+        self._postings = 0
+
+    # ------------------------------------------------------------- maintenance
+
+    def _bucket(self, value) -> list[_Posting]:
+        bucket = self._tree.get((value,))
+        if bucket is None:
+            bucket = []
+            self._tree.insert((value,), bucket)
+        return bucket
+
+    def on_insert(self, key: Key, value, commit_ts: Timestamp) -> None:
+        """The row for ``key`` now has ``value`` as of ``commit_ts``."""
+        self._cost.charge(self._cost.index_lookup_us)
+        self._bucket(value).append(_Posting(key=key, begin_ts=commit_ts))
+        self._postings += 1
+
+    def on_update(
+        self, key: Key, old_value, new_value, commit_ts: Timestamp
+    ) -> None:
+        """Close the old posting's lifetime, open a new one."""
+        if old_value == new_value:
+            return
+        self.on_delete(key, old_value, commit_ts)
+        self.on_insert(key, new_value, commit_ts)
+
+    def on_delete(self, key: Key, value, commit_ts: Timestamp) -> None:
+        self._cost.charge(self._cost.index_lookup_us)
+        bucket = self._tree.get((value,))
+        if not bucket:
+            raise StorageError(
+                f"mv-index on {self.column!r}: no posting for {value!r}/{key!r}"
+            )
+        for posting in reversed(bucket):
+            if posting.key == key and posting.end_ts == INFINITY_TS:
+                posting.end_ts = commit_ts
+                return
+        raise StorageError(
+            f"mv-index on {self.column!r}: no live posting for {value!r}/{key!r}"
+        )
+
+    # ------------------------------------------------------------- reads
+
+    def lookup(self, value, snapshot_ts: Timestamp) -> list[Key]:
+        """Keys whose column equalled ``value`` at ``snapshot_ts``."""
+        self._cost.charge(self._cost.index_lookup_us)
+        bucket = self._tree.get((value,)) or []
+        hits = [p.key for p in bucket if p.visible_at(snapshot_ts)]
+        self._cost.charge_rows(self._cost.index_scan_per_row_us, max(len(bucket), 1))
+        return hits
+
+    def range(self, low, high, snapshot_ts: Timestamp) -> list[tuple]:
+        """(value, key) pairs with low <= value <= high at the snapshot."""
+        self._cost.charge(self._cost.index_lookup_us)
+        out: list[tuple] = []
+        scanned = 0
+        low_key = None if low is None else (low,)
+        high_key = None if high is None else (high, _TOP)
+        for (value,), bucket in self._tree.range(low_key, high_key):
+            for posting in bucket:
+                scanned += 1
+                if posting.visible_at(snapshot_ts):
+                    out.append((value, posting.key))
+        self._cost.charge_rows(self._cost.index_scan_per_row_us, max(scanned, 1))
+        return out
+
+    # ------------------------------------------------------------- GC / stats
+
+    def vacuum(self, oldest_active_ts: Timestamp) -> int:
+        """Drop postings invisible to every snapshot >= the horizon."""
+        reclaimed = 0
+        dead_values = []
+        for index_key, bucket in self._tree.items():
+            keep = [p for p in bucket if p.end_ts > oldest_active_ts]
+            reclaimed += len(bucket) - len(keep)
+            bucket[:] = keep
+            if not keep:
+                dead_values.append(index_key)
+        for index_key in dead_values:
+            self._tree.delete(index_key)
+        self._postings -= reclaimed
+        return reclaimed
+
+    def posting_count(self) -> int:
+        return self._postings
+
+    def value_count(self) -> int:
+        return len(self._tree)
+
+
+class _Top:
+    def __lt__(self, other) -> bool:
+        return False
+
+    def __gt__(self, other) -> bool:
+        return True
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, _Top)
+
+    def __hash__(self) -> int:
+        return hash("_Top")
+
+
+_TOP = _Top()

@@ -1,0 +1,59 @@
+"""Dictionary-encoded sorting merge (SAP HANA style, §2.2(3)).
+
+HANA's main store keeps every column dictionary *sorted*; the L2 delta
+arrives with its own unsorted dictionary.  The merge rebuilds a single
+sorted dictionary over the union of values and remaps both code
+vectors — the "dictionary-encoded sorting merge" the survey names as a
+DS optimization.  The function is pure so the HANA-style engine and
+the ablation benches can use it directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..common.cost import CostModel
+from ..storage.compression import DictionaryEncoding
+
+
+@dataclass
+class DictionaryMergeResult:
+    merged: DictionaryEncoding
+    old_dictionary_size: int
+    new_dictionary_size: int
+    values_remapped: int
+
+
+def sorted_dictionary_merge(
+    main: DictionaryEncoding,
+    delta_values: np.ndarray,
+    cost: CostModel | None = None,
+) -> DictionaryMergeResult:
+    """Merge ``delta_values`` into dictionary-encoded ``main``.
+
+    Builds the union dictionary (sorted, deduplicated), remaps the main
+    codes through an old->new code translation table (cheap: one gather
+    per value), and encodes the delta against the new dictionary.
+    """
+    cost = cost or CostModel()
+    old_dict = main.dictionary
+    if len(delta_values):
+        union = np.unique(np.concatenate([old_dict, delta_values]))
+    else:
+        union = old_dict
+    # Translation table: position of each old dictionary entry in the union.
+    translate = np.searchsorted(union, old_dict)
+    new_main_codes = translate[main.codes].astype(np.int32)
+    delta_codes = np.searchsorted(union, delta_values).astype(np.int32)
+    merged_codes = np.concatenate([new_main_codes, delta_codes])
+    total = len(merged_codes)
+    cost.charge(cost.dict_rebuild_per_value_us * (len(union) + total))
+    merged = DictionaryEncoding(dictionary=union, codes=merged_codes)
+    return DictionaryMergeResult(
+        merged=merged,
+        old_dictionary_size=len(old_dict),
+        new_dictionary_size=len(union),
+        values_remapped=total,
+    )

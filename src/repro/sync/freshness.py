@@ -1,0 +1,66 @@
+"""Freshness tracking.
+
+Data freshness — how stale the analytical view is relative to committed
+OLTP truth — is one of the two axes of the paper's central trade-off
+(workload isolation vs freshness).  We measure it as the *commit
+timestamp distance* between the newest committed transaction and the
+newest transaction visible to analytical reads, plus (optionally) the
+simulated age of that gap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..common.clock import Timestamp
+from ..common.metrics import FreshnessRecorder
+
+
+@dataclass
+class FreshnessProbe:
+    """One observation: how far behind the AP view was at query time."""
+
+    query_ts: Timestamp
+    visible_ts: Timestamp
+
+    @property
+    def lag(self) -> int:
+        return max(0, self.query_ts - self.visible_ts)
+
+
+class FreshnessTracker:
+    """Samples freshness by comparing two timestamp providers.
+
+    ``latest_commit_ts`` yields the newest committed transaction ts;
+    ``visible_ts`` yields the newest ts reflected in the analytical
+    read path (column store max ts, sealed delta ts, ... depending on
+    the architecture).
+    """
+
+    def __init__(
+        self,
+        latest_commit_ts: Callable[[], Timestamp],
+        visible_ts: Callable[[], Timestamp],
+    ):
+        self._latest = latest_commit_ts
+        self._visible = visible_ts
+        self.recorder = FreshnessRecorder()
+        self.probes: list[FreshnessProbe] = []
+
+    def current_lag(self) -> int:
+        return max(0, self._latest() - self._visible())
+
+    def probe(self) -> FreshnessProbe:
+        """Record and return a freshness observation."""
+        sample = FreshnessProbe(query_ts=self._latest(), visible_ts=self._visible())
+        self.probes.append(sample)
+        self.recorder.record(lag_ts=sample.lag)
+        return sample
+
+    def mean_lag(self) -> float:
+        return self.recorder.mean_lag_ts()
+
+    def score(self) -> float:
+        """1.0 = always perfectly fresh; decays with mean version lag."""
+        return self.recorder.freshness_score()

@@ -1,0 +1,26 @@
+"""Transactions: MVCC snapshot isolation, WAL, locks, recovery."""
+
+from .locks import DeadlockError, LockManager, LockMode
+from .recovery import recover, verify_recovery
+from .transaction import (
+    CommitListener,
+    Transaction,
+    TransactionManager,
+    TxnStatus,
+)
+from .wal import WalKind, WalRecord, WriteAheadLog
+
+__all__ = [
+    "CommitListener",
+    "DeadlockError",
+    "LockManager",
+    "LockMode",
+    "Transaction",
+    "TransactionManager",
+    "TxnStatus",
+    "WalKind",
+    "WalRecord",
+    "WriteAheadLog",
+    "recover",
+    "verify_recovery",
+]

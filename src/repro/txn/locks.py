@@ -1,0 +1,151 @@
+"""A shared/exclusive row lock manager with wait-for deadlock detection.
+
+The testbed's default engines run optimistic snapshot isolation with a
+first-committer-wins check, but a pessimistic mode (and several tests)
+exercise this lock table.  Execution in the testbed is deterministic
+and single-threaded, so a conflicting acquire never blocks: it either
+queues the waiter (recording a wait-for edge) or fails fast.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ..common.errors import TransactionError
+
+
+class LockMode(enum.Enum):
+    SHARED = "S"
+    EXCLUSIVE = "X"
+
+
+@dataclass
+class _LockState:
+    holders: dict[int, LockMode] = field(default_factory=dict)
+    waiters: list[tuple[int, LockMode]] = field(default_factory=list)
+
+
+class DeadlockError(TransactionError):
+    def __init__(self, txn_id: int, cycle: list[int]):
+        super().__init__(f"deadlock detected for txn {txn_id}: cycle {cycle}")
+        self.cycle = cycle
+
+
+class LockManager:
+    """Per-key S/X locks with an explicit wait-for graph."""
+
+    def __init__(self) -> None:
+        self._locks: dict[object, _LockState] = {}
+        self._held_by_txn: dict[int, set] = {}
+        self._wait_for: dict[int, set[int]] = {}
+
+    # ------------------------------------------------------------- acquire
+
+    def try_acquire(self, txn_id: int, key: object, mode: LockMode) -> bool:
+        """Grant immediately if compatible; otherwise register the wait
+        and return False (raising on a deadlock cycle)."""
+        state = self._locks.setdefault(key, _LockState())
+        held = state.holders.get(txn_id)
+        if held is not None:
+            if held is LockMode.EXCLUSIVE or mode is LockMode.SHARED:
+                return True  # already strong enough
+            # Upgrade S -> X: allowed only if sole holder.
+            if len(state.holders) == 1:
+                state.holders[txn_id] = LockMode.EXCLUSIVE
+                return True
+            self._register_wait(txn_id, state, mode)
+            return False
+        if self._compatible(state, mode):
+            state.holders[txn_id] = mode
+            self._held_by_txn.setdefault(txn_id, set()).add(key)
+            self._wait_for.pop(txn_id, None)
+            return True
+        self._register_wait(txn_id, state, mode)
+        return False
+
+    def _compatible(self, state: _LockState, mode: LockMode) -> bool:
+        if not state.holders:
+            return True
+        if mode is LockMode.SHARED:
+            return all(m is LockMode.SHARED for m in state.holders.values())
+        return False
+
+    def _register_wait(self, txn_id: int, state: _LockState, mode: LockMode) -> None:
+        if (txn_id, mode) not in state.waiters:
+            state.waiters.append((txn_id, mode))
+        blockers = {t for t in state.holders if t != txn_id}
+        self._wait_for[txn_id] = self._wait_for.get(txn_id, set()) | blockers
+        cycle = self._find_cycle(txn_id)
+        if cycle:
+            raise DeadlockError(txn_id, cycle)
+
+    def _find_cycle(self, start: int) -> list[int] | None:
+        """DFS over the wait-for graph looking for a cycle through start."""
+        stack = [(start, [start])]
+        seen: set[int] = set()
+        while stack:
+            node, path = stack.pop()
+            for nxt in self._wait_for.get(node, ()):
+                if nxt == start:
+                    return path + [start]
+                if nxt not in seen:
+                    seen.add(nxt)
+                    stack.append((nxt, path + [nxt]))
+        return None
+
+    # ------------------------------------------------------------- release
+
+    def release_all(self, txn_id: int) -> list[object]:
+        """Drop every lock of ``txn_id`` and promote eligible waiters.
+
+        Returns keys whose waiters got new grants (tests inspect this).
+        """
+        keys = self._held_by_txn.pop(txn_id, set())
+        self._wait_for.pop(txn_id, None)
+        # Withdraw any outstanding waits of this transaction so a later
+        # release cannot promote a waiter that no longer exists.
+        for state in self._locks.values():
+            state.waiters = [(t, m) for t, m in state.waiters if t != txn_id]
+        promoted: list[object] = []
+        for key in keys:
+            state = self._locks.get(key)
+            if state is None:
+                continue
+            state.holders.pop(txn_id, None)
+            if self._promote_waiters(key, state):
+                promoted.append(key)
+            if not state.holders and not state.waiters:
+                del self._locks[key]
+        # Clear dangling wait edges pointing at the finished transaction.
+        for waiter, blockers in list(self._wait_for.items()):
+            blockers.discard(txn_id)
+            if not blockers:
+                del self._wait_for[waiter]
+        return promoted
+
+    def _promote_waiters(self, key: object, state: _LockState) -> bool:
+        granted = False
+        still_waiting: list[tuple[int, LockMode]] = []
+        for waiter_id, mode in state.waiters:
+            if self._compatible(state, mode):
+                state.holders[waiter_id] = mode
+                self._held_by_txn.setdefault(waiter_id, set()).add(key)
+                self._wait_for.pop(waiter_id, None)
+                granted = True
+            else:
+                still_waiting.append((waiter_id, mode))
+        state.waiters = still_waiting
+        return granted
+
+    # ------------------------------------------------------------- introspection
+
+    def holders(self, key: object) -> dict[int, LockMode]:
+        state = self._locks.get(key)
+        return dict(state.holders) if state else {}
+
+    def held_keys(self, txn_id: int) -> set:
+        return set(self._held_by_txn.get(txn_id, set()))
+
+    def lock_count(self) -> int:
+        return sum(len(s.holders) for s in self._locks.values())

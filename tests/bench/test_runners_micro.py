@@ -1,0 +1,174 @@
+"""Workload runners, HTAPBench driver, metrics, ADAPT/HAP units."""
+
+import pytest
+
+from repro.bench import (
+    HTAPBenchDriver,
+    MixedRunConfig,
+    MixedWorkloadRunner,
+    ScheduledRunConfig,
+    ScheduledWorkloadRunner,
+    TpccLoader,
+    TpccScale,
+    degradation,
+    isolation_score,
+    per_hour,
+    per_minute,
+    qphpw,
+    rank_label,
+    run_adapt,
+    run_hap_cell,
+)
+from repro.engines import make_engine
+from repro.scheduler import StaticScheduler
+
+SCALE = TpccScale(
+    warehouses=1, districts=2, customers=12, items=30, initial_orders=8, suppliers=6
+)
+
+
+def loaded(cat="a", **kwargs):
+    engine = make_engine(cat, **kwargs)
+    TpccLoader(scale=SCALE, seed=5).load(engine)
+    return engine
+
+
+class TestMetrics:
+    def test_rates(self):
+        assert per_minute(10, 60e6) == pytest.approx(10)
+        assert per_hour(10, 3600e6) == pytest.approx(10)
+        assert per_minute(10, 0) == 0.0
+
+    def test_qphpw(self):
+        assert qphpw(20, 3600e6, workers=4) == pytest.approx(5.0)
+        assert qphpw(20, 3600e6, workers=0) == 0.0
+
+    def test_degradation_and_isolation(self):
+        assert degradation(100, 80) == pytest.approx(0.2)
+        assert isolation_score(100, 80) == pytest.approx(0.8)
+        assert degradation(0, 10) == 0.0
+
+    def test_rank_label(self):
+        thresholds = (10.0, 100.0)
+        assert rank_label(5, thresholds) == "Low"
+        assert rank_label(50, thresholds) == "Medium"
+        assert rank_label(500, thresholds) == "High"
+
+
+class TestMixedRunner:
+    def test_oltp_only_counts(self):
+        runner = MixedWorkloadRunner(
+            loaded(), SCALE, MixedRunConfig(n_transactions=40, n_queries=0)
+        )
+        metrics = runner.run_oltp_only(40)
+        assert metrics.tp_ops == 40
+        assert metrics.tp_makespan_us > 0
+        assert metrics.tp_per_sec > 0
+
+    def test_olap_only_records_freshness(self):
+        runner = MixedWorkloadRunner(
+            loaded(), SCALE, MixedRunConfig(n_transactions=0, n_queries=5)
+        )
+        metrics = runner.run_olap_only(5)
+        assert metrics.ap_ops == 5
+        assert len(metrics.freshness_lags) == 5
+
+    def test_mixed_interleaves(self):
+        runner = MixedWorkloadRunner(
+            loaded(), SCALE, MixedRunConfig(n_transactions=30, n_queries=4)
+        )
+        metrics = runner.run_mixed()
+        assert metrics.tp_ops == 30
+        assert metrics.ap_ops == 4
+        assert metrics.new_orders > 0
+
+    def test_freshness_score_bounds(self):
+        runner = MixedWorkloadRunner(
+            loaded(), SCALE, MixedRunConfig(n_transactions=20, n_queries=3)
+        )
+        metrics = runner.run_mixed()
+        assert 0.0 < metrics.freshness_score() <= 1.0
+
+
+class TestScheduledRunner:
+    def test_rounds_and_trace(self):
+        engine = loaded()
+        engine.force_sync()
+        config = ScheduledRunConfig(
+            rounds=5, round_slot_us=2_000.0, tp_arrivals_per_round=15,
+            ap_arrivals_per_round=1,
+        )
+        runner = ScheduledWorkloadRunner(
+            engine, StaticScheduler(4, sync_every=2), SCALE, config
+        )
+        result = runner.run()
+        assert len(result.trace.allocations) == 5
+        assert result.tp_completed > 0
+        assert result.trace.total_oltp() == result.tp_completed
+        # The runner restores fresh-read mode when done.
+        assert engine.read_fresh is True
+
+    def test_budget_limits_work(self):
+        engine = loaded()
+        engine.force_sync()
+        tiny = ScheduledRunConfig(
+            rounds=3, round_slot_us=50.0, tp_arrivals_per_round=50,
+            ap_arrivals_per_round=0,
+        )
+        runner = ScheduledWorkloadRunner(
+            engine, StaticScheduler(2, sync_every=100), SCALE, tiny
+        )
+        result = runner.run()
+        # Far less than the 150 arrivals: budget-bound.
+        assert result.tp_completed < 50
+        assert result.trace.metrics[-1].oltp_backlog > 0
+
+
+class TestHtapBench:
+    def test_balancer_protocol(self):
+        engine = loaded("c")
+        engine.force_sync()
+        driver = HTAPBenchDriver(engine, SCALE, txns_per_step=30, tolerance=0.5)
+        result = driver.run(max_workers=2)
+        assert result.baseline_tpmc > 0
+        assert 1 <= len(result.steps) <= 2
+        for step in result.steps:
+            assert step.qph >= 0
+            assert step.qphpw == pytest.approx(step.qph / step.workers)
+
+    def test_sustainable_workers_monotone_definition(self):
+        from repro.bench.htapbench import HtapBenchResult, HtapBenchStep
+
+        result = HtapBenchResult(baseline_tpmc=100, tolerance=0.2)
+        result.steps = [
+            HtapBenchStep(1, 90, 10, 10, 0.9),
+            HtapBenchStep(2, 70, 20, 10, 0.7),
+        ]
+        assert result.sustainable_workers == 1
+        assert result.final_qphpw == 10
+
+
+class TestAdaptHapUnits:
+    def test_adapt_cells_cover_grid(self):
+        cells = run_adapt(
+            n_rows=500,
+            narrow_selectivities=(0.1,),
+            wide_projectivities=(2,),
+            n_attributes=6,
+        )
+        ops = [c.operation for c in cells]
+        assert ops == ["narrow sel=0.1", "wide proj=2", "point x20"]
+        for cell in cells:
+            assert cell.row_us > 0 and cell.column_us > 0 and cell.hybrid_us > 0
+
+    def test_hap_cell_accounting_adds_up(self):
+        cell = run_hap_cell("plain", 0.4, 0.2, n_rows=400, n_ops=40)
+        assert cell.total_us == pytest.approx(
+            cell.scan_us + cell.update_us + cell.merge_us
+        )
+        assert cell.memory_bytes > 0
+
+    def test_hap_zero_updates_never_merge(self):
+        cell = run_hap_cell("rle", 0.0, 0.1, n_rows=300, n_ops=30)
+        assert cell.merge_us == 0.0
+        assert cell.update_us == 0.0

@@ -1,0 +1,153 @@
+"""Clocks, cost model, and metric reducers."""
+
+import pytest
+
+from repro.common.clock import INFINITY_TS, LogicalClock, SimClock, StopWatch
+from repro.common.cost import CostModel
+from repro.common.metrics import (
+    BenchReport,
+    FreshnessRecorder,
+    LatencyRecorder,
+    ThroughputMeter,
+    isolation_degradation,
+)
+from repro.common.rng import ZipfGenerator, make_rng, nurand, random_string
+
+
+class TestLogicalClock:
+    def test_monotone(self):
+        clock = LogicalClock()
+        values = [clock.tick() for _ in range(10)]
+        assert values == sorted(values)
+        assert len(set(values)) == 10
+
+    def test_advance_to(self):
+        clock = LogicalClock()
+        clock.advance_to(100)
+        assert clock.tick() == 101
+
+    def test_advance_to_past_is_noop(self):
+        clock = LogicalClock(start=50)
+        clock.advance_to(10)
+        assert clock.now() == 50
+
+    def test_infinity_is_huge(self):
+        assert INFINITY_TS > 10**18
+
+
+class TestSimClock:
+    def test_advance(self):
+        clock = SimClock()
+        clock.advance(10.5)
+        clock.advance(2.5)
+        assert clock.now_us() == pytest.approx(13.0)
+        assert clock.now_s() == pytest.approx(13e-6)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock().advance(-1)
+
+    def test_stopwatch(self):
+        clock = SimClock()
+        watch = StopWatch(clock)
+        clock.advance(5)
+        assert watch.elapsed_us() == 5
+        watch.restart()
+        assert watch.elapsed_us() == 0
+
+
+class TestCostModel:
+    def test_charge(self):
+        cost = CostModel()
+        cost.charge(3.0)
+        cost.charge_rows(0.5, 4)
+        assert cost.now_us() == pytest.approx(5.0)
+
+    def test_fork_detached(self):
+        cost = CostModel()
+        cost.row_point_read_us = 99.0
+        cost.charge(10)
+        fork = cost.fork_detached()
+        assert fork.now_us() == 0
+        assert fork.row_point_read_us == 99.0
+        fork.charge(5)
+        assert cost.now_us() == 10
+
+
+class TestLatencyRecorder:
+    def test_percentiles(self):
+        rec = LatencyRecorder()
+        rec.extend(float(i) for i in range(1, 101))
+        assert rec.p50() == 50.0
+        assert rec.p95() == 95.0
+        assert rec.p99() == 99.0
+        assert rec.max() == 100.0
+        assert rec.mean() == pytest.approx(50.5)
+
+    def test_empty(self):
+        rec = LatencyRecorder()
+        assert rec.p50() == 0.0
+        assert rec.mean() == 0.0
+
+    def test_invalid_percentile(self):
+        rec = LatencyRecorder()
+        rec.record(1.0)
+        with pytest.raises(ValueError):
+            rec.percentile(0)
+
+
+class TestThroughputAndFreshness:
+    def test_throughput(self):
+        meter = ThroughputMeter()
+        meter.add(100, 2e6)
+        assert meter.per_second() == pytest.approx(50.0)
+        assert meter.per_minute() == pytest.approx(3000.0)
+
+    def test_zero_window(self):
+        assert ThroughputMeter().per_second() == 0.0
+
+    def test_freshness_score(self):
+        rec = FreshnessRecorder()
+        rec.record(0)
+        assert rec.freshness_score() == 1.0
+        rec.record(2)
+        assert rec.freshness_score() == pytest.approx(1 / 2.0)
+
+    def test_isolation_degradation(self):
+        assert isolation_degradation(100, 100) == 0.0
+        assert isolation_degradation(100, 50) == pytest.approx(0.5)
+        assert isolation_degradation(0, 50) == 0.0
+
+    def test_bench_report_row(self):
+        report = BenchReport(label="x", tp_per_sec=1.0)
+        assert "x" in report.row()
+        assert "TP" in BenchReport.header()
+
+
+class TestRng:
+    def test_nurand_in_range(self):
+        rng = make_rng(1)
+        for _ in range(200):
+            v = nurand(rng, 255, 1, 100)
+            assert 1 <= v <= 100
+
+    def test_random_string_length(self):
+        rng = make_rng(2)
+        for _ in range(50):
+            s = random_string(rng, 3, 8)
+            assert 3 <= len(s) <= 8
+
+    def test_zipf_skew(self):
+        gen = ZipfGenerator(100, theta=1.2, seed=3)
+        draws = gen.draw_many(2000)
+        assert all(0 <= d < 100 for d in draws)
+        # Head must be much hotter than the tail under strong skew.
+        head = sum(1 for d in draws if d < 10)
+        tail = sum(1 for d in draws if d >= 90)
+        assert head > 5 * max(tail, 1)
+
+    def test_zipf_validation(self):
+        with pytest.raises(ValueError):
+            ZipfGenerator(0, 1.0, seed=1)
+        with pytest.raises(ValueError):
+            ZipfGenerator(10, -1.0, seed=1)

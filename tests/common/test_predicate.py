@@ -1,0 +1,131 @@
+"""Predicates must agree between row-at-a-time and vectorized paths."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.common.errors import QueryError
+from repro.common.predicate import (
+    ALWAYS_TRUE,
+    And,
+    Between,
+    Comparison,
+    InList,
+    Not,
+    Or,
+    column_range,
+    key_equality,
+)
+from repro.common.types import Column, DataType, Schema
+
+SCHEMA = Schema(
+    "t",
+    [Column("x", DataType.INT64), Column("y", DataType.FLOAT64), Column("s", DataType.STRING)],
+    ["x"],
+)
+
+ROWS = [(i, float(i) * 0.5, f"s{i % 3}") for i in range(20)]
+
+
+def arrays():
+    return {
+        "x": np.array([r[0] for r in ROWS]),
+        "y": np.array([r[1] for r in ROWS]),
+        "s": np.array([r[2] for r in ROWS], dtype=object),
+    }
+
+
+PREDICATES = [
+    Comparison("x", "=", 5),
+    Comparison("x", "!=", 5),
+    Comparison("y", "<", 3.0),
+    Comparison("y", "<=", 3.0),
+    Comparison("x", ">", 10),
+    Comparison("x", ">=", 10),
+    Between("x", 3, 8),
+    InList("s", ["s0", "s2"]),
+    And([Comparison("x", ">", 2), Comparison("y", "<", 8.0)]),
+    Or([Comparison("x", "<", 3), Comparison("x", ">", 17)]),
+    Not(Comparison("x", "=", 5)),
+    ALWAYS_TRUE,
+    (Comparison("x", ">", 5) & Comparison("x", "<", 10)) | Comparison("x", "=", 0),
+    ~Between("x", 5, 15),
+]
+
+
+@pytest.mark.parametrize("pred", PREDICATES, ids=[repr(p)[:50] for p in PREDICATES])
+def test_row_and_vector_paths_agree(pred):
+    mask = pred.mask(arrays())
+    row_result = [pred.matches(row, SCHEMA) for row in ROWS]
+    assert mask.tolist() == row_result
+
+
+def test_unknown_operator_rejected():
+    with pytest.raises(QueryError):
+        Comparison("x", "~", 1)
+
+
+def test_null_cell_never_matches_comparison():
+    assert not Comparison("s", "=", "s0").matches((1, 1.0, None), SCHEMA)
+
+
+def test_referenced_columns():
+    pred = And([Comparison("x", ">", 1), Or([Between("y", 0, 1), InList("s", ["a"])])])
+    assert pred.referenced_columns() == {"x", "y", "s"}
+
+
+class TestKeyEquality:
+    def test_simple(self):
+        assert key_equality(Comparison("x", "=", 5), ["x"]) == 5
+
+    def test_composite(self):
+        pred = And([Comparison("a", "=", 1), Comparison("b", "=", 2)])
+        assert key_equality(pred, ["a", "b"]) == (1, 2)
+
+    def test_partial_binding_is_none(self):
+        pred = Comparison("a", "=", 1)
+        assert key_equality(pred, ["a", "b"]) is None
+
+    def test_non_equality_is_none(self):
+        assert key_equality(Comparison("x", ">", 5), ["x"]) is None
+
+    def test_or_poisons(self):
+        pred = Or([Comparison("x", "=", 1), Comparison("x", "=", 2)])
+        assert key_equality(pred, ["x"]) is None
+
+
+class TestColumnRange:
+    def test_between(self):
+        assert column_range(Between("x", 2, 7), "x") == (2, 7)
+
+    def test_anded_bounds_intersect(self):
+        pred = And([Comparison("x", ">=", 3), Comparison("x", "<=", 9)])
+        assert column_range(pred, "x") == (3, 9)
+
+    def test_equality_pins_both(self):
+        assert column_range(Comparison("x", "=", 4), "x") == (4, 4)
+
+    def test_other_columns_ignored(self):
+        pred = And([Comparison("y", "<", 1.0), Comparison("x", ">", 2)])
+        assert column_range(pred, "x") == (2, None)
+
+    def test_or_gives_none(self):
+        pred = Or([Comparison("x", "<", 1), Comparison("x", ">", 5)])
+        assert column_range(pred, "x") is None
+
+    def test_unconstrained_gives_none(self):
+        assert column_range(Comparison("y", "<", 1.0), "x") is None
+
+
+@given(
+    st.lists(st.integers(-100, 100), min_size=1, max_size=50),
+    st.integers(-100, 100),
+    st.integers(-100, 100),
+)
+def test_between_property(values, low, high):
+    """Between agrees with the mathematical definition on any data."""
+    low, high = min(low, high), max(low, high)
+    pred = Between("x", low, high)
+    arr = {"x": np.array(values)}
+    mask = pred.mask(arr)
+    assert mask.tolist() == [low <= v <= high for v in values]

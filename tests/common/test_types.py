@@ -1,0 +1,152 @@
+"""Unit tests for schema primitives and row/column conversions."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import SchemaError
+from repro.common.types import (
+    NULL_INT,
+    Column,
+    DataType,
+    Schema,
+    columns_to_rows,
+    decode_cell,
+    encode_cell,
+    rows_to_columns,
+)
+
+
+def make_schema(**kwargs):
+    return Schema(
+        "t",
+        [
+            Column("a", DataType.INT64),
+            Column("b", DataType.FLOAT64),
+            Column("c", DataType.STRING, nullable=True),
+        ],
+        ["a"],
+        **kwargs,
+    )
+
+
+class TestSchema:
+    def test_column_names(self):
+        assert make_schema().column_names == ["a", "b", "c"]
+
+    def test_index_of(self):
+        schema = make_schema()
+        assert schema.index_of("b") == 1
+
+    def test_index_of_unknown_raises(self):
+        with pytest.raises(SchemaError):
+            make_schema().index_of("nope")
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema("t", [Column("a", DataType.INT64)] * 2, ["a"])
+
+    def test_missing_pk_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema("t", [Column("a", DataType.INT64)], [])
+
+    def test_pk_must_exist(self):
+        with pytest.raises(SchemaError):
+            Schema("t", [Column("a", DataType.INT64)], ["z"])
+
+    def test_nullable_pk_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema("t", [Column("a", DataType.INT64, nullable=True)], ["a"])
+
+    def test_key_of_scalar(self):
+        assert make_schema().key_of((7, 1.0, "x")) == 7
+
+    def test_key_of_composite(self):
+        schema = Schema(
+            "t",
+            [Column("a", DataType.INT64), Column("b", DataType.INT64)],
+            ["a", "b"],
+        )
+        assert schema.key_of((1, 2)) == (1, 2)
+
+    def test_validate_row_arity(self):
+        with pytest.raises(SchemaError):
+            make_schema().validate_row((1, 2.0))
+
+    def test_validate_row_type(self):
+        with pytest.raises(SchemaError):
+            make_schema().validate_row(("x", 2.0, "c"))
+
+    def test_validate_null_in_non_nullable(self):
+        with pytest.raises(SchemaError):
+            make_schema().validate_row((None, 2.0, "c"))
+
+    def test_validate_null_in_nullable_ok(self):
+        row = make_schema().validate_row((1, 2.0, None))
+        assert row == (1, 2.0, None)
+
+    def test_bool_not_accepted_as_int(self):
+        with pytest.raises(SchemaError):
+            make_schema().validate_row((True, 2.0, "c"))
+
+    def test_invalid_column_name(self):
+        with pytest.raises(SchemaError):
+            Column("not a name", DataType.INT64)
+
+
+class TestConversions:
+    def test_round_trip(self):
+        schema = make_schema()
+        rows = [(1, 1.5, "x"), (2, 2.5, "y"), (3, 3.5, None)]
+        arrays = rows_to_columns(schema, rows)
+        assert arrays["a"].dtype == np.int64
+        assert columns_to_rows(schema, arrays) == rows
+
+    def test_null_int_sentinel(self):
+        schema = Schema(
+            "t",
+            [Column("k", DataType.INT64), Column("v", DataType.INT64, nullable=True)],
+            ["k"],
+        )
+        arrays = rows_to_columns(schema, [(1, None), (2, 5)])
+        assert arrays["v"][0] == NULL_INT
+        back = columns_to_rows(schema, arrays)
+        assert back == [(1, None), (2, 5)]
+
+    def test_null_float_round_trip(self):
+        schema = Schema(
+            "t",
+            [Column("k", DataType.INT64), Column("v", DataType.FLOAT64, nullable=True)],
+            ["k"],
+        )
+        arrays = rows_to_columns(schema, [(1, None), (2, 5.0)])
+        assert np.isnan(arrays["v"][0])
+        assert columns_to_rows(schema, arrays) == [(1, None), (2, 5.0)]
+
+    def test_encode_decode_cell_all_types(self):
+        for dtype in DataType:
+            encoded = encode_cell(None, dtype)
+            assert decode_cell(encoded, dtype) in (None, False)
+        assert decode_cell(encode_cell(7, DataType.INT64), DataType.INT64) == 7
+        assert decode_cell(encode_cell("s", DataType.STRING), DataType.STRING) == "s"
+
+    def test_empty_rows(self):
+        schema = make_schema()
+        arrays = rows_to_columns(schema, [])
+        assert len(arrays["a"]) == 0
+        assert columns_to_rows(schema, arrays) == []
+
+
+class TestDataTypes:
+    def test_numpy_dtypes(self):
+        assert DataType.INT64.numpy_dtype == np.int64
+        assert DataType.DATE.numpy_dtype == np.int64
+        assert DataType.STRING.numpy_dtype == np.dtype(object)
+
+    def test_validation(self):
+        assert DataType.INT64.validate(5)
+        assert not DataType.INT64.validate(5.5)
+        assert not DataType.INT64.validate(True)
+        assert DataType.FLOAT64.validate(5)
+        assert DataType.STRING.validate("x")
+        assert DataType.BOOL.validate(True)
+        assert DataType.DATE.validate(19723)

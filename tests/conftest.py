@@ -1,0 +1,44 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common import Column, CostModel, DataType, Schema
+from repro.txn import TransactionManager
+
+
+def simple_schema(name: str = "t") -> Schema:
+    return Schema(
+        name,
+        [
+            Column("id", DataType.INT64),
+            Column("value", DataType.FLOAT64),
+            Column("tag", DataType.STRING),
+        ],
+        ["id"],
+    )
+
+
+@pytest.fixture
+def schema() -> Schema:
+    return simple_schema()
+
+
+@pytest.fixture
+def cost() -> CostModel:
+    return CostModel()
+
+
+@pytest.fixture
+def txn_manager(schema) -> TransactionManager:
+    manager = TransactionManager()
+    manager.create_table(schema)
+    return manager
+
+
+def populate(manager: TransactionManager, table: str, n: int) -> None:
+    txn = manager.begin()
+    for i in range(n):
+        txn.insert(table, (i, float(i) * 2.0, f"tag{i % 5}"))
+    manager.commit(txn)

@@ -1,0 +1,113 @@
+"""Property tests on engine invariants.
+
+The two big ones:
+
+* *merge equivalence*: for any operation sequence with merges/syncs
+  interleaved at arbitrary points, every engine's final state equals a
+  plain dict model (syncing never changes logical content);
+* *query/store agreement*: after any history, the analytical COUNT via
+  the query layer equals the row-side count.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.common import Column, DataType, Schema
+from repro.engines import ColumnDeltaEngine, DiskRowIMCSEngine, RowIMCSEngine
+
+
+def schema():
+    return Schema(
+        "t",
+        [
+            Column("id", DataType.INT64),
+            Column("v", DataType.FLOAT64),
+            Column("g", DataType.INT64),
+        ],
+        ["id"],
+    )
+
+
+ops_strategy = st.lists(
+    st.tuples(
+        st.sampled_from(["insert", "update", "delete", "sync"]),
+        st.integers(0, 12),
+    ),
+    max_size=50,
+)
+
+
+def apply_ops(engine, ops):
+    """Drive the engine and a dict model through the same history."""
+    model: dict[int, tuple] = {}
+    step = 0
+    for op, key in ops:
+        step += 1
+        row = (key, float(step), key % 3)
+        if op == "sync":
+            engine.sync() if step % 2 else engine.force_sync()
+            continue
+        with engine.session() as s:
+            exists = s.read("t", key) is not None
+            if op == "insert" and not exists:
+                s.insert("t", row)
+                model[key] = row
+            elif op == "update" and exists:
+                s.update("t", row)
+                model[key] = row
+            elif op == "delete" and exists:
+                s.delete("t", key)
+                model.pop(key, None)
+            else:
+                s.abort()
+    return model
+
+
+ENGINE_FACTORIES = [
+    lambda: RowIMCSEngine(),
+    lambda: ColumnDeltaEngine(l1_threshold=8, l2_threshold=20),
+    lambda: DiskRowIMCSEngine(buffer_capacity=4, propagation_threshold=8),
+]
+
+
+@pytest.mark.parametrize("factory_index", range(len(ENGINE_FACTORIES)))
+@settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(ops=ops_strategy)
+def test_merge_equivalence(factory_index, ops):
+    engine = ENGINE_FACTORIES[factory_index]()
+    engine.create_table(schema())
+    model = apply_ops(engine, ops)
+    engine.force_sync()
+    # Row side agrees with the model.
+    with engine.session() as s:
+        got = {r[0]: r for r in s.scan("t")}
+        s.abort()
+    assert got == model
+    # Column side (post-sync query) agrees too.
+    result = engine.query("SELECT COUNT(*) FROM t")
+    assert result.scalar() == len(model)
+    if model:
+        total = engine.query("SELECT SUM(v) FROM t").scalar()
+        assert total == pytest.approx(sum(r[1] for r in model.values()))
+
+
+@pytest.mark.parametrize("factory_index", range(len(ENGINE_FACTORIES)))
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.function_scoped_fixture],
+)
+@given(ops=ops_strategy)
+def test_fresh_query_equals_model_without_sync(factory_index, ops):
+    """Fresh-read engines answer correctly even with nothing synced."""
+    engine = ENGINE_FACTORIES[factory_index]()
+    engine.create_table(schema())
+    model = apply_ops(engine, [op for op in ops if op[0] != "sync"])
+    result = engine.query("SELECT COUNT(*) FROM t")
+    assert result.scalar() == len(model)

@@ -1,0 +1,197 @@
+"""Column selection, learned access-path chooser, statistics."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.common import Between, Column, Comparison, CostModel, DataType, Schema
+from repro.common.predicate import And, InList, Not, Or
+from repro.query import (
+    AccessPath,
+    AccessTracker,
+    DualStoreTableAccess,
+    HeatmapColumnSelector,
+    LearnedAccessPathChooser,
+    LearnedColumnSelector,
+    Planner,
+    TableStats,
+    hit_rate,
+)
+from repro.query.statistics import ColumnStats
+from repro.storage.column_store import ColumnStore
+from repro.storage.row_store import MVCCRowStore
+
+
+class TestStatistics:
+    def _stats(self):
+        schema = Schema(
+            "t",
+            [Column("a", DataType.INT64), Column("s", DataType.STRING)],
+            ["a"],
+        )
+        rows = [(i, f"s{i % 4}") for i in range(100)]
+        return TableStats.from_rows(schema, rows)
+
+    def test_row_count_and_ndv(self):
+        stats = self._stats()
+        assert stats.row_count == 100
+        assert stats.columns["a"].ndv == 100
+        assert stats.columns["s"].ndv == 4
+
+    def test_equality_selectivity(self):
+        stats = self._stats()
+        assert stats.selectivity(Comparison("s", "=", "s1")) == pytest.approx(0.25)
+        assert stats.selectivity(Comparison("a", "=", 5)) == pytest.approx(0.01)
+
+    def test_range_selectivity_uniform(self):
+        stats = self._stats()
+        sel = stats.selectivity(Between("a", 0, 49))
+        assert sel == pytest.approx(0.5, abs=0.02)
+
+    def test_and_independence(self):
+        stats = self._stats()
+        sel = stats.selectivity(
+            And([Comparison("s", "=", "s1"), Between("a", 0, 49)])
+        )
+        assert sel == pytest.approx(0.25 * 0.5, abs=0.01)
+
+    def test_or_inclusion_exclusion(self):
+        stats = self._stats()
+        sel = stats.selectivity(
+            Or([Comparison("s", "=", "s1"), Comparison("s", "=", "s2")])
+        )
+        assert sel == pytest.approx(0.25 + 0.25 - 0.0625)
+
+    def test_not(self):
+        stats = self._stats()
+        assert stats.selectivity(Not(Comparison("s", "=", "s1"))) == pytest.approx(0.75)
+
+    def test_in_list(self):
+        stats = self._stats()
+        assert stats.selectivity(InList("s", ["s1", "s2"])) == pytest.approx(0.5)
+
+    def test_empty_table(self):
+        stats = TableStats(row_count=0, columns={"a": ColumnStats(ndv=0)})
+        assert stats.empty()
+        assert stats.estimate_matching_rows(Comparison("a", "=", 1)) == 0
+
+    def test_from_arrays(self):
+        stats = TableStats.from_arrays({"x": np.array([1, 1, 2, 3])})
+        assert stats.row_count == 4
+        assert stats.columns["x"].ndv == 3
+        assert stats.columns["x"].min_value == 1
+
+
+class TestColumnSelection:
+    def _tracker_with_history(self, queries, windows=3):
+        tracker = AccessTracker(decay=0.5)
+        for _w in range(windows):
+            for table, cols in queries:
+                tracker.record_query(table, cols)
+            tracker.close_window()
+        return tracker
+
+    def test_heatmap_picks_hot_columns(self):
+        tracker = self._tracker_with_history(
+            [("t", {"hot1", "hot2"})] * 10 + [("t", {"cold"})]
+        )
+        sizes = {("t", c): 100 for c in ("hot1", "hot2", "cold")}
+        decision = HeatmapColumnSelector(tracker).select(sizes, budget_bytes=200)
+        assert set(decision.chosen) == {("t", "hot1"), ("t", "hot2")}
+
+    def test_budget_respected(self):
+        tracker = self._tracker_with_history([("t", {"a", "b", "c"})])
+        sizes = {("t", c): 100 for c in "abc"}
+        decision = HeatmapColumnSelector(tracker).select(sizes, budget_bytes=250)
+        assert len(decision.chosen) == 2
+        assert decision.used_bytes == 200
+
+    def test_learned_boosts_rising_columns(self):
+        tracker = AccessTracker(decay=0.5)
+        # History: old column dominates...
+        for _ in range(8):
+            tracker.record_query("t", {"old"})
+        tracker.close_window()
+        # ...but the newest window shifts to the new column.
+        for _ in range(4):
+            tracker.record_query("t", {"new"})
+        tracker.close_window()
+        sizes = {("t", "old"): 100, ("t", "new"): 100}
+        heat = HeatmapColumnSelector(tracker).select(sizes, budget_bytes=100)
+        learned = LearnedColumnSelector(tracker, trend_weight=2.0).select(
+            sizes, budget_bytes=100
+        )
+        assert heat.chosen == [("t", "old")]
+        assert learned.chosen == [("t", "new")]
+
+    def test_hit_rate(self):
+        from repro.query.column_selection import SelectionDecision
+
+        decision = SelectionDecision(
+            chosen=[("t", "a"), ("t", "b")], budget_bytes=0, used_bytes=0
+        )
+        queries = [("t", {"a"}), ("t", {"a", "b"}), ("t", {"c"})]
+        assert hit_rate(decision, queries) == pytest.approx(2 / 3)
+
+    def test_decay_validation(self):
+        with pytest.raises(ValueError):
+            AccessTracker(decay=1.0)
+
+
+class TestLearnedAccessPath:
+    def _skewed_catalog(self):
+        """90% of rows share one value: the uniform estimator is wrong."""
+        cost = CostModel()
+        schema = Schema(
+            "t",
+            [Column("id", DataType.INT64), Column("g", DataType.INT64)],
+            ["id"],
+        )
+        rows = [(i, 0 if i < 900 else i) for i in range(1000)]
+        store = MVCCRowStore(schema, cost)
+        for row in rows:
+            store.install_insert(row, commit_ts=1)
+        col = ColumnStore(schema, cost)
+        col.append_rows(rows, commit_ts=1)
+        access = DualStoreTableAccess(store, col, cost)
+        return {"t": access}, cost
+
+    def test_cold_start_falls_back_to_analytic(self):
+        catalog, cost = self._skewed_catalog()
+        planner = Planner(catalog, cost)
+        chooser = LearnedAccessPathChooser(planner, min_samples=5)
+        stats = catalog["t"].stats()
+        path = chooser.choose("t", stats, Comparison("g", "=", 0), ["id"])
+        assert chooser.fallbacks == 1
+        assert path in set(AccessPath)
+
+    def test_learns_from_observations(self):
+        catalog, cost = self._skewed_catalog()
+        planner = Planner(catalog, cost)
+        chooser = LearnedAccessPathChooser(planner, k=3, min_samples=3)
+        stats = catalog["t"].stats()
+        pred = Comparison("g", "=", 0)  # actually matches 90% of rows
+        # Feed observations: column scan measured much cheaper than the
+        # index path for this hot-value predicate.
+        for _ in range(4):
+            chooser.observe(
+                stats,
+                pred,
+                ["id"],
+                {
+                    AccessPath.INDEX_LOOKUP: 5_000.0,
+                    AccessPath.COLUMN_SCAN: 100.0,
+                    AccessPath.ROW_SCAN: 900.0,
+                },
+            )
+        choice = chooser.choose("t", stats, pred, ["id"])
+        assert choice is AccessPath.COLUMN_SCAN
+        assert chooser.predictions == 1
+
+    def test_analytic_misestimates_skew(self):
+        """The uniform assumption prices g=0 as 1/ndv; truth is 90%."""
+        catalog, _cost = self._skewed_catalog()
+        stats = catalog["t"].stats()
+        est = stats.selectivity(Comparison("g", "=", 0))
+        assert est < 0.05  # ~1/101, wildly below the true 0.9

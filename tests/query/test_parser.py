@@ -1,0 +1,218 @@
+"""SQL parser unit tests."""
+
+import pytest
+
+from repro.common import Between, Comparison, InList, Not, Or, SqlSyntaxError, TruePredicate
+from repro.query import parse
+from repro.query.ast import Aggregate, AggFunc, Arith, ColumnRef, Literal
+
+
+class TestSelectList:
+    def test_simple_columns(self):
+        q = parse("SELECT a, b FROM t")
+        assert [item.expr for item in q.select] == [ColumnRef("a"), ColumnRef("b")]
+        assert q.tables == ["t"]
+
+    def test_star(self):
+        q = parse("SELECT * FROM t")
+        assert q.select[0].expr == ColumnRef("*")
+
+    def test_alias(self):
+        q = parse("SELECT a AS x FROM t")
+        assert q.select[0].alias == "x"
+        assert q.select[0].output_name == "x"
+
+    def test_arithmetic_precedence(self):
+        q = parse("SELECT a + b * 2 FROM t")
+        expr = q.select[0].expr
+        assert isinstance(expr, Arith) and expr.op == "+"
+        assert isinstance(expr.right, Arith) and expr.right.op == "*"
+
+    def test_parenthesized(self):
+        q = parse("SELECT (a + b) * 2 FROM t")
+        expr = q.select[0].expr
+        assert expr.op == "*"
+        assert expr.left.op == "+"
+
+    def test_unary_minus(self):
+        q = parse("SELECT 0 - 5 AS neg FROM t")
+        assert q.select[0].alias == "neg"
+
+    def test_aggregates(self):
+        q = parse("SELECT SUM(a), COUNT(*), AVG(a + b), MIN(a), MAX(b) FROM t")
+        funcs = [item.expr.func for item in q.select]
+        assert funcs == [AggFunc.SUM, AggFunc.COUNT, AggFunc.AVG, AggFunc.MIN, AggFunc.MAX]
+        assert q.select[1].expr.arg is None
+        assert q.has_aggregates()
+
+    def test_aggregate_arithmetic(self):
+        q = parse("SELECT SUM(a) / COUNT(*) AS mean FROM t")
+        expr = q.select[0].expr
+        assert isinstance(expr, Arith)
+        assert isinstance(expr.left, Aggregate)
+
+
+class TestWhere:
+    def test_comparisons(self):
+        q = parse("SELECT a FROM t WHERE a >= 5")
+        assert q.where == Comparison("a", ">=", 5)
+
+    def test_string_literal(self):
+        q = parse("SELECT a FROM t WHERE s = 'hello'")
+        assert q.where == Comparison("s", "=", "hello")
+
+    def test_escaped_quote(self):
+        q = parse("SELECT a FROM t WHERE s = 'it''s'")
+        assert q.where.value == "it's"
+
+    def test_float_literal(self):
+        q = parse("SELECT a FROM t WHERE v < 1.5")
+        assert q.where.value == 1.5
+
+    def test_negative_literal(self):
+        q = parse("SELECT a FROM t WHERE v > -2")
+        assert q.where.value == -2
+
+    def test_between(self):
+        q = parse("SELECT a FROM t WHERE a BETWEEN 1 AND 10")
+        assert q.where == Between("a", 1, 10)
+
+    def test_in_list(self):
+        q = parse("SELECT a FROM t WHERE s IN ('x', 'y')")
+        assert q.where == InList("s", ["x", "y"])
+
+    def test_and_flattens(self):
+        q = parse("SELECT a FROM t WHERE a > 1 AND b < 2 AND c = 3")
+        assert len(q.where.children) == 3
+
+    def test_or_and_not(self):
+        q = parse("SELECT a FROM t WHERE NOT (a = 1 OR a = 2)")
+        assert isinstance(q.where, Not)
+        assert isinstance(q.where.child, Or)
+
+    def test_ne_synonyms(self):
+        assert parse("SELECT a FROM t WHERE a != 1").where.op == "!="
+        assert parse("SELECT a FROM t WHERE a <> 1").where.op == "!="
+
+    def test_no_where_is_true(self):
+        assert isinstance(parse("SELECT a FROM t").where, TruePredicate)
+
+
+class TestJoins:
+    def test_explicit_join(self):
+        q = parse("SELECT a FROM t JOIN u ON t_id = u_id")
+        assert q.tables == ["t", "u"]
+        assert len(q.joins) == 1
+        assert q.joins[0].left_column == "t_id"
+
+    def test_implicit_join_in_where(self):
+        q = parse("SELECT a FROM t, u WHERE t_id = u_id AND a > 3")
+        assert len(q.joins) == 1
+        assert q.where == Comparison("a", ">", 3)
+
+    def test_multiple_joins(self):
+        q = parse(
+            "SELECT a FROM t JOIN u ON t_id = u_id JOIN v ON u_x = v_x WHERE t_y = v_y"
+        )
+        assert q.tables == ["t", "u", "v"]
+        assert len(q.joins) == 3
+
+    def test_join_under_or_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("SELECT a FROM t, u WHERE t_id = u_id OR a = 1")
+
+    def test_non_equality_join_rejected(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("SELECT a FROM t JOIN u ON t_id < u_id")
+
+
+class TestClauses:
+    def test_group_by(self):
+        q = parse("SELECT a, COUNT(*) FROM t GROUP BY a")
+        assert q.group_by == ["a"]
+
+    def test_group_by_multiple(self):
+        q = parse("SELECT a, b, COUNT(*) FROM t GROUP BY a, b")
+        assert q.group_by == ["a", "b"]
+
+    def test_order_by_directions(self):
+        q = parse("SELECT a, b FROM t ORDER BY a DESC, b ASC, a")
+        assert [o.ascending for o in q.order_by] == [False, True, True]
+
+    def test_limit(self):
+        assert parse("SELECT a FROM t LIMIT 7").limit == 7
+
+    def test_full_query(self):
+        q = parse(
+            "SELECT region, SUM(amount) AS total FROM orders "
+            "WHERE amount > 10 GROUP BY region ORDER BY total DESC LIMIT 3"
+        )
+        assert q.group_by == ["region"]
+        assert q.limit == 3
+        assert q.order_by[0].expr == ColumnRef("total")
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "sql",
+        [
+            "",
+            "SELECT",
+            "SELECT FROM t",
+            "SELECT a",
+            "SELECT a FROM",
+            "SELECT a FROM t WHERE",
+            "SELECT a FROM t LIMIT x",
+            "SELECT a FROM t GROUP a",
+            "SELECT a FROM t trailing garbage",
+            "SELECT a FROM t WHERE a ! 1",
+            "SELECT a FROM t WHERE a = ;",
+        ],
+    )
+    def test_syntax_errors(self, sql):
+        with pytest.raises(SqlSyntaxError):
+            parse(sql)
+
+    def test_error_has_position(self):
+        try:
+            parse("SELECT a FROM t WHERE a @ 1")
+        except SqlSyntaxError as err:
+            assert err.position is not None
+        else:
+            pytest.fail("expected SqlSyntaxError")
+
+    def test_keywords_case_insensitive(self):
+        q = parse("select a from t where a between 1 and 2 order by a desc limit 1")
+        assert q.limit == 1
+
+    def test_referenced_columns(self):
+        q = parse(
+            "SELECT SUM(x * y) FROM t JOIN u ON a = b WHERE c > 1 GROUP BY d ORDER BY d"
+        )
+        assert q.referenced_columns() == {"x", "y", "a", "b", "c", "d"}
+
+
+class TestHavingDistinct:
+    def test_having_parsed(self):
+        q = parse("SELECT a, SUM(b) FROM t GROUP BY a HAVING SUM(b) > 5")
+        assert len(q.having) == 1
+        assert q.having[0].op == ">"
+        assert q.having[0].value == 5
+
+    def test_having_multiple_conditions(self):
+        q = parse(
+            "SELECT a FROM t GROUP BY a HAVING COUNT(*) >= 2 AND SUM(b) < 9.5"
+        )
+        assert len(q.having) == 2
+
+    def test_having_referenced_columns(self):
+        q = parse("SELECT a FROM t GROUP BY a HAVING SUM(b) > 5")
+        assert "b" in q.referenced_columns()
+
+    def test_distinct_flag(self):
+        assert parse("SELECT DISTINCT a FROM t").distinct
+        assert not parse("SELECT a FROM t").distinct
+
+    def test_having_requires_comparison(self):
+        with pytest.raises(SqlSyntaxError):
+            parse("SELECT a FROM t GROUP BY a HAVING SUM(b)")

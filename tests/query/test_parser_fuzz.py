@@ -1,0 +1,96 @@
+"""Parser robustness: generated SQL round-trips; garbage never crashes.
+
+Two properties:
+
+* structurally generated SELECT statements always parse, and the parsed
+  AST reflects the generated clauses;
+* arbitrary text either parses or raises SqlSyntaxError — never any
+  other exception.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common import SqlSyntaxError
+from repro.query import parse
+
+identifiers = st.sampled_from(["a", "b", "c_total", "o_id", "region"])
+numbers = st.integers(-1000, 1000)
+strings = st.sampled_from(["'x'", "'hello'", "'it''s'"])
+
+
+@st.composite
+def select_statements(draw):
+    """Generate a valid SELECT and a description of what it contains."""
+    n_cols = draw(st.integers(1, 3))
+    cols = [draw(identifiers) for _ in range(n_cols)]
+    agg = draw(st.sampled_from(["", "SUM", "COUNT", "AVG", "MIN", "MAX"]))
+    select_items = []
+    for col in cols:
+        if agg and draw(st.booleans()):
+            select_items.append(f"{agg}({col})" if agg != "COUNT" else "COUNT(*)")
+        else:
+            select_items.append(col)
+    table = draw(st.sampled_from(["orders", "t1", "items"]))
+    sql = f"SELECT {', '.join(select_items)} FROM {table}"
+    where_col = draw(identifiers)
+    has_where = draw(st.booleans())
+    if has_where:
+        op = draw(st.sampled_from(["=", "<", ">=", "!="]))
+        value = draw(st.one_of(numbers.map(str), strings))
+        sql += f" WHERE {where_col} {op} {value}"
+    has_group = draw(st.booleans())
+    if has_group:
+        sql += f" GROUP BY {cols[0]}"
+    limit = draw(st.one_of(st.none(), st.integers(1, 100)))
+    if limit is not None:
+        sql += f" LIMIT {limit}"
+    return sql, {
+        "table": table,
+        "n_select": len(select_items),
+        "has_where": has_where,
+        "has_group": has_group,
+        "limit": limit,
+    }
+
+
+@settings(max_examples=120, deadline=None)
+@given(case=select_statements())
+def test_generated_sql_parses_to_expected_shape(case):
+    sql, spec = case
+    query = parse(sql)
+    assert query.tables == [spec["table"]]
+    assert len(query.select) == spec["n_select"]
+    if spec["has_group"]:
+        assert len(query.group_by) == 1
+    assert query.limit == spec["limit"]
+    from repro.common.predicate import TruePredicate
+
+    if not spec["has_where"]:
+        assert isinstance(query.where, TruePredicate)
+
+
+@settings(max_examples=200, deadline=None)
+@given(text=st.text(max_size=60))
+def test_arbitrary_text_never_crashes(text):
+    try:
+        parse(text)
+    except SqlSyntaxError:
+        pass  # the only acceptable failure mode
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    prefix=st.sampled_from(["SELECT a FROM t", "SELECT SUM(x) FROM t WHERE y = 1"]),
+    junk=st.text(
+        alphabet="()+-*/<>=',0123456789abcdefghij ",
+        max_size=20,
+    ),
+)
+def test_valid_prefix_plus_junk_never_crashes(prefix, junk):
+    try:
+        parse(prefix + " " + junk)
+    except SqlSyntaxError:
+        pass

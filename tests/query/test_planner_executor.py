@@ -1,0 +1,316 @@
+"""Planner + executor: access paths, joins, aggregation, ordering.
+
+Every executor result is validated against a brute-force Python
+evaluation of the same query over the same rows.
+"""
+
+import random
+
+import pytest
+
+from repro.common import (
+    Column,
+    Comparison,
+    CostModel,
+    DataType,
+    PlanningError,
+    Schema,
+)
+from repro.query import AccessPath, DualStoreTableAccess, Executor, Planner, parse
+from repro.storage.column_store import ColumnStore
+from repro.storage.row_store import MVCCRowStore
+
+
+def build_catalog(seed=4, n_orders=300, n_customers=25):
+    rng = random.Random(seed)
+    cost = CostModel()
+    orders = Schema(
+        "orders",
+        [
+            Column("o_id", DataType.INT64),
+            Column("o_c_id", DataType.INT64),
+            Column("o_amount", DataType.FLOAT64),
+            Column("o_region", DataType.STRING),
+        ],
+        ["o_id"],
+    )
+    customers = Schema(
+        "customer",
+        [
+            Column("c_id", DataType.INT64),
+            Column("c_tier", DataType.INT64),
+            Column("c_name", DataType.STRING),
+        ],
+        ["c_id"],
+    )
+    order_rows = [
+        (
+            i,
+            rng.randrange(n_customers),
+            round(rng.uniform(1, 100), 2),
+            rng.choice(["e", "w"]),
+        )
+        for i in range(n_orders)
+    ]
+    customer_rows = [(i, i % 3, f"c{i}") for i in range(n_customers)]
+    catalog = {}
+    data = {}
+    for schema, rows in (("orders", order_rows), ("customer", customer_rows)):
+        pass
+    for schema, rows in ((orders, order_rows), (customers, customer_rows)):
+        store = MVCCRowStore(schema, cost)
+        for row in rows:
+            store.install_insert(row, commit_ts=1)
+        col = ColumnStore(schema, cost)
+        col.append_rows(rows, commit_ts=1)
+        catalog[schema.table_name] = DualStoreTableAccess(store, col, cost)
+        data[schema.table_name] = rows
+    return catalog, cost, data
+
+
+@pytest.fixture(scope="module")
+def env():
+    catalog, cost, data = build_catalog()
+    return catalog, Planner(catalog, cost), Executor(catalog, cost), data
+
+
+class TestAccessPathChoice:
+    def test_point_query_uses_index(self, env):
+        _catalog, planner, _ex, _data = env
+        plan = planner.plan(parse("SELECT o_amount FROM orders WHERE o_id = 5"))
+        assert plan.base.path is AccessPath.INDEX_LOOKUP
+
+    def test_aggregate_scan_uses_columns(self, env):
+        _catalog, planner, _ex, _data = env
+        plan = planner.plan(parse("SELECT SUM(o_amount) FROM orders"))
+        assert plan.base.path is AccessPath.COLUMN_SCAN
+
+    def test_candidates_priced(self, env):
+        _catalog, planner, _ex, _data = env
+        plan = planner.plan(parse("SELECT SUM(o_amount) FROM orders"))
+        names = {c.path for c in plan.base.candidates}
+        assert AccessPath.ROW_SCAN in names
+        assert AccessPath.COLUMN_SCAN in names
+
+    def test_forced_path_respected(self, env):
+        catalog, _planner, _ex, _data = env
+        cost = CostModel()
+        forced = Planner(catalog, cost, force_path=AccessPath.ROW_SCAN)
+        plan = forced.plan(parse("SELECT SUM(o_amount) FROM orders"))
+        assert plan.base.path is AccessPath.ROW_SCAN
+
+    def test_unknown_table_rejected(self, env):
+        _catalog, planner, _ex, _data = env
+        with pytest.raises(PlanningError):
+            planner.plan(parse("SELECT x FROM missing"))
+
+    def test_unknown_column_rejected(self, env):
+        _catalog, planner, _ex, _data = env
+        with pytest.raises(PlanningError):
+            planner.plan(parse("SELECT nope FROM orders"))
+
+    def test_explain_mentions_path(self, env):
+        _catalog, planner, _ex, _data = env
+        text = planner.plan(parse("SELECT SUM(o_amount) FROM orders")).explain()
+        assert "column_scan" in text
+
+
+class TestExecutionCorrectness:
+    def brute_group_sum(self, rows, key_idx, val_idx, pred=lambda r: True):
+        out = {}
+        for r in rows:
+            if pred(r):
+                out.setdefault(r[key_idx], [0, 0.0])
+                out[r[key_idx]][0] += 1
+                out[r[key_idx]][1] += r[val_idx]
+        return out
+
+    def test_filtered_aggregate(self, env):
+        _c, planner, ex, data = env
+        result = ex.execute(
+            planner.plan(
+                parse("SELECT SUM(o_amount), COUNT(*) FROM orders WHERE o_region = 'e'")
+            )
+        )
+        expect = [r for r in data["orders"] if r[3] == "e"]
+        assert result.rows[0][1] == len(expect)
+        assert result.rows[0][0] == pytest.approx(sum(r[2] for r in expect))
+
+    def test_group_by(self, env):
+        _c, planner, ex, data = env
+        result = ex.execute(
+            planner.plan(
+                parse(
+                    "SELECT o_region, COUNT(*) AS n, SUM(o_amount) AS s "
+                    "FROM orders GROUP BY o_region ORDER BY o_region"
+                )
+            )
+        )
+        brute = self.brute_group_sum(data["orders"], 3, 2)
+        assert [r[0] for r in result.rows] == sorted(brute)
+        for region, n, s in result.rows:
+            assert n == brute[region][0]
+            assert s == pytest.approx(brute[region][1])
+
+    def test_avg_min_max(self, env):
+        _c, planner, ex, data = env
+        result = ex.execute(
+            planner.plan(
+                parse("SELECT AVG(o_amount), MIN(o_amount), MAX(o_amount) FROM orders")
+            )
+        )
+        amounts = [r[2] for r in data["orders"]]
+        avg, mn, mx = result.rows[0]
+        assert avg == pytest.approx(sum(amounts) / len(amounts))
+        assert mn == min(amounts)
+        assert mx == max(amounts)
+
+    def test_aggregate_arithmetic(self, env):
+        _c, planner, ex, data = env
+        result = ex.execute(
+            planner.plan(parse("SELECT SUM(o_amount) / COUNT(*) AS mean FROM orders"))
+        )
+        amounts = [r[2] for r in data["orders"]]
+        assert result.rows[0][0] == pytest.approx(sum(amounts) / len(amounts))
+
+    def test_expression_in_aggregate(self, env):
+        _c, planner, ex, data = env
+        result = ex.execute(
+            planner.plan(parse("SELECT SUM(o_amount * 2 + 1) FROM orders"))
+        )
+        expect = sum(r[2] * 2 + 1 for r in data["orders"])
+        assert result.rows[0][0] == pytest.approx(expect)
+
+    def test_join_group(self, env):
+        _c, planner, ex, data = env
+        result = ex.execute(
+            planner.plan(
+                parse(
+                    "SELECT c_tier, SUM(o_amount) AS s FROM orders "
+                    "JOIN customer ON o_c_id = c_id GROUP BY c_tier ORDER BY c_tier"
+                )
+            )
+        )
+        cmap = {r[0]: r for r in data["customer"]}
+        brute = {}
+        for r in data["orders"]:
+            tier = cmap[r[1]][1]
+            brute[tier] = brute.get(tier, 0.0) + r[2]
+        assert {r[0]: pytest.approx(r[1]) for r in result.rows} == brute
+
+    def test_join_with_filters_both_sides(self, env):
+        _c, planner, ex, data = env
+        result = ex.execute(
+            planner.plan(
+                parse(
+                    "SELECT COUNT(*) FROM orders JOIN customer ON o_c_id = c_id "
+                    "WHERE o_region = 'w' AND c_tier = 1"
+                )
+            )
+        )
+        cmap = {r[0]: r for r in data["customer"]}
+        expect = sum(
+            1 for r in data["orders"] if r[3] == "w" and cmap[r[1]][1] == 1
+        )
+        assert result.rows[0][0] == expect
+
+    def test_projection_order_limit(self, env):
+        _c, planner, ex, data = env
+        result = ex.execute(
+            planner.plan(
+                parse(
+                    "SELECT o_id, o_amount FROM orders WHERE o_amount > 90 "
+                    "ORDER BY o_amount DESC LIMIT 5"
+                )
+            )
+        )
+        brute = sorted(
+            [(r[0], r[2]) for r in data["orders"] if r[2] > 90],
+            key=lambda t: t[1],
+            reverse=True,
+        )[:5]
+        assert result.rows == [tuple(b) for b in brute]
+
+    def test_multi_key_order(self, env):
+        _c, planner, ex, data = env
+        result = ex.execute(
+            planner.plan(
+                parse(
+                    "SELECT o_region, o_id FROM orders WHERE o_id < 20 "
+                    "ORDER BY o_region ASC, o_id DESC"
+                )
+            )
+        )
+        brute = sorted(
+            [(r[3], r[0]) for r in data["orders"] if r[0] < 20],
+            key=lambda t: (t[0], -t[1]),
+        )
+        assert result.rows == brute
+
+    def test_row_and_column_paths_agree(self, env):
+        catalog, _planner, _ex, _data = env
+        cost = CostModel()
+        sql = (
+            "SELECT o_region, COUNT(*) AS n FROM orders "
+            "WHERE o_amount BETWEEN 20 AND 70 GROUP BY o_region ORDER BY o_region"
+        )
+        results = []
+        for path in (AccessPath.ROW_SCAN, AccessPath.COLUMN_SCAN):
+            planner = Planner(catalog, cost, force_path=path)
+            results.append(Executor(catalog, cost).execute(planner.plan(parse(sql))).rows)
+        assert results[0] == results[1]
+
+    def test_global_aggregate_on_empty_match(self, env):
+        _c, planner, ex, _d = env
+        result = ex.execute(
+            planner.plan(parse("SELECT COUNT(*), SUM(o_amount) FROM orders WHERE o_id = -1"))
+        )
+        assert result.rows[0][0] == 0
+
+    def test_scalar_helper(self, env):
+        _c, planner, ex, data = env
+        result = ex.execute(planner.plan(parse("SELECT COUNT(*) FROM orders")))
+        assert result.scalar() == len(data["orders"])
+
+    def test_star_projection(self, env):
+        _c, planner, ex, data = env
+        result = ex.execute(
+            planner.plan(parse("SELECT * FROM customer WHERE c_id = 3"))
+        )
+        assert len(result.rows) == 1
+        assert set(result.columns) >= {"c_id", "c_tier", "c_name"}
+
+
+class TestResidualJoins:
+    def test_composite_join_residual_equality(self):
+        cost = CostModel()
+        left = Schema(
+            "l",
+            [Column("l_a", DataType.INT64), Column("l_b", DataType.INT64),
+             Column("l_v", DataType.FLOAT64)],
+            ["l_a", "l_b"],
+        )
+        right = Schema(
+            "r",
+            [Column("r_a", DataType.INT64), Column("r_b", DataType.INT64),
+             Column("r_v", DataType.FLOAT64)],
+            ["r_a", "r_b"],
+        )
+        rng = random.Random(1)
+        l_rows = [(a, b, float(a * 10 + b)) for a in range(4) for b in range(4)]
+        r_rows = [(a, b, float(rng.randrange(100))) for a in range(4) for b in range(4)]
+        catalog = {}
+        for schema, rows in ((left, l_rows), (right, r_rows)):
+            store = MVCCRowStore(schema, cost)
+            for row in rows:
+                store.install_insert(row, commit_ts=1)
+            catalog[schema.table_name] = DualStoreTableAccess(store, None, cost)
+        planner = Planner(catalog, cost)
+        ex = Executor(catalog, cost)
+        result = ex.execute(
+            planner.plan(
+                parse("SELECT COUNT(*) FROM l, r WHERE l_a = r_a AND l_b = r_b")
+            )
+        )
+        # Exactly one match per composite key pair.
+        assert result.scalar() == 16

@@ -1,0 +1,50 @@
+"""Stats cache slack behavior."""
+
+from repro.query.stats_cache import StatsCache
+from repro.query.statistics import ColumnStats, TableStats
+
+
+def make_cache(min_slack=10, fraction=0.5):
+    calls = []
+
+    def compute():
+        calls.append(1)
+        return TableStats(row_count=100, columns={"a": ColumnStats(ndv=10)})
+
+    return StatsCache(compute, min_slack=min_slack, slack_fraction=fraction), calls
+
+
+class TestStatsCache:
+    def test_first_call_computes(self):
+        cache, calls = make_cache()
+        cache.get(version=0)
+        assert len(calls) == 1
+
+    def test_within_slack_cached(self):
+        cache, calls = make_cache(min_slack=10)
+        cache.get(0)
+        cache.get(5)
+        cache.get(10)
+        assert len(calls) == 1
+
+    def test_beyond_slack_refreshes(self):
+        cache, calls = make_cache(min_slack=10, fraction=0.0)
+        cache.get(0)
+        cache.get(11)
+        assert len(calls) == 2
+        assert cache.refreshes == 2
+
+    def test_fraction_scales_with_row_count(self):
+        cache, calls = make_cache(min_slack=1, fraction=0.5)
+        cache.get(0)      # row_count 100 -> slack max(1, 50) = 50
+        cache.get(40)
+        assert len(calls) == 1
+        cache.get(60)
+        assert len(calls) == 2
+
+    def test_invalidate_forces_recompute(self):
+        cache, calls = make_cache()
+        cache.get(0)
+        cache.invalidate()
+        cache.get(0)
+        assert len(calls) == 2

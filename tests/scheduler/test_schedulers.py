@@ -1,0 +1,182 @@
+"""Resource schedulers and the simulated GPU device."""
+
+import numpy as np
+import pytest
+
+from repro.common import Comparison, CostModel
+from repro.scheduler import (
+    AdaptiveHTAPScheduler,
+    ExecutionMode,
+    FreshnessDrivenScheduler,
+    GPUDevice,
+    ResourceAllocation,
+    RoundMetrics,
+    StaticScheduler,
+    WorkloadDrivenScheduler,
+)
+
+
+def metrics(**kwargs) -> RoundMetrics:
+    base = dict(
+        oltp_completed=10,
+        olap_completed=2,
+        oltp_backlog=0,
+        olap_backlog=0,
+        freshness_lag=0,
+        oltp_busy_us=100.0,
+        olap_busy_us=100.0,
+    )
+    base.update(kwargs)
+    return RoundMetrics(**base)
+
+
+class TestAllocation:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ResourceAllocation(oltp_slots=-1, olap_slots=2)
+        with pytest.raises(ValueError):
+            ResourceAllocation(oltp_slots=0, olap_slots=0)
+
+    def test_static_scheduler(self):
+        sched = StaticScheduler(total_slots=8, oltp_fraction=0.75, sync_every=2)
+        a1 = sched.allocate(None)
+        assert a1.oltp_slots == 6
+        assert not a1.run_sync
+        a2 = sched.allocate(metrics())
+        assert a2.run_sync
+
+
+class TestWorkloadDriven:
+    def test_shifts_toward_backlog(self):
+        sched = WorkloadDrivenScheduler(total_slots=10, smoothing=0.0)
+        alloc = sched.allocate(metrics(oltp_backlog=90, olap_backlog=10))
+        assert alloc.oltp_slots == 9
+        alloc = sched.allocate(metrics(oltp_backlog=10, olap_backlog=90))
+        assert alloc.oltp_slots == 1
+
+    def test_min_slots_floor(self):
+        sched = WorkloadDrivenScheduler(total_slots=10, min_slots=2, smoothing=0.0)
+        alloc = sched.allocate(metrics(oltp_backlog=0, olap_backlog=100))
+        assert alloc.oltp_slots == 2
+
+    def test_ignores_freshness(self):
+        sched = WorkloadDrivenScheduler(total_slots=8)
+        alloc = sched.allocate(metrics(freshness_lag=10_000))
+        assert alloc.mode is ExecutionMode.ISOLATED
+        assert not alloc.run_sync or sched._round % sched._sync_every == 0
+
+    def test_smoothing(self):
+        sched = WorkloadDrivenScheduler(total_slots=10, smoothing=0.9)
+        before = sched._oltp_share
+        sched.allocate(metrics(oltp_backlog=100, olap_backlog=0))
+        after = sched._oltp_share
+        assert before < after < 1.0
+
+
+class TestFreshnessDriven:
+    def test_switches_to_shared_on_lag(self):
+        sched = FreshnessDrivenScheduler(total_slots=8, lag_threshold=50)
+        a = sched.allocate(metrics(freshness_lag=10))
+        assert a.mode is ExecutionMode.ISOLATED and not a.run_sync
+        a = sched.allocate(metrics(freshness_lag=60))
+        assert a.mode is ExecutionMode.SHARED and a.run_sync
+
+    def test_hysteresis_on_recovery(self):
+        sched = FreshnessDrivenScheduler(
+            total_slots=8, lag_threshold=40, recover_threshold=10
+        )
+        sched.allocate(metrics(freshness_lag=50))
+        a = sched.allocate(metrics(freshness_lag=20))  # above recover
+        assert a.mode is ExecutionMode.SHARED
+        a = sched.allocate(metrics(freshness_lag=5))
+        assert a.mode is ExecutionMode.ISOLATED
+
+    def test_threshold_validation(self):
+        with pytest.raises(ValueError):
+            FreshnessDrivenScheduler(total_slots=4, lag_threshold=0)
+
+
+class TestAdaptive:
+    def test_hill_climbing_reverses_on_worse_score(self):
+        sched = AdaptiveHTAPScheduler(total_slots=10, lag_target=100)
+        sched.allocate(None)
+        sched.allocate(metrics(oltp_completed=100, olap_completed=10))
+        direction_before = sched._direction
+        # Much worse round: direction must flip.
+        sched.allocate(metrics(oltp_completed=1, olap_completed=0))
+        assert sched._direction == -direction_before
+
+    def test_predictive_sync_before_threshold(self):
+        sched = AdaptiveHTAPScheduler(total_slots=8, lag_target=100)
+        sched.allocate(None)
+        sched.allocate(metrics(freshness_lag=40))
+        sched.allocate(metrics(freshness_lag=70))
+        # Lag growing 30/round: predicted 100 >= target -> sync now.
+        alloc = sched.allocate(metrics(freshness_lag=85))
+        assert alloc.run_sync
+
+    def test_extreme_lag_switches_shared(self):
+        sched = AdaptiveHTAPScheduler(total_slots=8, lag_target=50)
+        sched.allocate(None)
+        alloc = sched.allocate(metrics(freshness_lag=200))
+        assert alloc.mode is ExecutionMode.SHARED
+
+    def test_slots_stay_in_bounds(self):
+        sched = AdaptiveHTAPScheduler(total_slots=4, step=3)
+        last = None
+        for i in range(20):
+            alloc = sched.allocate(last)
+            assert 1 <= alloc.oltp_slots <= 3
+            last = metrics(oltp_completed=i % 7, olap_completed=i % 3)
+
+
+class TestGpu:
+    def _arrays(self, n=1000):
+        return {
+            "v": np.arange(n, dtype=np.float64),
+            "g": np.arange(n) % 7,
+        }
+
+    def test_filtered_aggregate_correct(self):
+        gpu = GPUDevice(CostModel())
+        total, matched = gpu.filtered_aggregate(
+            "t", self._arrays(), Comparison("g", "=", 3), agg_column="v"
+        )
+        arrays = self._arrays()
+        mask = arrays["g"] == 3
+        assert matched == int(mask.sum())
+        assert total == pytest.approx(float(arrays["v"][mask].sum()))
+
+    def test_transfer_once_then_cached(self):
+        gpu = GPUDevice(CostModel())
+        arrays = self._arrays()
+        gpu.filtered_aggregate("t", arrays, agg_column="v")
+        transferred = gpu.stats.values_transferred
+        gpu.filtered_aggregate("t", arrays, agg_column="v")
+        assert gpu.stats.values_transferred == transferred  # resident
+
+    def test_invalidation_forces_retransfer(self):
+        gpu = GPUDevice(CostModel())
+        arrays = self._arrays()
+        gpu.filtered_aggregate("t", arrays, agg_column="v")
+        transferred = gpu.stats.values_transferred
+        gpu.invalidate_table("t")
+        gpu.filtered_aggregate("t", arrays, agg_column="v")
+        assert gpu.stats.values_transferred == 2 * transferred
+
+    def test_kernel_faster_than_cpu_scan_when_resident(self):
+        cost = CostModel()
+        gpu = GPUDevice(cost)
+        arrays = self._arrays(10_000)
+        gpu.filtered_aggregate("t", arrays, agg_column="v")  # warm
+        before = cost.now_us()
+        gpu.filtered_aggregate("t", arrays, agg_column="v")
+        gpu_cost = cost.now_us() - before
+        cpu_cost = cost.column_scan_per_value_us * 10_000 * 2
+        assert gpu_cost < cpu_cost
+
+    def test_memory_budget_eviction(self):
+        gpu = GPUDevice(CostModel(), memory_budget_bytes=100_000)
+        for t in range(5):
+            gpu.filtered_aggregate(f"t{t}", self._arrays(5_000), agg_column="v")
+        assert gpu.resident_bytes() <= 100_000 + 5_000 * 8 * 2

@@ -1,0 +1,178 @@
+"""B+-tree unit and property tests."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common.errors import KeyNotFoundError
+from repro.storage.btree import BPlusTree
+
+
+class TestBasics:
+    def test_empty(self):
+        tree = BPlusTree()
+        assert len(tree) == 0
+        assert tree.get(1) is None
+        assert 1 not in tree
+
+    def test_insert_get(self):
+        tree = BPlusTree(order=4)
+        tree.insert(5, "five")
+        assert tree.get(5) == "five"
+        assert 5 in tree
+
+    def test_overwrite(self):
+        tree = BPlusTree()
+        tree.insert(1, "a")
+        tree.insert(1, "b")
+        assert tree.get(1) == "b"
+        assert len(tree) == 1
+
+    def test_lookup_missing_raises(self):
+        with pytest.raises(KeyNotFoundError):
+            BPlusTree().lookup(42)
+
+    def test_min_max(self):
+        tree = BPlusTree(order=4)
+        for k in [5, 1, 9, 3]:
+            tree.insert(k, k)
+        assert tree.min_key() == 1
+        assert tree.max_key() == 9
+
+    def test_min_on_empty_raises(self):
+        with pytest.raises(KeyNotFoundError):
+            BPlusTree().min_key()
+
+    def test_order_validation(self):
+        with pytest.raises(ValueError):
+            BPlusTree(order=2)
+
+    def test_depth_grows(self):
+        tree = BPlusTree(order=4)
+        for k in range(200):
+            tree.insert(k, k)
+        assert tree.depth() >= 3
+
+
+class TestOrderedIteration:
+    def test_sorted_iteration_random_inserts(self):
+        tree = BPlusTree(order=4)
+        keys = list(range(500))
+        random.Random(7).shuffle(keys)
+        for k in keys:
+            tree.insert(k, k * 2)
+        assert list(tree.keys()) == list(range(500))
+        tree.check_invariants()
+
+    def test_range_inclusive(self):
+        tree = BPlusTree(order=4)
+        for k in range(0, 100, 2):
+            tree.insert(k, k)
+        got = [k for k, _v in tree.range(10, 20)]
+        assert got == [10, 12, 14, 16, 18, 20]
+
+    def test_range_exclusive_low(self):
+        tree = BPlusTree(order=4)
+        for k in range(10):
+            tree.insert(k, k)
+        got = [k for k, _ in tree.range(3, 6, include_low=False)]
+        assert got == [4, 5, 6]
+
+    def test_range_exclusive_high(self):
+        tree = BPlusTree(order=4)
+        for k in range(10):
+            tree.insert(k, k)
+        got = [k for k, _ in tree.range(3, 6, include_high=False)]
+        assert got == [3, 4, 5]
+
+    def test_range_open_ended(self):
+        tree = BPlusTree(order=4)
+        for k in range(10):
+            tree.insert(k, k)
+        assert [k for k, _ in tree.range(7, None)] == [7, 8, 9]
+        assert [k for k, _ in tree.range(None, 2)] == [0, 1, 2]
+
+    def test_range_on_missing_bounds(self):
+        tree = BPlusTree(order=4)
+        for k in range(0, 20, 5):
+            tree.insert(k, k)
+        assert [k for k, _ in tree.range(1, 11)] == [5, 10]
+
+
+class TestDelete:
+    def test_delete_present(self):
+        tree = BPlusTree(order=4)
+        for k in range(50):
+            tree.insert(k, k)
+        for k in range(0, 50, 2):
+            tree.delete(k)
+        assert len(tree) == 25
+        assert list(tree.keys()) == list(range(1, 50, 2))
+        tree.check_invariants()
+
+    def test_delete_missing_raises(self):
+        tree = BPlusTree()
+        tree.insert(1, 1)
+        with pytest.raises(KeyNotFoundError):
+            tree.delete(2)
+
+    def test_reinsert_after_delete(self):
+        tree = BPlusTree(order=4)
+        tree.insert(1, "a")
+        tree.delete(1)
+        tree.insert(1, "b")
+        assert tree.get(1) == "b"
+
+
+class TestTupleKeys:
+    def test_composite_keys_sort_lexicographically(self):
+        tree = BPlusTree(order=4)
+        keys = [(w, d) for w in range(5) for d in range(5)]
+        random.Random(3).shuffle(keys)
+        for k in keys:
+            tree.insert(k, k)
+        assert list(tree.keys()) == sorted(keys)
+
+    def test_string_keys(self):
+        tree = BPlusTree(order=4)
+        for word in ["pear", "apple", "fig", "banana"]:
+            tree.insert(word, word.upper())
+        assert list(tree.keys()) == ["apple", "banana", "fig", "pear"]
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(st.sampled_from(["insert", "delete"]), st.integers(0, 200)),
+        max_size=300,
+    )
+)
+def test_matches_dict_model(ops):
+    """The tree behaves exactly like a dict + sorted() reference model."""
+    tree = BPlusTree(order=4)
+    model: dict = {}
+    for op, key in ops:
+        if op == "insert":
+            tree.insert(key, key * 3)
+            model[key] = key * 3
+        elif key in model:
+            tree.delete(key)
+            del model[key]
+    assert list(tree.items()) == sorted(model.items())
+    tree.check_invariants()
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    keys=st.sets(st.integers(-1000, 1000), max_size=200),
+    low=st.integers(-1000, 1000),
+    high=st.integers(-1000, 1000),
+)
+def test_range_matches_model(keys, low, high):
+    low, high = min(low, high), max(low, high)
+    tree = BPlusTree(order=6)
+    for k in keys:
+        tree.insert(k, k)
+    got = [k for k, _v in tree.range(low, high)]
+    assert got == sorted(k for k in keys if low <= k <= high)

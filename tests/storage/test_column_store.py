@@ -1,0 +1,206 @@
+"""Column store: segments, zone maps, deletes, upserts, compaction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common import (
+    ALWAYS_TRUE,
+    Between,
+    Column,
+    Comparison,
+    CostModel,
+    DataType,
+    Schema,
+    StorageError,
+)
+from repro.storage.column_store import ColumnStore
+
+
+def make_schema():
+    return Schema(
+        "t",
+        [
+            Column("id", DataType.INT64),
+            Column("v", DataType.FLOAT64),
+            Column("s", DataType.STRING),
+        ],
+        ["id"],
+    )
+
+
+def rows(n, start=0):
+    return [(i, float(i), f"s{i % 3}") for i in range(start, start + n)]
+
+
+class TestAppendScan:
+    def test_append_and_scan_all(self):
+        store = ColumnStore(make_schema())
+        store.append_rows(rows(10), commit_ts=1)
+        result = store.scan(["v"])
+        assert len(result) == 10
+        assert result.arrays["v"].sum() == sum(float(i) for i in range(10))
+
+    def test_scan_predicate(self):
+        store = ColumnStore(make_schema())
+        store.append_rows(rows(20), commit_ts=1)
+        result = store.scan(["id"], Comparison("v", "<", 5.0))
+        assert sorted(result.arrays["id"].tolist()) == [0, 1, 2, 3, 4]
+
+    def test_scan_predicate_column_not_projected(self):
+        store = ColumnStore(make_schema())
+        store.append_rows(rows(10), commit_ts=1)
+        result = store.scan(["s"], Comparison("id", "=", 4))
+        assert result.arrays["s"].tolist() == ["s1"]
+
+    def test_empty_append_rejected(self):
+        with pytest.raises(StorageError):
+            ColumnStore(make_schema()).append_rows([], commit_ts=1)
+
+    def test_multiple_segments(self):
+        store = ColumnStore(make_schema())
+        store.append_rows(rows(5), commit_ts=1)
+        store.append_rows(rows(5, start=5), commit_ts=2)
+        assert store.segment_count() == 2
+        assert len(store) == 10
+        assert len(store.scan(["id"])) == 10
+
+    def test_scan_empty_store(self):
+        store = ColumnStore(make_schema())
+        result = store.scan(["id"])
+        assert len(result) == 0
+        assert result.arrays["id"].dtype == np.int64
+
+
+class TestZoneMaps:
+    def test_pruning_skips_segments(self):
+        store = ColumnStore(make_schema())
+        store.append_rows(rows(100), commit_ts=1)           # ids 0..99
+        store.append_rows(rows(100, start=1000), commit_ts=2)  # ids 1000..1099
+        result = store.scan(["id"], Between("id", 1050, 1060))
+        assert result.segments_pruned == 1
+        assert result.segments_scanned == 1
+        assert len(result) == 11
+
+    def test_pruning_never_loses_rows(self):
+        store = ColumnStore(make_schema())
+        for chunk in range(5):
+            store.append_rows(rows(20, start=chunk * 100), commit_ts=chunk + 1)
+        result = store.scan(["id"], Comparison("id", ">=", 250))
+        brute = [r[0] for chunk in range(5) for r in rows(20, start=chunk * 100) if r[0] >= 250]
+        assert sorted(result.arrays["id"].tolist()) == sorted(brute)
+
+
+class TestDeleteUpsert:
+    def test_delete_hides_rows(self):
+        store = ColumnStore(make_schema())
+        store.append_rows(rows(10), commit_ts=1)
+        assert store.delete_keys([3, 5, 99]) == 2
+        assert len(store) == 8
+        got = store.scan(["id"]).arrays["id"].tolist()
+        assert 3 not in got and 5 not in got
+
+    def test_upsert_replaces_old_version(self):
+        store = ColumnStore(make_schema())
+        store.append_rows(rows(5), commit_ts=1)
+        store.append_rows([(2, 99.0, "new")], commit_ts=2)
+        result = store.scan(["v"], Comparison("id", "=", 2))
+        assert result.arrays["v"].tolist() == [99.0]
+        assert len(store) == 5
+
+    def test_get_row(self):
+        store = ColumnStore(make_schema())
+        store.append_rows(rows(5), commit_ts=1)
+        assert store.get_row(3) == (3, 3.0, "s0")
+        assert store.get_row(77) is None
+
+    def test_get_row_after_delete(self):
+        store = ColumnStore(make_schema())
+        store.append_rows(rows(5), commit_ts=1)
+        store.delete_keys([3])
+        assert store.get_row(3) is None
+
+    def test_all_rows_round_trip(self):
+        store = ColumnStore(make_schema())
+        data = rows(25)
+        store.append_rows(data, commit_ts=1)
+        assert sorted(store.all_rows()) == sorted(data)
+
+
+class TestCompaction:
+    def test_compact_drops_dead_space(self):
+        store = ColumnStore(make_schema())
+        store.append_rows(rows(50), commit_ts=1)
+        store.delete_keys(list(range(0, 50, 2)))
+        assert store.dead_fraction() == pytest.approx(0.5)
+        before = sorted(store.all_rows())
+        store.compact()
+        assert store.dead_fraction() == 0.0
+        assert store.segment_count() == 1
+        assert sorted(store.all_rows()) == before
+
+    def test_compact_preserves_sync_ts(self):
+        store = ColumnStore(make_schema())
+        store.append_rows(rows(5), commit_ts=42)
+        store.compact()
+        assert store.max_commit_ts() == 42
+
+    def test_compact_empty(self):
+        store = ColumnStore(make_schema())
+        store.append_rows(rows(3), commit_ts=1)
+        store.delete_keys([0, 1, 2])
+        store.compact()
+        assert len(store) == 0
+
+
+class TestCosts:
+    def test_scan_charges_time(self):
+        cost = CostModel()
+        store = ColumnStore(make_schema(), cost)
+        store.append_rows(rows(100), commit_ts=1)
+        before = cost.now_us()
+        store.scan(["v"])
+        assert cost.now_us() > before
+
+    def test_forced_encoding(self):
+        store = ColumnStore(make_schema(), forced_encoding="plain")
+        store.append_rows(rows(10), commit_ts=1)
+        seg = store.segments[0]
+        assert all(enc.name == "plain" for enc in seg.encodings.values())
+
+    def test_nullable_columns_round_trip(self):
+        schema = Schema(
+            "t",
+            [Column("id", DataType.INT64), Column("d", DataType.INT64, nullable=True)],
+            ["id"],
+        )
+        store = ColumnStore(schema)
+        store.append_rows([(1, None), (2, 7)], commit_ts=1)
+        assert store.get_row(1) == (1, None)
+        assert sorted(store.all_rows()) == [(1, None), (2, 7)]
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    batches=st.lists(
+        st.lists(st.integers(0, 50), min_size=1, max_size=20), min_size=1, max_size=5
+    ),
+    deletions=st.lists(st.integers(0, 50), max_size=20),
+)
+def test_upsert_delete_matches_dict_model(batches, deletions):
+    """Append (upsert) batches then deletes behave like a dict."""
+    store = ColumnStore(make_schema())
+    model: dict[int, tuple] = {}
+    ts = 0
+    for batch in batches:
+        ts += 1
+        unique = {}
+        for key in batch:
+            unique[key] = (key, float(ts), f"s{key % 3}")
+        store.append_rows(list(unique.values()), commit_ts=ts)
+        model.update(unique)
+    for key in deletions:
+        store.delete_keys([key])
+        model.pop(key, None)
+    assert sorted(store.all_rows()) == sorted(model.values())
+    assert len(store) == len(model)

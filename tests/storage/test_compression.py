@@ -1,0 +1,152 @@
+"""Compression codecs must round-trip exactly and estimate sizes sanely."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.storage.compression import (
+    BitPackedEncoding,
+    DictionaryEncoding,
+    PlainEncoding,
+    RunLengthEncoding,
+    choose_encoding,
+    encoding_for_name,
+)
+
+
+class TestPlain:
+    def test_round_trip(self):
+        arr = np.array([3, 1, 4, 1, 5])
+        enc = PlainEncoding(data=arr)
+        assert np.array_equal(enc.decode(), arr)
+        assert len(enc) == 5
+
+    def test_take(self):
+        enc = PlainEncoding(data=np.array([10, 20, 30]))
+        assert enc.take(np.array([2, 0])).tolist() == [30, 10]
+
+
+class TestDictionary:
+    def test_round_trip_strings(self):
+        arr = np.array(["b", "a", "b", "c", "a"], dtype=object)
+        enc = DictionaryEncoding.encode(arr)
+        assert enc.decode().tolist() == arr.tolist()
+        assert enc.cardinality() == 3
+
+    def test_dictionary_is_sorted(self):
+        arr = np.array(["z", "m", "a", "m"], dtype=object)
+        enc = DictionaryEncoding.encode(arr)
+        assert enc.dictionary.tolist() == sorted(set(arr.tolist()))
+
+    def test_round_trip_ints(self):
+        arr = np.array([5, 5, 2, 9, 2])
+        enc = DictionaryEncoding.encode(arr)
+        assert enc.decode().tolist() == arr.tolist()
+
+    def test_take(self):
+        enc = DictionaryEncoding.encode(np.array(["x", "y", "x"], dtype=object))
+        assert enc.take(np.array([0, 2])).tolist() == ["x", "x"]
+
+    def test_compresses_repetitive_strings(self):
+        arr = np.array(["longvalue"] * 1000, dtype=object)
+        enc = DictionaryEncoding.encode(arr)
+        assert enc.size_bytes() < PlainEncoding(data=arr).size_bytes() / 2
+
+
+class TestRunLength:
+    def test_round_trip(self):
+        arr = np.array([1, 1, 1, 2, 2, 3])
+        enc = RunLengthEncoding.encode(arr)
+        assert enc.decode().tolist() == arr.tolist()
+        assert enc.n_runs() == 3
+
+    def test_empty(self):
+        enc = RunLengthEncoding.encode(np.array([], dtype=np.int64))
+        assert len(enc) == 0
+        assert enc.decode().tolist() == []
+
+    def test_single_run(self):
+        enc = RunLengthEncoding.encode(np.array([7] * 100))
+        assert enc.n_runs() == 1
+        assert len(enc) == 100
+
+    def test_object_dtype(self):
+        arr = np.array(["a", "a", "b"], dtype=object)
+        enc = RunLengthEncoding.encode(arr)
+        assert enc.decode().tolist() == ["a", "a", "b"]
+
+    def test_compresses_sorted_data(self):
+        arr = np.repeat(np.arange(10), 100)
+        enc = RunLengthEncoding.encode(arr)
+        assert enc.size_bytes() < arr.nbytes / 10
+
+
+class TestBitPacked:
+    def test_round_trip(self):
+        arr = np.array([1000, 1001, 1005, 1002])
+        enc = BitPackedEncoding.encode(arr)
+        assert enc.decode().tolist() == arr.tolist()
+        assert enc.offsets.dtype == np.uint8
+
+    def test_wider_ranges_pick_wider_dtypes(self):
+        enc16 = BitPackedEncoding.encode(np.array([0, 60_000]))
+        assert enc16.offsets.dtype == np.uint16
+        enc32 = BitPackedEncoding.encode(np.array([0, 2**20]))
+        assert enc32.offsets.dtype == np.uint32
+
+    def test_negative_base(self):
+        arr = np.array([-50, -48, -49])
+        enc = BitPackedEncoding.encode(arr)
+        assert enc.decode().tolist() == arr.tolist()
+
+    def test_take(self):
+        enc = BitPackedEncoding.encode(np.array([100, 200, 150]))
+        assert enc.take(np.array([1])).tolist() == [200]
+
+    def test_empty(self):
+        enc = BitPackedEncoding.encode(np.array([], dtype=np.int64))
+        assert len(enc) == 0
+
+
+class TestChooser:
+    def test_repetitive_strings_get_dictionary(self):
+        arr = np.array(["a", "b"] * 500, dtype=object)
+        assert choose_encoding(arr).name in ("dictionary",)
+
+    def test_unique_strings_stay_plain(self):
+        arr = np.array([f"unique-{i}" for i in range(100)], dtype=object)
+        assert choose_encoding(arr).name == "plain"
+
+    def test_small_range_ints_get_packed_or_rle(self):
+        arr = np.array([5, 6, 7] * 100)
+        assert choose_encoding(arr).name in ("bitpack", "rle", "dictionary")
+
+    def test_chooser_minimizes_size(self):
+        arr = np.repeat(np.arange(4), 256)
+        chosen = choose_encoding(arr)
+        for name in ("plain", "rle", "bitpack", "dictionary"):
+            other = encoding_for_name(name, arr)
+            assert chosen.size_bytes() <= other.size_bytes()
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            encoding_for_name("snappy", np.array([1]))
+
+
+@settings(max_examples=80, deadline=None)
+@given(values=st.lists(st.integers(-10_000, 10_000), max_size=300))
+def test_all_int_codecs_round_trip(values):
+    arr = np.array(values, dtype=np.int64)
+    for name in ("plain", "dictionary", "rle", "bitpack"):
+        enc = encoding_for_name(name, arr)
+        assert enc.decode().tolist() == values
+        assert len(enc) == len(values)
+
+
+@settings(max_examples=50, deadline=None)
+@given(values=st.lists(st.sampled_from(["a", "bb", "ccc", ""]), max_size=200))
+def test_string_codecs_round_trip(values):
+    arr = np.array(values, dtype=object)
+    for name in ("plain", "dictionary", "rle"):
+        enc = encoding_for_name(name, arr)
+        assert enc.decode().tolist() == values

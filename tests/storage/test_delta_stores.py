@@ -1,0 +1,163 @@
+"""In-memory delta store and log-based delta files."""
+
+import pytest
+
+from repro.common import Column, CostModel, DataType, Schema
+from repro.storage.delta_log import LogDeltaManager
+from repro.storage.delta_store import (
+    DeltaEntry,
+    DeltaKind,
+    InMemoryDeltaStore,
+    collapse_entries,
+)
+
+
+def make_schema():
+    return Schema(
+        "t",
+        [Column("id", DataType.INT64), Column("v", DataType.FLOAT64)],
+        ["id"],
+    )
+
+
+class TestInMemoryDelta:
+    def test_append_order_enforced(self):
+        delta = InMemoryDeltaStore(make_schema())
+        delta.record_insert((1, 1.0), commit_ts=5)
+        with pytest.raises(ValueError):
+            delta.record_insert((2, 2.0), commit_ts=4)
+
+    def test_effective_rows_collapse(self):
+        delta = InMemoryDeltaStore(make_schema())
+        delta.record_insert((1, 1.0), 1)
+        delta.record_update((1, 2.0), 2)
+        delta.record_insert((2, 5.0), 3)
+        delta.record_delete(2, 4)
+        live, tombstones = delta.effective_rows(snapshot_ts=10)
+        assert live == {1: (1, 2.0)}
+        assert tombstones == {2}
+
+    def test_effective_rows_respects_snapshot(self):
+        delta = InMemoryDeltaStore(make_schema())
+        delta.record_insert((1, 1.0), 1)
+        delta.record_update((1, 2.0), 5)
+        live, _ = delta.effective_rows(snapshot_ts=3)
+        assert live == {1: (1, 1.0)}
+
+    def test_delete_then_reinsert(self):
+        delta = InMemoryDeltaStore(make_schema())
+        delta.record_insert((1, 1.0), 1)
+        delta.record_delete(1, 2)
+        delta.record_insert((1, 9.0), 3)
+        live, tombstones = delta.effective_rows(10)
+        assert live == {1: (1, 9.0)}
+        assert tombstones == set()
+
+    def test_drain_up_to(self):
+        delta = InMemoryDeltaStore(make_schema())
+        for ts in range(1, 11):
+            delta.record_insert((ts, float(ts)), ts)
+        drained = delta.drain_up_to(5)
+        assert len(drained) == 5
+        assert len(delta) == 5
+        assert delta.min_commit_ts() == 6
+
+    def test_drain_rebuilds_latest_index(self):
+        delta = InMemoryDeltaStore(make_schema())
+        delta.record_insert((1, 1.0), 1)
+        delta.record_insert((2, 1.0), 2)
+        delta.drain_up_to(1)
+        assert delta.updated_keys() == {2}
+
+    def test_timestamps(self):
+        delta = InMemoryDeltaStore(make_schema())
+        assert delta.max_commit_ts() == 0
+        delta.record_insert((1, 1.0), 7)
+        assert delta.min_commit_ts() == 7
+        assert delta.max_commit_ts() == 7
+
+
+class TestCollapse:
+    def test_collapse_entries(self):
+        entries = [
+            DeltaEntry(DeltaKind.INSERT, 1, (1, 1.0), 1),
+            DeltaEntry(DeltaKind.DELETE, 1, None, 2),
+            DeltaEntry(DeltaKind.INSERT, 2, (2, 2.0), 3),
+            DeltaEntry(DeltaKind.UPDATE, 2, (2, 3.0), 4),
+        ]
+        live, tombstones = collapse_entries(entries)
+        assert live == {2: (2, 3.0)}
+        assert tombstones == {1}
+
+
+class TestLogDelta:
+    def test_seal_threshold(self):
+        log = LogDeltaManager(make_schema(), seal_threshold=4)
+        for i in range(10):
+            log.record_insert((i, float(i)), i + 1)
+        assert len(log.files) == 2
+        assert log.unsealed_entries() == 2
+        assert log.sealed_entries() == 8
+
+    def test_unsealed_entries_invisible(self):
+        log = LogDeltaManager(make_schema(), seal_threshold=100)
+        log.record_insert((1, 1.0), 1)
+        live, _ = log.effective_rows()
+        assert live == {}
+        log.seal()
+        live, _ = log.effective_rows()
+        assert live == {1: (1, 1.0)}
+
+    def test_file_key_index_lookup(self):
+        log = LogDeltaManager(make_schema(), seal_threshold=100)
+        for i in range(20):
+            log.record_insert((i, float(i)), i + 1)
+        sealed = log.seal()
+        assert sealed is not None
+        entry = sealed.lookup(7)
+        assert entry is not None and entry.row == (7, 7.0)
+        assert sealed.lookup(99) is None
+
+    def test_newest_entry_wins_within_file(self):
+        log = LogDeltaManager(make_schema(), seal_threshold=100)
+        log.record_insert((1, 1.0), 1)
+        log.record_update((1, 2.0), 2)
+        log.seal()
+        live, _ = log.effective_rows()
+        assert live == {1: (1, 2.0)}
+
+    def test_drain_files(self):
+        log = LogDeltaManager(make_schema(), seal_threshold=2)
+        for i in range(6):
+            log.record_insert((i, float(i)), i + 1)
+        files = log.drain_files()
+        assert len(files) == 3
+        assert log.files == []
+
+    def test_effective_rows_up_to_ts(self):
+        log = LogDeltaManager(make_schema(), seal_threshold=1)
+        log.record_insert((1, 1.0), 5)
+        log.record_insert((2, 2.0), 9)
+        live, _ = log.effective_rows(up_to_ts=6)
+        assert set(live) == {1}
+
+    def test_seal_charges_io_and_shipping(self):
+        cost = CostModel()
+        log = LogDeltaManager(make_schema(), cost=cost, seal_threshold=100)
+        log.record_insert((1, 1.0), 1)
+        before = cost.now_us()
+        log.seal()
+        assert cost.now_us() - before >= cost.page_write_us
+
+    def test_scan_charges_page_reads(self):
+        cost = CostModel()
+        log = LogDeltaManager(make_schema(), cost=cost, seal_threshold=10)
+        for i in range(30):
+            log.record_insert((i, float(i)), i + 1)
+        before = cost.now_us()
+        log.scan_sealed()
+        assert cost.now_us() - before >= 3 * cost.page_read_us
+
+    def test_seal_empty_returns_none(self):
+        log = LogDeltaManager(make_schema())
+        assert log.seal() is None

@@ -1,0 +1,210 @@
+"""Disk row store (pages + buffer pool) and Oracle-style IMCU/SMU."""
+
+import pytest
+
+from repro.common import (
+    Column,
+    Comparison,
+    CostModel,
+    DataType,
+    DuplicateKeyError,
+    KeyNotFoundError,
+    Schema,
+)
+from repro.storage.disk_row_store import DiskRowStore
+from repro.storage.imcu import InMemoryColumnUnit
+from repro.storage.pages import PAGE_CAPACITY, BufferPool, Page
+from repro.storage.row_store import MVCCRowStore
+
+
+def make_schema():
+    return Schema(
+        "t",
+        [Column("id", DataType.INT64), Column("v", DataType.FLOAT64)],
+        ["id"],
+    )
+
+
+class TestBufferPool:
+    def test_hit_miss_accounting(self):
+        cost = CostModel()
+        disk = {i: Page(page_id=i) for i in range(10)}
+        pool = BufferPool(disk, capacity=3, cost=cost)
+        pool.fetch(0)
+        pool.fetch(1)
+        pool.fetch(0)
+        assert pool.hits == 1
+        assert pool.misses == 2
+
+    def test_eviction_lru(self):
+        cost = CostModel()
+        disk = {i: Page(page_id=i) for i in range(10)}
+        pool = BufferPool(disk, capacity=2, cost=cost)
+        pool.fetch(0)
+        pool.fetch(1)
+        pool.fetch(2)  # evicts 0
+        assert pool.evictions == 1
+        pool.fetch(0)  # miss again
+        assert pool.misses == 4
+
+    def test_dirty_eviction_pays_write(self):
+        cost = CostModel()
+        disk = {i: Page(page_id=i) for i in range(3)}
+        pool = BufferPool(disk, capacity=1, cost=cost)
+        page = pool.fetch(0)
+        page.dirty = True
+        before = cost.now_us()
+        pool.fetch(1)
+        assert cost.now_us() - before >= cost.page_write_us
+
+    def test_flush_all(self):
+        cost = CostModel()
+        disk = {0: Page(page_id=0)}
+        pool = BufferPool(disk, capacity=2, cost=cost)
+        pool.fetch(0).dirty = True
+        assert pool.flush_all() == 1
+        assert pool.flush_all() == 0
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            BufferPool({}, capacity=0, cost=CostModel())
+
+
+class TestDiskRowStore:
+    def test_insert_read(self):
+        store = DiskRowStore(make_schema())
+        store.insert((1, 1.5), commit_ts=1)
+        assert store.read(1) == (1, 1.5)
+        assert store.read(2) is None
+
+    def test_duplicate_rejected(self):
+        store = DiskRowStore(make_schema())
+        store.insert((1, 1.0), 1)
+        with pytest.raises(DuplicateKeyError):
+            store.insert((1, 2.0), 2)
+
+    def test_update_delete(self):
+        store = DiskRowStore(make_schema())
+        store.insert((1, 1.0), 1)
+        store.update(1, (1, 9.0), 2)
+        assert store.read(1) == (1, 9.0)
+        store.delete(1, 3)
+        assert store.read(1) is None
+        assert len(store) == 0
+
+    def test_delete_missing_raises(self):
+        store = DiskRowStore(make_schema())
+        with pytest.raises(KeyNotFoundError):
+            store.delete(1, 1)
+
+    def test_slot_reuse_after_delete(self):
+        store = DiskRowStore(make_schema())
+        for i in range(PAGE_CAPACITY):
+            store.insert((i, float(i)), 1)
+        pages_before = store.page_count()
+        store.delete(0, 2)
+        store.insert((999, 9.0), 3)
+        assert store.page_count() == pages_before
+
+    def test_pages_allocated_as_needed(self):
+        store = DiskRowStore(make_schema())
+        n = PAGE_CAPACITY * 3 + 1
+        for i in range(n):
+            store.insert((i, float(i)), 1)
+        assert store.page_count() == 4
+
+    def test_scan(self):
+        store = DiskRowStore(make_schema())
+        for i in range(100):
+            store.insert((i, float(i)), 1)
+        rows = store.scan(Comparison("v", ">=", 95.0))
+        assert sorted(r[0] for r in rows) == [95, 96, 97, 98, 99]
+
+    def test_iter_rows_index_order(self):
+        store = DiskRowStore(make_schema())
+        for i in [5, 1, 9, 3]:
+            store.insert((i, float(i)), 1)
+        assert [k for k, _r in store.iter_rows()] == [1, 3, 5, 9]
+
+    def test_change_listener(self):
+        store = DiskRowStore(make_schema())
+        events = []
+        store.add_change_listener(lambda kind, key, row, ts: events.append((kind, key)))
+        store.insert((1, 1.0), 1)
+        store.update(1, (1, 2.0), 2)
+        store.delete(1, 3)
+        assert events == [("insert", 1), ("update", 1), ("delete", 1)]
+
+    def test_buffer_misses_on_cold_scan(self):
+        store = DiskRowStore(make_schema(), buffer_capacity=2)
+        for i in range(PAGE_CAPACITY * 8):
+            store.insert((i, float(i)), 1)
+        store.scan()
+        assert store.buffer_pool.misses > 0
+
+
+class TestImcu:
+    def _store_with_rows(self, n=20):
+        cost = CostModel()
+        store = MVCCRowStore(make_schema(), cost)
+        for i in range(n):
+            store.install_insert((i, float(i)), commit_ts=1)
+        return store, cost
+
+    def test_populate_and_scan(self):
+        store, cost = self._store_with_rows()
+        imcu = InMemoryColumnUnit(make_schema(), store, cost)
+        assert imcu.populate(snapshot_ts=1) == 20
+        result = imcu.scan(1, ["v"], Comparison("id", "<", 5))
+        assert sorted(result.arrays["v"].tolist()) == [0.0, 1.0, 2.0, 3.0, 4.0]
+
+    def test_stale_key_patched_from_row_store(self):
+        store, cost = self._store_with_rows()
+        imcu = InMemoryColumnUnit(make_schema(), store, cost)
+        imcu.populate(1)
+        store.install_update(3, (3, 99.0), 5)
+        imcu.on_change(3)
+        result = imcu.scan(5, ["v"], Comparison("id", "=", 3))
+        assert result.arrays["v"].tolist() == [99.0]
+
+    def test_new_key_patched(self):
+        store, cost = self._store_with_rows()
+        imcu = InMemoryColumnUnit(make_schema(), store, cost)
+        imcu.populate(1)
+        store.install_insert((100, 100.0), 5)
+        imcu.on_change(100)
+        result = imcu.scan(5, ["id"])
+        assert 100 in result.arrays["id"].tolist()
+
+    def test_unpatched_scan_is_stale(self):
+        store, cost = self._store_with_rows()
+        imcu = InMemoryColumnUnit(make_schema(), store, cost)
+        imcu.populate(1)
+        store.install_update(3, (3, 99.0), 5)
+        imcu.on_change(3)
+        result = imcu.scan(1, ["v"], patch=False)
+        # The stale key is dropped, not patched.
+        assert 99.0 not in result.arrays["v"].tolist()
+        assert len(result) == 19
+
+    def test_staleness_and_repopulate(self):
+        store, cost = self._store_with_rows(10)
+        imcu = InMemoryColumnUnit(make_schema(), store, cost)
+        imcu.populate(1)
+        for i in range(5):
+            store.install_update(i, (i, -1.0), 2 + i)
+            imcu.on_change(i)
+        assert imcu.staleness() == pytest.approx(0.5)
+        imcu.populate(10)
+        assert imcu.staleness() == 0.0
+        assert imcu.populations == 2
+
+    def test_deleted_key_disappears_after_patch(self):
+        store, cost = self._store_with_rows(5)
+        imcu = InMemoryColumnUnit(make_schema(), store, cost)
+        imcu.populate(1)
+        store.install_delete(2, 5)
+        imcu.on_change(2)
+        result = imcu.scan(5, ["id"])
+        assert 2 not in result.arrays["id"].tolist()
+        assert len(result) == 4

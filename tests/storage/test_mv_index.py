@@ -1,0 +1,156 @@
+"""Multi-version secondary index: snapshot-correct lookups."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common import Column, DataType, KeyNotFoundError, Schema, StorageError
+from repro.storage.mv_index import MultiVersionIndex
+from repro.storage.row_store import MVCCRowStore
+
+
+def make_store():
+    schema = Schema(
+        "t",
+        [Column("id", DataType.INT64), Column("grp", DataType.INT64)],
+        ["id"],
+    )
+    return MVCCRowStore(schema)
+
+
+class TestStandalone:
+    def test_lookup_respects_lifetime(self):
+        index = MultiVersionIndex("grp")
+        index.on_insert(1, 10, commit_ts=5)
+        index.on_update(1, 10, 20, commit_ts=9)
+        assert index.lookup(10, 4) == []
+        assert index.lookup(10, 5) == [1]
+        assert index.lookup(10, 8) == [1]
+        assert index.lookup(10, 9) == []
+        assert index.lookup(20, 9) == [1]
+
+    def test_update_to_same_value_is_noop(self):
+        index = MultiVersionIndex("grp")
+        index.on_insert(1, 10, 5)
+        index.on_update(1, 10, 10, 9)
+        assert index.lookup(10, 9) == [1]
+        assert index.posting_count() == 1
+
+    def test_delete_closes_lifetime(self):
+        index = MultiVersionIndex("grp")
+        index.on_insert(1, 10, 5)
+        index.on_delete(1, 10, 8)
+        assert index.lookup(10, 7) == [1]
+        assert index.lookup(10, 8) == []
+
+    def test_delete_unknown_raises(self):
+        index = MultiVersionIndex("grp")
+        with pytest.raises(StorageError):
+            index.on_delete(1, 10, 5)
+
+    def test_range_at_snapshot(self):
+        index = MultiVersionIndex("grp")
+        for key, value in ((1, 10), (2, 20), (3, 30)):
+            index.on_insert(key, value, commit_ts=key)
+        index.on_update(2, 20, 99, commit_ts=5)
+        assert index.range(10, 30, snapshot_ts=4) == [(10, 1), (20, 2), (30, 3)]
+        assert index.range(10, 30, snapshot_ts=5) == [(10, 1), (30, 3)]
+
+    def test_vacuum(self):
+        index = MultiVersionIndex("grp")
+        index.on_insert(1, 10, 1)
+        index.on_update(1, 10, 20, 2)
+        index.on_update(1, 20, 30, 3)
+        assert index.posting_count() == 3
+        reclaimed = index.vacuum(oldest_active_ts=10)
+        assert reclaimed == 2
+        assert index.lookup(30, 10) == [1]
+        assert index.value_count() == 1
+
+
+class TestIntegratedWithRowStore:
+    def test_time_travel_lookup(self):
+        store = make_store()
+        store.create_mv_index("grp")
+        store.install_insert((1, 100), commit_ts=1)
+        store.install_insert((2, 100), commit_ts=2)
+        store.install_update(1, (1, 200), commit_ts=5)
+        assert sorted(store.mv_lookup("grp", 100, 4)) == [1, 2]
+        assert store.mv_lookup("grp", 100, 5) == [2]
+        assert store.mv_lookup("grp", 200, 5) == [1]
+
+    def test_backfill_covers_history(self):
+        store = make_store()
+        store.install_insert((1, 100), commit_ts=1)
+        store.install_update(1, (1, 200), commit_ts=3)
+        store.install_delete(1, commit_ts=7)
+        store.create_mv_index("grp")  # created after the churn
+        assert store.mv_lookup("grp", 100, 2) == [1]
+        assert store.mv_lookup("grp", 200, 4) == [1]
+        assert store.mv_lookup("grp", 200, 7) == []
+
+    def test_delete_maintains_index(self):
+        store = make_store()
+        store.create_mv_index("grp")
+        store.install_insert((1, 100), commit_ts=1)
+        store.install_delete(1, commit_ts=4)
+        assert store.mv_lookup("grp", 100, 3) == [1]
+        assert store.mv_lookup("grp", 100, 4) == []
+
+    def test_missing_index_raises(self):
+        store = make_store()
+        with pytest.raises(KeyNotFoundError):
+            store.mv_lookup("grp", 1, 1)
+
+    def test_vacuum_trims_index_with_versions(self):
+        store = make_store()
+        store.create_mv_index("grp")
+        store.install_insert((1, 100), commit_ts=1)
+        for ts in range(2, 8):
+            store.install_update(1, (1, 100 * ts), commit_ts=ts)
+        index = store.mv_index("grp")
+        before = index.posting_count()
+        store.vacuum(oldest_active_ts=100)
+        assert index.posting_count() < before
+        assert store.mv_lookup("grp", 700, 100) == [1]
+
+    def test_mv_range_integrated(self):
+        store = make_store()
+        store.create_mv_index("grp")
+        for i in range(10):
+            store.install_insert((i, i * 10), commit_ts=1)
+        pairs = store.mv_range("grp", 20, 50, snapshot_ts=1)
+        assert [v for v, _k in pairs] == [20, 30, 40, 50]
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["insert", "update", "delete"]),
+            st.integers(0, 5),   # key
+            st.integers(0, 3),   # group value
+        ),
+        max_size=40,
+    ),
+    probe_ts=st.integers(0, 45),
+    probe_value=st.integers(0, 3),
+)
+def test_mv_lookup_matches_snapshot_scan(ops, probe_ts, probe_value):
+    """For any history and snapshot, the index agrees with a full scan."""
+    store = make_store()
+    store.create_mv_index("grp")
+    ts = 0
+    for op, key, value in ops:
+        ts += 1
+        live = store.read(key, ts) is not None
+        if op == "insert" and not live:
+            store.install_insert((key, value), commit_ts=ts)
+        elif op == "update" and live:
+            store.install_update(key, (key, value), commit_ts=ts)
+        elif op == "delete" and live:
+            store.install_delete(key, commit_ts=ts)
+    expect = sorted(
+        r[0] for r in store.snapshot_rows(probe_ts) if r[1] == probe_value
+    )
+    got = sorted(store.mv_lookup("grp", probe_value, probe_ts))
+    assert got == expect

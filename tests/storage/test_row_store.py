@@ -1,0 +1,219 @@
+"""MVCC row store: version visibility, indexes, vacuum."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.common import (
+    ALWAYS_TRUE,
+    Column,
+    Comparison,
+    DataType,
+    DuplicateKeyError,
+    KeyNotFoundError,
+    Schema,
+    SchemaError,
+)
+from repro.storage.row_store import MVCCRowStore
+
+
+def make_store():
+    schema = Schema(
+        "t",
+        [Column("id", DataType.INT64), Column("v", DataType.FLOAT64)],
+        ["id"],
+    )
+    return MVCCRowStore(schema)
+
+
+class TestInstall:
+    def test_insert_read(self):
+        store = make_store()
+        store.install_insert((1, 10.0), commit_ts=5)
+        assert store.read(1, 5) == (1, 10.0)
+        assert store.read(1, 4) is None  # before commit
+
+    def test_duplicate_insert_rejected(self):
+        store = make_store()
+        store.install_insert((1, 10.0), 5)
+        with pytest.raises(DuplicateKeyError):
+            store.install_insert((1, 20.0), 6)
+
+    def test_reinsert_after_delete(self):
+        store = make_store()
+        store.install_insert((1, 10.0), 5)
+        store.install_delete(1, 6)
+        store.install_insert((1, 30.0), 7)
+        assert store.read(1, 7) == (1, 30.0)
+        assert store.read(1, 6) is None
+        assert store.read(1, 5) == (1, 10.0)
+
+    def test_update_creates_version(self):
+        store = make_store()
+        store.install_insert((1, 10.0), 5)
+        store.install_update(1, (1, 20.0), 8)
+        assert store.read(1, 7) == (1, 10.0)
+        assert store.read(1, 8) == (1, 20.0)
+        assert store.version_count() == 2
+
+    def test_update_missing_rejected(self):
+        store = make_store()
+        with pytest.raises(KeyNotFoundError):
+            store.install_update(1, (1, 1.0), 5)
+
+    def test_update_cannot_change_key(self):
+        store = make_store()
+        store.install_insert((1, 10.0), 5)
+        with pytest.raises(SchemaError):
+            store.install_update(1, (2, 10.0), 6)
+
+    def test_delete_hides_from_later_snapshots(self):
+        store = make_store()
+        store.install_insert((1, 10.0), 5)
+        store.install_delete(1, 9)
+        assert store.read(1, 8) == (1, 10.0)
+        assert store.read(1, 9) is None
+        assert len(store) == 0
+
+    def test_delete_missing_rejected(self):
+        store = make_store()
+        with pytest.raises(KeyNotFoundError):
+            store.install_delete(1, 5)
+
+
+class TestScan:
+    def test_scan_snapshot(self):
+        store = make_store()
+        for i in range(10):
+            store.install_insert((i, float(i)), commit_ts=i + 1)
+        assert len(store.scan(5)) == 5
+        assert len(store.scan(100)) == 10
+
+    def test_scan_predicate(self):
+        store = make_store()
+        for i in range(10):
+            store.install_insert((i, float(i)), commit_ts=1)
+        rows = store.scan(1, Comparison("v", ">=", 7.0))
+        assert sorted(r[0] for r in rows) == [7, 8, 9]
+
+    def test_scan_sees_one_version_per_key(self):
+        store = make_store()
+        store.install_insert((1, 1.0), 1)
+        store.install_update(1, (1, 2.0), 2)
+        store.install_update(1, (1, 3.0), 3)
+        rows = store.scan(3, ALWAYS_TRUE)
+        assert rows == [(1, 3.0)]
+
+
+class TestSecondaryIndex:
+    def test_index_lookup(self):
+        store = make_store()
+        for i in range(20):
+            store.install_insert((i, float(i % 4)), commit_ts=1)
+        store.create_index("v")
+        keys = store.index_lookup_range("v", 2.0, 2.0)
+        assert sorted(keys) == [2, 6, 10, 14, 18]
+
+    def test_index_maintained_on_update(self):
+        store = make_store()
+        store.install_insert((1, 5.0), 1)
+        store.create_index("v")
+        store.install_update(1, (1, 9.0), 2)
+        assert store.index_lookup_range("v", 5.0, 5.0) == []
+        assert store.index_lookup_range("v", 9.0, 9.0) == [1]
+
+    def test_index_maintained_on_delete(self):
+        store = make_store()
+        store.install_insert((1, 5.0), 1)
+        store.create_index("v")
+        store.install_delete(1, 2)
+        assert store.index_lookup_range("v", 5.0, 5.0) == []
+
+    def test_index_range(self):
+        store = make_store()
+        for i in range(10):
+            store.install_insert((i, float(i)), commit_ts=1)
+        store.create_index("v")
+        keys = store.index_lookup_range("v", 3.0, 6.0)
+        assert sorted(keys) == [3, 4, 5, 6]
+
+    def test_missing_index_raises(self):
+        store = make_store()
+        with pytest.raises(KeyNotFoundError):
+            store.index_lookup_range("v", 1, 2)
+
+
+class TestVacuum:
+    def test_vacuum_reclaims_dead_versions(self):
+        store = make_store()
+        store.install_insert((1, 1.0), 1)
+        for ts in range(2, 12):
+            store.install_update(1, (1, float(ts)), ts)
+        assert store.version_count() == 11
+        reclaimed = store.vacuum(oldest_active_ts=100)
+        assert reclaimed == 10
+        assert store.read(1, 100) == (1, 11.0)
+
+    def test_vacuum_respects_active_snapshots(self):
+        store = make_store()
+        store.install_insert((1, 1.0), 1)
+        store.install_update(1, (1, 2.0), 5)
+        reclaimed = store.vacuum(oldest_active_ts=3)
+        assert reclaimed == 0
+        assert store.read(1, 3) == (1, 1.0)
+
+    def test_vacuum_drops_fully_dead_keys(self):
+        store = make_store()
+        store.install_insert((1, 1.0), 1)
+        store.install_delete(1, 2)
+        assert store.vacuum(100) == 1
+        assert store.read(1, 100) is None
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(st.sampled_from(["insert", "update", "delete"]), st.integers(0, 10)),
+        max_size=60,
+    )
+)
+def test_latest_snapshot_matches_dict_model(ops):
+    """At the newest timestamp the store equals a plain dict model."""
+    store = make_store()
+    model: dict[int, tuple] = {}
+    ts = 0
+    for op, key in ops:
+        ts += 1
+        row = (key, float(ts))
+        if op == "insert":
+            if key in model:
+                continue
+            store.install_insert(row, ts)
+            model[key] = row
+        elif op == "update":
+            if key not in model:
+                continue
+            store.install_update(key, row, ts)
+            model[key] = row
+        else:
+            if key not in model:
+                continue
+            store.install_delete(key, ts)
+            del model[key]
+    got = {r[0]: r for r in store.scan(ts + 1)}
+    assert got == model
+
+
+@settings(max_examples=30, deadline=None)
+@given(n_updates=st.integers(1, 20), probe=st.integers(0, 25))
+def test_time_travel_reads(n_updates, probe):
+    """A snapshot at ts sees exactly the version committed at ts' <= ts."""
+    store = make_store()
+    store.install_insert((1, 0.0), 1)
+    for i in range(1, n_updates + 1):
+        store.install_update(1, (1, float(i)), i + 1)
+    row = store.read(1, probe)
+    if probe < 1:
+        assert row is None
+    else:
+        expect = min(probe - 1, n_updates)
+        assert row == (1, float(expect))

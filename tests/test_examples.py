@@ -1,0 +1,26 @@
+"""Every shipped example must run cleanly end to end."""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(p.stem for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_present():
+    assert len(EXAMPLES) >= 5
+    assert "quickstart" in EXAMPLES
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs(name, capsys):
+    sys.path.insert(0, str(EXAMPLES_DIR))
+    try:
+        runpy.run_path(str(EXAMPLES_DIR / f"{name}.py"), run_name="__main__")
+    finally:
+        sys.path.remove(str(EXAMPLES_DIR))
+    out = capsys.readouterr().out
+    assert len(out) > 100  # every example narrates what it did
