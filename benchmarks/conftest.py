@@ -12,7 +12,9 @@ from __future__ import annotations
 import pytest
 
 from repro.bench import TpccLoader, TpccScale
+from repro.common.metrics import BenchReport
 from repro.engines import make_engine
+from repro.obs import get_registry
 
 #: One compact scale for all engine benches: big enough for stable
 #: shapes, small enough that the distributed engine stays fast.
@@ -46,6 +48,65 @@ def build_engine(category: str, scale: TpccScale | None = None, **overrides):
     engine = make_engine(category, **kwargs)
     TpccLoader(scale=scale or BENCH_SCALE, seed=1).load(engine)
     return engine
+
+
+def reset_obs() -> None:
+    """Zero every metrics-registry series so the next engine's run
+    starts from a clean slate (series bound by live components keep
+    working — values are reset in place)."""
+    get_registry().reset()
+
+
+def obs_report(
+    label: str,
+    tp_per_sec: float = 0.0,
+    ap_per_sec: float = 0.0,
+    freshness: float = 0.0,
+    isolation: float = 0.0,
+    **extras,
+) -> BenchReport:
+    """Bundle the headline metrics with a snapshot of the registry.
+
+    Every Table 1 / Table 2 bench builds its report through this helper
+    so ``extras["obs"]`` always carries the per-component cost breakdown
+    (WAL fsyncs, network messages, sync/merge events, ...) accumulated
+    since the last :func:`reset_obs`.
+    """
+    report = BenchReport(
+        label=label,
+        tp_per_sec=tp_per_sec,
+        ap_per_sec=ap_per_sec,
+        freshness=freshness,
+        isolation=isolation,
+    )
+    report.extras["obs"] = get_registry().snapshot()
+    report.extras.update(extras)
+    return report
+
+
+def obs_component_totals(snapshot: dict) -> dict[str, float]:
+    """Roll a registry snapshot's counters up by top-level component."""
+    totals: dict[str, float] = {}
+    for key, value in snapshot.get("counters", {}).items():
+        component = key.split(".", 1)[0]
+        totals[component] = totals.get(component, 0.0) + value
+    return totals
+
+
+def print_obs_breakdown(label: str, snapshot: dict, top: int = 12) -> None:
+    """Render the per-component cost breakdown under a bench table."""
+    # Zero-valued series are stale residue of earlier benches in the same
+    # process (reset() zeroes in place but never deletes) — skip them.
+    counters = {k: v for k, v in snapshot.get("counters", {}).items() if v > 0}
+    if not counters:
+        return
+    print(f"\n--- obs breakdown: {label} ---")
+    ranked = sorted(counters.items(), key=lambda kv: (-kv[1], kv[0]))
+    for key, value in ranked[:top]:
+        print(f"  {key:<52} {value:>12.0f}")
+    rest = len(ranked) - top
+    if rest > 0:
+        print(f"  ... and {rest} more nonzero counter series")
 
 
 def print_table(title: str, headers: list[str], rows: list[list], widths=None):

@@ -16,7 +16,6 @@ import pytest
 
 from repro.bench import (
     CH_QUERIES,
-    ChBenchmarkDriver,
     HTAPBenchDriver,
     MixedRunConfig,
     MixedWorkloadRunner,

@@ -34,7 +34,6 @@ def run_config(sync_every: int, read_fresh: bool) -> dict:
         ),
     )
     mixed = runner.run_mixed()
-    lags = []
     # In isolated mode sample the image lag; in fresh mode reads lag 0.
     lag = (
         0.0

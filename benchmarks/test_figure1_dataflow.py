@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.common import Column, Comparison, DataType, Schema
+from repro.common import Column, DataType, Schema
 from repro.engines import ColumnDeltaEngine, make_engine
 
 from conftest import build_engine, print_table

@@ -26,15 +26,23 @@ from __future__ import annotations
 import pytest
 
 from repro.bench import MixedRunConfig, MixedWorkloadRunner, isolation_score
-from repro.engines import make_engine
 
-from conftest import BENCH_SCALE, ENGINE_LABELS, build_engine, print_table
+from conftest import (
+    BENCH_SCALE,
+    ENGINE_LABELS,
+    build_engine,
+    obs_report,
+    print_obs_breakdown,
+    print_table,
+    reset_obs,
+)
 
 N_TXN = {"a": 150, "b": 60, "c": 150, "d": 150}
 N_QUERIES = 8
 
 
 def measure_engine(category: str) -> dict:
+    reset_obs()  # attribute every counter below to this engine's run
     engine = build_engine(category)
     runner = MixedWorkloadRunner(
         engine,
@@ -46,15 +54,25 @@ def measure_engine(category: str) -> dict:
     engine.force_sync()
     ap_steady = runner.run_olap_only(N_QUERIES)
     mixed = runner.run_mixed()
+    isolation = isolation_score(tp_alone.tp_per_sec, mixed.tp_per_sec)
+    freshness_lag = mixed.mean_freshness_lag()
+    report = obs_report(
+        ENGINE_LABELS[category],
+        tp_per_sec=tp_alone.tp_per_sec,
+        ap_per_sec=ap_steady.ap_per_sec,
+        freshness=1.0 / (1.0 + freshness_lag),
+        isolation=isolation,
+    )
     return {
         "category": category,
         "tp_per_sec": tp_alone.tp_per_sec,
         "tpmc": tp_alone.tpmc,
         "ap_per_sec": ap_steady.ap_per_sec,
         "fresh_ap_per_sec": mixed.ap_per_sec,
-        "isolation": isolation_score(tp_alone.tp_per_sec, mixed.tp_per_sec),
-        "freshness_lag": mixed.mean_freshness_lag(),
+        "isolation": isolation,
+        "freshness_lag": freshness_lag,
         "memory_mb": engine.memory_bytes() / 1e6,
+        "report": report,
     }
 
 
@@ -125,9 +143,45 @@ def test_print_table1(table1):
         ],
         widths=[30, 12, 12, 10],
     )
+    for cat, r in rows.items():
+        print_obs_breakdown(ENGINE_LABELS[cat], r["report"].extras["obs"])
 
 
 class TestTable1Claims:
+    def test_obs_breakdown_per_engine(self, table1):
+        """Every architecture's BenchReport carries a registry snapshot
+        with the per-component costs the run actually incurred: WAL
+        fsyncs where a WAL exists, network traffic where a network
+        exists, and sync/merge activity everywhere."""
+        rows, _, _ = table1
+        for cat, r in rows.items():
+            counters = r["report"].extras["obs"]["counters"]
+            engine_name = {
+                "a": "row+imcs",
+                "b": "distributed+replica",
+                "c": "disk-row+imcs-cluster",
+                "d": "column+delta",
+            }[cat]
+            # TP commits and sync activity, labelled per engine.
+            assert counters[f"engine.tp_commits{{engine={engine_name}}}"] > 0
+            assert counters[f"engine.sync_calls{{engine={engine_name}}}"] > 0
+            assert f"engine.sync_rows{{engine={engine_name}}}" in counters
+            if cat == "b":
+                # (b) commits through Raft+2PC over the simulated network.
+                assert counters["network.sent"] > 0
+                assert counters["network.delivered"] > 0
+                assert counters["twopc.prepares"] > 0
+                assert counters["sync.log_merge.events"] > 0
+            else:
+                # (a)/(c)/(d) log through a WAL with group commit.
+                assert counters[f"wal.fsyncs{{engine={engine_name}}}"] > 0
+            if cat == "c":
+                assert counters[
+                    f"sync.propagation.events{{engine={engine_name}}}"
+                ] > 0
+            if cat == "d":
+                assert counters["sync.delta_merge.l1_to_l2"] > 0
+
     def test_tp_throughput_a_highest(self, table1):
         """Row (a) High vs (c)/(d) Medium on TP throughput."""
         rows, _, _ = table1

@@ -20,12 +20,11 @@ from __future__ import annotations
 
 import pytest
 
-from repro.bench import TpccWorkload
-from repro.common import Between, Comparison, CostModel
-from repro.query import AccessPath, Planner, parse
+from repro.common import Comparison, CostModel
+from repro.query import AccessPath, parse
 from repro.scheduler import GPUDevice
 
-from conftest import BENCH_SCALE, build_engine, print_table
+from conftest import build_engine, print_table
 
 QUERY_MIX = [
     # (sql, kind) — points love indexes, wide scans love columns.

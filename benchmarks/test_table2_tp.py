@@ -18,10 +18,18 @@ import pytest
 
 from repro.bench import MixedRunConfig, MixedWorkloadRunner, TpccWorkload
 
-from conftest import BENCH_SCALE, build_engine, print_table
+from conftest import (
+    BENCH_SCALE,
+    build_engine,
+    obs_report,
+    print_obs_breakdown,
+    print_table,
+    reset_obs,
+)
 
 
 def measure_mvcc_logging() -> dict:
+    reset_obs()
     engine = build_engine("a")
     workload = TpccWorkload(engine, BENCH_SCALE, seed=3)
     before = engine.cost.now_us()
@@ -31,10 +39,12 @@ def measure_mvcc_logging() -> dict:
         engine, BENCH_SCALE, MixedRunConfig(n_transactions=100, n_queries=0)
     )
     tput = runner.run_oltp_only(100).tp_per_sec
-    return {"per_txn_us": per_txn, "tput": tput}
+    report = obs_report("MVCC+Logging (single node)", tp_per_sec=tput)
+    return {"per_txn_us": per_txn, "tput": tput, "report": report}
 
 
 def measure_raft_2pc(nodes: int) -> dict:
+    reset_obs()
     engine = build_engine("b", n_storage_nodes=nodes, n_regions=max(nodes, 4))
     workload = TpccWorkload(engine, BENCH_SCALE, seed=3)
     before = engine.cost.now_us()
@@ -44,7 +54,8 @@ def measure_raft_2pc(nodes: int) -> dict:
         engine, BENCH_SCALE, MixedRunConfig(n_transactions=40, n_queries=0)
     )
     tput = runner.run_oltp_only(40).tp_per_sec
-    return {"per_txn_us": per_txn, "tput": tput}
+    report = obs_report(f"2PC+Raft+Logging ({nodes} nodes)", tp_per_sec=tput)
+    return {"per_txn_us": per_txn, "tput": tput, "report": report}
 
 
 @pytest.fixture(scope="module")
@@ -72,6 +83,8 @@ def test_print_table2_tp(tp_results):
         rows,
         widths=[34, 18, 12, 20],
     )
+    print_obs_breakdown(mvcc["report"].label, mvcc["report"].extras["obs"])
+    print_obs_breakdown(raft[4]["report"].label, raft[4]["report"].extras["obs"])
 
 
 class TestTpClaims:
@@ -91,6 +104,19 @@ class TestTpClaims:
         while the distributed technique overtakes it with enough nodes."""
         mvcc, raft = tp_results
         assert raft[8]["tput"] > mvcc["tput"]
+
+    def test_obs_explains_the_efficiency_gap(self, tp_results):
+        """The breakdown shows *why* the distributed commit is slower:
+        MVCC+logging pays WAL fsyncs; 2PC+Raft pays network messages and
+        prepare rounds the single-node engine never sees."""
+        mvcc, raft = tp_results
+        mvcc_counters = mvcc["report"].extras["obs"]["counters"]
+        raft_counters = raft[4]["report"].extras["obs"]["counters"]
+        assert mvcc_counters["wal.fsyncs{engine=row+imcs}"] > 0
+        assert mvcc_counters.get("network.sent", 0) == 0
+        assert raft_counters["network.sent"] > 0
+        assert raft_counters["twopc.prepares"] > 0
+        assert raft_counters["raft.heartbeats"] > 0
 
 
 @pytest.mark.benchmark(group="table2-tp")

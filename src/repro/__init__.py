@@ -50,6 +50,7 @@ from .engines import (
     RowIMCSEngine,
     make_engine,
 )
+from .obs import MetricsRegistry, SimTracer, get_registry, set_registry
 from .query import AccessPath, Executor, Planner, parse
 from .scheduler import (
     AdaptiveHTAPScheduler,
@@ -76,6 +77,7 @@ __all__ = [
     "HTAPBenchDriver",
     "HTAPEngine",
     "LogicalClock",
+    "MetricsRegistry",
     "MixedWorkloadRunner",
     "Planner",
     "Predicate",
@@ -84,13 +86,16 @@ __all__ = [
     "ScheduledWorkloadRunner",
     "Schema",
     "SimClock",
+    "SimTracer",
     "TpccLoader",
     "TpccScale",
     "TpccWorkload",
     "WorkloadDrivenScheduler",
     "__version__",
+    "get_registry",
     "make_engine",
     "parse",
     "run_adapt",
     "run_hap_grid",
+    "set_registry",
 ]

@@ -13,16 +13,24 @@ from typing import Iterable
 
 
 class LatencyRecorder:
-    """Collects latency samples (simulated microseconds) and summarizes."""
+    """Collects latency samples (simulated microseconds) and summarizes.
+
+    The sorted view is computed lazily and cached, so a p50/p95/p99
+    summary costs one sort total instead of one sort per percentile;
+    any new sample invalidates the cache.
+    """
 
     def __init__(self) -> None:
         self._samples: list[float] = []
+        self._sorted: list[float] | None = None
 
     def record(self, latency_us: float) -> None:
         self._samples.append(latency_us)
+        self._sorted = None
 
     def extend(self, samples: Iterable[float]) -> None:
         self._samples.extend(samples)
+        self._sorted = None
 
     def __len__(self) -> int:
         return len(self._samples)
@@ -42,7 +50,9 @@ class LatencyRecorder:
             return 0.0
         if not 0 < pct <= 100:
             raise ValueError(f"percentile must be in (0, 100], got {pct}")
-        ordered = sorted(self._samples)
+        if self._sorted is None:
+            self._sorted = sorted(self._samples)
+        ordered = self._sorted
         rank = max(1, math.ceil(pct / 100 * len(ordered)))
         return ordered[rank - 1]
 

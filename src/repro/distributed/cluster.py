@@ -29,13 +29,13 @@ from typing import Any
 from ..common.clock import LogicalClock, Timestamp
 from ..common.cost import CostModel
 from ..common.errors import (
-    DuplicateKeyError,
     KeyNotFoundError,
     TransactionAborted,
     TwoPhaseCommitError,
 )
 from ..common.predicate import ALWAYS_TRUE, Predicate
 from ..common.types import Key, Row, Schema
+from ..obs import get_registry
 from ..storage.column_store import ColumnScanResult, ColumnStore
 from ..storage.delta_log import LogDeltaManager
 from ..storage.delta_store import DeltaEntry, collapse_entries
@@ -168,6 +168,9 @@ class ColumnarReplica:
         # only that region's slice of a 2PC transaction, and streams from
         # different regions interleave arbitrarily.
         self._pending: dict[tuple[int, int], tuple[list[WriteOp], Timestamp]] = {}
+        registry = get_registry()
+        self._m_merge_events = registry.counter("sync.log_merge.events")
+        self._m_merge_rows = registry.counter("sync.log_merge.rows")
 
     def learner_apply(self, region: int, _index: int, command: tuple) -> None:
         op = command[0]
@@ -247,6 +250,7 @@ class ColumnarReplica:
             for f in files:
                 self._cost.charge(self._cost.page_read_us * f.page_count())
                 entries.extend(f.entries)
+            self._m_merge_events.inc()
             live, tombstones = collapse_entries(entries)
             store = self.column_stores[table]
             if tombstones:
@@ -257,6 +261,7 @@ class ColumnarReplica:
                 self._cost.charge_rows(self._cost.merge_per_row_us, len(rows))
                 store.append_rows(rows, commit_ts=max_ts)
                 merged += len(rows)
+                self._m_merge_rows.inc(len(rows))
             if entries:
                 store.advance_sync_ts(max(e.commit_ts for e in entries))
         return merged

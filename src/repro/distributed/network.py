@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from ..common.cost import CostModel
+from ..obs import Histogram, get_registry
 
 Handler = Callable[[str, Any], None]
 """(source node id, message) -> None."""
@@ -28,6 +29,7 @@ class _Envelope:
     src: str = field(compare=False)
     dst: str = field(compare=False)
     message: Any = field(compare=False)
+    sent_at_us: float = field(compare=False, default=0.0)
 
 
 class SimNetwork:
@@ -44,6 +46,11 @@ class SimNetwork:
         self.sent = 0
         self.delivered = 0
         self.dropped = 0
+        registry = get_registry()
+        self._m_sent = registry.counter("network.sent")
+        self._m_delivered = registry.counter("network.delivered")
+        self._m_dropped = registry.counter("network.dropped")
+        self._link_hists: dict[tuple[str, str], Histogram] = {}
 
     def add_ticker(self, ticker: Callable[[], None]) -> None:
         """Register a callback run after every delivery hop in
@@ -73,8 +80,10 @@ class SimNetwork:
         self._cut.discard(frozenset((a, b)))
 
     def heal_all(self) -> None:
+        """Restore every cut link.  Crashed nodes stay down — bringing
+        them back is a different fault-injection action
+        (:meth:`restart` / :meth:`restart_all`)."""
         self._cut.clear()
-        self._down.clear()
 
     def crash(self, node_id: str) -> None:
         """Silence a node: nothing is delivered to or from it."""
@@ -82,6 +91,10 @@ class SimNetwork:
 
     def restart(self, node_id: str) -> None:
         self._down.discard(node_id)
+
+    def restart_all(self) -> None:
+        """Bring every crashed node back up (links are untouched)."""
+        self._down.clear()
 
     def _link_ok(self, src: str, dst: str) -> bool:
         if src in self._down or dst in self._down:
@@ -93,9 +106,12 @@ class SimNetwork:
     def send(self, src: str, dst: str, message: Any) -> None:
         """Queue a message; latency/drops are decided at delivery time."""
         self.sent += 1
-        deliver_at = self._cost.now_us() + self._cost.network_oneway_us
+        self._m_sent.inc()
+        now = self._cost.now_us()
+        deliver_at = now + self._cost.network_oneway_us
         heapq.heappush(
-            self._queue, _Envelope(deliver_at, next(self._seq), src, dst, message)
+            self._queue,
+            _Envelope(deliver_at, next(self._seq), src, dst, message, sent_at_us=now),
         )
 
     def broadcast(self, src: str, dsts: list[str], message: Any) -> None:
@@ -118,15 +134,30 @@ class SimNetwork:
             env = heapq.heappop(self._queue)
             if not self._link_ok(env.src, env.dst):
                 self.dropped += 1
+                self._m_dropped.inc()
                 continue
             handler = self._handlers.get(env.dst)
             if handler is None:
                 self.dropped += 1
+                self._m_dropped.inc()
                 continue
             handler(env.src, env.message)
             self.delivered += 1
+            self._m_delivered.inc()
+            self._link_latency(env.src, env.dst).observe(
+                self._cost.now_us() - env.sent_at_us
+            )
             count += 1
         return count
+
+    def _link_latency(self, src: str, dst: str) -> Histogram:
+        hist = self._link_hists.get((src, dst))
+        if hist is None:
+            hist = get_registry().histogram(
+                "network.latency_us", link=f"{src}->{dst}"
+            )
+            self._link_hists[(src, dst)] = hist
+        return hist
 
     def advance(self, delta_us: float) -> int:
         """Advance simulated time by ``delta_us``, delivering en route.

@@ -23,6 +23,7 @@ from typing import Any, Callable
 from ..common.cost import CostModel
 from ..common.errors import ConsensusError, NotLeaderError
 from ..common.rng import make_rng
+from ..obs import get_registry
 from .network import SimNetwork
 
 ApplyFn = Callable[[int, Any], None]
@@ -126,6 +127,11 @@ class RaftNode:
         self._heartbeat_due_us = 0.0
         self._last_tick_us = cost.now_us()
 
+        registry = get_registry()
+        self._m_elections = registry.counter("raft.elections")
+        self._m_heartbeats = registry.counter("raft.heartbeats")
+        self._m_replication_lag = registry.histogram("raft.replication_lag")
+
         network.register(node_id, self._on_message)
 
     # ------------------------------------------------------------- helpers
@@ -181,6 +187,7 @@ class RaftNode:
             self._start_election()
 
     def _start_election(self) -> None:
+        self._m_elections.inc()
         self.role = Role.CANDIDATE
         self.current_term += 1
         self.voted_for = self.node_id
@@ -223,6 +230,7 @@ class RaftNode:
     # ------------------------------------------------------------- replication
 
     def _send_heartbeats(self) -> None:
+        self._m_heartbeats.inc()
         self._heartbeat_due_us = self._cost.now_us() + _HEARTBEAT_INTERVAL_US
         for peer in self._replication_targets():
             self._send_append(peer)
@@ -358,6 +366,16 @@ class RaftNode:
             if votes >= self.quorum():
                 self.commit_index = index
                 self._apply_committed()
+                # Learner (columnar replica) lag in log entries at the
+                # moment of commit — the Table 1 freshness story in data.
+                learners = [l for l in self.learners if l != self.node_id]
+                if learners:
+                    behind = min(
+                        self._match_index.get(l, 0) for l in learners
+                    )
+                    self._m_replication_lag.observe(
+                        float(self.commit_index - behind)
+                    )
                 break
 
     def _apply_committed(self) -> None:

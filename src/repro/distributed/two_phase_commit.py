@@ -17,6 +17,7 @@ from typing import Any, Protocol
 
 from ..common.cost import CostModel
 from ..common.errors import TwoPhaseCommitError
+from ..obs import get_registry
 
 
 class Vote(enum.Enum):
@@ -55,6 +56,11 @@ class TwoPhaseCoordinator:
         self._next_txn_id = 1
         self.committed = 0
         self.aborted = 0
+        registry = get_registry()
+        self._m_prepares = registry.counter("twopc.prepares")
+        self._m_commits = registry.counter("twopc.commits")
+        self._m_aborts = registry.counter("twopc.aborts")
+        self._m_participants = registry.histogram("twopc.participants")
 
     def execute(
         self,
@@ -72,17 +78,21 @@ class TwoPhaseCoordinator:
         txn_id = self._next_txn_id
         self._next_txn_id += 1
         involved = {name: participants[name] for name in payloads}
+        self._m_participants.observe(float(len(involved)))
 
         if len(involved) == 1:
             (name, participant), = involved.items()
             self._cost.charge(self._cost.network_rtt_us)
+            self._m_prepares.inc()
             vote = participant.prepare(txn_id, payloads[name])
             if vote is Vote.YES:
                 participant.commit(txn_id)
                 self.committed += 1
+                self._m_commits.inc()
                 return TwoPhaseResult(txn_id, TxnOutcome.COMMITTED, {name: vote}, rtts=1)
             participant.abort(txn_id)
             self.aborted += 1
+            self._m_aborts.inc()
             return TwoPhaseResult(txn_id, TxnOutcome.ABORTED, {name: vote}, rtts=1)
 
         votes: dict[str, Vote] = {}
@@ -90,6 +100,7 @@ class TwoPhaseCoordinator:
         # per-node busy accounting is what lets scalability show through).
         for name, participant in involved.items():
             self._cost.charge(self._cost.network_rtt_us)
+            self._m_prepares.inc()
             votes[name] = participant.prepare(txn_id, payloads[name])
         decision = (
             TxnOutcome.COMMITTED
@@ -107,6 +118,8 @@ class TwoPhaseCoordinator:
                 participant.abort(txn_id)
         if decision is TxnOutcome.COMMITTED:
             self.committed += 1
+            self._m_commits.inc()
         else:
             self.aborted += 1
+            self._m_aborts.inc()
         return TwoPhaseResult(txn_id, decision, votes, rtts=2 * len(involved))

@@ -28,6 +28,7 @@ from ..common.cost import CostModel
 from ..common.predicate import ALWAYS_TRUE, Predicate
 from ..common.types import Key, Row, Schema
 from ..distributed.cluster import BusyLedger
+from ..obs import SimTracer, get_registry
 from ..query.access import AccessPath
 from ..query.ast import Query, QueryResult
 from ..query.executor import Executor
@@ -100,6 +101,16 @@ class HTAPEngine(abc.ABC):
         #: When False, analytical scans skip delta patching (isolated
         #: execution mode — faster and staler); schedulers toggle this.
         self.read_fresh = True
+        #: Sim-time tracer over this engine's clock; disabled (zero
+        #: overhead) until a bench or test calls ``tracer.enable()``.
+        self.tracer = SimTracer(self.cost.clock)
+        labels = {"engine": self.info.name}
+        registry = get_registry()
+        self._m_tp_commits = registry.counter("engine.tp_commits", **labels)
+        self._m_tp_aborts = registry.counter("engine.tp_aborts", **labels)
+        self._m_ap_queries = registry.counter("engine.ap_queries", **labels)
+        self._m_sync_calls = registry.counter("engine.sync_calls", **labels)
+        self._m_sync_rows = registry.counter("engine.sync_rows", **labels)
 
     # ------------------------------------------------------------- schema
 
@@ -109,9 +120,23 @@ class HTAPEngine(abc.ABC):
     @abc.abstractmethod
     def session(self) -> EngineSession: ...
 
-    @abc.abstractmethod
     def sync(self) -> int:
-        """Run the architecture's DS technique; returns rows moved."""
+        """Run the architecture's DS technique; returns rows moved.
+
+        Concrete engines implement :meth:`_sync`; this wrapper charges
+        the shared observability layer (sync call/row counters and a
+        tracing span) uniformly across all four architectures.
+        """
+        with self.tracer.span("engine.sync", engine=self.info.name):
+            moved = self._sync()
+        self._m_sync_calls.inc()
+        if moved:
+            self._m_sync_rows.inc(moved)
+        return moved
+
+    @abc.abstractmethod
+    def _sync(self) -> int:
+        """Architecture-specific data synchronization; returns rows moved."""
 
     @abc.abstractmethod
     def freshness_lag(self) -> int:
@@ -177,12 +202,14 @@ class HTAPEngine(abc.ABC):
         )
         plan = planner.plan(logical)
         before = self.cost.now_us()
-        result = self.executor.execute(plan)
+        with self.tracer.span("engine.query", engine=self.info.name):
+            result = self.executor.execute(plan)
         spent = self.cost.now_us() - before
         ap_nodes = self.ap_nodes()
         for node in ap_nodes:
             self.ledger.charge(node, spent / len(ap_nodes))
         self.queries_run += 1
+        self._m_ap_queries.inc()
         return result
 
     def explain(self, query: str | Query) -> str:

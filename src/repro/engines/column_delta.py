@@ -31,6 +31,7 @@ from ..common.types import Key, Row, Schema, rows_to_columns
 from ..query.access import AccessPath
 from ..query.statistics import TableStats
 from ..query.stats_cache import StatsCache
+from ..obs import get_registry
 from ..storage.column_store import ColumnStore
 from ..storage.delta_store import InMemoryDeltaStore, collapse_entries
 from ..txn.wal import WalKind, WriteAheadLog
@@ -53,6 +54,9 @@ class HanaTable:
         self._l1_view: dict[Key, Row | None] = {}
         self.l1_to_l2_merges = 0
         self.l2_to_main_merges = 0
+        registry = get_registry()
+        self._m_l1_merges = registry.counter("sync.delta_merge.l1_to_l2")
+        self._m_l2_merges = registry.counter("sync.delta_merge.l2_to_main")
 
     # ------------------------------------------------------------- OLTP reads
 
@@ -109,6 +113,7 @@ class HanaTable:
         self.l2.advance_sync_ts(max_ts)
         self.main.advance_sync_ts(max_ts)
         self.l1_to_l2_merges += 1
+        self._m_l1_merges.inc()
         return len(live)
 
     def merge_l2_to_main(self) -> int:
@@ -131,6 +136,7 @@ class HanaTable:
         self.l2 = ColumnStore(self.schema, self._cost)
         self.l2.advance_sync_ts(max_ts)
         self.l2_to_main_merges += 1
+        self._m_l2_merges.inc()
         return len(rows)
 
     # ------------------------------------------------------------- AP scan
@@ -220,7 +226,11 @@ class ColumnDeltaEngine(HTAPEngine):
         group_commit_size: int = 8,
     ):
         super().__init__(cost, clock)
-        self.wal = WriteAheadLog(cost=self.cost, group_commit_size=group_commit_size)
+        self.wal = WriteAheadLog(
+            cost=self.cost,
+            group_commit_size=group_commit_size,
+            labels={"engine": self.info.name},
+        )
         self.l1_threshold = l1_threshold
         self.l2_threshold = l2_threshold
         #: L1 also merges once it reaches this fraction of the columnar
@@ -250,17 +260,25 @@ class ColumnDeltaEngine(HTAPEngine):
 
     @classmethod
     def recover(
-        cls, wal: WriteAheadLog, schemas: list[Schema], **kwargs
+        cls,
+        wal: WriteAheadLog,
+        schemas: list[Schema],
+        include_unforced: bool = False,
+        **kwargs,
     ) -> "ColumnDeltaEngine":
         """Rebuild an engine from a crashed instance's redo log.
 
         Replays committed transactions in LSN order into fresh L1
         layers (redo-winners-only; the WAL never holds loser effects).
+        By default only durable commits (covered by an fsync) replay;
+        ``include_unforced=True`` gives clean-shutdown semantics.
         """
         engine = cls(**kwargs)
         for schema in schemas:
             engine.create_table(schema)
-        committed = wal.committed_txn_ids()
+        committed = (
+            wal.committed_txn_ids() if include_unforced else wal.durable_txn_ids()
+        )
         for record in wal.records:
             if record.txn_id not in committed or record.table is None:
                 continue  # BEGIN/COMMIT/ABORT markers carry no data
@@ -282,7 +300,7 @@ class ColumnDeltaEngine(HTAPEngine):
 
     # ------------------------------------------------------------- DS
 
-    def sync(self) -> int:
+    def _sync(self) -> int:
         """Threshold-driven L1→L2 and L2→Main merges."""
         moved = 0
         before = self.cost.now_us()
@@ -426,6 +444,7 @@ class _HanaSession(EngineSession):
                 target.apply_delete(key, commit_ts)
         engine.wal.append(self._txn_id, WalKind.COMMIT, commit_ts=commit_ts)
         engine.commits += 1
+        engine._m_tp_commits.inc()
         self._done = True
         self.finished = True
         engine.ledger.charge(_NODE, engine.cost.now_us() - before)
@@ -435,6 +454,7 @@ class _HanaSession(EngineSession):
         self._require_open()
         self._engine.wal.append(self._txn_id, WalKind.ABORT)
         self._engine.aborts += 1
+        self._engine._m_tp_aborts.inc()
         self._done = True
         self.finished = True
 

@@ -21,6 +21,7 @@ from ..common.cost import CostModel
 from ..common.errors import DuplicateKeyError, KeyNotFoundError, TransactionError
 from ..common.predicate import ALWAYS_TRUE, Predicate, key_equality
 from ..common.types import Key, Row, Schema, rows_to_columns
+from ..obs import get_registry
 from ..query.access import AccessPath
 from ..query.column_selection import (
     AccessTracker,
@@ -60,7 +61,11 @@ class DiskRowIMCSEngine(HTAPEngine):
         group_commit_size: int = 8,
     ):
         super().__init__(cost, clock)
-        self.wal = WriteAheadLog(cost=self.cost, group_commit_size=group_commit_size)
+        self.wal = WriteAheadLog(
+            cost=self.cost,
+            group_commit_size=group_commit_size,
+            labels={"engine": self.info.name},
+        )
         self.n_imcs_nodes = max(1, n_imcs_nodes)
         self.buffer_capacity = buffer_capacity
         self.propagation_threshold = propagation_threshold
@@ -84,6 +89,9 @@ class DiskRowIMCSEngine(HTAPEngine):
         self.pushdowns = 0
         self.fallbacks = 0
         self._next_txn_id = 1
+        self._m_propagations = get_registry().counter(
+            "sync.propagation.events", engine=self.info.name
+        )
 
     # ------------------------------------------------------------- schema
 
@@ -120,13 +128,23 @@ class DiskRowIMCSEngine(HTAPEngine):
             raise KeyNotFoundError(f"no table {table!r}") from None
 
     @classmethod
-    def recover(cls, wal: WriteAheadLog, schemas: list[Schema], **kwargs) -> "DiskRowIMCSEngine":
-        """Rebuild from a crashed instance's redo log (committed txns
-        only, LSN order), then re-extract the IMCS from the row store."""
+    def recover(
+        cls,
+        wal: WriteAheadLog,
+        schemas: list[Schema],
+        include_unforced: bool = False,
+        **kwargs,
+    ) -> "DiskRowIMCSEngine":
+        """Rebuild from a crashed instance's redo log (durable commits
+        only, LSN order), then re-extract the IMCS from the row store.
+        ``include_unforced=True`` also replays the unforced group-commit
+        tail (clean-shutdown semantics)."""
         engine = cls(**kwargs)
         for schema in schemas:
             engine.create_table(schema)
-        committed = wal.committed_txn_ids()
+        committed = (
+            wal.committed_txn_ids() if include_unforced else wal.durable_txn_ids()
+        )
         for record in wal.records:
             if record.txn_id not in committed or record.table is None:
                 continue  # BEGIN/COMMIT/ABORT markers carry no data
@@ -161,7 +179,7 @@ class DiskRowIMCSEngine(HTAPEngine):
             return len(self._deltas[table])
         return sum(len(d) for d in self._deltas.values())
 
-    def sync(self) -> int:
+    def _sync(self) -> int:
         """Threshold-based change propagation into the IMCS."""
         moved = 0
         before = self.cost.now_us()
@@ -179,6 +197,7 @@ class DiskRowIMCSEngine(HTAPEngine):
         entries = delta.clear()
         if not entries:
             return 0
+        self._m_propagations.inc()
         live, tombstones = collapse_entries(entries)
         imcs = self._imcs[table]
         imcs.delete_keys(set(live) | tombstones)
@@ -348,6 +367,7 @@ class _HeatwaveSession(EngineSession):
                 store.delete(key, commit_ts)
         engine.wal.append(self._txn_id, WalKind.COMMIT, commit_ts=commit_ts)
         engine.commits += 1
+        engine._m_tp_commits.inc()
         self._done = True
         self.finished = True
         engine.ledger.charge(_PRIMARY, engine.cost.now_us() - before)
@@ -357,6 +377,7 @@ class _HeatwaveSession(EngineSession):
         self._require_open()
         self._engine.wal.append(self._txn_id, WalKind.ABORT)
         self._engine.aborts += 1
+        self._engine._m_tp_aborts.inc()
         self._done = True
         self.finished = True
 

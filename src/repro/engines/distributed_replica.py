@@ -77,7 +77,7 @@ class DistributedReplicaEngine(HTAPEngine):
 
     # ------------------------------------------------------------- DS / metrics
 
-    def sync(self) -> int:
+    def _sync(self) -> int:
         return self.cluster.sync()
 
     def force_sync(self) -> int:
@@ -182,12 +182,15 @@ class _ClusterSession(EngineSession):
         self.finished = True
         if not self._writes:
             return self._engine.clock.now()
-        return self._engine.cluster.execute_transaction(self._writes)
+        commit_ts = self._engine.cluster.execute_transaction(self._writes)
+        self._engine._m_tp_commits.inc()
+        return commit_ts
 
     def abort(self) -> None:
         self._require_open()
         self._done = True
         self.finished = True
+        self._engine._m_tp_aborts.inc()
         self._writes.clear()
 
 

@@ -51,10 +51,14 @@ class RowIMCSEngine(HTAPEngine):
         super().__init__(cost, clock)
         from ..txn.wal import WriteAheadLog
 
+        labels = {"engine": self.info.name}
         self.txn_manager = TransactionManager(
             clock=self.clock,
             cost=self.cost,
-            wal=WriteAheadLog(cost=self.cost, group_commit_size=group_commit_size),
+            wal=WriteAheadLog(
+                cost=self.cost, group_commit_size=group_commit_size, labels=labels
+            ),
+            labels=labels,
         )
         self.repopulate_staleness = repopulate_staleness
         self._imcus: dict[str, InMemoryColumnUnit] = {}
@@ -86,7 +90,7 @@ class RowIMCSEngine(HTAPEngine):
 
     # ------------------------------------------------------------- DS / metrics
 
-    def sync(self) -> int:
+    def _sync(self) -> int:
         """Rebuild every IMCU whose staleness crossed the threshold."""
         rebuilt = 0
         snapshot = self.clock.now()
@@ -182,11 +186,14 @@ class _RowImcsSession(EngineSession):
 
     def commit(self) -> Timestamp:
         self.finished = True
-        return self._charged(self._txn.commit)
+        commit_ts = self._charged(self._txn.commit)
+        self._engine._m_tp_commits.inc()
+        return commit_ts
 
     def abort(self) -> None:
         self.finished = True
         self._charged(self._txn.abort)
+        self._engine._m_tp_aborts.inc()
 
 
 class _ImcuTableAccess:

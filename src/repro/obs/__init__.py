@@ -1,0 +1,29 @@
+"""Unified observability: process-wide metrics + sim-time tracing.
+
+The substrate every perf-minded PR measures itself against.  See
+:mod:`repro.obs.registry` for the metric model and
+:mod:`repro.obs.trace` for span semantics.
+"""
+
+from .registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    render_key,
+    set_registry,
+)
+from .trace import SimTracer, SpanEvent
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SimTracer",
+    "SpanEvent",
+    "get_registry",
+    "render_key",
+    "set_registry",
+]

@@ -1,0 +1,202 @@
+"""A process-wide metrics registry for the testbed's observability layer.
+
+Every subsystem that used to keep private tallies (``WriteAheadLog.fsyncs``,
+``SimNetwork.sent`` ...) now *also* reports into one shared
+:class:`MetricsRegistry`, keyed by dotted ``component.name`` series names
+with optional labels (``wal.fsyncs{engine=row+imcs}``).  The benches
+snapshot the registry per measured engine, which is what turns a Table 1
+headline number into a per-component cost breakdown (WAL fsyncs, network
+messages, merge events, ...) — the "why" behind each cell.
+
+Three instrument kinds:
+
+* **Counter** — monotonically increasing count (appends, fsyncs, drops);
+* **Gauge** — last-written value (backlog depth, replication lag);
+* **Histogram** — sample distribution summarized as count/mean/p50/p95/
+  p99/max (per-link latency, group-commit batch sizes).
+
+Hot paths hold the series object returned by :meth:`MetricsRegistry.counter`
+(one attribute bump per event); occasional reporters can use the
+``inc``/``set_gauge``/``observe`` conveniences that look the series up by
+name each call.
+"""
+
+from __future__ import annotations
+
+import re
+from ..common.metrics import LatencyRecorder
+
+_NAME_RE = re.compile(r"^[a-z0-9_]+(\.[a-z0-9_]+)+$")
+
+SeriesKey = tuple[str, tuple[tuple[str, str], ...]]
+
+
+def _series_key(name: str, labels: dict[str, str] | None) -> SeriesKey:
+    if not _NAME_RE.match(name):
+        raise ValueError(
+            f"metric name {name!r} must be dotted component.name "
+            "(lowercase letters, digits, underscores)"
+        )
+    if not labels:
+        return (name, ())
+    return (name, tuple(sorted((str(k), str(v)) for k, v in labels.items())))
+
+
+def render_key(key: SeriesKey) -> str:
+    """``name`` or ``name{k=v,k2=v2}`` — the snapshot's flat key format."""
+    name, labels = key
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """A monotonically increasing series."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up (got {amount})")
+        self.value += amount
+
+
+class Gauge:
+    """A last-value-wins series."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class Histogram:
+    """A sample distribution (backed by the shared LatencyRecorder)."""
+
+    __slots__ = ("_recorder",)
+
+    def __init__(self) -> None:
+        self._recorder = LatencyRecorder()
+
+    def observe(self, value: float) -> None:
+        self._recorder.record(value)
+
+    @property
+    def count(self) -> int:
+        return self._recorder.count
+
+    def summary(self) -> dict[str, float]:
+        r = self._recorder
+        return {
+            "count": float(r.count),
+            "mean": r.mean(),
+            "p50": r.p50(),
+            "p95": r.p95(),
+            "p99": r.p99(),
+            "max": r.max(),
+        }
+
+
+class MetricsRegistry:
+    """Counters, gauges, and histograms keyed by ``component.name``."""
+
+    def __init__(self) -> None:
+        self._counters: dict[SeriesKey, Counter] = {}
+        self._gauges: dict[SeriesKey, Gauge] = {}
+        self._histograms: dict[SeriesKey, Histogram] = {}
+
+    # --------------------------------------------------------- get-or-create
+
+    def counter(self, name: str, **labels: str) -> Counter:
+        key = _series_key(name, labels)
+        series = self._counters.get(key)
+        if series is None:
+            series = self._counters[key] = Counter()
+        return series
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        key = _series_key(name, labels)
+        series = self._gauges.get(key)
+        if series is None:
+            series = self._gauges[key] = Gauge()
+        return series
+
+    def histogram(self, name: str, **labels: str) -> Histogram:
+        key = _series_key(name, labels)
+        series = self._histograms.get(key)
+        if series is None:
+            series = self._histograms[key] = Histogram()
+        return series
+
+    # --------------------------------------------------------- conveniences
+
+    def inc(self, name: str, amount: float = 1.0, **labels: str) -> None:
+        self.counter(name, **labels).inc(amount)
+
+    def set_gauge(self, name: str, value: float, **labels: str) -> None:
+        self.gauge(name, **labels).set(value)
+
+    def observe(self, name: str, value: float, **labels: str) -> None:
+        self.histogram(name, **labels).observe(value)
+
+    # --------------------------------------------------------- reads
+
+    def counter_total(self, name: str) -> float:
+        """Sum of one counter across every label combination."""
+        return sum(c.value for (n, _), c in self._counters.items() if n == name)
+
+    def series_names(self) -> set[str]:
+        return {
+            n
+            for store in (self._counters, self._gauges, self._histograms)
+            for (n, _) in store
+        }
+
+    def snapshot(self) -> dict:
+        """A plain-dict view: flat rendered keys per instrument kind."""
+        return {
+            "counters": {
+                render_key(k): c.value for k, c in sorted(self._counters.items())
+            },
+            "gauges": {
+                render_key(k): g.value for k, g in sorted(self._gauges.items())
+            },
+            "histograms": {
+                render_key(k): h.summary()
+                for k, h in sorted(self._histograms.items())
+            },
+        }
+
+    def reset(self) -> None:
+        """Zero every series *in place*, so components holding bound
+        series objects (the hot-path pattern) stay connected across the
+        per-bench snapshot/reset cycle instead of counting into orphans."""
+        for counter in self._counters.values():
+            counter.value = 0.0
+        for gauge in self._gauges.values():
+            gauge.value = 0.0
+        for histogram in self._histograms.values():
+            histogram._recorder = LatencyRecorder()
+
+
+#: The process-wide registry every instrumented subsystem defaults to.
+_REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    return _REGISTRY
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Swap the process-wide registry (returns the previous one)."""
+    global _REGISTRY
+    previous = _REGISTRY
+    _REGISTRY = registry
+    return previous

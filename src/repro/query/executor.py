@@ -26,7 +26,6 @@ from .ast import (
     Query,
     QueryResult,
     SelectItem,
-    is_aggregate,
 )
 from .optimizer import PhysicalPlan, ScanPlan
 

@@ -15,7 +15,6 @@ from typing import Any
 import numpy as np
 
 from ..common.predicate import (
-    ALWAYS_TRUE,
     And,
     Between,
     Comparison,

@@ -12,6 +12,8 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass, field
 
+from ..obs import get_registry
+
 
 class ExecutionMode(enum.Enum):
     """How OLTP and OLAP share data (RDE-style modes, §2.2(5)).
@@ -70,6 +72,15 @@ class ScheduleTrace:
     def record(self, allocation: ResourceAllocation, metrics: RoundMetrics) -> None:
         self.allocations.append(allocation)
         self.metrics.append(metrics)
+        registry = get_registry()
+        registry.inc("scheduler.rounds", mode=allocation.mode.value)
+        if metrics.sync_ran:
+            registry.inc("scheduler.syncs")
+        registry.set_gauge("scheduler.oltp_slots", float(allocation.oltp_slots))
+        registry.set_gauge("scheduler.olap_slots", float(allocation.olap_slots))
+        registry.observe(
+            "scheduler.freshness_lag", float(metrics.freshness_lag)
+        )
 
     def total_oltp(self) -> int:
         return sum(m.oltp_completed for m in self.metrics)

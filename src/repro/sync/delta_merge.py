@@ -19,6 +19,7 @@ from dataclasses import dataclass
 
 from ..common.clock import Timestamp
 from ..common.cost import CostModel
+from ..obs import get_registry
 from ..storage.column_store import ColumnStore
 from ..storage.delta_store import InMemoryDeltaStore, collapse_entries
 
@@ -54,6 +55,9 @@ class InMemoryDeltaMerger:
         self._cost = cost or CostModel()
         self.threshold_rows = threshold_rows
         self.stats = MergeStats()
+        registry = get_registry()
+        self._m_merges = registry.counter("sync.delta_merge.events")
+        self._m_rows = registry.counter("sync.delta_merge.rows")
 
     def should_merge(self) -> bool:
         return len(self.delta) >= self.threshold_rows
@@ -83,4 +87,6 @@ class InMemoryDeltaMerger:
         self.main.advance_sync_ts(cut)
         elapsed = self._cost.now_us() - start
         self.stats.record(len(live), len(tombstones), elapsed)
+        self._m_merges.inc()
+        self._m_rows.inc(len(live))
         return len(live)

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..common.cost import CostModel
+from ..obs import get_registry
 from ..storage.column_store import ColumnStore
 from ..storage.delta_log import DeltaLogFile, LogDeltaManager
 from ..storage.delta_store import DeltaEntry, DeltaKind
@@ -44,6 +45,9 @@ class LogDeltaMerger:
         self._cost = cost or CostModel()
         self.threshold_files = threshold_files
         self.stats = LogMergeStats()
+        registry = get_registry()
+        self._m_merges = registry.counter("sync.log_merge.events")
+        self._m_rows = registry.counter("sync.log_merge.rows")
 
     def should_merge(self) -> bool:
         return len(self.log.files) >= self.threshold_files
@@ -66,6 +70,8 @@ class LogDeltaMerger:
         rows_merged = self._merge_files(files)
         self.stats.merges += 1
         self.stats.merge_time_us += self._cost.now_us() - start
+        self._m_merges.inc()
+        self._m_rows.inc(rows_merged)
         return rows_merged
 
     def _merge_files(self, files: list[DeltaLogFile]) -> int:

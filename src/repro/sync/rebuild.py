@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 from ..common.clock import Timestamp
 from ..common.cost import CostModel
+from ..obs import get_registry
 from ..storage.column_store import ColumnStore
 from ..storage.row_store import MVCCRowStore
 
@@ -44,6 +45,9 @@ class ColumnStoreRebuilder:
         self.stats = RebuildStats()
         self._changes_since_rebuild = 0
         self._rows_at_rebuild = 0
+        registry = get_registry()
+        self._m_rebuilds = registry.counter("sync.rebuild.events")
+        self._m_rows = registry.counter("sync.rebuild.rows")
 
     def on_change(self) -> None:
         """Count a committed change against the staleness budget."""
@@ -79,4 +83,6 @@ class ColumnStoreRebuilder:
         self.stats.rebuilds += 1
         self.stats.rows_loaded += len(rows)
         self.stats.rebuild_time_us += self._cost.now_us() - start
+        self._m_rebuilds.inc()
+        self._m_rows.inc(len(rows))
         return len(rows)

@@ -18,14 +18,22 @@ def recover(
     wal: WriteAheadLog,
     schemas: dict[str, Schema],
     cost: CostModel | None = None,
+    include_unforced: bool = False,
 ) -> dict[str, MVCCRowStore]:
     """Replay ``wal`` into brand-new stores; returns table -> store.
 
     Only records of transactions with a COMMIT record are applied
-    (redo-winners-only); everything else is ignored.
+    (redo-winners-only); everything else is ignored.  By default only
+    *durable* commits — those whose COMMIT record was covered by an
+    fsync (``wal.durable_lsn``) — are replayed: a crash loses the
+    unforced group-commit tail, exactly as a real engine would.  Pass
+    ``include_unforced=True`` to replay everything logged (clean-
+    shutdown semantics, or verifying the WAL against a live instance).
     """
     cost = cost or CostModel()
-    committed = wal.committed_txn_ids()
+    committed = (
+        wal.committed_txn_ids() if include_unforced else wal.durable_txn_ids()
+    )
     stores = {name: MVCCRowStore(schema, cost=cost) for name, schema in schemas.items()}
     for record in wal.records:
         if record.txn_id not in committed:
@@ -44,9 +52,15 @@ def verify_recovery(
     live_stores: dict[str, MVCCRowStore],
     as_of_ts: int,
 ) -> bool:
-    """Check that replaying the WAL reproduces the live stores' snapshot."""
+    """Check that replaying the WAL reproduces the live stores' snapshot.
+
+    The live stores include commits still sitting in the group-commit
+    tail, so the contract check replays the full log
+    (``include_unforced=True``) — it verifies logging completeness, not
+    crash durability.
+    """
     schemas = {name: store.schema for name, store in live_stores.items()}
-    recovered = recover(wal, schemas)
+    recovered = recover(wal, schemas, include_unforced=True)
     for name, live in live_stores.items():
         want = sorted(map(repr, live.snapshot_rows(as_of_ts)))
         got = sorted(map(repr, recovered[name].snapshot_rows(as_of_ts)))

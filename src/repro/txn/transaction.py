@@ -23,6 +23,7 @@ from ..common.errors import (
 )
 from ..common.predicate import ALWAYS_TRUE, Predicate
 from ..common.types import Key, Row, Schema
+from ..obs import get_registry
 from ..storage.delta_store import DeltaEntry, DeltaKind
 from ..storage.row_store import MVCCRowStore
 from .wal import WalKind, WriteAheadLog
@@ -181,6 +182,7 @@ class TransactionManager:
         clock: LogicalClock | None = None,
         cost: CostModel | None = None,
         wal: WriteAheadLog | None = None,
+        labels: dict[str, str] | None = None,
     ):
         self.clock = clock or LogicalClock()
         self.cost = cost or CostModel()
@@ -193,6 +195,11 @@ class TransactionManager:
         self.commits = 0
         self.aborts = 0
         self.conflicts = 0
+        registry = get_registry()
+        labels = labels or {}
+        self._m_commits = registry.counter("txn.commits", **labels)
+        self._m_aborts = registry.counter("txn.aborts", **labels)
+        self._m_conflicts = registry.counter("txn.conflicts", **labels)
 
     # ------------------------------------------------------------- catalog
 
@@ -240,6 +247,7 @@ class TransactionManager:
             last = store.last_committed_ts(write.key)
             if last is not None and last > txn.begin_ts:
                 self.conflicts += 1
+                self._m_conflicts.inc()
                 self._finish(txn, TxnStatus.ABORTED)
                 self.wal.append(txn.txn_id, WalKind.ABORT)
                 raise WriteConflictError(txn.txn_id, write.key)
@@ -275,6 +283,7 @@ class TransactionManager:
         self.wal.append(txn.txn_id, WalKind.COMMIT, commit_ts=commit_ts)
         self._finish(txn, TxnStatus.COMMITTED)
         self.commits += 1
+        self._m_commits.inc()
         for table, entries in per_table.items():
             for listener in self._listeners:
                 listener(table, entries, commit_ts)
@@ -285,6 +294,7 @@ class TransactionManager:
         self.wal.append(txn.txn_id, WalKind.ABORT)
         self._finish(txn, TxnStatus.ABORTED)
         self.aborts += 1
+        self._m_aborts.inc()
 
     def _finish(self, txn: Transaction, status: TxnStatus) -> None:
         txn.status = status

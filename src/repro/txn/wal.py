@@ -5,6 +5,14 @@ log (one simulated fsync) before its effects become visible — the
 "logging" half of both TP techniques in Table 2.  Group commit batches
 several commits behind one fsync, the standard way the MVCC+logging
 engines keep their "high efficiency".
+
+Durability contract: only COMMIT records at or below :attr:`durable_lsn`
+(advanced by :meth:`force`) survive a crash.  Commits sitting in the
+unforced group-commit tail are *visible* on the live instance but are
+lost on crash — recovery honors this by default.  ABORT records never
+count toward the group-commit batch: an aborted transaction installs
+nothing, so it has nothing to make durable and must not burn a slot
+that would trigger (or delay) someone else's fsync.
 """
 
 from __future__ import annotations
@@ -16,6 +24,7 @@ from typing import Iterator
 from ..common.clock import Timestamp
 from ..common.cost import CostModel
 from ..common.types import Key, Row
+from ..obs import get_registry
 
 
 class WalKind(enum.Enum):
@@ -41,7 +50,12 @@ class WalRecord:
 class WriteAheadLog:
     """An append-only redo log held in memory (durability is simulated)."""
 
-    def __init__(self, cost: CostModel | None = None, group_commit_size: int = 1):
+    def __init__(
+        self,
+        cost: CostModel | None = None,
+        group_commit_size: int = 1,
+        labels: dict[str, str] | None = None,
+    ):
         if group_commit_size < 1:
             raise ValueError("group_commit_size must be >= 1")
         self._cost = cost or CostModel()
@@ -50,13 +64,21 @@ class WriteAheadLog:
         self._group_commit_size = group_commit_size
         self._unforced_commits = 0
         self.fsyncs = 0
+        #: Highest LSN guaranteed on stable storage (advanced by force()).
+        self.durable_lsn = 0
+        registry = get_registry()
+        labels = labels or {}
+        self._m_appends = registry.counter("wal.appends", **labels)
+        self._m_fsyncs = registry.counter("wal.fsyncs", **labels)
+        self._m_batch = registry.histogram("wal.group_commit_batch", **labels)
 
     def __len__(self) -> int:
         return len(self._records)
 
     @property
-    def records(self) -> list[WalRecord]:
-        return self._records
+    def records(self) -> tuple[WalRecord, ...]:
+        """An immutable view; the log's internal list never escapes."""
+        return tuple(self._records)
 
     def append(
         self,
@@ -79,19 +101,28 @@ class WriteAheadLog:
         self._next_lsn += 1
         self._records.append(record)
         self._cost.charge(self._cost.wal_append_us)
-        if kind in (WalKind.COMMIT, WalKind.ABORT):
+        self._m_appends.inc()
+        if kind is WalKind.COMMIT:
             self._unforced_commits += 1
             if self._unforced_commits >= self._group_commit_size:
                 self.force()
         return record
 
     def force(self) -> None:
-        """Simulated fsync: pay the sync cost, clear the pending batch."""
+        """Simulated fsync: pay the sync cost, clear the pending batch,
+        and advance the durability horizon to the current tail."""
         if self._unforced_commits == 0:
             return
         self._cost.charge(self._cost.wal_fsync_us)
         self.fsyncs += 1
+        self._m_fsyncs.inc()
+        self._m_batch.observe(float(self._unforced_commits))
         self._unforced_commits = 0
+        self.durable_lsn = self.tail_lsn()
+
+    def unforced_commits(self) -> int:
+        """Commits visible on the live instance but not yet durable."""
+        return self._unforced_commits
 
     def tail_lsn(self) -> int:
         return self._next_lsn - 1
@@ -99,5 +130,16 @@ class WriteAheadLog:
     def records_for(self, txn_id: int) -> Iterator[WalRecord]:
         return (r for r in self._records if r.txn_id == txn_id)
 
-    def committed_txn_ids(self) -> set[int]:
-        return {r.txn_id for r in self._records if r.kind is WalKind.COMMIT}
+    def committed_txn_ids(self, up_to_lsn: int | None = None) -> set[int]:
+        """Txn ids with a COMMIT record (optionally at or below a LSN)."""
+        return {
+            r.txn_id
+            for r in self._records
+            if r.kind is WalKind.COMMIT
+            and (up_to_lsn is None or r.lsn <= up_to_lsn)
+        }
+
+    def durable_txn_ids(self) -> set[int]:
+        """Txn ids whose COMMIT record made it to stable storage — the
+        set a crash-restart is allowed to replay."""
+        return self.committed_txn_ids(up_to_lsn=self.durable_lsn)

@@ -96,6 +96,52 @@ class TestRaftFaults:
         assert positions == sorted(positions)
 
 
+class TestHealRestartSplit:
+    """heal_all() repairs links only; crashed nodes need restart_all()."""
+
+    def _group(self, seed=21):
+        cost = CostModel()
+        net = SimNetwork(cost)
+        group = RaftGroup("g", ["a", "b", "c"], ["lrn"], net, cost, seed=seed)
+        return group, net
+
+    def test_heal_all_leaves_crashed_nodes_down(self):
+        group, net = self._group()
+        group.elect_leader()
+        net.partition("a", "b")
+        net.crash("lrn")
+        applied = []
+        group.nodes["lrn"]._apply_fn = lambda i, c: applied.append(c)
+        net.heal_all()
+        # The cut link is back ...
+        assert net._link_ok("a", "b")
+        # ... but the crashed learner is still silent.
+        group.propose_and_wait(("op", 1))
+        group.run_for(20_000)
+        assert applied == []
+        net.restart_all()
+        group.run_for(20_000)
+        assert ("op", 1) in applied
+
+    def test_restart_all_does_not_heal_partitions(self):
+        _group, net = self._group()
+        net.partition("a", "b")
+        net.crash("c")
+        net.restart_all()
+        assert not net._link_ok("a", "b")
+        assert net._link_ok("a", "c")
+
+    def test_message_counters_track_drops(self):
+        group, net = self._group()
+        group.elect_leader()
+        net.crash("lrn")
+        sent0, dropped0 = net.sent, net.dropped
+        group.propose_and_wait(("op", 1))
+        group.run_for(5_000)
+        assert net.sent > sent0
+        assert net.dropped > dropped0  # the learner's appends went nowhere
+
+
 class TestClusterFaults:
     def test_follower_crash_does_not_block_commits(self):
         cluster = make_cluster()

@@ -44,6 +44,9 @@ class TestRowImcsRecovery:
             t: engine.txn_manager.store(t).schema
             for t in engine.txn_manager.tables()
         }
+        # Clean shutdown: flush the group-commit tail so the full state
+        # is durable before replay.
+        engine.txn_manager.wal.force()
         stores = recover(engine.txn_manager.wal, schemas)
         now = engine.clock.now()
         for t, store in stores.items():
@@ -56,6 +59,7 @@ class TestHanaRecovery:
     def test_recover_matches_live_engine(self):
         live = ColumnDeltaEngine()
         churn(live)
+        live.wal.force()  # clean shutdown: make the tail durable
         expected = checkpoints(live)
         recovered = ColumnDeltaEngine.recover(live.wal, tpcc_schemas())
         assert checkpoints(recovered) == pytest.approx(expected)
@@ -77,6 +81,7 @@ class TestHeatwaveRecovery:
         live = DiskRowIMCSEngine()
         churn(live)
         live.force_sync()
+        live.wal.force()  # clean shutdown: make the tail durable
         expected = checkpoints(live)
         recovered = DiskRowIMCSEngine.recover(live.wal, tpcc_schemas())
         assert checkpoints(recovered) == pytest.approx(expected)
@@ -84,6 +89,7 @@ class TestHeatwaveRecovery:
     def test_recovery_continues_serving(self):
         live = DiskRowIMCSEngine()
         churn(live, n=30)
+        live.wal.force()
         recovered = DiskRowIMCSEngine.recover(live.wal, tpcc_schemas())
         # The recovered engine accepts new transactions immediately.
         TpccWorkload(recovered, SCALE, seed=77).run_many(10)

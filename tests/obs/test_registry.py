@@ -1,0 +1,118 @@
+"""MetricsRegistry: series identity, labels, snapshot/reset round-trip."""
+
+import pytest
+
+from repro.obs import MetricsRegistry, get_registry, render_key, set_registry
+
+
+class TestSeriesIdentity:
+    def test_counter_get_or_create_is_stable(self):
+        reg = MetricsRegistry()
+        a = reg.counter("wal.fsyncs")
+        b = reg.counter("wal.fsyncs")
+        assert a is b
+
+    def test_labels_distinguish_series(self):
+        reg = MetricsRegistry()
+        a = reg.counter("wal.fsyncs", engine="a")
+        b = reg.counter("wal.fsyncs", engine="b")
+        assert a is not b
+        a.inc()
+        assert b.value == 0.0
+
+    def test_label_order_does_not_matter(self):
+        reg = MetricsRegistry()
+        a = reg.counter("net.sent", src="x", dst="y")
+        b = reg.counter("net.sent", dst="y", src="x")
+        assert a is b
+
+    def test_name_must_be_dotted(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.counter("fsyncs")
+        with pytest.raises(ValueError):
+            reg.counter("Wal.Fsyncs")
+
+    def test_counters_only_go_up(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.counter("wal.appends").inc(-1)
+
+
+class TestRoundTrip:
+    def test_record_snapshot_reset(self):
+        reg = MetricsRegistry()
+        reg.inc("wal.appends", 3)
+        reg.set_gauge("scheduler.oltp_slots", 6.0)
+        for v in (1.0, 2.0, 3.0, 4.0):
+            reg.observe("net.latency_us", v, link="a->b")
+
+        snap = reg.snapshot()
+        assert snap["counters"]["wal.appends"] == 3.0
+        assert snap["gauges"]["scheduler.oltp_slots"] == 6.0
+        hist = snap["histograms"]["net.latency_us{link=a->b}"]
+        assert hist["count"] == 4.0
+        assert hist["mean"] == pytest.approx(2.5)
+        assert hist["max"] == 4.0
+
+        reg.reset()
+        snap2 = reg.snapshot()
+        assert snap2["counters"]["wal.appends"] == 0.0
+        assert snap2["gauges"]["scheduler.oltp_slots"] == 0.0
+        assert snap2["histograms"]["net.latency_us{link=a->b}"]["count"] == 0.0
+
+    def test_bound_series_survive_reset(self):
+        """The hot-path pattern: a component binds its counter once at
+        init; per-bench reset must not orphan that binding."""
+        reg = MetricsRegistry()
+        bound = reg.counter("engine.tp_commits", engine="a")
+        bound.inc(5)
+        reg.reset()
+        bound.inc(2)
+        key = "engine.tp_commits{engine=a}"
+        assert reg.snapshot()["counters"][key] == 2.0
+
+    def test_bound_histogram_survives_reset(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("wal.group_commit_batch")
+        hist.observe(8.0)
+        reg.reset()
+        hist.observe(4.0)
+        summary = reg.snapshot()["histograms"]["wal.group_commit_batch"]
+        assert summary["count"] == 1.0
+        assert summary["mean"] == 4.0
+
+    def test_counter_total_sums_across_labels(self):
+        reg = MetricsRegistry()
+        reg.inc("txn.commits", 3, engine="a")
+        reg.inc("txn.commits", 4, engine="d")
+        assert reg.counter_total("txn.commits") == 7.0
+
+    def test_series_names(self):
+        reg = MetricsRegistry()
+        reg.counter("wal.fsyncs", engine="a")
+        reg.gauge("scheduler.olap_slots")
+        reg.histogram("net.latency_us")
+        assert reg.series_names() == {
+            "wal.fsyncs", "scheduler.olap_slots", "net.latency_us"
+        }
+
+
+class TestRenderKey:
+    def test_plain_and_labelled(self):
+        assert render_key(("wal.fsyncs", ())) == "wal.fsyncs"
+        assert (
+            render_key(("wal.fsyncs", (("engine", "a"), ("node", "n0"))))
+            == "wal.fsyncs{engine=a,node=n0}"
+        )
+
+
+class TestProcessRegistry:
+    def test_swap_and_restore(self):
+        fresh = MetricsRegistry()
+        previous = set_registry(fresh)
+        try:
+            assert get_registry() is fresh
+        finally:
+            set_registry(previous)
+        assert get_registry() is previous
