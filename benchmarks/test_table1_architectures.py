@@ -289,7 +289,7 @@ def test_print_table1_labels(table1):
     for cat in "abcd":
         measured = (
             rank_label(tp_values[cat], (6_000, 8_000)),
-            rank_label(rows[cat]["ap_per_sec"], (3_000, 6_000)),
+            rank_label(rows[cat]["ap_per_sec"], (3_000, 3_800)),
             rank_label(speedup[cat], (1.2, 1.8)),
             rank_label(ap_speedup[cat], (1.2, 1.8)),
             rank_label(iso[cat], (0.85, 0.97)),

@@ -46,6 +46,9 @@ def measure_hybrid_scan() -> dict:
         ("column only", AccessPath.COLUMN_SCAN),
         ("hybrid (cost-based)", None),
     ):
+        # Each mode must price its own scans; entries cached by an
+        # earlier mode would short-circuit them.
+        engine.scan_cache.invalidate()
         before = engine.cost.now_us()
         for sql, _kind in QUERY_MIX:
             engine.query(sql, force_path=force)
@@ -76,6 +79,9 @@ def measure_column_selection() -> dict:
     full.force_sync()
     for sql in MEASURED_QUERIES:  # stats/caches warm-up (unmeasured)
         full.query(sql)
+    # This bench prices the *scan paths*; a snapshot-scan cache hit
+    # would short-circuit them, so flush before the measured pass.
+    full.scan_cache.invalidate()
     before = full.cost.now_us()
     for sql in MEASURED_QUERIES:
         full.query(sql)
@@ -89,6 +95,7 @@ def measure_column_selection() -> dict:
     budgeted.reselect_columns()
     for sql in MEASURED_QUERIES:  # warm-up, symmetric with `full`
         budgeted.query(sql)
+    budgeted.scan_cache.invalidate()
     fallbacks_before = budgeted.fallbacks
     before = budgeted.cost.now_us()
     for sql in MEASURED_QUERIES:

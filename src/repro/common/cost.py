@@ -74,6 +74,9 @@ class CostModel:
     hash_probe_per_row_us: float = 0.15
     sort_per_row_us: float = 0.35
     agg_per_value_us: float = 0.01
+    distinct_per_row_us: float = 0.12        # dedup hashing, per input row
+    residual_filter_per_row_us: float = 0.05  # post-join equality filter, per row
+    cache_probe_us: float = 0.5              # snapshot-scan cache hit
 
     # -- accounting helpers -------------------------------------------------------
 

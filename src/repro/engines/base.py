@@ -34,6 +34,7 @@ from ..query.ast import Query, QueryResult
 from ..query.executor import Executor
 from ..query.optimizer import Planner
 from ..query.parser import parse
+from ..query.scan_cache import ScanCache
 
 
 @dataclass
@@ -104,6 +105,10 @@ class HTAPEngine(abc.ABC):
         #: Sim-time tracer over this engine's clock; disabled (zero
         #: overhead) until a bench or test calls ``tracer.enable()``.
         self.tracer = SimTracer(self.cost.clock)
+        #: MVCC-aware snapshot-scan cache shared by this engine's
+        #: executor; write/sync paths invalidate it per table, and the
+        #: adapters' ``cache_token()`` version-fences it besides.
+        self.scan_cache = ScanCache(labels={"engine": self.info.name})
         labels = {"engine": self.info.name}
         registry = get_registry()
         self._m_tp_commits = registry.counter("engine.tp_commits", **labels)
@@ -129,6 +134,8 @@ class HTAPEngine(abc.ABC):
         """
         with self.tracer.span("engine.sync", engine=self.info.name):
             moved = self._sync()
+        # Sync advances the AP image; cached batches for it are stale.
+        self.scan_cache.invalidate()
         self._m_sync_calls.inc()
         if moved:
             self._m_sync_rows.inc(moved)
@@ -183,7 +190,9 @@ class HTAPEngine(abc.ABC):
     @property
     def executor(self) -> Executor:
         if self._executor is None:
-            self._executor = Executor(self._catalog, self.cost)
+            self._executor = Executor(
+                self._catalog, self.cost, scan_cache=self.scan_cache
+            )
         return self._executor
 
     # ------------------------------------------------------------- OLAP

@@ -319,6 +319,7 @@ class ColumnDeltaEngine(HTAPEngine):
         for table in self._tables.values():
             moved += table.merge_l1_to_l2()
             moved += table.merge_l2_to_main()
+        self.scan_cache.invalidate()
         return moved
 
     def freshness_lag(self) -> int:
@@ -443,6 +444,8 @@ class _HanaSession(EngineSession):
             else:
                 target.apply_delete(key, commit_ts)
         engine.wal.append(self._txn_id, WalKind.COMMIT, commit_ts=commit_ts)
+        for table in {t for _kind, t, _key, _row in self._writes}:
+            engine.scan_cache.invalidate(table)
         engine.commits += 1
         engine._m_tp_commits.inc()
         self._done = True
@@ -485,6 +488,22 @@ class _HanaTableAccess:
         # The "row path" here is a full materialization — the primary
         # store is columnar, so there is no cheap tuple heap to scan.
         return {AccessPath.ROW_SCAN, AccessPath.INDEX_LOOKUP, AccessPath.COLUMN_SCAN}
+
+    def cache_token(self):
+        """Scan-cache version token: L1 size/high-water commit ts plus
+        the merge generations and write versions of L2/Main — any HANA
+        write or merge changes at least one component."""
+        target = self._target()
+        return (
+            "latest",
+            len(target.l1),
+            target.l1.max_commit_ts(),
+            target.l1_to_l2_merges,
+            target.l2_to_main_merges,
+            target.l2.mutations,
+            target.main.mutations,
+            self._engine.read_fresh,
+        )
 
     def scan_rows(self, predicate: Predicate) -> list[Row]:
         schema = self.schema()

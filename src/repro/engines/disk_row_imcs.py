@@ -190,13 +190,16 @@ class DiskRowIMCSEngine(HTAPEngine):
         return moved
 
     def force_sync(self) -> int:
-        return sum(self._propagate(table) for table in self._deltas)
+        moved = sum(self._propagate(table) for table in self._deltas)
+        self.scan_cache.invalidate()
+        return moved
 
     def _propagate(self, table: str) -> int:
         delta = self._deltas[table]
         entries = delta.clear()
         if not entries:
             return 0
+        self.scan_cache.invalidate(table)
         self._m_propagations.inc()
         live, tombstones = collapse_entries(entries)
         imcs = self._imcs[table]
@@ -240,6 +243,7 @@ class DiskRowIMCSEngine(HTAPEngine):
 
     def _reload_table(self, table: str) -> None:
         """(Re)extract loaded columns from the row store into the IMCS."""
+        self.scan_cache.invalidate(table)
         store = self._stores[table]
         rows = [row for _key, row in store.iter_rows()]
         self._imcs[table] = ColumnStore(store.schema, self.cost)
@@ -366,6 +370,8 @@ class _HeatwaveSession(EngineSession):
             else:
                 store.delete(key, commit_ts)
         engine.wal.append(self._txn_id, WalKind.COMMIT, commit_ts=commit_ts)
+        for table in {t for _kind, t, _key, _row in self._writes}:
+            engine.scan_cache.invalidate(table)
         engine.commits += 1
         engine._m_tp_commits.inc()
         self._done = True
@@ -406,6 +412,27 @@ class _HeatwaveTableAccess:
     def available_paths(self) -> set[AccessPath]:
         return {AccessPath.ROW_SCAN, AccessPath.INDEX_LOOKUP, AccessPath.COLUMN_SCAN}
 
+    def cache_token(self):
+        """Scan-cache version token: primary write version, IMCS write
+        version, unpropagated-delta depth, the loaded-column set (a
+        reselect flips pushdown↔fallback results routing), and the
+        freshness mode."""
+        engine = self._engine
+        return (
+            "latest",
+            engine.store(self._table).mutations,
+            engine.imcs_store(self._table).mutations,
+            len(engine._deltas[self._table]),
+            frozenset(engine.loaded_columns(self._table)),
+            engine.read_fresh,
+        )
+
+    def note_cached_scan(self, columns: list[str], predicate: Predicate) -> None:
+        """A cache hit bypasses scan_columns; keep the column-selection
+        heat map honest by recording the access anyway."""
+        needed = set(columns) | predicate.referenced_columns()
+        self._engine.tracker.record_query(self._table, needed)
+
     def scan_rows(self, predicate: Predicate) -> list[Row]:
         before = self._engine.cost.now_us()
         rows = self._engine.store(self._table).scan(predicate)
@@ -428,7 +455,9 @@ class _HeatwaveTableAccess:
         if self._engine.read_fresh and len(self._engine._deltas[self._table]):
             # Shared mode: merge the unpropagated delta at query time.
             return self._scan_with_delta(columns, predicate)
-        result = self._engine.imcs_store(self._table).scan(columns, predicate)
+        result = self._engine.imcs_store(self._table).scan(
+            columns, predicate, with_keys=False
+        )
         return result.arrays
 
     def _scan_with_delta(self, columns: list[str], predicate: Predicate):

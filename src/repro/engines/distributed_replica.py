@@ -81,7 +81,9 @@ class DistributedReplicaEngine(HTAPEngine):
         return self.cluster.sync()
 
     def force_sync(self) -> int:
-        return self.cluster.sync()
+        moved = self.cluster.sync()
+        self.scan_cache.invalidate()
+        return moved
 
     def freshness_lag(self) -> int:
         return self.cluster.freshness_lag_ts()
@@ -183,6 +185,8 @@ class _ClusterSession(EngineSession):
         if not self._writes:
             return self._engine.clock.now()
         commit_ts = self._engine.cluster.execute_transaction(self._writes)
+        for table in {w.table for w in self._writes}:
+            self._engine.scan_cache.invalidate(table)
         self._engine._m_tp_commits.inc()
         return commit_ts
 
@@ -218,6 +222,24 @@ class _ReplicaTableAccess:
 
     def available_paths(self) -> set[AccessPath]:
         return {AccessPath.ROW_SCAN, AccessPath.INDEX_LOOKUP, AccessPath.COLUMN_SCAN}
+
+    def cache_token(self):
+        """Scan-cache version token: cluster commit count (fences writes
+        even before learner apply), the replica's applied timestamp, the
+        columnar write version, the delta-log backlog, and the freshness
+        mode."""
+        cluster = self._engine.cluster
+        columnar = cluster.columnar
+        store = columnar.column_stores.get(self._table)
+        log = columnar.delta_logs.get(self._table)
+        return (
+            "latest",
+            cluster.commits,
+            columnar.applied_ts,
+            store.mutations if store is not None else -1,
+            log.pending_entries() if log is not None else -1,
+            self._engine.read_fresh,
+        )
 
     def scan_rows(self, predicate: Predicate) -> list[Row]:
         return self._engine.cluster.row_scan(self._table, predicate)

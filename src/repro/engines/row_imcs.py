@@ -82,6 +82,7 @@ class RowIMCSEngine(HTAPEngine):
         imcu = self._imcus[table]
         for entry in entries:
             imcu.on_change(entry.key)
+        self.scan_cache.invalidate(table)
 
     # ------------------------------------------------------------- OLTP
 
@@ -103,7 +104,9 @@ class RowIMCSEngine(HTAPEngine):
 
     def force_sync(self) -> int:
         snapshot = self.clock.now()
-        return sum(imcu.populate(snapshot) for imcu in self._imcus.values())
+        moved = sum(imcu.populate(snapshot) for imcu in self._imcus.values())
+        self.scan_cache.invalidate()
+        return moved
 
     def freshness_lag(self) -> int:
         if self.read_fresh:
@@ -219,6 +222,21 @@ class _ImcuTableAccess:
 
     def available_paths(self) -> set[AccessPath]:
         return {AccessPath.ROW_SCAN, AccessPath.INDEX_LOOKUP, AccessPath.COLUMN_SCAN}
+
+    def cache_token(self):
+        """Scan-cache version token: the reader snapshot (including any
+        time-travel override — historical MVCC reads are immutable and
+        cacheable per snapshot), the primary's write/vacuum versions,
+        the IMCU population generation, and the patch mode."""
+        store = self._store()
+        imcu = self._engine.imcu(self._table)
+        return (
+            self._engine.read_snapshot_ts(),
+            store.installs,
+            store.version_count(),
+            imcu.smu.populate_ts,
+            self._engine.read_fresh,
+        )
 
     def scan_rows(self, predicate: Predicate) -> list[Row]:
         return self._store().scan(self._engine.read_snapshot_ts(), predicate)

@@ -30,6 +30,7 @@ from .learned_optimizer import (
 )
 from .optimizer import PathChoice, PhysicalPlan, Planner, ScanPlan, split_conjuncts
 from .parser import parse
+from .scan_cache import ScanCache
 from .statistics import ColumnStats, TableStats
 
 __all__ = [
@@ -56,6 +57,7 @@ __all__ = [
     "Planner",
     "Query",
     "QueryResult",
+    "ScanCache",
     "ScanPlan",
     "SelectItem",
     "SelectionDecision",

@@ -64,6 +64,22 @@ class DualStoreTableAccess:
         """Secondary-index columns the planner may treat as sargable."""
         return set(self._rows._secondary)
 
+    def cache_token(self):
+        """Version token for the snapshot-scan cache.
+
+        Pins the reader snapshot (MVCC isolation: different snapshot ⇒
+        different cache key) plus every mutation counter that can change
+        a scan's result on either path: row-store installs and version
+        count (writes, vacuum) and the column store's write version.
+        Returning None would disable caching for this table.
+        """
+        return (
+            self._snapshot_ts_fn(),
+            self._rows.installs,
+            self._rows.version_count(),
+            self._columns.mutations if self._columns is not None else -1,
+        )
+
     def scan_rows(self, predicate: Predicate) -> list[Row]:
         return self._rows.scan(self._snapshot_ts_fn(), predicate)
 
@@ -74,7 +90,7 @@ class DualStoreTableAccess:
             rows = self.scan_rows(predicate)
             arrays = rows_to_columns(self.schema(), rows)
             return {name: arrays[name] for name in columns}
-        result = self._columns.scan(columns, predicate)
+        result = self._columns.scan(columns, predicate, with_keys=False)
         return result.arrays
 
     def index_lookup_rows(self, predicate: Predicate) -> list[Row] | None:

@@ -1,0 +1,135 @@
+"""MVCC-aware snapshot-scan cache.
+
+Every AP query in the testbed starts by materializing dict-of-arrays
+column batches out of a store (an MVCC row store, an IMCU, a columnar
+replica, ...).  The survey's point about avoiding redundant TP→AP data
+movement is modeled here: a batch is cached under a key that pins down
+*exactly* which data it holds —
+
+    (table, access path, needed columns, predicate, version token)
+
+The version token comes from the engine's table adapter
+(``cache_token()``) and encodes the reader snapshot plus every
+mutation counter that can change what the scan would return (row-store
+installs/vacuums, delta sizes, merge generations, replica apply
+timestamps).  Two consequences:
+
+* a hit is provably snapshot-correct — any commit, merge, sync, or
+  vacuum changes the token, so the stale entry can never be returned
+  for the new state (it just stops being reachable);
+* batches are never shared across snapshot timestamps — a different
+  ``snapshot_ts`` is a different key (MVCC isolation).
+
+Token mismatches leave dead entries behind; the engine write paths
+*also* call :meth:`ScanCache.invalidate` so stale batches are dropped
+eagerly instead of waiting for LRU eviction.  Hit/miss/eviction/
+invalidation counts are exported as plain attributes and through the
+``obs`` :class:`~repro.obs.registry.MetricsRegistry`
+(``scan_cache.hits`` / ``scan_cache.misses`` / ``scan_cache.evictions``
+/ ``scan_cache.invalidations``, plus the ``scan_cache.entries`` gauge).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Mapping
+
+import numpy as np
+
+from ..obs.registry import get_registry
+
+Batch = dict
+CacheKey = tuple
+"""(table, path, columns, predicate, token) — see module docstring."""
+
+DEFAULT_CAPACITY = 64
+
+
+class ScanCache:
+    """LRU cache of scan batches keyed by (table, path, columns,
+    predicate, snapshot/version token)."""
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_CAPACITY,
+        labels: Mapping[str, str] | None = None,
+    ):
+        if capacity < 1:
+            raise ValueError("scan cache capacity must be >= 1")
+        self._capacity = capacity
+        self._entries: OrderedDict[CacheKey, Batch] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+        labels = dict(labels or {})
+        reg = get_registry()
+        self._hit_counter = reg.counter("scan_cache.hits", **labels)
+        self._miss_counter = reg.counter("scan_cache.misses", **labels)
+        self._eviction_counter = reg.counter("scan_cache.evictions", **labels)
+        self._invalidation_counter = reg.counter("scan_cache.invalidations", **labels)
+        self._entries_gauge = reg.gauge("scan_cache.entries", **labels)
+
+    # ------------------------------------------------------------- access
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: CacheKey) -> Batch | None:
+        """The cached batch for ``key``, or None; counts a hit/miss."""
+        batch = self._entries.get(key)
+        if batch is None:
+            self.misses += 1
+            self._miss_counter.inc()
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        self._hit_counter.inc()
+        return batch
+
+    def put(self, key: CacheKey, batch: Mapping[str, np.ndarray]) -> None:
+        self._entries[key] = dict(batch)
+        self._entries.move_to_end(key)
+        while len(self._entries) > self._capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+            self._eviction_counter.inc()
+        self._entries_gauge.set(len(self._entries))
+
+    # ------------------------------------------------------------- invalidation
+
+    def invalidate(self, table: str | None = None) -> int:
+        """Drop entries for ``table`` (or all); returns how many dropped.
+
+        Correctness never depends on this being called — version tokens
+        already fence stale entries off — but engines call it on their
+        write/sync paths so dead batches free memory immediately.
+        """
+        if table is None:
+            dropped = len(self._entries)
+            self._entries.clear()
+        else:
+            stale = [key for key in self._entries if key[0] == table]
+            dropped = len(stale)
+            for key in stale:
+                del self._entries[key]
+        if dropped:
+            self.invalidations += dropped
+            self._invalidation_counter.inc(dropped)
+            self._entries_gauge.set(len(self._entries))
+        return dropped
+
+    def clear(self) -> None:
+        self.invalidate()
+
+    # ------------------------------------------------------------- stats
+
+    @property
+    def stats(self) -> dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+            "entries": len(self._entries),
+        }

@@ -79,7 +79,12 @@ class Segment:
 
 @dataclass
 class ColumnScanResult:
-    """Arrays for the requested columns plus the matching keys."""
+    """Arrays for the requested columns plus the matching keys.
+
+    ``keys`` is empty when the scan ran with ``with_keys=False`` (pure
+    columnar consumers like the executor never touch them), so ``len``
+    falls back to the array length.
+    """
 
     arrays: dict[str, np.ndarray]
     keys: list[Key]
@@ -87,7 +92,11 @@ class ColumnScanResult:
     segments_pruned: int = 0
 
     def __len__(self) -> int:
-        return len(self.keys)
+        if self.keys:
+            return len(self.keys)
+        for arr in self.arrays.values():
+            return len(arr)
+        return 0
 
 
 class ColumnStore:
@@ -107,6 +116,9 @@ class ColumnStore:
         self._segment_by_id: dict[int, Segment] = {}
         self._next_segment_id = 0
         self._max_commit_ts: Timestamp = 0
+        #: Monotone write-version: bumped on any operation that can change
+        #: what a scan returns (seal/delete/compact).  Scan caches key on it.
+        self.mutations = 0
 
     # ------------------------------------------------------------- metadata
 
@@ -146,6 +158,7 @@ class ColumnStore:
         """Seal ``rows`` into a new segment (upserting over prior versions)."""
         if not rows:
             raise StorageError("cannot seal an empty segment")
+        self.mutations += 1
         validated = [self.schema.validate_row(r) for r in rows]
         keys = [self.schema.key_of(r) for r in validated]
         # Upsert semantics: a key re-appended supersedes its old position.
@@ -195,6 +208,7 @@ class ColumnStore:
 
     def delete_keys(self, keys: Iterable[Key]) -> int:
         """Flip delete bits for ``keys``; returns how many were present."""
+        self.mutations += 1
         hit = 0
         for key in keys:
             loc = self._locations.pop(key, None)
@@ -240,11 +254,15 @@ class ColumnStore:
         self,
         columns: Sequence[str] | None = None,
         predicate: Predicate = ALWAYS_TRUE,
+        with_keys: bool = True,
     ) -> ColumnScanResult:
         """Vectorized scan: decode needed columns, mask, gather, concat.
 
         Cost is charged per (row, referenced column) pair actually
         scanned; zone maps prune whole segments before any decode.
+        ``with_keys=False`` skips building the per-row key list — the
+        dominant Python-level cost for wide scans — for callers that
+        only consume the arrays.
         """
         wanted = list(columns) if columns is not None else self.schema.column_names
         for name in wanted:
@@ -277,13 +295,25 @@ class ColumnStore:
             mask = predicate.mask(decoded) & ~segment.delete_mask
             if not mask.any():
                 continue
+            if mask.all():
+                # Every row survives: skip the gather (concatenate below
+                # copies, so sharing the decoded buffers here is safe).
+                for name in wanted:
+                    if name in decoded:
+                        out_arrays[name].append(decoded[name])
+                    else:
+                        out_arrays[name].append(segment.encodings[name].decode())
+                if with_keys:
+                    out_keys.extend(segment.keys)
+                continue
             positions = np.flatnonzero(mask)
             for name in wanted:
                 if name in decoded:
                     out_arrays[name].append(decoded[name][positions])
                 else:
                     out_arrays[name].append(segment.encodings[name].take(positions))
-            out_keys.extend(segment.keys[p] for p in positions)
+            if with_keys:
+                out_keys.extend(segment.keys[p] for p in positions)
         final = {
             name: (
                 np.concatenate(parts)
@@ -318,6 +348,7 @@ class ColumnStore:
 
     def compact(self) -> None:
         """Rewrite all live rows into a single fresh segment."""
+        self.mutations += 1
         rows = self.all_rows()
         max_ts = self._max_commit_ts
         self._segments.clear()

@@ -43,6 +43,9 @@ class DiskRowStore:
         self._listeners: list[ChangeListener] = []
         self._count = 0
         self.last_commit_ts: Timestamp = 0
+        #: Monotone write-version (insert/update/delete); scan caches
+        #: key on it to fence stale batches.
+        self.mutations = 0
 
     # ------------------------------------------------------------- plumbing
 
@@ -86,6 +89,7 @@ class DiskRowStore:
         page.dirty = True
         self._index.insert(self._index_key(key), (page.page_id, slot))
         self._count += 1
+        self.mutations += 1
         self.last_commit_ts = max(self.last_commit_ts, commit_ts)
         self._notify("insert", key, row, commit_ts)
         return key
@@ -96,6 +100,7 @@ class DiskRowStore:
         page = self._pool.fetch(page_id)
         page.slots[slot] = row
         page.dirty = True
+        self.mutations += 1
         self.last_commit_ts = max(self.last_commit_ts, commit_ts)
         self._notify("update", key, row, commit_ts)
 
@@ -108,6 +113,7 @@ class DiskRowStore:
         if page_id not in self._free_pages:
             self._free_pages.append(page_id)
         self._count -= 1
+        self.mutations += 1
         self.last_commit_ts = max(self.last_commit_ts, commit_ts)
         self._notify("delete", key, None, commit_ts)
 

@@ -47,6 +47,7 @@ class InMemoryDeltaMerger:
         main: ColumnStore,
         cost: CostModel | None = None,
         threshold_rows: int = 1024,
+        on_advance=None,
     ):
         if threshold_rows < 1:
             raise ValueError("threshold_rows must be >= 1")
@@ -54,6 +55,9 @@ class InMemoryDeltaMerger:
         self.main = main
         self._cost = cost or CostModel()
         self.threshold_rows = threshold_rows
+        #: Called (no args) after a merge advances the AP image — scan
+        #: caches over ``main`` hook invalidation here.
+        self.on_advance = on_advance
         self.stats = MergeStats()
         registry = get_registry()
         self._m_merges = registry.counter("sync.delta_merge.events")
@@ -89,4 +93,6 @@ class InMemoryDeltaMerger:
         self.stats.record(len(live), len(tombstones), elapsed)
         self._m_merges.inc()
         self._m_rows.inc(len(live))
+        if self.on_advance is not None:
+            self.on_advance()
         return len(live)

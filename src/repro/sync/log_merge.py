@@ -39,11 +39,15 @@ class LogDeltaMerger:
         main: ColumnStore,
         cost: CostModel | None = None,
         threshold_files: int = 4,
+        on_advance=None,
     ):
         self.log = log
         self.main = main
         self._cost = cost or CostModel()
         self.threshold_files = threshold_files
+        #: Called (no args) after a merge advances the AP image — scan
+        #: caches over ``main`` hook invalidation here.
+        self.on_advance = on_advance
         self.stats = LogMergeStats()
         registry = get_registry()
         self._m_merges = registry.counter("sync.log_merge.events")
@@ -72,6 +76,8 @@ class LogDeltaMerger:
         self.stats.merge_time_us += self._cost.now_us() - start
         self._m_merges.inc()
         self._m_rows.inc(rows_merged)
+        if self.on_advance is not None:
+            self.on_advance()
         return rows_merged
 
     def _merge_files(self, files: list[DeltaLogFile]) -> int:

@@ -35,6 +35,7 @@ class ColumnStoreRebuilder:
         main: ColumnStore,
         cost: CostModel | None = None,
         staleness_threshold: float = 0.2,
+        on_advance=None,
     ):
         if not 0.0 < staleness_threshold <= 1.0:
             raise ValueError("staleness_threshold must be in (0, 1]")
@@ -42,6 +43,9 @@ class ColumnStoreRebuilder:
         self.main = main
         self._cost = cost or CostModel()
         self.staleness_threshold = staleness_threshold
+        #: Called (no args) after a rebuild replaces the AP image — scan
+        #: caches over ``main`` hook invalidation here.
+        self.on_advance = on_advance
         self.stats = RebuildStats()
         self._changes_since_rebuild = 0
         self._rows_at_rebuild = 0
@@ -85,4 +89,6 @@ class ColumnStoreRebuilder:
         self.stats.rebuild_time_us += self._cost.now_us() - start
         self._m_rebuilds.inc()
         self._m_rows.inc(len(rows))
+        if self.on_advance is not None:
+            self.on_advance()
         return len(rows)

@@ -1,0 +1,254 @@
+"""Snapshot-scan cache: MVCC correctness, invalidation, and counters.
+
+The cache may only ever serve a batch that byte-matches what a fresh
+scan at the same snapshot would produce.  Two independent mechanisms
+enforce that, and both are tested here:
+
+* **version tokens** — every adapter folds its snapshot timestamp and
+  mutation counters into the cache key, so a write (or a different
+  reader snapshot) misses even if nobody called invalidate();
+* **explicit invalidation** — engine write/merge paths call
+  ``scan_cache.invalidate(table)`` so stale entries free memory
+  eagerly instead of lingering until eviction.
+"""
+
+import pytest
+
+from repro.common import Column, CostModel, DataType, Schema
+from repro.engines import make_engine
+from repro.obs import get_registry
+from repro.query import DualStoreTableAccess, Executor, Planner, ScanCache, parse
+from repro.storage.row_store import MVCCRowStore
+
+
+@pytest.fixture(autouse=True)
+def _fresh_obs():
+    get_registry().reset()
+    yield
+
+
+def simple_schema():
+    return Schema(
+        "t",
+        [
+            Column("id", DataType.INT64),
+            Column("v", DataType.FLOAT64),
+            Column("tag", DataType.STRING),
+        ],
+        ["id"],
+    )
+
+
+class TestScanCacheUnit:
+    def test_hit_miss_counters(self):
+        cache = ScanCache()
+        key = ("t", "ROW_SCAN", ("id",), None, (1,))
+        assert cache.get(key) is None
+        cache.put(key, {"id": [1, 2]})
+        assert cache.get(key) == {"id": [1, 2]}
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_eviction_lru_order(self):
+        cache = ScanCache(capacity=2)
+        cache.put(("t", 1), {"a": 1})
+        cache.put(("t", 2), {"a": 2})
+        cache.get(("t", 1))  # touch 1 so 2 becomes LRU
+        cache.put(("t", 3), {"a": 3})
+        assert cache.get(("t", 2)) is None  # evicted
+        assert cache.get(("t", 1)) is not None
+        assert cache.evictions == 1
+
+    def test_invalidate_by_table(self):
+        cache = ScanCache()
+        cache.put(("orders", "x"), {"a": 1})
+        cache.put(("orders", "y"), {"a": 2})
+        cache.put(("customer", "x"), {"a": 3})
+        dropped = cache.invalidate("orders")
+        assert dropped == 2
+        assert cache.get(("customer", "x")) is not None
+        assert cache.get(("orders", "x")) is None
+        assert cache.invalidations == 2
+
+    def test_invalidate_all(self):
+        cache = ScanCache()
+        cache.put(("a", 1), {})
+        cache.put(("b", 1), {})
+        assert cache.invalidate() == 2
+        assert len(cache) == 0
+
+    def test_put_copies_batch_identity(self):
+        """The cache stores its own dict so caller mutation of the
+        mapping (not the arrays) cannot corrupt entries."""
+        cache = ScanCache()
+        batch = {"id": [1]}
+        cache.put(("t", 1), batch)
+        batch["rogue"] = True
+        assert "rogue" not in cache.get(("t", 1))
+
+    def test_obs_counters(self):
+        reg = get_registry()
+        cache = ScanCache(capacity=1, labels={"engine": "test"})
+        cache.get(("t", 1))
+        cache.put(("t", 1), {})
+        cache.get(("t", 1))
+        cache.put(("t", 2), {})  # evicts
+        cache.invalidate()
+        assert reg.counter_total("scan_cache.hits") == 1
+        assert reg.counter_total("scan_cache.misses") == 1
+        assert reg.counter_total("scan_cache.evictions") == 1
+        assert reg.counter_total("scan_cache.invalidations") == 1
+
+    def test_stats_property(self):
+        cache = ScanCache()
+        cache.get(("t", 1))
+        stats = cache.stats
+        assert stats["misses"] == 1
+        assert stats["entries"] == 0
+
+
+def build_snapshot_env(snapshot_holder):
+    """Row store with rows installed at ts=1 and ts=5; reader snapshot
+    is whatever ``snapshot_holder['ts']`` currently says."""
+    schema = simple_schema()
+    cost = CostModel()
+    store = MVCCRowStore(schema, cost)
+    for i in range(10):
+        store.install_insert((i, float(i), f"tag{i % 3}"), commit_ts=1)
+    for i in range(10, 15):
+        store.install_insert((i, float(i), "late"), commit_ts=5)
+    access = DualStoreTableAccess(
+        store, None, cost, snapshot_ts_fn=lambda: snapshot_holder["ts"]
+    )
+    catalog = {"t": access}
+    cache = ScanCache()
+    executor = Executor(catalog, cost, scan_cache=cache)
+    planner = Planner(catalog, cost)
+    return store, executor, planner, cache
+
+
+class TestSnapshotCorrectness:
+    def test_no_sharing_across_snapshots(self):
+        holder = {"ts": 3}
+        _store, executor, planner, cache = build_snapshot_env(holder)
+        plan = planner.plan(parse("SELECT id FROM t"))
+
+        old = executor.execute(plan)
+        assert len(old.rows) == 10  # ts=5 rows invisible at snapshot 3
+        assert cache.misses == 1
+
+        holder["ts"] = 10
+        fresh = executor.execute(plan)
+        assert len(fresh.rows) == 15  # different snapshot ⇒ miss, not a stale hit
+        assert cache.misses == 2 and cache.hits == 0
+
+        holder["ts"] = 3
+        again = executor.execute(plan)
+        assert len(again.rows) == 10  # back to the old snapshot: cached entry hits
+        assert cache.hits == 1
+        assert again.rows == old.rows
+
+    def test_token_fences_unannounced_writes(self):
+        """Even with NO explicit invalidation, a write changes the
+        adapter's version token and the stale entry cannot be served."""
+        holder = {"ts": 100}
+        store, executor, planner, cache = build_snapshot_env(holder)
+        plan = planner.plan(parse("SELECT id FROM t"))
+        first = executor.execute(plan)
+        assert len(first.rows) == 15
+        # Write directly into the store — bypassing every engine hook.
+        store.install_insert((99, 9.9, "sneak"), commit_ts=50)
+        second = executor.execute(plan)
+        assert len(second.rows) == 16
+        assert cache.hits == 0 and cache.misses == 2
+
+    def test_repeated_scan_hits(self):
+        holder = {"ts": 100}
+        _store, executor, planner, cache = build_snapshot_env(holder)
+        plan = planner.plan(parse("SELECT v FROM t WHERE id < 5"))
+        a = executor.execute(plan)
+        b = executor.execute(plan)
+        assert a.rows == b.rows
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_different_columns_different_entries(self):
+        holder = {"ts": 100}
+        _store, executor, planner, cache = build_snapshot_env(holder)
+        executor.execute(planner.plan(parse("SELECT id FROM t")))
+        executor.execute(planner.plan(parse("SELECT v FROM t")))
+        assert cache.misses == 2 and cache.hits == 0
+
+    def test_cache_probe_charged(self):
+        """Hits are not free: each probe charges cache_probe_us."""
+        holder = {"ts": 100}
+        schema_cost = CostModel()
+        store = MVCCRowStore(simple_schema(), schema_cost)
+        store.install_insert((1, 1.0, "a"), commit_ts=1)
+        access = DualStoreTableAccess(
+            store, None, schema_cost, snapshot_ts_fn=lambda: holder["ts"]
+        )
+        cost = CostModel()
+        executor = Executor({"t": access}, cost, scan_cache=ScanCache())
+        plan = Planner({"t": access}, cost).plan(parse("SELECT id FROM t"))
+        executor.execute(plan)
+        before = cost.now_us()
+        executor.execute(plan)
+        assert cost.now_us() - before >= cost.cache_probe_us
+
+
+def order_schema():
+    return Schema(
+        "orders",
+        [
+            Column("o_id", DataType.INT64),
+            Column("o_cust", DataType.INT64),
+            Column("o_amount", DataType.FLOAT64),
+            Column("o_region", DataType.STRING),
+        ],
+        ["o_id"],
+    )
+
+
+def build_engine(cat, n=40):
+    kwargs = {"seed": 5} if cat == "b" else {}
+    engine = make_engine(cat, **kwargs)
+    engine.create_table(order_schema())
+    rows = [(i, i % 7, float(i % 13) + 0.25, ["e", "w"][i % 2]) for i in range(n)]
+    engine.load_rows("orders", rows, batch=20)
+    return engine
+
+
+@pytest.mark.parametrize("cat", ["a", "b", "c", "d"])
+class TestEngineInvalidation:
+    SQL = "SELECT o_region, COUNT(*) FROM orders GROUP BY o_region"
+
+    def test_repeat_query_hits_then_write_invalidates(self, cat):
+        engine = build_engine(cat)
+        engine.force_sync()
+        first = engine.query(self.SQL)
+        engine.query(self.SQL)
+        assert engine.scan_cache.hits >= 1
+
+        engine.insert("orders", (1000, 1, 2.5, "e"))
+        engine.force_sync()
+        after = engine.query(self.SQL)
+        counts = dict(after.rows)
+        assert counts["e"] == dict(first.rows)["e"] + 1  # new row visible
+        assert engine.scan_cache.invalidations >= 1
+
+    def test_delete_visible_after_invalidation(self, cat):
+        engine = build_engine(cat)
+        engine.force_sync()
+        before = engine.query(self.SQL)
+        engine.delete("orders", 0)  # row 0 is region "e"
+        engine.force_sync()
+        after = engine.query(self.SQL)
+        assert dict(after.rows)["e"] == dict(before.rows)["e"] - 1
+
+    def test_force_sync_invalidates_everything(self, cat):
+        engine = build_engine(cat)
+        engine.force_sync()
+        engine.query(self.SQL)
+        assert len(engine.scan_cache) >= 0  # may or may not cache (path-dependent)
+        engine.force_sync()
+        assert len(engine.scan_cache) == 0
