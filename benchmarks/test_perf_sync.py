@@ -1,0 +1,304 @@
+"""Sync-pipeline microbench: batched vs scalar OLTP→OLAP movement.
+
+Times the three batch paths from the PR against their retained scalar
+references — in-memory delta merge (technique (i)), Raft learner log
+replay + log-based merge (technique (ii)), and the TPC-C bulk-load
+fixture path — and writes ``BENCH_sync.json`` at the repo root with
+rows/s and speedups so CI can archive the numbers.
+
+Row count defaults to 100k; CI sets ``SYNC_BENCH_ROWS`` smaller.  The
+≥5x (delta merge) and ≥3x (Raft replay) acceptance gates only apply at
+full size — at reduced size fixed overhead dominates and the asserts
+relax to "not slower".
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import os
+import random
+import time
+from contextlib import contextmanager
+from pathlib import Path
+
+import pytest
+
+from repro.bench import TpccLoader, TpccScale
+from repro.common import Column, CostModel, DataType, Schema
+from repro.distributed.cluster import ColumnarReplica, WriteKind, WriteOp
+from repro.engines import make_engine
+from repro.engines.base import HTAPEngine
+from repro.obs import get_registry
+from repro.storage.column_store import ColumnStore
+from repro.storage.delta_store import InMemoryDeltaStore
+from repro.sync import InMemoryDeltaMerger
+
+from conftest import print_table
+
+N_ROWS = int(os.environ.get("SYNC_BENCH_ROWS", "100000"))
+FULL_SIZE = N_ROWS >= 100_000
+BEST_OF = 5
+REPORT_PATH = Path(__file__).resolve().parents[1] / "BENCH_sync.json"
+
+TPCC_SCALE = TpccScale(
+    warehouses=1,
+    districts=2,
+    customers=120,
+    items=150,
+    initial_orders=60,
+    suppliers=10,
+)
+
+
+@contextmanager
+def quiesced_gc():
+    """Whole-heap collector sweeps mid-trial are the dominant timing
+    noise at 100k-object churn.  Freeze the pre-trial heap so GC stays
+    *enabled* — each path still pays for the garbage it creates — but
+    collections triggered inside the timed region only scan
+    trial-allocated objects, not the accumulated fixtures."""
+    gc.collect()
+    gc.freeze()
+    try:
+        yield
+    finally:
+        gc.unfreeze()
+
+
+def make_schema():
+    return Schema(
+        "t",
+        [
+            Column("id", DataType.INT64),
+            Column("v", DataType.FLOAT64),
+            Column("tag", DataType.STRING),
+        ],
+        ["id"],
+    )
+
+
+def delta_ops(n: int):
+    """Insert n keys, update 1.5x (TP churn between merge cycles means
+    several versions per hot key), delete a tenth — a merge-heavy mix
+    whose collapse has real work to do (superseded versions and
+    tombstones)."""
+    rng = random.Random(7)
+    ops = [("insert", i, (i, float(i), f"tag{i % 5}")) for i in range(n)]
+    ops += [
+        ("update", k, (k, float(k) * 2, "upd"))
+        for k in (rng.randrange(n) for _ in range(n * 3 // 2))
+    ]
+    ops += [("delete", rng.randrange(n), None) for _ in range(n // 10)]
+    return ops
+
+
+def fill_delta(delta: InMemoryDeltaStore, ops) -> None:
+    for ts, (kind, key, row) in enumerate(ops, start=1):
+        if kind == "insert":
+            delta.record_insert(row, ts)
+        elif kind == "update":
+            delta.record_update(row, ts)
+        else:
+            delta.record_delete(key, ts)
+
+
+def bench_delta_merge(ops):
+    """Interleaves vectorized and scalar trials so machine-load drift
+    hits both sides equally; returns per-path best times + states."""
+    best = {True: float("inf"), False: float("inf")}
+    state = {}
+    for _ in range(BEST_OF):
+        for vectorized in (True, False):
+            cost = CostModel()
+            delta = InMemoryDeltaStore(make_schema(), cost)
+            main = ColumnStore(make_schema(), cost)
+            merger = InMemoryDeltaMerger(
+                delta, main, cost, threshold_rows=1, vectorized=vectorized
+            )
+            fill_delta(delta, ops)
+            with quiesced_gc():
+                start = time.perf_counter()
+                merger.merge()
+                elapsed = time.perf_counter() - start
+            best[vectorized] = min(best[vectorized], elapsed)
+            state[vectorized] = (sorted(main.all_rows()), main.max_commit_ts())
+    return best, state
+
+
+def replay_commands(n: int, writes_per_txn: int = 20):
+    """2PC learner stream: prepare/commit pairs carrying n writes,
+    ~40% of them updates of earlier keys (TP churn, not pure load)."""
+    rng = random.Random(11)
+    commands = []
+    ts = 1
+    next_key = 0
+    for txn in range(n // writes_per_txn):
+        writes = []
+        for _ in range(writes_per_txn):
+            if next_key and rng.random() < 0.4:
+                k = rng.randrange(next_key)
+                writes.append(
+                    WriteOp(WriteKind.UPDATE, "t", k, (k, float(k) * 2, "upd"))
+                )
+            else:
+                k = next_key
+                next_key += 1
+                writes.append(
+                    WriteOp(WriteKind.INSERT, "t", k, (k, float(k), f"tag{k % 5}"))
+                )
+        commands.append(("prepare", txn, writes, ts))
+        commands.append(("commit", txn))
+        ts += 1
+    return commands
+
+
+def bench_raft_replay(commands):
+    total_writes = sum(len(c[2]) for c in commands if c[0] == "prepare")
+    best = {True: float("inf"), False: float("inf")}
+    state = {}
+    for _ in range(BEST_OF):
+        for batched in (True, False):
+            cost = CostModel()
+            replica = ColumnarReplica(
+                {"t": make_schema()}, cost, vectorized=batched
+            )
+            with quiesced_gc():
+                start = time.perf_counter()
+                if batched:
+                    replica.learner_apply_batch(0, 1, commands)
+                else:
+                    for i, command in enumerate(commands, start=1):
+                        replica.learner_apply(0, i, command)
+                replica.merge_deltas()
+                elapsed = time.perf_counter() - start
+            best[batched] = min(best[batched], elapsed)
+            store = replica.column_stores["t"]
+            state[batched] = (sorted(store.all_rows()), replica.applied_ts)
+    return best, state, total_writes
+
+
+def bench_tpcc_load():
+    best = {True: float("inf"), False: float("inf")}
+    rows = {}
+    for trial in range(BEST_OF + 1):  # first round is warmup
+        for bulk in (True, False):
+            engine = make_engine("a")
+            if not bulk:
+                # The scalar reference: route the loader's bulk_load
+                # calls back through row-at-a-time sessions.
+                engine.bulk_load = lambda table, rows: HTAPEngine.load_rows(
+                    engine, table, rows
+                )
+            loader = TpccLoader(scale=TPCC_SCALE, seed=1)
+            with quiesced_gc():
+                start = time.perf_counter()
+                loader.load(engine)
+                elapsed = time.perf_counter() - start
+            if trial > 0:
+                best[bulk] = min(best[bulk], elapsed)
+            rows[bulk] = sum(
+                engine.query(f"SELECT COUNT(*) FROM {t}").rows[0][0]
+                for t in ("orders", "order_line", "stock", "customer")
+            )
+    return best, rows
+
+
+@pytest.fixture(scope="module")
+def report():
+    get_registry().reset()
+    results: dict[str, dict] = {}
+
+    # --- technique (i): in-memory delta merge ----------------------------
+    ops = delta_ops(N_ROWS)
+    merge_t, merge_state = bench_delta_merge(ops)
+    assert merge_state[True] == merge_state[False]
+    results["delta_merge"] = {
+        "entries": len(ops),
+        "vectorized_s": merge_t[True],
+        "scalar_s": merge_t[False],
+        "vectorized_rows_per_s": len(ops) / merge_t[True],
+        "scalar_rows_per_s": len(ops) / merge_t[False],
+        "speedup": merge_t[False] / merge_t[True],
+    }
+
+    # --- technique (ii): Raft learner replay + log merge -----------------
+    commands = replay_commands(N_ROWS)
+    replay_t, replay_state, n_writes = bench_raft_replay(commands)
+    assert replay_state[True] == replay_state[False]
+    results["raft_replay"] = {
+        "writes": n_writes,
+        "batched_s": replay_t[True],
+        "scalar_s": replay_t[False],
+        "batched_rows_per_s": n_writes / replay_t[True],
+        "scalar_rows_per_s": n_writes / replay_t[False],
+        "speedup": replay_t[False] / replay_t[True],
+    }
+
+    # --- fixture path: TPC-C bulk load -----------------------------------
+    load_t, load_rows = bench_tpcc_load()
+    assert load_rows[True] == load_rows[False]
+    results["tpcc_load"] = {
+        "rows": load_rows[True],
+        "bulk_s": load_t[True],
+        "scalar_s": load_t[False],
+        "bulk_rows_per_s": load_rows[True] / load_t[True],
+        "scalar_rows_per_s": load_rows[True] / load_t[False],
+        "speedup": load_t[False] / load_t[True],
+    }
+
+    payload = {
+        "bench": "sync_pipeline",
+        "rows": N_ROWS,
+        "full_size": FULL_SIZE,
+        "best_of": BEST_OF,
+        "workloads": results,
+        "extras": {"obs": get_registry().snapshot()},
+    }
+    REPORT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    print_table(
+        f"Sync pipeline ({N_ROWS} rows, best of {BEST_OF})",
+        ["workload", "scalar rows/s", "batched rows/s", "speedup"],
+        [
+            [
+                name,
+                r["scalar_rows_per_s"],
+                r.get(
+                    "vectorized_rows_per_s",
+                    r.get("batched_rows_per_s", r.get("bulk_rows_per_s")),
+                ),
+                r["speedup"],
+            ]
+            for name, r in results.items()
+        ],
+        widths=[14, 18, 18, 10],
+    )
+    return payload
+
+
+def test_delta_merge_speedup(report):
+    speedup = report["workloads"]["delta_merge"]["speedup"]
+    assert speedup >= (5.0 if FULL_SIZE else 1.0)
+
+
+def test_raft_replay_speedup(report):
+    speedup = report["workloads"]["raft_replay"]["speedup"]
+    assert speedup >= (3.0 if FULL_SIZE else 1.0)
+
+
+def test_tpcc_bulk_load_not_slower(report):
+    assert report["workloads"]["tpcc_load"]["speedup"] >= 1.0
+
+
+def test_batch_obs_recorded(report):
+    histograms = report["extras"]["obs"].get("histograms", {})
+    names = " ".join(histograms)
+    assert "sync.batch_rows" in names
+    assert "sync.merge_latency_us" in names
+    assert "raft.apply_batch_commands" in names
+
+
+def test_report_written(report):
+    on_disk = json.loads(REPORT_PATH.read_text())
+    assert on_disk["workloads"].keys() == report["workloads"].keys()

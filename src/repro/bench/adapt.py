@@ -23,7 +23,7 @@ from dataclasses import dataclass
 from ..common.cost import CostModel
 from ..common.predicate import Between
 from ..common.rng import make_rng
-from ..common.types import Column, DataType, Schema
+from ..common.types import Column, DataType, Schema, rows_to_columns
 from ..query.access import AccessPath
 from ..query.adapters import DualStoreTableAccess
 from ..query.ast import Aggregate, AggFunc, ColumnRef, Query, SelectItem
@@ -72,7 +72,11 @@ def build_fixture(
     for row in data:
         rows.install_insert(row, commit_ts=1)
     columns = ColumnStore(schema, cost)
-    columns.append_rows(data, commit_ts=1)
+    columns.append_batch(
+        rows_to_columns(schema, data),
+        [schema.key_of(r) for r in data],
+        commit_ts=1,
+    )
     access = DualStoreTableAccess(rows, columns, cost)
     catalog = {"adapt": access}
     planners = {

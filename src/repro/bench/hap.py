@@ -25,7 +25,7 @@ from dataclasses import dataclass
 from ..common.cost import CostModel
 from ..common.predicate import Between
 from ..common.rng import make_rng
-from ..common.types import Column, DataType, Schema
+from ..common.types import Column, DataType, Schema, rows_to_columns
 from ..storage.column_store import ColumnStore
 from ..storage.delta_store import InMemoryDeltaStore
 from ..sync.delta_merge import InMemoryDeltaMerger
@@ -71,7 +71,11 @@ def run_hap_cell(
     # grp is low-cardinality (RLE/dict-friendly); val is wide-range.
     rows = [(i, rng.randrange(0, 1_000_000), i % 8) for i in range(n_rows)]
     store = ColumnStore(schema, cost, forced_encoding=encoding)
-    store.append_rows(rows, commit_ts=1)
+    store.append_batch(
+        rows_to_columns(schema, rows),
+        [schema.key_of(r) for r in rows],
+        commit_ts=1,
+    )
     delta = InMemoryDeltaStore(schema, cost)
     merger = InMemoryDeltaMerger(delta, store, cost, threshold_rows=merge_threshold)
     scan_us = update_us = merge_us = 0.0

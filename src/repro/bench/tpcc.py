@@ -124,17 +124,17 @@ class TpccLoader:
         if create_tables:
             for schema in tpcc_schemas():
                 engine.create_table(schema)
-        engine.load_rows("region", [
+        engine.bulk_load("region", [
             (r, f"region{r}") for r in range(s.regions)
         ])
-        engine.load_rows("nation", [
+        engine.bulk_load("nation", [
             (n, f"nation{n}", n % s.regions) for n in range(s.nations)
         ])
-        engine.load_rows("supplier", [
+        engine.bulk_load("supplier", [
             (su, f"supplier{su}", su % s.nations, round(rng.uniform(-999, 9999), 2))
             for su in range(s.suppliers)
         ])
-        engine.load_rows("item", [
+        engine.bulk_load("item", [
             (
                 i,
                 rng.randrange(1, 10_000),
@@ -145,11 +145,11 @@ class TpccLoader:
             for i in range(1, s.items + 1)
         ])
         for w in range(1, s.warehouses + 1):
-            engine.load_rows("warehouse", [(
+            engine.bulk_load("warehouse", [(
                 w, f"wh{w}", random_string(rng, 2, 2).upper(),
                 round(rng.uniform(0.0, 0.2), 4), 300_000.0,
             )])
-            engine.load_rows("stock", [
+            engine.bulk_load("stock", [
                 (
                     w, i, rng.randrange(10, 101), 0.0, 0, 0,
                     ((w * i) % s.suppliers),
@@ -158,11 +158,11 @@ class TpccLoader:
                 for i in range(1, s.items + 1)
             ])
             for d in range(1, s.districts + 1):
-                engine.load_rows("district", [(
+                engine.bulk_load("district", [(
                     w, d, f"dist{d}", round(rng.uniform(0.0, 0.2), 4),
                     30_000.0, s.initial_orders + 1,
                 )])
-                engine.load_rows("customer", [
+                engine.bulk_load("customer", [
                     (
                         w, d, c,
                         f"cust{w}_{d}_{c}",
@@ -201,9 +201,9 @@ class TpccLoader:
                     0.0 if delivered else round(rng.uniform(0.01, 9999.99), 2),
                 ))
             day += 1
-        engine.load_rows("orders", orders)
-        engine.load_rows("new_order", new_orders)
-        engine.load_rows("order_line", lines)
+        engine.bulk_load("orders", orders)
+        engine.bulk_load("new_order", new_orders)
+        engine.bulk_load("order_line", lines)
 
 
 # --------------------------------------------------------------------- txns

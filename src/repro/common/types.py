@@ -200,7 +200,10 @@ def rows_to_columns(schema: Schema, rows: Sequence[Row]) -> dict[str, np.ndarray
     """
     arrays: dict[str, np.ndarray] = {}
     for i, col in enumerate(schema.columns):
-        values = [encode_cell(row[i], col.dtype) for row in rows]
+        values = [row[i] for row in rows]
+        if None in values:  # only NULL cells need sentinel mapping
+            dtype = col.dtype
+            values = [encode_cell(v, dtype) for v in values]
         arrays[col.name] = np.array(values, dtype=col.dtype.numpy_dtype)
     return arrays
 

@@ -37,8 +37,14 @@ from ..common.predicate import ALWAYS_TRUE, Predicate
 from ..common.types import Key, Row, Schema
 from ..obs import get_registry
 from ..storage.column_store import ColumnScanResult, ColumnStore
+from ..storage.delta_batch import (
+    KIND_DELETE,
+    KIND_INSERT,
+    KIND_UPDATE,
+    DeltaBatch,
+)
 from ..storage.delta_log import LogDeltaManager
-from ..storage.delta_store import DeltaEntry, collapse_entries
+from ..storage.delta_store import DeltaEntry, DeltaKind, collapse_entries
 from .network import SimNetwork
 from .partitioner import HashPartitioner
 from .raft import RaftGroup
@@ -49,6 +55,21 @@ class WriteKind(enum.Enum):
     INSERT = "insert"
     UPDATE = "update"
     DELETE = "delete"
+
+
+def _runs_by_table(writes):
+    """Group one commit's writes by table, preserving per-table order.
+    Single-table transactions (the common case) pass through without
+    building intermediate groups."""
+    if not writes:
+        return ()
+    first = writes[0].table
+    if all(w.table == first for w in writes):
+        return ((first, writes),)
+    groups: dict[str, list] = {}
+    for w in writes:
+        groups.setdefault(w.table, []).append(w)
+    return groups.items()
 
 
 @dataclass(frozen=True)
@@ -123,6 +144,14 @@ class RegionStateMachine:
             _op, txn_id = command
             self.prepared.pop(txn_id, None)
             self.vote_log.pop(txn_id, None)
+        elif op == "bulk":
+            # Bulk load: pre-validated fresh rows installed in one command.
+            _op, table_name, rows, commit_ts = command
+            table = self.rows[table_name]
+            key_of = self.schemas[table_name].key_of
+            for row in rows:
+                table[key_of(row)] = row
+            self.last_commit_ts = max(self.last_commit_ts, commit_ts)
         else:
             raise TwoPhaseCommitError(f"unknown region command {op!r}")
 
@@ -154,8 +183,10 @@ class ColumnarReplica:
         schemas: dict[str, Schema],
         cost: CostModel,
         seal_threshold: int = 64,
+        vectorized: bool = True,
     ):
         self._cost = cost
+        self.vectorized = vectorized
         self.delta_logs = {
             name: LogDeltaManager(schema, cost=cost, seal_threshold=seal_threshold)
             for name, schema in schemas.items()
@@ -171,6 +202,13 @@ class ColumnarReplica:
         registry = get_registry()
         self._m_merge_events = registry.counter("sync.log_merge.events")
         self._m_merge_rows = registry.counter("sync.log_merge.rows")
+        self._h_apply_batch = registry.histogram("raft.apply_batch_commands")
+        self._h_merge_batch = registry.histogram(
+            "sync.batch_rows", technique="replica_merge"
+        )
+        self._h_merge_latency = registry.histogram(
+            "sync.merge_latency_us", technique="replica_merge"
+        )
 
     def learner_apply(self, region: int, _index: int, command: tuple) -> None:
         op = command[0]
@@ -195,6 +233,80 @@ class ColumnarReplica:
         elif op == "abort":
             _op, txn_id = command
             self._pending.pop((region, txn_id), None)
+        elif op == "bulk":
+            _op, table, rows, commit_ts = command
+            log = self.delta_logs[table]
+            for row in rows:
+                log.record_insert(row, commit_ts)
+            self.applied_ts = max(self.applied_ts, commit_ts)
+
+    def learner_apply_batch(
+        self, region: int, _start_index: int, commands: list[tuple]
+    ) -> None:
+        """Batched log replay: one pass over a committed run of commands,
+        accumulating per-table column slabs (kind codes, keys, rows,
+        commit timestamps) that land with one columnar bulk append each
+        (TiDB's batched learner replay) — no per-write DeltaEntry
+        objects on this path."""
+        per_table: dict[str, tuple[list, list, list, list]] = {}
+        max_ts = self.applied_ts
+        pending = self._pending
+        insert_kind = WriteKind.INSERT
+        delete_kind = WriteKind.DELETE
+        for command in commands:
+            op = command[0]
+            if op == "prepare":
+                _op, txn_id, writes, commit_ts = command
+                pending[(region, txn_id)] = (writes, commit_ts)
+            elif op == "commit":
+                staged = pending.pop((region, command[1]), None)
+                if staged is None:
+                    continue
+                writes, commit_ts = staged
+                for table, run in _runs_by_table(writes):
+                    cols = per_table.get(table)
+                    if cols is None:
+                        cols = per_table[table] = ([], [], [], [])
+                    kinds, keys, rows, ts = cols
+                    # Identity checks beat enum-hash dict lookups here.
+                    kinds.extend(
+                        [
+                            KIND_INSERT
+                            if w.kind is insert_kind
+                            else (
+                                KIND_DELETE
+                                if w.kind is delete_kind
+                                else KIND_UPDATE
+                            )
+                            for w in run
+                        ]
+                    )
+                    keys.extend([w.key for w in run])
+                    rows.extend(
+                        [None if w.kind is delete_kind else w.row for w in run]
+                    )
+                    ts.extend([commit_ts] * len(run))
+                if commit_ts > max_ts:
+                    max_ts = commit_ts
+            elif op == "abort":
+                pending.pop((region, command[1]), None)
+            elif op == "bulk":
+                _op, table, bulk_rows, commit_ts = command
+                cols = per_table.get(table)
+                if cols is None:
+                    cols = per_table[table] = ([], [], [], [])
+                kinds, keys, rows, ts = cols
+                key_of = self.delta_logs[table].schema.key_of
+                kinds.extend([KIND_INSERT] * len(bulk_rows))
+                keys.extend([key_of(row) for row in bulk_rows])
+                rows.extend(bulk_rows)
+                ts.extend([commit_ts] * len(bulk_rows))
+                if commit_ts > max_ts:
+                    max_ts = commit_ts
+        for table, (kinds, keys, rows, ts) in per_table.items():
+            self.delta_logs[table].append_batch_columns(kinds, keys, rows, ts)
+        self.applied_ts = max_ts
+        self._h_apply_batch.observe(len(commands))
 
     # ------------------------------------------------------------- queries
 
@@ -240,31 +352,81 @@ class ColumnarReplica:
     def merge_deltas(self) -> int:
         """Log-based delta merge: seal + fold every delta file into the
         column stores.  Returns rows merged."""
+        start = self._cost.now_us()
         merged = 0
+        batch_entries = 0
         for table, log in self.delta_logs.items():
             log.seal()
             files = log.drain_files()
             if not files:
                 continue
-            entries: list[DeltaEntry] = []
-            for f in files:
-                self._cost.charge(self._cost.page_read_us * f.page_count())
-                entries.extend(f.entries)
             self._m_merge_events.inc()
-            live, tombstones = collapse_entries(entries)
             store = self.column_stores[table]
-            if tombstones:
-                store.delete_keys(tombstones)
-            if live:
-                rows = list(live.values())
-                max_ts = max(e.commit_ts for e in entries)
-                self._cost.charge_rows(self._cost.merge_per_row_us, len(rows))
-                store.append_rows(rows, commit_ts=max_ts)
-                merged += len(rows)
-                self._m_merge_rows.inc(len(rows))
-            if entries:
-                store.advance_sync_ts(max(e.commit_ts for e in entries))
+            if self.vectorized:
+                # Concatenate the files' column slabs without ever
+                # materializing DeltaEntry objects.
+                kinds: list[int] = []
+                keys: list = []
+                rows: list = []
+                ts: list = []
+                for f in files:
+                    self._cost.charge(self._cost.page_read_us * f.page_count())
+                    f_kinds, f_keys, f_rows, f_ts = f.columns()
+                    kinds.extend(f_kinds)
+                    keys.extend(f_keys)
+                    rows.extend(f_rows)
+                    ts.extend(f_ts)
+                batch_entries += len(keys)
+                merged += self._fold_vectorized(store, kinds, keys, rows, ts)
+                if ts:
+                    store.advance_sync_ts(max(ts))
+            else:
+                entries: list[DeltaEntry] = []
+                for f in files:
+                    self._cost.charge(self._cost.page_read_us * f.page_count())
+                    entries.extend(f.entries)
+                batch_entries += len(entries)
+                merged += self._fold_scalar(store, entries)
+                if entries:
+                    store.advance_sync_ts(max(e.commit_ts for e in entries))
+        elapsed = self._cost.now_us() - start
+        self._h_merge_batch.observe(batch_entries)
+        self._h_merge_latency.observe(elapsed)
         return merged
+
+    def _fold_scalar(self, store: ColumnStore, entries: list[DeltaEntry]) -> int:
+        live, tombstones = collapse_entries(entries)
+        if tombstones:
+            store.delete_keys(tombstones)
+        if not live:
+            return 0
+        rows = list(live.values())
+        max_ts = max(e.commit_ts for e in entries)
+        self._cost.charge_rows(self._cost.merge_per_row_us, len(rows))
+        store.append_rows(rows, commit_ts=max_ts)
+        self._m_merge_rows.inc(len(rows))
+        return len(rows)
+
+    def _fold_vectorized(
+        self,
+        store: ColumnStore,
+        kinds: list[int],
+        keys: list,
+        rows: list,
+        ts: list,
+    ) -> int:
+        from ..common.types import rows_to_columns
+
+        collapsed = DeltaBatch.from_columns(kinds, keys, rows, ts).collapse()
+        if collapsed.tombstones:
+            store.delete_batch(collapsed.tombstones)
+        if not collapsed.live_keys:
+            return 0
+        self._cost.charge_rows(self._cost.merge_per_row_us, len(collapsed.live_keys))
+        arrays = rows_to_columns(store.schema, collapsed.live_rows)
+        store.append_batch(arrays, collapsed.live_keys, commit_ts=max(ts))
+        self._m_merge_rows.inc(len(collapsed.live_keys))
+        return len(collapsed.live_keys)
 
     def unmerged_entries(self) -> int:
         return sum(log.pending_entries() for log in self.delta_logs.values())
@@ -282,6 +444,7 @@ class DistributedCluster:
         cost: CostModel | None = None,
         clock: LogicalClock | None = None,
         seed: int = 0,
+        vectorized: bool = True,
     ):
         if replication > n_storage_nodes:
             replication = n_storage_nodes
@@ -294,10 +457,11 @@ class DistributedCluster:
         self.replication = replication
         self.n_regions = n_regions if n_regions is not None else n_storage_nodes
         self._seed = seed
+        self.vectorized = vectorized
         self.schemas: dict[str, Schema] = {}
         self.partitioner = HashPartitioner(self.n_regions)
         self.coordinator = TwoPhaseCoordinator(cost=self.cost)
-        self.columnar = ColumnarReplica({}, self.cost)
+        self.columnar = ColumnarReplica({}, self.cost, vectorized=vectorized)
         self._groups: list[RaftGroup] = []
         self._region_sms: list[dict[str, RegionStateMachine]] = []
         self._region_leader_node: list[list[str]] = []  # physical placement
@@ -316,7 +480,9 @@ class DistributedCluster:
         if self._built:
             return
         self._built = True
-        self.columnar = ColumnarReplica(self.schemas, self.cost)
+        self.columnar = ColumnarReplica(
+            self.schemas, self.cost, vectorized=self.vectorized
+        )
         for region in range(self.n_regions):
             voters = []
             placement = []
@@ -327,11 +493,21 @@ class DistributedCluster:
             learner_id = f"r{region}.learner"
             sms = {v: RegionStateMachine(region, self.schemas) for v in voters}
             apply_fns = {v: sms[v].apply for v in voters}
+            apply_batch_fns = {}
+            if self.vectorized:
+                # Learners replay committed runs in batches; voters keep
+                # the per-entry apply (their 2PC votes are read between
+                # individual proposals).
+                def _learner_apply_batch(start, commands, _region=region):
+                    self.columnar.learner_apply_batch(_region, start, commands)
 
-            def _learner_apply(index, command, _region=region):
-                self.columnar.learner_apply(_region, index, command)
+                apply_batch_fns[learner_id] = _learner_apply_batch
+            else:
 
-            apply_fns[learner_id] = _learner_apply
+                def _learner_apply(index, command, _region=region):
+                    self.columnar.learner_apply(_region, index, command)
+
+                apply_fns[learner_id] = _learner_apply
             group = RaftGroup(
                 group_id=f"region{region}",
                 voter_ids=voters,
@@ -343,6 +519,7 @@ class DistributedCluster:
                 # Home-node preference spreads leaders round-robin over
                 # the physical nodes (PD-style leader balancing).
                 preferred_leader=voters[0],
+                apply_batch_fns=apply_batch_fns,
             )
             self._groups.append(group)
             self._region_sms.append(sms)
@@ -390,6 +567,38 @@ class DistributedCluster:
         if result.outcome is TxnOutcome.ABORTED:
             self.aborts += 1
             raise TransactionAborted(result.txn_id, "region validation failed")
+        self.commits += 1
+        return commit_ts
+
+    def bulk_load(self, table: str, rows: list[Row]) -> Timestamp:
+        """Load pre-validated fresh rows through Raft in one command per
+        region instead of one 2PC transaction per row batch."""
+        self._build()
+        if table not in self.schemas:
+            raise KeyNotFoundError(f"no table {table!r}")
+        if not rows:
+            return self.clock.now()
+        schema = self.schemas[table]
+        by_region: dict[int, list[Row]] = {}
+        for row in rows:
+            row = schema.validate_row(row)
+            by_region.setdefault(self.region_of(table, schema.key_of(row)), []).append(
+                row
+            )
+        commit_ts = self.clock.tick()
+        for region, region_rows in by_region.items():
+            phys = self._phys_node_of_leader(region)
+            per_write = self.cost.row_point_write_us + self.cost.wal_append_us
+            self.ledger.charge(
+                phys, len(region_rows) * per_write + self.cost.wal_fsync_us
+            )
+            for replica_node in self._region_leader_node[region][1:]:
+                self.ledger.charge(
+                    replica_node, len(region_rows) * self.cost.wal_append_us
+                )
+            self._groups[region].propose_and_wait(
+                ("bulk", table, tuple(region_rows), commit_ts)
+            )
         self.commits += 1
         return commit_ts
 

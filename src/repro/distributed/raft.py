@@ -29,6 +29,14 @@ from .network import SimNetwork
 ApplyFn = Callable[[int, Any], None]
 """(log index, command) invoked exactly once per node as entries commit."""
 
+BatchApplyFn = Callable[[int, list], None]
+"""(start index, commands) — one call per committed run of entries.
+
+The batched counterpart of :data:`ApplyFn`: when a node has one (TiDB's
+learner-side batched log replay), newly committed entries are handed
+over as a single contiguous slice ``commands[i]`` holding log index
+``start_index + i``, instead of one callback per entry."""
+
 
 class Role(enum.Enum):
     FOLLOWER = "follower"
@@ -97,6 +105,7 @@ class RaftNode:
         apply_fn: ApplyFn | None = None,
         seed: int = 0,
         preferred: bool = False,
+        apply_batch_fn: BatchApplyFn | None = None,
     ):
         self.node_id = node_id
         self.voters = list(voters)
@@ -105,6 +114,7 @@ class RaftNode:
         self._network = network
         self._cost = cost
         self._apply_fn = apply_fn
+        self._apply_batch_fn = apply_batch_fn
         # zlib.crc32 is stable across processes (unlike str hash, which
         # is salted and would make elections nondeterministic).
         import zlib
@@ -226,6 +236,21 @@ class RaftNode:
         if len(self.voters) == 1:
             self._advance_commit()
         return index
+
+    def client_propose_batch(self, commands: list[Any]) -> int:
+        """Append a run of commands in one log write + one replication
+        round; returns the index of the last one (leader only)."""
+        if self.role is not Role.LEADER:
+            raise NotLeaderError(self.node_id, self.leader_id)
+        if not commands:
+            return self.last_log_index()
+        term = self.current_term
+        self.log.extend(LogEntry(term=term, command=c) for c in commands)
+        self._cost.charge_rows(self._cost.wal_append_us, len(commands))
+        self._send_heartbeats()
+        if len(self.voters) == 1:
+            self._advance_commit()
+        return self.last_log_index()
 
     # ------------------------------------------------------------- replication
 
@@ -379,6 +404,16 @@ class RaftNode:
                 break
 
     def _apply_committed(self) -> None:
+        if self._apply_batch_fn is not None and self.last_applied < self.commit_index:
+            # Batched replay: hand the whole newly-committed run to the
+            # state machine in one call (TiDB-style learner batching).
+            start = self.last_applied + 1
+            commands = [
+                self.log[i].command for i in range(start, self.commit_index + 1)
+            ]
+            self.last_applied = self.commit_index
+            self._apply_batch_fn(start, commands)
+            return
         while self.last_applied < self.commit_index:
             self.last_applied += 1
             entry = self.log[self.last_applied]
@@ -399,11 +434,13 @@ class RaftGroup:
         apply_fns: dict[str, ApplyFn] | None = None,
         seed: int = 0,
         preferred_leader: str | None = None,
+        apply_batch_fns: dict[str, BatchApplyFn] | None = None,
     ):
         self.group_id = group_id
         self.network = network
         self._cost = cost
         apply_fns = apply_fns or {}
+        apply_batch_fns = apply_batch_fns or {}
         self.nodes: dict[str, RaftNode] = {}
         for node_id in list(voter_ids) + list(learner_ids):
             self.nodes[node_id] = RaftNode(
@@ -415,6 +452,7 @@ class RaftGroup:
                 apply_fn=apply_fns.get(node_id),
                 seed=seed,
                 preferred=(node_id == preferred_leader),
+                apply_batch_fn=apply_batch_fns.get(node_id),
             )
         network.add_ticker(self._tick_all)
 
@@ -470,4 +508,28 @@ class RaftGroup:
                 spent += 100.0
         raise ConsensusError(
             f"group {self.group_id}: command uncommitted after {max_us}us"
+        )
+
+    def propose_batch_and_wait(
+        self, commands: list[Any], max_us: float = 400_000.0
+    ) -> int:
+        """Batched :meth:`propose_and_wait`: one log append + one
+        replication round for the whole run of commands."""
+        if not commands:
+            leader = self.elect_leader()
+            return leader.last_log_index()
+        spent = 0.0
+        while spent < max_us:
+            leader = self.elect_leader()
+            index = leader.client_propose_batch(commands)
+            term = leader.current_term
+            while spent < max_us:
+                if leader.commit_index >= index and leader.current_term == term:
+                    return index
+                if not leader.is_leader() or leader.current_term != term:
+                    break  # deposed: re-elect and re-propose
+                self.advance(100.0)
+                spent += 100.0
+        raise ConsensusError(
+            f"group {self.group_id}: batch uncommitted after {max_us}us"
         )

@@ -135,7 +135,11 @@ class HTAPEngine(abc.ABC):
         with self.tracer.span("engine.sync", engine=self.info.name):
             moved = self._sync()
         # Sync advances the AP image; cached batches for it are stale.
-        self.scan_cache.invalidate()
+        # A no-op sync moved nothing — the version tokens fencing every
+        # cache entry did not change, so the cache stays valid and warm
+        # (coalesced, once-per-batch invalidation).
+        if moved:
+            self.scan_cache.invalidate()
         self._m_sync_calls.inc()
         if moved:
             self._m_sync_rows.inc(moved)
@@ -248,6 +252,16 @@ class HTAPEngine(abc.ABC):
             with self.session() as s:
                 for row in rows[start : start + batch]:
                     s.insert(table, row)
+
+    def bulk_load(self, table: str, rows: list[Row]) -> None:
+        """Load fresh rows on the fast path: one WAL batch, one delta
+        batch, one cache invalidation for the whole set.
+
+        The base implementation falls back to row-at-a-time sessions;
+        engines override with their architecture's true bulk ingest.
+        The rows must be new (no dup-key checking happens here).
+        """
+        self.load_rows(table, rows)
 
     # ------------------------------------------------------------- metrics
 

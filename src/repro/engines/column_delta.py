@@ -43,9 +43,10 @@ _NODE = "node0"
 class HanaTable:
     """One table's L1-delta / L2-delta / Main trio."""
 
-    def __init__(self, schema: Schema, cost: CostModel):
+    def __init__(self, schema: Schema, cost: CostModel, vectorized: bool = True):
         self.schema = schema
         self._cost = cost
+        self.vectorized = vectorized
         self.l1 = InMemoryDeltaStore(schema, cost)
         self.l2 = ColumnStore(schema, cost)
         self.main = ColumnStore(schema, cost)
@@ -95,35 +96,68 @@ class HanaTable:
         self.l1.record_delete(key, commit_ts)
         self._l1_view[key] = None
 
+    def apply_insert_batch(self, rows: list[Row], commit_ts: Timestamp) -> None:
+        """Bulk insert of fresh rows into L1 (one delta charge)."""
+        self.l1.record_insert_batch(rows, commit_ts)
+        key_of = self.schema.key_of
+        self._l1_view.update((key_of(row), row) for row in rows)
+
     # ------------------------------------------------------------- merges
 
     def merge_l1_to_l2(self) -> int:
         """Columnarize the L1 delta into L2 (upserting over Main/L2)."""
-        entries = self.l1.clear()
-        self._l1_view.clear()
-        if not entries:
-            return 0
-        live, tombstones = collapse_entries(entries)
-        touched = set(live) | tombstones
-        self.main.delete_keys(touched)
-        self.l2.delete_keys(touched)
-        max_ts = max(e.commit_ts for e in entries)
-        if live:
-            self.l2.append_rows(list(live.values()), commit_ts=max_ts)
+        if self.vectorized:
+            batch = self.l1.clear_batch()
+            self._l1_view.clear()
+            if not len(batch):
+                return 0
+            collapsed = batch.collapse()
+            touched = collapsed.touched_keys()
+            self.main.delete_batch(touched)
+            self.l2.delete_batch(touched)
+            max_ts = batch.max_commit_ts()
+            if collapsed.live_keys:
+                arrays = rows_to_columns(self.schema, collapsed.live_rows)
+                self.l2.append_batch(arrays, collapsed.live_keys, commit_ts=max_ts)
+            moved = len(collapsed.live_keys)
+        else:
+            entries = self.l1.clear()
+            self._l1_view.clear()
+            if not entries:
+                return 0
+            live, tombstones = collapse_entries(entries)
+            touched = set(live) | tombstones
+            self.main.delete_keys(touched)
+            self.l2.delete_keys(touched)
+            max_ts = max(e.commit_ts for e in entries)
+            if live:
+                self.l2.append_rows(list(live.values()), commit_ts=max_ts)
+            moved = len(live)
         self.l2.advance_sync_ts(max_ts)
         self.main.advance_sync_ts(max_ts)
         self.l1_to_l2_merges += 1
         self._m_l1_merges.inc()
-        return len(live)
+        return moved
 
     def merge_l2_to_main(self) -> int:
         """Fold L2 into Main and re-sort dictionaries (compact)."""
-        rows = self.l2.all_rows()
         max_ts = max(self.l2.max_commit_ts(), self.main.max_commit_ts())
-        if rows:
-            keys = [self.schema.key_of(r) for r in rows]
-            self.main.delete_keys(keys)
-            self.main.append_rows(rows, commit_ts=max_ts)
+        if self.vectorized:
+            # Move L2 as whole column arrays; the simulated materialize
+            # charge matches the scalar all_rows() path.
+            result = self.l2.scan(with_keys=True)
+            moved = len(result.keys)
+            self._cost.charge_rows(self._cost.column_materialize_per_row_us, moved)
+            if moved:
+                self.main.delete_batch(result.keys)
+                self.main.append_batch(result.arrays, result.keys, commit_ts=max_ts)
+        else:
+            rows = self.l2.all_rows()
+            moved = len(rows)
+            if rows:
+                keys = [self.schema.key_of(r) for r in rows]
+                self.main.delete_keys(keys)
+                self.main.append_rows(rows, commit_ts=max_ts)
         # Dictionary-encoded sorting merge: the compaction rebuilds every
         # segment (and thus every sorted dictionary) in one pass.
         self._cost.charge(
@@ -131,13 +165,13 @@ class HanaTable:
             * max(len(self.main), 1)
             * len(self.schema.columns)
         )
-        self.main.compact()
+        self.main.compact(vectorized=self.vectorized)
         self.main.advance_sync_ts(max_ts)
         self.l2 = ColumnStore(self.schema, self._cost)
         self.l2.advance_sync_ts(max_ts)
         self.l2_to_main_merges += 1
         self._m_l2_merges.inc()
-        return len(rows)
+        return moved
 
     # ------------------------------------------------------------- AP scan
 
@@ -224,8 +258,10 @@ class ColumnDeltaEngine(HTAPEngine):
         l2_threshold: int = 2048,
         l1_fraction: float = 0.05,
         group_commit_size: int = 8,
+        vectorized: bool = True,
     ):
         super().__init__(cost, clock)
+        self.vectorized = vectorized
         self.wal = WriteAheadLog(
             cost=self.cost,
             group_commit_size=group_commit_size,
@@ -248,7 +284,7 @@ class ColumnDeltaEngine(HTAPEngine):
     def create_table(self, schema: Schema) -> None:
         if schema.table_name in self._tables:
             raise TransactionError(f"table {schema.table_name!r} already exists")
-        table = HanaTable(schema, self.cost)
+        table = HanaTable(schema, self.cost, vectorized=self.vectorized)
         self._tables[schema.table_name] = table
         self._register_adapter(schema.table_name, _HanaTableAccess(self, schema.table_name))
 
@@ -297,6 +333,29 @@ class ColumnDeltaEngine(HTAPEngine):
         txn_id = self._next_txn_id
         self._next_txn_id += 1
         return _HanaSession(self, txn_id)
+
+    def bulk_load(self, table: str, rows: list[Row]) -> None:
+        """Fast load: one WAL batch + one L1 batch + one invalidation
+        for the whole set (rows must be fresh keys)."""
+        if not rows:
+            return
+        target = self.table(table)
+        rows = [target.schema.validate_row(r) for r in rows]
+        before = self.cost.now_us()
+        txn_id = self._next_txn_id
+        self._next_txn_id += 1
+        commit_ts = self.clock.tick()
+        key_of = target.schema.key_of
+        self.wal.append_batch(
+            txn_id,
+            [(WalKind.INSERT, table, key_of(row), row) for row in rows],
+            commit_ts,
+        )
+        target.apply_insert_batch(rows, commit_ts)
+        self.scan_cache.invalidate(table)
+        self.commits += 1
+        self._m_tp_commits.inc()
+        self.ledger.charge(_NODE, self.cost.now_us() - before)
 
     # ------------------------------------------------------------- DS
 

@@ -59,8 +59,10 @@ class DiskRowIMCSEngine(HTAPEngine):
         column_budget_bytes: int | None = None,
         column_selector: str = "heatmap",
         group_commit_size: int = 8,
+        vectorized: bool = True,
     ):
         super().__init__(cost, clock)
+        self.vectorized = vectorized
         self.wal = WriteAheadLog(
             cost=self.cost,
             group_commit_size=group_commit_size,
@@ -172,6 +174,31 @@ class DiskRowIMCSEngine(HTAPEngine):
         self._next_txn_id += 1
         return _HeatwaveSession(self, txn_id)
 
+    def bulk_load(self, table: str, rows: list[Row]) -> None:
+        """Fast load into the disk row store: one WAL batch and one
+        cache invalidation, skipping the per-row session dup checks
+        (rows must be fresh keys)."""
+        if not rows:
+            return
+        store = self.store(table)
+        rows = [store.schema.validate_row(r) for r in rows]
+        before = self.cost.now_us()
+        txn_id = self._next_txn_id
+        self._next_txn_id += 1
+        commit_ts = self.clock.tick()
+        key_of = store.schema.key_of
+        self.wal.append_batch(
+            txn_id,
+            [(WalKind.INSERT, table, key_of(row), row) for row in rows],
+            commit_ts,
+        )
+        for row in rows:
+            store.insert(row, commit_ts)
+        self.scan_cache.invalidate(table)
+        self.commits += 1
+        self._m_tp_commits.inc()
+        self.ledger.charge(_PRIMARY, self.cost.now_us() - before)
+
     # ------------------------------------------------------------- DS
 
     def pending_changes(self, table: str | None = None) -> int:
@@ -196,13 +223,30 @@ class DiskRowIMCSEngine(HTAPEngine):
 
     def _propagate(self, table: str) -> int:
         delta = self._deltas[table]
+        imcs = self._imcs[table]
+        if self.vectorized:
+            batch = delta.clear_batch()
+            if not len(batch):
+                return 0
+            self.scan_cache.invalidate(table)
+            self._m_propagations.inc()
+            collapsed = batch.collapse()
+            imcs.delete_batch(collapsed.touched_keys())
+            max_ts = batch.max_commit_ts()
+            if collapsed.live_keys:
+                self.cost.charge_rows(
+                    self.cost.merge_per_row_us, len(collapsed.live_keys)
+                )
+                arrays = rows_to_columns(delta.schema, collapsed.live_rows)
+                imcs.append_batch(arrays, collapsed.live_keys, commit_ts=max_ts)
+            imcs.advance_sync_ts(max_ts)
+            return len(collapsed.live_keys)
         entries = delta.clear()
         if not entries:
             return 0
         self.scan_cache.invalidate(table)
         self._m_propagations.inc()
         live, tombstones = collapse_entries(entries)
-        imcs = self._imcs[table]
         imcs.delete_keys(set(live) | tombstones)
         max_ts = max(e.commit_ts for e in entries)
         if live:

@@ -47,6 +47,7 @@ class DistributedReplicaEngine(HTAPEngine):
         n_analytic_nodes: int = 1,
         n_regions: int | None = None,
         seed: int = 0,
+        vectorized: bool = True,
     ):
         super().__init__(cost, clock)
         self.cluster = DistributedCluster(
@@ -57,6 +58,7 @@ class DistributedReplicaEngine(HTAPEngine):
             cost=self.cost,
             clock=self.clock,
             seed=seed,
+            vectorized=vectorized,
         )
         # One ledger shared with the cluster so all busy time lands in
         # one place.
@@ -74,6 +76,16 @@ class DistributedReplicaEngine(HTAPEngine):
 
     def session(self) -> EngineSession:
         return _ClusterSession(self)
+
+    def bulk_load(self, table: str, rows: list[Row]) -> None:
+        """Fast load through the cluster's bulk Raft command: one
+        proposal per owning region instead of one 2PC round per row
+        batch.  Rows must be fresh keys."""
+        if not rows:
+            return
+        self.cluster.bulk_load(table, rows)
+        self.scan_cache.invalidate(table)
+        self._m_tp_commits.inc()
 
     # ------------------------------------------------------------- DS / metrics
 

@@ -11,6 +11,7 @@ from .compression import (
     choose_encoding,
     encoding_for_name,
 )
+from .delta_batch import CollapseResult, DeltaBatch, collapse_batch, encode_keys
 from .delta_log import DeltaLogFile, LogDeltaManager
 from .delta_store import DeltaEntry, DeltaKind, InMemoryDeltaStore, collapse_entries
 from .disk_row_store import DiskRowStore
@@ -23,8 +24,10 @@ __all__ = [
     "BPlusTree",
     "BitPackedEncoding",
     "BufferPool",
+    "CollapseResult",
     "ColumnScanResult",
     "ColumnStore",
+    "DeltaBatch",
     "DeltaEntry",
     "DeltaKind",
     "DeltaLogFile",
@@ -44,6 +47,8 @@ __all__ = [
     "Segment",
     "SnapshotMetadataUnit",
     "choose_encoding",
+    "collapse_batch",
     "collapse_entries",
+    "encode_keys",
     "encoding_for_name",
 ]

@@ -44,6 +44,44 @@ class BPlusTree:
     def __len__(self) -> int:
         return self._size
 
+    @classmethod
+    def from_sorted(
+        cls, items: list[tuple[Any, Any]], order: int = _DEFAULT_ORDER
+    ) -> "BPlusTree":
+        """Bottom-up bulk build from key-sorted, duplicate-free pairs.
+
+        O(n) node construction instead of n top-down inserts; produces
+        the same map (packed leaves, chained left to right).  Callers
+        must pre-sort and de-duplicate — violations corrupt lookups.
+        """
+        tree = cls(order)
+        if not items:
+            return tree
+        level: list[_Node] = []
+        mins: list[Any] = []
+        for i in range(0, len(items), order):
+            chunk = items[i : i + order]
+            leaf = _Node(is_leaf=True)
+            leaf.keys = [k for k, _v in chunk]
+            leaf.values = [v for _k, v in chunk]
+            if level:
+                level[-1].next_leaf = leaf
+            level.append(leaf)
+            mins.append(leaf.keys[0])
+        tree._size = len(items)
+        while len(level) > 1:
+            parents: list[_Node] = []
+            parent_mins: list[Any] = []
+            for i in range(0, len(level), order):
+                node = _Node(is_leaf=False)
+                node.children = level[i : i + order]
+                node.keys = mins[i + 1 : i + len(node.children)]
+                parents.append(node)
+                parent_mins.append(mins[i])
+            level, mins = parents, parent_mins
+        tree._root = level[0]
+        return tree
+
     def __contains__(self, key: Any) -> bool:
         return self.get(key, default=_MISSING) is not _MISSING
 

@@ -11,6 +11,7 @@ standard append-only columnar contract that makes "column scan"
 from __future__ import annotations
 
 from dataclasses import dataclass
+from itertools import repeat
 from typing import Iterable, Sequence
 
 import numpy as np
@@ -206,9 +207,96 @@ class ColumnStore:
         )
         return segment
 
+    def append_batch(
+        self,
+        arrays: dict[str, np.ndarray],
+        keys: Sequence[Key],
+        commit_ts: Timestamp,
+    ) -> Segment:
+        """Seal pre-pivoted column ``arrays`` into one segment.
+
+        The bulk counterpart of :meth:`append_rows`: callers supply
+        already-encoded cell arrays (e.g. from ``rows_to_columns`` or a
+        prior scan) plus the matching key list, so the seal skips the
+        per-row validate/key-extract/pivot hops entirely.  Upsert
+        semantics, zone maps, encodings and the simulated seal charge
+        match the scalar path exactly.
+        """
+        n = len(keys)
+        if n == 0:
+            raise StorageError("cannot seal an empty segment")
+        self.mutations += 1
+        stale = [k for k in keys if k in self._locations]
+        if stale:
+            self._delete_positions(stale)
+        encodings: dict[str, Encoding] = {}
+        zone_maps: dict[str, tuple] = {}
+        for col in self.schema.columns:
+            arr = np.asarray(arrays[col.name])
+            if len(arr) != n:
+                raise StorageError(
+                    f"column {col.name!r} has {len(arr)} values for {n} keys"
+                )
+            encodings[col.name] = self._encode_column(arr)
+            if arr.dtype != object and len(arr):
+                zone_maps[col.name] = (arr.min().item(), arr.max().item())
+        segment = Segment(
+            segment_id=self._next_segment_id,
+            n_rows=n,
+            encodings=encodings,
+            keys=list(keys),
+            zone_maps=zone_maps,
+            delete_mask=np.zeros(n, dtype=bool),
+            max_commit_ts=commit_ts,
+        )
+        self._next_segment_id += 1
+        self._segments.append(segment)
+        self._segment_by_id[segment.segment_id] = segment
+        sid = segment.segment_id
+        self._locations.update(zip(segment.keys, zip(repeat(sid), range(n))))
+        self._max_commit_ts = max(self._max_commit_ts, commit_ts)
+        seal_factor = sum(
+            SEAL_COST_FACTOR.get(enc.name, 1.0) for enc in encodings.values()
+        ) / max(len(encodings), 1)
+        self._cost.charge_rows(self._cost.segment_seal_per_row_us * seal_factor, n)
+        return segment
+
+    def _encode_column(self, arr: np.ndarray) -> Encoding:
+        if self._forced_encoding is not None:
+            from .compression import PlainEncoding, encoding_for_name
+
+            try:
+                return encoding_for_name(self._forced_encoding, arr)
+            except (ValueError, TypeError):
+                # Codec inapplicable to this dtype (e.g. bit-packing
+                # strings): store plainly rather than failing the seal.
+                return PlainEncoding(data=arr)
+        return choose_encoding(arr)
+
+    def _delete_positions(self, keys: Iterable[Key]) -> int:
+        """Flip delete bits without bumping the write version."""
+        if not self._locations:
+            return 0
+        by_segment: dict[int, list[int]] = {}
+        pop = self._locations.pop
+        for key in keys:
+            loc = pop(key, None)
+            if loc is None:
+                continue
+            by_segment.setdefault(loc[0], []).append(loc[1])
+        hit = 0
+        for segment_id, positions in by_segment.items():
+            self._segment_by_id[segment_id].delete_mask[
+                np.asarray(positions, dtype=np.int64)
+            ] = True
+            hit += len(positions)
+        return hit
+
     def delete_keys(self, keys: Iterable[Key]) -> int:
         """Flip delete bits for ``keys``; returns how many were present."""
         self.mutations += 1
+        if not self._locations:
+            return 0
         hit = 0
         for key in keys:
             loc = self._locations.pop(key, None)
@@ -218,6 +306,12 @@ class ColumnStore:
             self._segment_by_id[segment_id].delete_mask[pos] = True
             hit += 1
         return hit
+
+    def delete_batch(self, keys: Sequence[Key]) -> int:
+        """Bulk :meth:`delete_keys`: group hits per segment and flip
+        each segment's bits with one fancy-indexed assignment."""
+        self.mutations += 1
+        return self._delete_positions(keys)
 
     def advance_sync_ts(self, commit_ts: Timestamp) -> None:
         """Record that the store reflects all commits up to ``commit_ts``.
@@ -346,14 +440,30 @@ class ColumnStore:
         dead = sum(int(seg.delete_mask.sum()) for seg in self._segments)
         return dead / total
 
-    def compact(self) -> None:
-        """Rewrite all live rows into a single fresh segment."""
+    def compact(self, vectorized: bool = False) -> None:
+        """Rewrite all live rows into a single fresh segment.
+
+        ``vectorized=True`` moves the surviving rows as whole column
+        arrays (scan → reset → :meth:`append_batch`) instead of
+        materializing Python row tuples; the simulated materialize and
+        seal charges are kept identical to the scalar path.
+        """
         self.mutations += 1
-        rows = self.all_rows()
         max_ts = self._max_commit_ts
-        self._segments.clear()
-        self._segment_by_id.clear()
-        self._locations.clear()
-        if rows:
-            self.append_rows(rows, commit_ts=max_ts)
+        if vectorized:
+            result = self.scan(with_keys=True)
+            n = len(result.keys)
+            self._cost.charge_rows(self._cost.column_materialize_per_row_us, n)
+            self._segments.clear()
+            self._segment_by_id.clear()
+            self._locations.clear()
+            if n:
+                self.append_batch(result.arrays, result.keys, commit_ts=max_ts)
+        else:
+            rows = self.all_rows()
+            self._segments.clear()
+            self._segment_by_id.clear()
+            self._locations.clear()
+            if rows:
+                self.append_rows(rows, commit_ts=max_ts)
         self._max_commit_ts = max_ts

@@ -13,6 +13,16 @@ from dataclasses import dataclass
 import numpy as np
 
 
+def _object_bytes(data: np.ndarray) -> int:
+    """Footprint estimate for object columns: payload length + 8 bytes
+    of pointer per cell.  ``map(len, ...)`` covers the all-string case
+    at C speed; anything else falls back to stringification."""
+    try:
+        return int(sum(map(len, data))) + 8 * len(data)
+    except TypeError:
+        return int(sum(len(str(v)) + 8 for v in data))
+
+
 class Encoding:
     """A sealed, immutable encoded column segment."""
 
@@ -49,7 +59,7 @@ class PlainEncoding(Encoding):
 
     def size_bytes(self) -> int:
         if self.data.dtype == object:
-            return int(sum(len(str(v)) + 8 for v in self.data))
+            return _object_bytes(self.data)
         return int(self.data.nbytes)
 
     def take(self, positions: np.ndarray) -> np.ndarray:
@@ -71,6 +81,24 @@ class DictionaryEncoding(Encoding):
 
     @classmethod
     def encode(cls, values: np.ndarray) -> "DictionaryEncoding":
+        if values.dtype == object:
+            # np.unique on object arrays argsorts with Python-level
+            # comparisons; a set + dict lookup builds the same sorted
+            # dictionary and codes in one linear pass.
+            try:
+                ordered = sorted(set(values.tolist()))
+            except TypeError:  # incomparable mixed types
+                ordered = None
+            if ordered is not None:
+                code_of = {v: i for i, v in enumerate(ordered)}
+                codes = np.fromiter(
+                    map(code_of.__getitem__, values.tolist()),
+                    dtype=np.int32,
+                    count=len(values),
+                )
+                return cls(
+                    dictionary=np.array(ordered, dtype=object), codes=codes
+                )
         dictionary, codes = np.unique(values, return_inverse=True)
         return cls(dictionary=dictionary, codes=codes.astype(np.int32))
 
@@ -82,7 +110,7 @@ class DictionaryEncoding(Encoding):
 
     def size_bytes(self) -> int:
         if self.dictionary.dtype == object:
-            dict_bytes = int(sum(len(str(v)) + 8 for v in self.dictionary))
+            dict_bytes = _object_bytes(self.dictionary)
         else:
             dict_bytes = int(self.dictionary.nbytes)
         return dict_bytes + int(self.codes.nbytes)
@@ -194,9 +222,11 @@ def choose_encoding(values: np.ndarray) -> Encoding:
     else:
         if np.issubdtype(values.dtype, np.integer):
             candidates.append(BitPackedEncoding.encode(values))
-        rle = RunLengthEncoding.encode(values)
-        if rle.n_runs() <= n // 3:
-            candidates.append(rle)
+        # Count runs before building the encoding — high-churn columns
+        # (runs > n/3) never qualify, so don't pay the full RLE build.
+        n_runs = 1 + int(np.count_nonzero(values[1:] != values[:-1]))
+        if n_runs <= n // 3:
+            candidates.append(RunLengthEncoding.encode(values))
         unique_count = len(np.unique(values))
         if unique_count <= n // 4:
             candidates.append(DictionaryEncoding.encode(values))

@@ -14,43 +14,124 @@ patches "can be efficiently located with key lookups" (§2.2(3)).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
 from ..common.clock import Timestamp
 from ..common.cost import CostModel
 from ..common.types import Key, Row, Schema
 from .btree import BPlusTree
+from .delta_batch import KIND_DELETE, KIND_INSERT, KIND_UPDATE
 from .delta_store import DeltaEntry, DeltaKind, collapse_entries
 
 _ENTRIES_PER_PAGE = 64
 
+_KIND_OF_CODE = {
+    KIND_INSERT: DeltaKind.INSERT,
+    KIND_UPDATE: DeltaKind.UPDATE,
+    KIND_DELETE: DeltaKind.DELETE,
+}
+_CODE_OF_KIND = {kind: code for code, kind in _KIND_OF_CODE.items()}
 
-@dataclass
+
 class DeltaLogFile:
-    """One sealed, immutable delta log file."""
+    """One sealed, immutable delta log file.
 
-    file_id: int
-    entries: list[DeltaEntry]
-    key_index: BPlusTree = field(repr=False)
-    min_commit_ts: Timestamp = 0
-    max_commit_ts: Timestamp = 0
+    Holds either materialized :class:`DeltaEntry` objects (scalar
+    ingest) or parallel column slabs (batched ingest); each
+    representation derives — and caches — the other on demand.  The
+    per-file B+-tree key index is likewise built on first access, so
+    batch merges that collapse whole files columnar never pay for
+    per-key tree construction."""
+
+    __slots__ = (
+        "file_id",
+        "_entries",
+        "_columns",
+        "_key_index",
+        "min_commit_ts",
+        "max_commit_ts",
+    )
 
     def __init__(self, file_id: int, entries: list[DeltaEntry]):
         self.file_id = file_id
-        self.entries = entries
-        self.key_index = BPlusTree()
-        for pos, entry in enumerate(entries):
-            # Keep only the newest position per key; tuples keep mixed
-            # key types comparable inside one table's key space.
-            self.key_index.insert(_index_key(entry.key), pos)
+        self._entries = entries
+        self._columns = None
+        self._key_index: BPlusTree | None = None
         self.min_commit_ts = entries[0].commit_ts if entries else 0
         self.max_commit_ts = entries[-1].commit_ts if entries else 0
 
+    @classmethod
+    def from_columns(
+        cls,
+        file_id: int,
+        kinds: list[int],
+        keys: list[Key],
+        rows: list[Row | None],
+        commit_ts: list[Timestamp],
+    ) -> "DeltaLogFile":
+        """Seal a file directly from column slabs (batched replay)."""
+        obj = cls.__new__(cls)
+        obj.file_id = file_id
+        obj._entries = None
+        obj._columns = (kinds, keys, rows, commit_ts)
+        obj._key_index = None
+        obj.min_commit_ts = commit_ts[0] if commit_ts else 0
+        obj.max_commit_ts = commit_ts[-1] if commit_ts else 0
+        return obj
+
     def __len__(self) -> int:
-        return len(self.entries)
+        if self._entries is not None:
+            return len(self._entries)
+        return len(self._columns[1])
+
+    @property
+    def entries(self) -> list[DeltaEntry]:
+        if self._entries is None:
+            kind_of = _KIND_OF_CODE
+            self._entries = [
+                DeltaEntry(kind_of[kind], key, row, ts)
+                for kind, key, row, ts in zip(*self._columns)
+            ]
+        return self._entries
+
+    def columns(self) -> tuple[list[int], list[Key], list, list[Timestamp]]:
+        """``(kind codes, keys, rows, commit_ts)`` parallel lists."""
+        if self._columns is None:
+            code_of = _CODE_OF_KIND
+            es = self._entries
+            self._columns = (
+                [code_of[e.kind] for e in es],
+                [e.key for e in es],
+                [e.row for e in es],
+                [e.commit_ts for e in es],
+            )
+        return self._columns
+
+    @property
+    def key_index(self) -> BPlusTree:
+        if self._key_index is None:
+            # Keep only the newest position per key; tuples keep mixed
+            # key types comparable inside one table's key space.  A dict
+            # pass + sorted bulk build beats n top-down tree inserts.
+            newest: dict = {}
+            if self._entries is not None:
+                for pos, entry in enumerate(self._entries):
+                    newest[_index_key(entry.key)] = pos
+            else:
+                for pos, key in enumerate(self._columns[1]):
+                    newest[_index_key(key)] = pos
+            self._key_index = BPlusTree.from_sorted(sorted(newest.items()))
+        return self._key_index
+
+    def indexed_key_count(self) -> int:
+        """Distinct indexed keys — the scalar merge walk's probe count —
+        without forcing the B+-tree build."""
+        if self._key_index is not None:
+            return len(self._key_index)
+        if self._entries is not None:
+            return len({e.key for e in self._entries})
+        return len(set(self._columns[1]))
 
     def page_count(self) -> int:
-        return max(1, -(-len(self.entries) // _ENTRIES_PER_PAGE))
+        return max(1, -(-len(self) // _ENTRIES_PER_PAGE))
 
     def lookup(self, key: Key) -> DeltaEntry | None:
         pos = self.key_index.get(_index_key(key))
@@ -102,6 +183,76 @@ class LogDeltaManager:
 
     def record_delete(self, key: Key, commit_ts: Timestamp) -> None:
         self.append(DeltaEntry(DeltaKind.DELETE, key, None, commit_ts))
+
+    def append_batch(self, entries: list[DeltaEntry]) -> None:
+        """Bulk ingest: one WAL charge for the whole batch, sealing as
+        many full files as the threshold dictates."""
+        if not entries:
+            return
+        self._cost.charge_rows(self._cost.wal_append_us, len(entries))
+        buf = self._buffer
+        buf.extend(entries)
+        threshold = self._seal_threshold
+        n_full = len(buf) // threshold
+        for i in range(n_full):
+            sealed = DeltaLogFile(
+                self._next_file_id, buf[i * threshold : (i + 1) * threshold]
+            )
+            self._next_file_id += 1
+            self._files.append(sealed)
+            self._cost.charge(self._cost.page_write_us * sealed.page_count())
+            self._cost.charge(self.ship_latency_us)
+        del buf[: n_full * threshold]
+
+    def append_batch_columns(
+        self,
+        kinds: list[int],
+        keys: list[Key],
+        rows: list[Row | None],
+        commit_ts: list[Timestamp],
+    ) -> None:
+        """Columnar bulk ingest: same sealing cadence and charges as
+        :meth:`append_batch`, but full files keep the column slabs —
+        no per-entry object materialization on the hot replay path.
+        Only a sub-threshold head (topping up an open buffer) and tail
+        ever become :class:`DeltaEntry` objects."""
+        n = len(keys)
+        if n == 0:
+            return
+        if not (len(kinds) == len(rows) == len(commit_ts) == n):
+            raise ValueError("column slabs must have equal lengths")
+        self._cost.charge_rows(self._cost.wal_append_us, n)
+        threshold = self._seal_threshold
+        kind_of = _KIND_OF_CODE
+        start = 0
+        if self._buffer:
+            take = min(n, threshold - len(self._buffer))
+            self._buffer.extend(
+                DeltaEntry(kind_of[kinds[i]], keys[i], rows[i], commit_ts[i])
+                for i in range(take)
+            )
+            start = take
+            if len(self._buffer) >= threshold:
+                self.seal()
+        while n - start >= threshold:
+            end = start + threshold
+            sealed = DeltaLogFile.from_columns(
+                self._next_file_id,
+                kinds[start:end],
+                keys[start:end],
+                rows[start:end],
+                commit_ts[start:end],
+            )
+            self._next_file_id += 1
+            self._files.append(sealed)
+            self._cost.charge(self._cost.page_write_us * sealed.page_count())
+            self._cost.charge(self.ship_latency_us)
+            start = end
+        if start < n:
+            self._buffer.extend(
+                DeltaEntry(kind_of[kinds[i]], keys[i], rows[i], commit_ts[i])
+                for i in range(start, n)
+            )
 
     def seal(self) -> DeltaLogFile | None:
         """Flush the open buffer into a sealed file (ships it to the

@@ -1,7 +1,11 @@
 """Data synchronization (DS) techniques from Table 2 of the survey."""
 
 from .delta_merge import InMemoryDeltaMerger, MergeStats
-from .dictionary_merge import DictionaryMergeResult, sorted_dictionary_merge
+from .dictionary_merge import (
+    DictionaryMergeResult,
+    sorted_dictionary_merge,
+    sorted_dictionary_merge_many,
+)
 from .freshness import FreshnessProbe, FreshnessTracker
 from .log_merge import LogDeltaMerger, LogMergeStats
 from .rebuild import ColumnStoreRebuilder, RebuildStats
@@ -17,4 +21,5 @@ __all__ = [
     "MergeStats",
     "RebuildStats",
     "sorted_dictionary_merge",
+    "sorted_dictionary_merge_many",
 ]

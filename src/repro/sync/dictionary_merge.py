@@ -57,3 +57,26 @@ def sorted_dictionary_merge(
         new_dictionary_size=len(union),
         values_remapped=total,
     )
+
+
+def sorted_dictionary_merge_many(
+    mains: dict[str, DictionaryEncoding],
+    delta_arrays: dict[str, np.ndarray],
+    cost: CostModel | None = None,
+) -> dict[str, DictionaryMergeResult]:
+    """Batched variant: merge a whole delta batch into every
+    dictionary-encoded column of a table in one call.
+
+    Each column still performs one union + two ``searchsorted`` remaps
+    (those are already vectorized); batching here means the engine-side
+    merge makes one call per table instead of one per column per row
+    group, so the per-call simulated overhead is charged once.
+    """
+    cost = cost or CostModel()
+    results: dict[str, DictionaryMergeResult] = {}
+    for name, main in mains.items():
+        delta = delta_arrays.get(name)
+        if delta is None:
+            delta = np.empty(0, dtype=main.dictionary.dtype)
+        results[name] = sorted_dictionary_merge(main, delta, cost)
+    return results

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 from ..common.clock import Timestamp
 from ..common.cost import CostModel
+from ..common.types import rows_to_columns
 from ..obs import get_registry
 from ..storage.column_store import ColumnStore
 from ..storage.row_store import MVCCRowStore
@@ -36,6 +37,7 @@ class ColumnStoreRebuilder:
         cost: CostModel | None = None,
         staleness_threshold: float = 0.2,
         on_advance=None,
+        vectorized: bool = True,
     ):
         if not 0.0 < staleness_threshold <= 1.0:
             raise ValueError("staleness_threshold must be in (0, 1]")
@@ -46,12 +48,19 @@ class ColumnStoreRebuilder:
         #: Called (no args) after a rebuild replaces the AP image — scan
         #: caches over ``main`` hook invalidation here.
         self.on_advance = on_advance
+        self.vectorized = vectorized
         self.stats = RebuildStats()
         self._changes_since_rebuild = 0
         self._rows_at_rebuild = 0
         registry = get_registry()
         self._m_rebuilds = registry.counter("sync.rebuild.events")
         self._m_rows = registry.counter("sync.rebuild.rows")
+        self._h_batch = registry.histogram(
+            "sync.batch_rows", technique="rebuild"
+        )
+        self._h_latency = registry.histogram(
+            "sync.merge_latency_us", technique="rebuild"
+        )
 
     def on_change(self) -> None:
         """Count a committed change against the staleness budget."""
@@ -72,23 +81,40 @@ class ColumnStoreRebuilder:
         return self.rebuild(snapshot_ts)
 
     def rebuild(self, snapshot_ts: Timestamp) -> int:
-        """Full repopulation at ``snapshot_ts``; returns rows loaded."""
+        """Full repopulation at ``snapshot_ts``; returns rows loaded.
+
+        Both paths keep the same shape — drop the snapshot's keys from
+        the old image, compact the remainder, reload the snapshot — so
+        rows absent from the snapshot survive either way.  Vectorized
+        pivots the snapshot once and seals it via ``append_batch``.
+        """
         start = self._cost.now_us()
         rows = self.rows.snapshot_rows(snapshot_ts)
         self._cost.charge_rows(self._cost.rebuild_per_row_us, max(len(rows), 1))
-        stale_keys = [self.main.schema.key_of(r) for r in rows]
-        self.main.delete_keys(stale_keys)
-        self.main.compact()  # drop dead space from previous image
-        if rows:
-            self.main.append_rows(rows, commit_ts=snapshot_ts)
+        key_of = self.main.schema.key_of
+        stale_keys = [key_of(r) for r in rows]
+        if self.vectorized:
+            self.main.delete_batch(stale_keys)
+            self.main.compact(vectorized=True)  # drop dead space
+            if rows:
+                arrays = rows_to_columns(self.main.schema, rows)
+                self.main.append_batch(arrays, stale_keys, commit_ts=snapshot_ts)
+        else:
+            self.main.delete_keys(stale_keys)
+            self.main.compact()  # drop dead space from previous image
+            if rows:
+                self.main.append_rows(rows, commit_ts=snapshot_ts)
         self.main.advance_sync_ts(snapshot_ts)
         self._changes_since_rebuild = 0
         self._rows_at_rebuild = len(rows)
+        elapsed = self._cost.now_us() - start
         self.stats.rebuilds += 1
         self.stats.rows_loaded += len(rows)
-        self.stats.rebuild_time_us += self._cost.now_us() - start
+        self.stats.rebuild_time_us += elapsed
         self._m_rebuilds.inc()
         self._m_rows.inc(len(rows))
+        self._h_batch.observe(len(rows))
+        self._h_latency.observe(elapsed)
         if self.on_advance is not None:
             self.on_advance()
         return len(rows)

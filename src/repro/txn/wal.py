@@ -108,6 +108,44 @@ class WriteAheadLog:
                 self.force()
         return record
 
+    def append_batch(
+        self,
+        txn_id: int,
+        writes: list[tuple[WalKind, str, Key, Row | None]],
+        commit_ts: Timestamp,
+    ) -> None:
+        """Encode one transaction's records (BEGIN + writes + COMMIT) as
+        a single batched append: one cost charge for the whole run, one
+        commit toward the group-commit window.  Bulk-load paths use this
+        instead of per-record :meth:`append` calls."""
+        records = [WalRecord(lsn=self._next_lsn, txn_id=txn_id, kind=WalKind.BEGIN)]
+        lsn = self._next_lsn + 1
+        for kind, table, key, row in writes:
+            records.append(
+                WalRecord(
+                    lsn=lsn,
+                    txn_id=txn_id,
+                    kind=kind,
+                    table=table,
+                    key=key,
+                    row=row,
+                    commit_ts=commit_ts,
+                )
+            )
+            lsn += 1
+        records.append(
+            WalRecord(
+                lsn=lsn, txn_id=txn_id, kind=WalKind.COMMIT, commit_ts=commit_ts
+            )
+        )
+        self._next_lsn = lsn + 1
+        self._records.extend(records)
+        self._cost.charge_rows(self._cost.wal_append_us, len(records))
+        self._m_appends.inc(len(records))
+        self._unforced_commits += 1
+        if self._unforced_commits >= self._group_commit_size:
+            self.force()
+
     def force(self) -> None:
         """Simulated fsync: pay the sync cost, clear the pending batch,
         and advance the durability horizon to the current tail."""

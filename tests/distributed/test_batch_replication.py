@@ -1,0 +1,186 @@
+"""Batched Raft apply and the cluster bulk-load command.
+
+The learner-side replication path now ships whole committed runs to a
+single batch apply callback; these tests pin (1) Raft-level batch
+proposal/apply correctness against the scalar path, (2) the vectorized
+columnar replica producing the same state as the scalar fold, and
+(3) the ``("bulk", ...)`` command landing on both row regions and the
+learner-fed replica.
+"""
+
+import numpy as np
+import pytest
+
+from repro.common import (
+    ALWAYS_TRUE,
+    Column,
+    CostModel,
+    DataType,
+    KeyNotFoundError,
+    Schema,
+)
+from repro.distributed import RaftGroup, SimNetwork
+from repro.distributed.cluster import DistributedCluster, WriteKind, WriteOp
+
+
+def make_schema():
+    return Schema(
+        "t",
+        [Column("id", DataType.INT64), Column("v", DataType.FLOAT64)],
+        ["id"],
+    )
+
+
+class TestRaftBatchApply:
+    def _group(self, apply_fns=None, apply_batch_fns=None):
+        cost = CostModel()
+        net = SimNetwork(cost)
+        group = RaftGroup(
+            "g",
+            ["v0", "v1", "v2"],
+            ["l0"],
+            net,
+            cost,
+            apply_fns=apply_fns,
+            apply_batch_fns=apply_batch_fns,
+            seed=7,
+        )
+        group.elect_leader()
+        return group
+
+    def test_batch_apply_sees_whole_committed_run(self):
+        batches = []
+        group = self._group(
+            apply_batch_fns={
+                "l0": lambda start, cmds: batches.append((start, list(cmds)))
+            }
+        )
+        last = group.propose_batch_and_wait(["a", "b", "c"])
+        assert last == group.leader().commit_index
+        group.advance(50_000)  # heartbeats carry commit_index to l0
+        applied = [c for _start, cmds in batches for c in cmds]
+        assert applied == ["a", "b", "c"]
+        starts = [start for start, _ in batches]
+        assert starts == sorted(starts)
+
+    def test_batch_and_scalar_apply_identical_sequences(self):
+        scalar_seen, batch_seen = [], []
+        scalar = self._group(
+            apply_fns={"l0": lambda _i, cmd: scalar_seen.append(cmd)}
+        )
+        batched = self._group(
+            apply_batch_fns={
+                "l0": lambda _start, cmds: batch_seen.extend(cmds)
+            }
+        )
+        for i in range(5):
+            scalar.propose_and_wait(("cmd", i))
+        batched.propose_batch_and_wait([("cmd", i) for i in range(5)])
+        # Let follower/learner heartbeats land the commit index.
+        for group in (scalar, batched):
+            group.advance(50_000)
+        assert batch_seen == scalar_seen == [("cmd", i) for i in range(5)]
+
+    def test_voters_still_apply_scalar_during_batch(self):
+        voter_applied = []
+        group = self._group(
+            apply_fns={
+                "v0": lambda _i, cmd: voter_applied.append(cmd),
+                "v1": lambda _i, cmd: voter_applied.append(cmd),
+                "v2": lambda _i, cmd: voter_applied.append(cmd),
+            }
+        )
+        group.propose_batch_and_wait(["x", "y"])
+        group.advance(50_000)
+        leader = group.leader().node_id
+        mine = [c for c in voter_applied]
+        # Every voter (leader included) applied both commands in order.
+        assert mine.count("x") == 3 and mine.count("y") == 3
+        assert leader in {"v0", "v1", "v2"}
+
+
+def build_cluster(vectorized):
+    cluster = DistributedCluster(
+        n_storage_nodes=3,
+        replication=3,
+        n_analytic_nodes=1,
+        seed=3,
+        vectorized=vectorized,
+    )
+    cluster.create_table(make_schema())
+    return cluster
+
+
+def mixed_workload(cluster):
+    for i in range(30):
+        cluster.execute_transaction(
+            [WriteOp(WriteKind.INSERT, "t", i, (i, float(i)))]
+        )
+    for i in range(0, 30, 3):
+        cluster.execute_transaction(
+            [WriteOp(WriteKind.UPDATE, "t", i, (i, float(i) * 10))]
+        )
+    for i in range(0, 30, 5):
+        cluster.execute_transaction([WriteOp(WriteKind.DELETE, "t", i, None)])
+    cluster.drain_replication()
+    cluster.sync()
+
+
+class TestVectorizedReplica:
+    def test_matches_scalar_fold(self):
+        states = []
+        for vectorized in (True, False):
+            cluster = build_cluster(vectorized)
+            mixed_workload(cluster)
+            result = cluster.analytic_scan("t", None, ALWAYS_TRUE)
+            order = np.argsort(result.arrays["id"], kind="stable")
+            states.append(
+                (
+                    result.arrays["id"][order].tolist(),
+                    result.arrays["v"][order].tolist(),
+                    cluster.columnar.applied_ts,
+                    cluster.freshness_lag_ts(),
+                )
+            )
+        assert states[0] == states[1]
+
+
+class TestClusterBulkLoad:
+    def test_rows_visible_on_row_and_column_paths(self):
+        cluster = build_cluster(vectorized=True)
+        rows = [(i, float(i)) for i in range(40)]
+        ts = cluster.bulk_load("t", rows)
+        assert ts > 0
+        assert cluster.read("t", 17) == (17, 17.0)
+        cluster.drain_replication()
+        cluster.sync()
+        result = cluster.analytic_scan("t", ["id"], ALWAYS_TRUE)
+        assert sorted(result.arrays["id"].tolist()) == list(range(40))
+
+    def test_matches_transactional_load(self):
+        rows = [(i, float(i)) for i in range(25)]
+        bulk = build_cluster(vectorized=True)
+        bulk.bulk_load("t", rows)
+        txn = build_cluster(vectorized=True)
+        for row in rows:
+            txn.execute_transaction(
+                [WriteOp(WriteKind.INSERT, "t", row[0], row)]
+            )
+        for cluster in (bulk, txn):
+            cluster.drain_replication()
+            cluster.sync()
+        a = bulk.analytic_scan("t", None, ALWAYS_TRUE)
+        b = txn.analytic_scan("t", None, ALWAYS_TRUE)
+        assert sorted(a.arrays["id"].tolist()) == sorted(b.arrays["id"].tolist())
+        assert sorted(a.arrays["v"].tolist()) == sorted(b.arrays["v"].tolist())
+
+    def test_unknown_table_rejected(self):
+        cluster = build_cluster(vectorized=True)
+        with pytest.raises(KeyNotFoundError):
+            cluster.bulk_load("nope", [(1, 1.0)])
+
+    def test_empty_load_is_noop(self):
+        cluster = build_cluster(vectorized=True)
+        before = cluster.commits
+        cluster.bulk_load("t", [])
+        assert cluster.commits == before

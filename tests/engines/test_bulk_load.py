@@ -1,0 +1,82 @@
+"""bulk_load: the batched ingest path every architecture overrides.
+
+Differential contract: for fresh keys, ``bulk_load`` must leave the
+engine observably identical to row-at-a-time ``load_rows`` — same OLTP
+point reads, same OLAP aggregates after a forced sync — while issuing
+one WAL batch / one Raft proposal per region instead of per-row hops.
+"""
+
+import pytest
+
+from repro.common import Column, DataType, Schema
+from repro.engines import make_engine
+
+
+def order_schema():
+    return Schema(
+        "orders",
+        [
+            Column("o_id", DataType.INT64),
+            Column("o_cust", DataType.INT64),
+            Column("o_amount", DataType.FLOAT64),
+            Column("o_region", DataType.STRING),
+        ],
+        ["o_id"],
+    )
+
+
+def sample_rows(n=60):
+    return [
+        (i, i % 7, float(i % 13) + 0.25, ["east", "west"][i % 2])
+        for i in range(n)
+    ]
+
+
+SQL = "SELECT o_region, COUNT(*), SUM(o_amount) FROM orders GROUP BY o_region"
+
+
+def build(cat, loader):
+    kwargs = {"seed": 5} if cat == "b" else {}
+    engine = make_engine(cat, **kwargs)
+    engine.create_table(order_schema())
+    loader(engine)
+    return engine
+
+
+@pytest.mark.parametrize("cat", ["a", "b", "c", "d"])
+class TestBulkLoad:
+    def test_matches_load_rows(self, cat):
+        rows = sample_rows()
+        slow = build(cat, lambda e: e.load_rows("orders", rows, batch=16))
+        fast = build(cat, lambda e: e.bulk_load("orders", rows))
+        for engine in (slow, fast):
+            engine.force_sync()
+        assert sorted(fast.query(SQL).rows) == sorted(slow.query(SQL).rows)
+
+    def test_point_reads_after_bulk_load(self, cat):
+        rows = sample_rows()
+        engine = build(cat, lambda e: e.bulk_load("orders", rows))
+        with engine.session() as s:
+            assert s.read("orders", 3) == rows[3]
+            assert s.read("orders", 9999) is None
+
+    def test_bulk_load_then_oltp_mutations(self, cat):
+        engine = build(cat, lambda e: e.bulk_load("orders", sample_rows()))
+        engine.update("orders", (0, 0, 999.5, "east"))
+        engine.delete("orders", 1)
+        engine.insert("orders", (1000, 1, 1.0, "west"))
+        engine.force_sync()
+        with engine.session() as s:
+            assert s.read("orders", 0)[2] == 999.5
+            assert s.read("orders", 1) is None
+            assert s.read("orders", 1000) is not None
+
+    def test_empty_bulk_load_is_noop(self, cat):
+        engine = build(cat, lambda e: e.bulk_load("orders", []))
+        engine.force_sync()
+        assert engine.query("SELECT COUNT(*) FROM orders").rows[0][0] == 0
+
+    def test_freshness_after_sync(self, cat):
+        engine = build(cat, lambda e: e.bulk_load("orders", sample_rows()))
+        engine.force_sync()
+        assert engine.freshness_lag() == 0

@@ -252,3 +252,38 @@ class TestEngineInvalidation:
         assert len(engine.scan_cache) >= 0  # may or may not cache (path-dependent)
         engine.force_sync()
         assert len(engine.scan_cache) == 0
+
+
+@pytest.mark.parametrize("cat", ["a", "b", "c", "d"])
+class TestCoalescedInvalidation:
+    """Sync invalidates once per batch — and not at all for a no-op
+    batch, since the version tokens fencing every entry did not move.
+    The warm cache therefore keeps serving hits across idle syncs,
+    which is the hit-rate win this test pins down."""
+
+    SQL = "SELECT o_region, COUNT(*) FROM orders GROUP BY o_region"
+
+    def test_noop_sync_keeps_cache_warm(self, cat):
+        engine = build_engine(cat)
+        engine.force_sync()
+        engine.query(self.SQL)
+        invalidations_before = engine.scan_cache.invalidations
+        hits = 0
+        for _ in range(5):
+            assert engine.sync() == 0  # nothing pending
+            before = engine.scan_cache.hits
+            engine.query(self.SQL)
+            hits += engine.scan_cache.hits - before
+        # Every post-sync query hit; per-row (or per-call) invalidation
+        # would have forced 5 rebuild misses.
+        assert hits == 5
+        assert engine.scan_cache.invalidations == invalidations_before
+
+    def test_batched_sync_still_invalidates(self, cat):
+        engine = build_engine(cat)
+        engine.force_sync()
+        first = engine.query(self.SQL)
+        engine.insert("orders", (2000, 1, 2.5, "w"))
+        engine.force_sync()
+        after = engine.query(self.SQL)
+        assert dict(after.rows)["w"] == dict(first.rows)["w"] + 1

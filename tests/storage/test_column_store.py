@@ -204,3 +204,97 @@ def test_upsert_delete_matches_dict_model(batches, deletions):
         model.pop(key, None)
     assert sorted(store.all_rows()) == sorted(model.values())
     assert len(store) == len(model)
+
+
+def pivot(schema, data):
+    from repro.common.types import rows_to_columns
+
+    return rows_to_columns(schema, data), [schema.key_of(r) for r in data]
+
+
+class TestAppendBatch:
+    def test_matches_append_rows(self):
+        schema = make_schema()
+        data = rows(25)
+        scalar = ColumnStore(schema)
+        scalar.append_rows(data, commit_ts=1)
+        batched = ColumnStore(make_schema())
+        arrays, keys = pivot(schema, data)
+        batched.append_batch(arrays, keys, commit_ts=1)
+        assert sorted(batched.all_rows()) == sorted(scalar.all_rows())
+        assert batched.max_commit_ts() == scalar.max_commit_ts()
+        a = batched.scan(["v"], Comparison("id", "<", 5))
+        b = scalar.scan(["v"], Comparison("id", "<", 5))
+        assert a.arrays["v"].tolist() == b.arrays["v"].tolist()
+
+    def test_empty_batch_rejected(self):
+        schema = make_schema()
+        store = ColumnStore(schema)
+        with pytest.raises(StorageError):
+            store.append_batch({c.name: np.array([]) for c in schema.columns}, [], 1)
+
+    def test_upserts_stale_keys(self):
+        schema = make_schema()
+        store = ColumnStore(schema)
+        store.append_rows(rows(10), commit_ts=1)
+        fresh = [(i, float(i) * 10, "new") for i in range(5)]
+        arrays, keys = pivot(schema, fresh)
+        store.append_batch(arrays, keys, commit_ts=2)
+        assert len(store) == 10
+        got = dict((r[0], r[1]) for r in store.all_rows())
+        assert got[3] == 30.0 and got[7] == 7.0
+
+    def test_single_mutation_bump(self):
+        schema = make_schema()
+        store = ColumnStore(schema)
+        store.append_rows(rows(4), commit_ts=1)
+        before = store.mutations
+        arrays, keys = pivot(schema, rows(4))  # all stale upserts
+        store.append_batch(arrays, keys, commit_ts=2)
+        assert store.mutations == before + 1
+
+    def test_length_mismatch_rejected(self):
+        schema = make_schema()
+        store = ColumnStore(schema)
+        arrays, keys = pivot(schema, rows(3))
+        arrays["v"] = arrays["v"][:2]
+        with pytest.raises(StorageError):
+            store.append_batch(arrays, keys, commit_ts=1)
+
+    def test_zone_maps_built(self):
+        schema = make_schema()
+        store = ColumnStore(schema)
+        arrays, keys = pivot(schema, rows(50))
+        segment = store.append_batch(arrays, keys, commit_ts=1)
+        lo, hi = segment.zone_maps["id"]
+        assert (lo, hi) == (0, 49)
+        result = store.scan(["id"], Between("id", 10, 12))
+        assert sorted(result.arrays["id"].tolist()) == [10, 11, 12]
+
+
+class TestDeleteBatch:
+    def test_matches_delete_keys(self):
+        data = rows(20)
+        doomed = [1, 5, 5, 19, 999]  # dup + miss are tolerated
+        scalar = ColumnStore(make_schema())
+        scalar.append_rows(data, commit_ts=1)
+        scalar.delete_keys(doomed)
+        batched = ColumnStore(make_schema())
+        batched.append_rows(data, commit_ts=1)
+        removed = batched.delete_batch(doomed)
+        assert removed == 3
+        assert sorted(batched.all_rows()) == sorted(scalar.all_rows())
+
+    def test_compact_vectorized_matches_scalar(self):
+        data = rows(30)
+        stores = []
+        for vectorized in (True, False):
+            store = ColumnStore(make_schema())
+            store.append_rows(data[:15], commit_ts=1)
+            store.append_rows(data[15:], commit_ts=2)
+            store.delete_batch([0, 7, 22])
+            store.compact(vectorized=vectorized)
+            stores.append(store)
+        assert sorted(stores[0].all_rows()) == sorted(stores[1].all_rows())
+        assert stores[0].max_commit_ts() == stores[1].max_commit_ts()
+        assert len(stores[0].segments) == 1

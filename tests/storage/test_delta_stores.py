@@ -161,3 +161,101 @@ class TestLogDelta:
     def test_seal_empty_returns_none(self):
         log = LogDeltaManager(make_schema())
         assert log.seal() is None
+
+
+class TestColumnarBatchDelta:
+    def test_partial_drain_reindexes_latest(self):
+        """Regression: after a cut-timestamp drain (merge phase 1), the
+        residual entries' latest-index must be re-derived, not shifted —
+        commits that landed during phase 1 would otherwise resolve to
+        the wrong positions."""
+        delta = InMemoryDeltaStore(make_schema())
+        delta.record_insert((1, 1.0), 1)
+        delta.record_insert((2, 2.0), 2)
+        delta.record_update((2, 2.5), 3)
+        # Phase 1 drains the prefix; the ts=3 update stays resident.
+        delta.drain_up_to(2)
+        # Interleaved commits land while phase 2 has not yet run.
+        delta.record_insert((3, 3.0), 4)
+        delta.record_update((3, 3.5), 5)
+        live, tombstones = delta.effective_rows(snapshot_ts=10)
+        assert live == {2: (2, 2.5), 3: (3, 3.5)}
+        assert tombstones == set()
+        assert delta.updated_keys() == {2, 3}
+        # And the next drain moves exactly the residual batch.
+        batch = delta.drain_batch_up_to(10)
+        collapsed = batch.collapse()
+        assert dict(zip(collapsed.live_keys, collapsed.live_rows)) == {
+            2: (2, 2.5),
+            3: (3, 3.5),
+        }
+        assert len(delta) == 0
+
+    def test_record_insert_batch(self):
+        delta = InMemoryDeltaStore(make_schema())
+        delta.record_insert_batch([(1, 1.0), (2, 2.0)], commit_ts=3)
+        live, _ = delta.effective_rows(10)
+        assert live == {1: (1, 1.0), 2: (2, 2.0)}
+        assert delta.max_commit_ts() == 3
+        with pytest.raises(ValueError):
+            delta.record_insert_batch([(9, 9.0)], commit_ts=2)
+
+    def test_record_delete_batch(self):
+        delta = InMemoryDeltaStore(make_schema())
+        delta.record_insert_batch([(1, 1.0), (2, 2.0), (3, 3.0)], commit_ts=1)
+        delta.record_delete_batch([1, 3], commit_ts=2)
+        live, tombstones = delta.effective_rows(10)
+        assert live == {2: (2, 2.0)}
+        assert tombstones == {1, 3}
+
+    def test_drain_batch_matches_scalar_drain(self):
+        ops = [
+            ("i", 1, 1.0), ("u", 1, 1.5), ("i", 2, 2.0), ("d", 2, 0.0),
+            ("i", 3, 3.0), ("d", 4, 0.0), ("i", 2, 9.0),
+        ]
+
+        def fill(delta):
+            for ts, (kind, key, val) in enumerate(ops, start=1):
+                if kind == "i":
+                    delta.record_insert((key, val), ts)
+                elif kind == "u":
+                    delta.record_update((key, val), ts)
+                else:
+                    delta.record_delete(key, ts)
+
+        a = InMemoryDeltaStore(make_schema())
+        fill(a)
+        entries = a.drain_up_to(len(ops))
+        live_scalar, tomb_scalar = collapse_entries(entries)
+
+        b = InMemoryDeltaStore(make_schema())
+        fill(b)
+        live_vec, tomb_vec = b.drain_batch_up_to(len(ops)).collapse().as_dicts()
+        assert live_vec == live_scalar
+        assert tomb_vec == tomb_scalar
+
+    def test_clear_batch_returns_everything(self):
+        delta = InMemoryDeltaStore(make_schema())
+        delta.record_insert((1, 1.0), 1)
+        delta.record_delete(1, 2)
+        batch = delta.clear_batch()
+        assert len(batch) == 2
+        assert len(delta) == 0
+        collapsed = batch.collapse()
+        assert collapsed.live_keys == []
+        assert collapsed.tombstones == [1]
+
+    def test_log_append_batch_seals_like_scalar(self):
+        entries = [
+            DeltaEntry(DeltaKind.INSERT, i, (i, float(i)), i + 1)
+            for i in range(10)
+        ]
+        scalar = LogDeltaManager(make_schema(), seal_threshold=4)
+        for e in entries:
+            scalar.record_insert(e.row, e.commit_ts)
+        batched = LogDeltaManager(make_schema(), seal_threshold=4)
+        batched.append_batch(entries)
+        assert len(batched.files) == len(scalar.files) == 2
+        assert batched.unsealed_entries() == scalar.unsealed_entries() == 2
+        assert [len(f) for f in batched.files] == [len(f) for f in scalar.files]
+        assert batched.effective_rows() == scalar.effective_rows()
