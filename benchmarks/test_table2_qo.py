@@ -68,7 +68,8 @@ TRAIN_QUERIES = [
     "SELECT SUM(i_price) FROM item WHERE i_im_id < 2000",
     "SELECT o_ol_cnt, COUNT(*) FROM orders GROUP BY o_ol_cnt",
 ]
-MEASURED_QUERIES = TRAIN_QUERIES + [
+MEASURED_QUERIES = [
+    *TRAIN_QUERIES,
     "SELECT SUM(ol_amount) FROM order_line WHERE ol_quantity BETWEEN 1 AND 5",
 ]
 

@@ -1,0 +1,42 @@
+"""Static analysis (htaplint) and runtime sanitizers for the testbed.
+
+Two enforcement layers for the invariants the paper reproduction rests
+on:
+
+* :mod:`repro.analysis.core` + :mod:`repro.analysis.rules` — *htaplint*,
+  an AST-based analyzer with repo-specific rules (HTL001-HTL005) run via
+  ``python -m repro.analysis``;
+* :mod:`repro.analysis.sanitizer` — runtime checkers that wrap the
+  simulated cluster's message bus (vector-clock happens-before) and the
+  MVCC read path (snapshot-isolation visibility) during tests.
+"""
+
+from .core import (
+    SUPPRESSION_AUDIT_RULE,
+    FileContext,
+    Finding,
+    RuleInfo,
+    Suppression,
+    all_rules,
+    analyze_file,
+    analyze_source,
+    analyze_tree,
+    parse_suppressions,
+    render_human,
+    render_json,
+)
+
+__all__ = [
+    "SUPPRESSION_AUDIT_RULE",
+    "FileContext",
+    "Finding",
+    "RuleInfo",
+    "Suppression",
+    "all_rules",
+    "analyze_file",
+    "analyze_source",
+    "analyze_tree",
+    "parse_suppressions",
+    "render_human",
+    "render_json",
+]

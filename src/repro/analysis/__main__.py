@@ -1,0 +1,66 @@
+"""CLI: ``python -m repro.analysis`` — lint the repro tree.
+
+Exit codes: 0 no findings, 1 findings, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .core import all_rules, analyze_tree, render_human, render_json
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="htaplint: repo-aware static analysis for the HTAP testbed",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("human", "json"),
+        default="human",
+        help="output format (default: human)",
+    )
+    parser.add_argument(
+        "--rules",
+        metavar="HTL00X[,HTL00Y]",
+        help="comma-separated rule ids to run (default: all, incl. HTL000 audit)",
+    )
+    parser.add_argument(
+        "--root",
+        metavar="DIR",
+        help="package root to analyze (default: the installed repro package)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule table and exit",
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for info in all_rules():
+            print(f"{info.id}  {info.name}: {info.description}")
+        return 0
+
+    rule_ids = None
+    if args.rules:
+        rule_ids = [r.strip() for r in args.rules.split(",") if r.strip()]
+    root = Path(args.root) if args.root else None
+    try:
+        findings = analyze_tree(root=root, rule_ids=rule_ids)
+    except ValueError as err:
+        print(f"htaplint: {err}", file=sys.stderr)
+        return 2
+
+    if args.format == "json":
+        print(render_json(findings))
+    else:
+        print(render_human(findings))
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

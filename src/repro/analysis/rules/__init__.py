@@ -1,0 +1,22 @@
+"""htaplint rules — importing this package registers every rule.
+
+Each module calls :func:`repro.analysis.core.register` at import time;
+the driver imports this package lazily so adding a rule means adding a
+module here, nothing else.
+"""
+
+from . import (
+    cost_parity,
+    determinism,
+    error_swallow,
+    invalidation,
+    metric_names,
+)
+
+__all__ = [
+    "cost_parity",
+    "determinism",
+    "error_swallow",
+    "invalidation",
+    "metric_names",
+]

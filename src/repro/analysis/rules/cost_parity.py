@@ -1,0 +1,124 @@
+"""HTL003 — simulated-cost parity across vectorized/scalar splits.
+
+Every vectorized fast path in the testbed keeps a scalar reference
+implementation behind a ``vectorized=`` switch, and DESIGN.md's
+substitution rule requires both branches to charge the *same* simulated
+cost — vectorization may only change wall-clock time, never the
+simulated microseconds that drive the paper's claimed orderings.  A
+fast path that forgets its ``cost.charge_rows`` quietly re-ranks
+Table 1.
+
+This rule finds every ``if``/ternary whose condition tests a
+``vectorized`` flag and checks that either *both* arms reach a cost
+charge (``.charge``/``.charge_rows``, directly or through methods and
+functions resolvable in the same module) or *neither* does.  An
+asymmetric split — one arm charges, the other cannot be shown to —
+is flagged.  Charges issued by shared store primitives called on other
+objects are invisible to both arms alike, so they never create
+asymmetry.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..callgraph import ClassIndex, ModuleIndex, local_callees, reaches
+from ..core import FileContext, Finding, register
+
+_CHARGE_METHODS = {"charge", "charge_rows"}
+
+
+def _mentions_vectorized(node: ast.AST) -> bool:
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name) and sub.id == "vectorized":
+            return True
+        if isinstance(sub, ast.Attribute) and sub.attr == "vectorized":
+            return True
+    return False
+
+
+def _charges_directly(node: ast.AST) -> bool:
+    """A `.charge`/`.charge_rows` call anywhere under ``node``."""
+    for sub in ast.walk(node):
+        if (
+            isinstance(sub, ast.Call)
+            and isinstance(sub.func, ast.Attribute)
+            and sub.func.attr in _CHARGE_METHODS
+        ):
+            return True
+    return False
+
+
+def _branch_charges(
+    branch_nodes: list[ast.AST],
+    class_index: ClassIndex | None,
+    module_index: ModuleIndex,
+) -> bool:
+    """Does this arm charge cost — inline, or via a same-class method /
+    same-module function it calls?"""
+    for node in branch_nodes:
+        if _charges_directly(node):
+            return True
+    for node in branch_nodes:
+        self_methods, bare = local_callees(node)
+        for name in self_methods:
+            target = (
+                class_index.methods.get(name) if class_index is not None else None
+            )
+            if target is not None and reaches(
+                target, _charges_directly, class_index, module_index
+            ):
+                return True
+        for name in bare:
+            target = module_index.functions.get(name)
+            if target is not None and reaches(
+                target, _charges_directly, class_index, module_index
+            ):
+                return True
+    return False
+
+
+def _enclosing_class(
+    tree: ast.Module, target: ast.AST, module_index: ModuleIndex
+) -> ClassIndex | None:
+    for class_name, ci in module_index.classes.items():
+        for sub in ast.walk(ci.node):
+            if sub is target:
+                return module_index.classes[class_name]
+    return None
+
+
+@register(
+    "HTL003",
+    "cost-parity",
+    "vectorized/scalar split where only one arm charges simulated cost",
+)
+def check(ctx: FileContext) -> Iterator[Finding]:
+    module_index = ModuleIndex.build(ctx.tree)
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.If):
+            test, body, orelse = node.test, node.body, node.orelse
+        elif isinstance(node, ast.IfExp):
+            test, body, orelse = node.test, [node.body], [node.orelse]
+        else:
+            continue
+        if not _mentions_vectorized(test):
+            continue
+        if not orelse:
+            # `if vectorized:` with fall-through — both paths share the
+            # code after the if, so there is no split to compare.
+            continue
+        class_index = _enclosing_class(ctx.tree, node, module_index)
+        fast = _branch_charges(list(body), class_index, module_index)
+        slow = _branch_charges(list(orelse), class_index, module_index)
+        if fast != slow:
+            missing = "scalar" if fast else "vectorized"
+            yield Finding(
+                "HTL003",
+                ctx.path,
+                node.lineno,
+                "vectorized= split charges simulated cost on only one arm "
+                f"(the {missing} arm reaches no .charge/.charge_rows); "
+                "fast paths must cost the same as their scalar reference",
+            )

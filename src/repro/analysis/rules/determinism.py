@@ -1,0 +1,108 @@
+"""HTL001 — determinism: no wall clock, no unseeded randomness.
+
+The whole testbed is a deterministic simulation: time is simulated
+microseconds on a :class:`~repro.common.clock.SimClock`, ordering
+timestamps come from a :class:`~repro.common.clock.LogicalClock`, and
+every random draw flows through an explicitly seeded generator from
+:mod:`repro.common.rng`.  One stray ``datetime.now()`` or bare
+``random.random()`` silently breaks bit-for-bit reproducibility of the
+Table 1 / Table 2 orderings, so this rule bans the entry points
+outright:
+
+* importing ``random``, ``time``, ``datetime``, or ``secrets``
+  (route through ``common/rng`` / ``common/clock``);
+* calling ``os.urandom``, ``uuid.uuid1``/``uuid.uuid4``, or any
+  ``numpy.random`` module-level function (``np.random.seed`` mutates
+  hidden global state; seeded ``Generator`` objects from
+  ``make_np_rng`` are fine — they are values, not ambient state).
+
+``common/rng.py`` and ``common/clock.py`` are the sanctioned wrappers
+and are exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..core import FileContext, Finding, attr_chain, register
+
+_BANNED_MODULES = {
+    "random": "seeded RNGs from repro.common.rng (make_rng/make_np_rng)",
+    "time": "simulated time from repro.common.clock.SimClock",
+    "datetime": "logical/simulated clocks from repro.common.clock",
+    "secrets": "seeded RNGs from repro.common.rng",
+}
+
+#: Attribute-chain suffixes whose call is nondeterministic no matter how
+#: the module was imported/aliased.
+_BANNED_CALLS = {
+    ("os", "urandom"): "os.urandom is nondeterministic",
+    ("uuid", "uuid1"): "uuid.uuid1 mixes in wall-clock and host state",
+    ("uuid", "uuid4"): "uuid.uuid4 draws from the OS entropy pool",
+}
+
+_NP_RANDOM_HINT = (
+    "numpy.random module-level functions use hidden global state; "
+    "use repro.common.rng.make_np_rng(seed)"
+)
+
+_EXEMPT_FILES = ("common/rng.py", "common/clock.py")
+
+
+def _is_exempt(ctx: FileContext) -> bool:
+    return any(ctx.path.endswith(suffix) for suffix in _EXEMPT_FILES)
+
+
+@register(
+    "HTL001",
+    "nondeterminism",
+    "wall-clock or unseeded randomness outside common/rng and common/clock",
+)
+def check(ctx: FileContext) -> Iterator[Finding]:
+    if _is_exempt(ctx):
+        return
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                top = alias.name.split(".")[0]
+                if top in _BANNED_MODULES:
+                    yield Finding(
+                        "HTL001",
+                        ctx.path,
+                        node.lineno,
+                        f"import of {alias.name!r}: use {_BANNED_MODULES[top]}",
+                    )
+        elif isinstance(node, ast.ImportFrom):
+            top = (node.module or "").split(".")[0]
+            if node.level == 0 and top in _BANNED_MODULES:
+                yield Finding(
+                    "HTL001",
+                    ctx.path,
+                    node.lineno,
+                    f"import from {node.module!r}: use {_BANNED_MODULES[top]}",
+                )
+        elif isinstance(node, ast.Call):
+            chain = tuple(attr_chain(node.func))
+            if len(chain) >= 2:
+                tail = chain[-2:]
+                if tail in _BANNED_CALLS:
+                    yield Finding(
+                        "HTL001",
+                        ctx.path,
+                        node.lineno,
+                        f"call to {'.'.join(chain)}: {_BANNED_CALLS[tail]}",
+                    )
+                    continue
+            # numpy.random.* / np.random.* module-level draws; seeded
+            # default_rng(seed) is sanctioned only inside common/rng.
+            if len(chain) >= 3 and chain[-2] == "random" and chain[0] in (
+                "np",
+                "numpy",
+            ):
+                yield Finding(
+                    "HTL001",
+                    ctx.path,
+                    node.lineno,
+                    f"call to {'.'.join(chain)}: {_NP_RANDOM_HINT}",
+                )

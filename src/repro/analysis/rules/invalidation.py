@@ -1,0 +1,260 @@
+"""HTL002 — mutation without a scan-cache version bump.
+
+The MVCC-aware snapshot-scan cache keys every batch on a version token
+assembled from store counters (``ColumnStore.mutations``,
+``MVCCRowStore.installs``, ...).  A write path that changes what a scan
+returns *without* moving any token component makes a stale cached batch
+indistinguishable from a fresh one — the one bug class the cache design
+cannot survive.  PR 2/3 wired the bumps by hand through dozens of call
+sites; this rule machine-checks the convention at two layers:
+
+**Store layer.**  A class that declares a version counter (an attribute
+named ``mutations`` or ``installs``/``_installs`` initialized in
+``__init__``) is *version-tracked*.  The rule learns which ``self.*``
+attributes its bumping methods mutate (the scan-visible state) and then
+flags any public method that mutates one of those attributes while
+neither bumping the counter itself nor (transitively, through
+same-class helpers) calling a method that does.
+
+**Engine layer.**  Classes deriving from ``HTAPEngine`` own a
+``scan_cache``; any public engine method that directly calls a store
+write primitive (``append_rows``, ``install_insert``,
+``record_delete``, ...) must reach a ``scan_cache.invalidate(...)`` on
+the same path.  Commit-listener plumbing (private methods) is exempt —
+it is reached via the transaction manager, whose listeners carry the
+invalidate.
+
+Watermark-only methods (e.g. ``advance_sync_ts``) that move a timestamp
+no token includes are the intended use of a per-line suppression with a
+reason.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..callgraph import ClassIndex, ModuleIndex, reaches
+from ..core import FileContext, Finding, attr_chain, register
+
+_VERSION_COUNTERS = {"mutations", "installs", "_installs"}
+
+#: Methods that mutate a container in place when called on `self.<attr>`.
+_MUTATOR_CALLS = {
+    "append",
+    "extend",
+    "insert",
+    "add",
+    "update",
+    "setdefault",
+    "pop",
+    "popitem",
+    "remove",
+    "discard",
+    "clear",
+}
+
+#: Store write primitives an engine method may call directly.
+_WRITE_PRIMITIVES = {
+    "install_insert",
+    "install_update",
+    "install_delete",
+    "append_rows",
+    "append_batch",
+    "delete_keys",
+    "delete_batch",
+    "record_insert",
+    "record_update",
+    "record_delete",
+    "record_insert_batch",
+    "record_delete_batch",
+    "append_batch_columns",
+}
+
+_ENGINE_BASES = {"HTAPEngine"}
+
+
+# --------------------------------------------------------------- store layer
+
+
+def _self_attr_of_target(node: ast.AST) -> str | None:
+    """The `self.<attr>` root written by an assignment target /
+    subscript / delete, if any (``self._locations[k] = v`` -> "_locations")."""
+    while isinstance(node, ast.Subscript):
+        node = node.value
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _mutated_self_attrs(fn: ast.FunctionDef) -> set[str]:
+    """All `self.<attr>` roots this method writes (assign / augassign /
+    del / in-place container-mutator call)."""
+    mutated: set[str] = set()
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                attr = _self_attr_of_target(target)
+                if attr:
+                    mutated.add(attr)
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            attr = _self_attr_of_target(node.target)
+            if attr:
+                mutated.add(attr)
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                attr = _self_attr_of_target(target)
+                if attr:
+                    mutated.add(attr)
+        elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            if node.func.attr in _MUTATOR_CALLS:
+                chain = attr_chain(node.func)
+                if len(chain) >= 3 and chain[0] == "self":
+                    mutated.add(chain[1])
+    return mutated
+
+
+def _bumps_counter(fn: ast.FunctionDef, counters: set[str]) -> bool:
+    for node in ast.walk(fn):
+        if isinstance(node, ast.AugAssign):
+            attr = _self_attr_of_target(node.target)
+            if attr in counters:
+                return True
+    return False
+
+
+def _declared_counters(ci: ClassIndex) -> set[str]:
+    init = ci.methods.get("__init__")
+    if init is None:
+        return set()
+    counters: set[str] = set()
+    for node in ast.walk(init):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                attr = _self_attr_of_target(target)
+                if attr in _VERSION_COUNTERS:
+                    counters.add(attr)
+    return counters
+
+
+def _store_layer(ctx: FileContext, module_index: ModuleIndex) -> Iterator[Finding]:
+    for ci in module_index.classes.values():
+        counters = _declared_counters(ci)
+        if not counters:
+            continue
+        bumpers = [
+            fn
+            for name, fn in ci.methods.items()
+            if name != "__init__" and _bumps_counter(fn, counters)
+        ]
+        if not bumpers:
+            continue
+        # Scan-visible state = what the bumping write paths touch.
+        tracked: set[str] = set()
+        for fn in bumpers:
+            tracked |= _mutated_self_attrs(fn)
+        tracked -= counters
+        if not tracked:
+            continue
+
+        def bump_pred(fn: ast.FunctionDef, _counters=counters) -> bool:
+            return _bumps_counter(fn, _counters)
+
+        for name, fn in ci.methods.items():
+            if name.startswith("_"):
+                continue  # helpers are checked through their public callers
+            touched = _mutated_self_attrs(fn) & tracked
+            # Include state mutated via private same-class helpers.
+            for callee_name in _collect_self_calls(fn):
+                callee = ci.methods.get(callee_name)
+                if callee is not None and callee_name.startswith("_"):
+                    touched |= _mutated_self_attrs(callee) & tracked
+            if not touched:
+                continue
+            if reaches(fn, bump_pred, ci, module_index):
+                continue
+            yield Finding(
+                "HTL002",
+                ctx.path,
+                fn.lineno,
+                f"{ci.node.name}.{name} mutates version-tracked state "
+                f"({', '.join(sorted(touched))}) without bumping "
+                f"{'/'.join(sorted(counters))}; stale scan-cache entries "
+                "would keep matching their token",
+            )
+
+
+def _collect_self_calls(fn: ast.FunctionDef) -> set[str]:
+    names: set[str] = set()
+    for node in ast.walk(fn):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id == "self"
+        ):
+            names.add(node.func.attr)
+    return names
+
+
+# --------------------------------------------------------------- engine layer
+
+
+def _calls_write_primitive(fn: ast.FunctionDef) -> bool:
+    for node in ast.walk(fn):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _WRITE_PRIMITIVES
+        ):
+            return True
+    return False
+
+
+def _invalidates_cache(fn: ast.FunctionDef) -> bool:
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Call):
+            chain = attr_chain(node.func)
+            if (
+                len(chain) >= 2
+                and chain[-1] == "invalidate"
+                and chain[-2] == "scan_cache"
+            ):
+                return True
+    return False
+
+
+def _engine_layer(ctx: FileContext, module_index: ModuleIndex) -> Iterator[Finding]:
+    for ci in module_index.classes.values():
+        if not (_ENGINE_BASES & set(ci.base_names)):
+            continue
+        for name, fn in ci.methods.items():
+            if name.startswith("_"):
+                continue  # listener plumbing; reached via txn listeners
+            if not _calls_write_primitive(fn):
+                continue
+            if reaches(fn, _invalidates_cache, ci, module_index):
+                continue
+            yield Finding(
+                "HTL002",
+                ctx.path,
+                fn.lineno,
+                f"engine method {ci.node.name}.{name} calls a store write "
+                "primitive but never reaches scan_cache.invalidate(); "
+                "cached batches for the table stay resident until eviction",
+            )
+
+
+@register(
+    "HTL002",
+    "mutation-without-invalidation",
+    "write path that changes scan results without a version bump/invalidate",
+)
+def check(ctx: FileContext) -> Iterator[Finding]:
+    module_index = ModuleIndex.build(ctx.tree)
+    yield from _store_layer(ctx, module_index)
+    yield from _engine_layer(ctx, module_index)

@@ -1,0 +1,80 @@
+"""HTL004 — metric/span name literals must be registered.
+
+The obs layer looks series up by dotted name, so a typo'd counter
+(``"wal.fsync"`` for ``"wal.fsyncs"``) records faithfully into a series
+nobody snapshots — the metric silently reads zero forever.  Every name
+literal passed to a registry instrument method or ``tracer.span`` must
+therefore appear in :mod:`repro.obs.names` (``REGISTERED_METRICS`` /
+``REGISTERED_SPANS``), which doubles as the documentation of the
+testbed's whole metric surface.
+
+Only string literals shaped like dotted series names are checked;
+dynamic names (f-strings, variables) are out of static reach and the
+runtime registry's own pattern validation covers them.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from ..core import FileContext, Finding, first_str_arg, register
+
+_METRIC_METHODS = {
+    "counter",
+    "gauge",
+    "histogram",
+    "inc",
+    "set_gauge",
+    "observe",
+    "counter_total",
+}
+_SPAN_METHODS = {"span"}
+
+_NAME_SHAPE = re.compile(r"^[a-z0-9_]+(\.[a-z0-9_]+)+$")
+
+#: The registry module itself (defines the sets) and the obs layer's own
+#: validation/tests are exempt.
+_EXEMPT_FILES = ("obs/names.py",)
+
+
+@register(
+    "HTL004",
+    "unregistered-metric-name",
+    "metric/span name literal missing from repro.obs.names registry",
+)
+def check(ctx: FileContext) -> Iterator[Finding]:
+    if any(ctx.path.endswith(suffix) for suffix in _EXEMPT_FILES):
+        return
+    if not ctx.registered_metrics and not ctx.registered_spans:
+        return  # no registry available (bare snippet without injection)
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            continue
+        name = first_str_arg(node)
+        if name is None or not _NAME_SHAPE.match(name):
+            continue
+        if func.attr in _METRIC_METHODS:
+            if name not in ctx.registered_metrics:
+                yield Finding(
+                    "HTL004",
+                    ctx.path,
+                    node.lineno,
+                    f"metric name {name!r} is not in "
+                    "repro.obs.names.REGISTERED_METRICS "
+                    "(typo, or register it there)",
+                )
+        elif func.attr in _SPAN_METHODS:
+            if name not in ctx.registered_spans:
+                yield Finding(
+                    "HTL004",
+                    ctx.path,
+                    node.lineno,
+                    f"span name {name!r} is not in "
+                    "repro.obs.names.REGISTERED_SPANS "
+                    "(typo, or register it there)",
+                )

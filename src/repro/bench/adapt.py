@@ -68,7 +68,7 @@ def build_fixture(
     rows = MVCCRowStore(schema, cost)
     data = []
     for i in range(n_rows):
-        data.append(tuple([i] + [rng.randrange(0, 1_000) for _ in range(n_attributes)]))
+        data.append((i, *(rng.randrange(0, 1_000) for _ in range(n_attributes))))
     for row in data:
         rows.install_insert(row, commit_ts=1)
     columns = ColumnStore(schema, cost)

@@ -16,11 +16,10 @@ is made explicit with an s_suppkey column on stock.
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
 
 from ..common.errors import TransactionAborted
-from ..common.rng import ZipfGenerator, nurand, random_string
+from ..common.rng import ZipfGenerator, make_rng, nurand, random_string
 from ..common.types import Column, DataType, Schema
 from ..engines.base import HTAPEngine
 
@@ -119,7 +118,7 @@ class TpccLoader:
     seed: int = 42
 
     def load(self, engine: HTAPEngine, create_tables: bool = True) -> None:
-        rng = random.Random(self.seed)
+        rng = make_rng(self.seed)
         s = self.scale
         if create_tables:
             for schema in tpcc_schemas():
@@ -265,7 +264,7 @@ class TpccWorkload:
         """
         self.engine = engine
         self.scale = scale
-        self.rng = random.Random(seed)
+        self.rng = make_rng(seed)
         self.counters = TxnCounters()
         self.hybrid_fraction = hybrid_fraction
         self._zipf = (
@@ -342,7 +341,7 @@ class TpccWorkload:
             district = s.read("district", (w, d))
             assert district is not None
             next_o_id = district[5]
-            s.update("district", district[:5] + (next_o_id + 1,))
+            s.update("district", (*district[:5], next_o_id + 1))
             self._day += 1
             s.insert("orders", (w, d, next_o_id, c, self._day, None, ol_cnt, 1))
             s.insert("new_order", (w, d, next_o_id))
@@ -378,15 +377,17 @@ class TpccWorkload:
         amount = round(self.rng.uniform(1.0, 5000.0), 2)
         with self.engine.session() as s:
             warehouse = s.read("warehouse", w)
-            s.update("warehouse", warehouse[:4] + (warehouse[4] + amount,))
+            s.update("warehouse", (*warehouse[:4], warehouse[4] + amount))
             district = s.read("district", (w, d))
-            s.update("district", district[:4] + (district[4] + amount,) + district[5:])
+            s.update("district", (*district[:4], district[4] + amount, *district[5:]))
             customer = s.read("customer", (w, d, c))
-            s.update("customer", customer[:7] + (
+            s.update("customer", (
+                *customer[:7],
                 customer[7] - amount,
                 customer[8] + amount,
                 customer[9] + 1,
-            ) + customer[10:])
+                *customer[10:],
+            ))
             self._day += 1
             s.insert("history", (
                 self._take_history_id(), w, d, c, self._day, amount,
@@ -429,7 +430,7 @@ class TpccWorkload:
                     continue
                 s.delete("new_order", (w, d, oldest))
                 order = s.read("orders", (w, d, oldest))
-                s.update("orders", order[:5] + (carrier,) + order[6:])
+                s.update("orders", (*order[:5], carrier, *order[6:]))
                 self._day += 1
                 total = 0.0
                 for number in range(1, order[6] + 1):
@@ -437,11 +438,15 @@ class TpccWorkload:
                     if line is None:
                         continue
                     total += line[8]
-                    s.update("order_line", line[:6] + (self._day,) + line[7:])
+                    s.update("order_line", (*line[:6], self._day, *line[7:]))
                 customer = s.read("customer", (w, d, order[3]))
-                s.update("customer", customer[:7] + (
+                s.update("customer", (
+                    *customer[:7],
                     customer[7] + total,
-                ) + customer[8:10] + (customer[10] + 1,) + customer[11:])
+                    *customer[8:10],
+                    customer[10] + 1,
+                    *customer[11:],
+                ))
         self.counters.delivery += 1
 
     # --------------------------------------------------------------- StockLevel
@@ -503,6 +508,6 @@ class TpccWorkload:
             if new_credit != customer[5]:
                 s.update(
                     "customer",
-                    customer[:5] + (new_credit,) + customer[6:],
+                    (*customer[:5], new_credit, *customer[6:]),
                 )
         self.counters.credit_check += 1

@@ -433,7 +433,7 @@ class ColumnarReplica:
 
 
 class DistributedCluster:
-    """Regions × Raft × 2PC with columnar learner replicas."""
+    """Regions x Raft x 2PC with columnar learner replicas."""
 
     def __init__(
         self,

@@ -110,7 +110,7 @@ class TwoPhaseCoordinator:
         # Phase 2: commit/abort everywhere that voted (presumed abort:
         # NO-voters already rolled back, but we message them anyway to
         # release their prepared state promptly).
-        for name, participant in involved.items():
+        for participant in involved.values():
             self._cost.charge(self._cost.network_rtt_us)
             if decision is TxnOutcome.COMMITTED:
                 participant.commit(txn_id)

@@ -5,6 +5,7 @@ The substrate every perf-minded PR measures itself against.  See
 :mod:`repro.obs.trace` for span semantics.
 """
 
+from .names import REGISTERED_METRICS, REGISTERED_SPANS
 from .registry import (
     Counter,
     Gauge,
@@ -21,6 +22,8 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "REGISTERED_METRICS",
+    "REGISTERED_SPANS",
     "SimTracer",
     "SpanEvent",
     "get_registry",

@@ -1,0 +1,87 @@
+"""The registered-name registry for metrics and trace spans.
+
+Every series name passed to :class:`~repro.obs.registry.MetricsRegistry`
+and every span name passed to :class:`~repro.obs.trace.SimTracer` in
+``src/repro`` must appear here.  The ``htaplint`` rule **HTL004**
+statically checks every name literal against this registry, so a typo'd
+counter (``"wal.fsync"`` for ``"wal.fsyncs"``) fails lint instead of
+silently recording into an orphan series that no bench snapshot reads.
+
+Keep the sets sorted; add the name here *in the same commit* that
+introduces the instrument.  Tests and ad-hoc scripts are outside the
+registry's scope — only ``src/repro`` is linted.
+"""
+
+from __future__ import annotations
+
+#: Every metric series name registered by src/repro (label sets vary
+#: per call site; only the dotted name is registered).
+REGISTERED_METRICS: frozenset[str] = frozenset(
+    {
+        # engine layer
+        "engine.ap_queries",
+        "engine.sync_calls",
+        "engine.sync_rows",
+        "engine.tp_aborts",
+        "engine.tp_commits",
+        # simulated network
+        "network.delivered",
+        "network.dropped",
+        "network.latency_us",
+        "network.sent",
+        # raft replication
+        "raft.apply_batch_commands",
+        "raft.elections",
+        "raft.heartbeats",
+        "raft.replication_lag",
+        # snapshot-scan cache
+        "scan_cache.entries",
+        "scan_cache.evictions",
+        "scan_cache.hits",
+        "scan_cache.invalidations",
+        "scan_cache.misses",
+        # schedulers
+        "scheduler.freshness_lag",
+        "scheduler.olap_slots",
+        "scheduler.oltp_slots",
+        "scheduler.rounds",
+        "scheduler.syncs",
+        # data synchronization
+        "sync.batch_rows",
+        "sync.delta_merge.events",
+        "sync.delta_merge.l1_to_l2",
+        "sync.delta_merge.l2_to_main",
+        "sync.delta_merge.rows",
+        "sync.log_merge.events",
+        "sync.log_merge.rows",
+        "sync.merge_latency_us",
+        "sync.propagation.events",
+        "sync.rebuild.events",
+        "sync.rebuild.rows",
+        # two-phase commit
+        "twopc.aborts",
+        "twopc.commits",
+        "twopc.participants",
+        "twopc.prepares",
+        # transactions
+        "txn.aborts",
+        "txn.commits",
+        "txn.conflicts",
+        # write-ahead log
+        "wal.appends",
+        "wal.fsyncs",
+        "wal.group_commit_batch",
+        # runtime sanitizer (repro.analysis.sanitizer)
+        "sanitizer.deliveries_checked",
+        "sanitizer.reads_checked",
+        "sanitizer.violations",
+    }
+)
+
+#: Every tracer span name opened by src/repro.
+REGISTERED_SPANS: frozenset[str] = frozenset(
+    {
+        "engine.query",
+        "engine.sync",
+    }
+)

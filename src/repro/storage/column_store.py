@@ -313,7 +313,7 @@ class ColumnStore:
         self.mutations += 1
         return self._delete_positions(keys)
 
-    def advance_sync_ts(self, commit_ts: Timestamp) -> None:
+    def advance_sync_ts(self, commit_ts: Timestamp) -> None:  # htaplint: ignore[HTL002] -- moves only the freshness watermark; scan results are unchanged and no cache token includes _max_commit_ts
         """Record that the store reflects all commits up to ``commit_ts``.
 
         Called by synchronizers after merging a delta batch that may

@@ -136,7 +136,7 @@ class RunLengthEncoding(Encoding):
             return cls(values=values[:0], run_ends=np.array([], dtype=np.int64))
         if values.dtype == object:
             change = np.array(
-                [True] + [values[i] != values[i - 1] for i in range(1, len(values))]
+                [True, *(values[i] != values[i - 1] for i in range(1, len(values)))]
             )
         else:
             change = np.empty(len(values), dtype=bool)

@@ -11,7 +11,7 @@ time.  When staleness crosses a threshold the unit is repopulated
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -29,14 +29,8 @@ class SnapshotMetadataUnit:
     """Tracks which populated keys have changed since population."""
 
     populate_ts: Timestamp = 0
-    stale_keys: set = None
-    new_keys: set = None
-
-    def __post_init__(self) -> None:
-        if self.stale_keys is None:
-            self.stale_keys = set()
-        if self.new_keys is None:
-            self.new_keys = set()
+    stale_keys: set = field(default_factory=set)
+    new_keys: set = field(default_factory=set)
 
     def record_change(self, key: Key, populated: bool) -> None:
         if populated:

@@ -1,6 +1,6 @@
 """A memory-optimized, multi-versioned row store.
 
-This is the OLTP substrate of architecture categories (a)–(c): a hash
+This is the OLTP substrate of architecture categories (a)-(c): a hash
 primary index over MVCC version chains, exactly the "MVCC + logging"
 model of Table 2's transaction-processing row.  An update "creates a
 new version of a row with a new lifetime of a begin timestamp and an
@@ -269,7 +269,7 @@ class MVCCRowStore:
 
     # ------------------------------------------------------------- GC
 
-    def vacuum(self, oldest_active_ts: Timestamp) -> int:
+    def vacuum(self, oldest_active_ts: Timestamp) -> int:  # htaplint: ignore[HTL002] -- GC drops only versions invisible to every live snapshot; cache tokens include version_count(), which this does move
         """Drop versions invisible to every snapshot >= oldest_active_ts.
 
         Returns the number of versions reclaimed.

@@ -88,10 +88,10 @@ class LockManager:
             node, path = stack.pop()
             for nxt in self._wait_for.get(node, ()):
                 if nxt == start:
-                    return path + [start]
+                    return [*path, start]
                 if nxt not in seen:
                     seen.add(nxt)
-                    stack.append((nxt, path + [nxt]))
+                    stack.append((nxt, [*path, nxt]))
         return None
 
     # ------------------------------------------------------------- release

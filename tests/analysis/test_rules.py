@@ -1,0 +1,376 @@
+"""Fixture snippets for every htaplint rule: fires / clean / suppressed.
+
+Each rule gets (at least) a positive snippet proving it fires, a
+negative snippet proving the sanctioned idiom passes, and a suppression
+snippet proving `# htaplint: ignore[RULE] -- reason` silences exactly
+that rule on exactly that line.
+"""
+
+import textwrap
+
+from repro.analysis import SUPPRESSION_AUDIT_RULE, all_rules, analyze_source
+
+
+def findings(source: str, path: str = "snippet.py", **kwargs):
+    return analyze_source(textwrap.dedent(source), path=path, **kwargs)
+
+
+def rule_ids(found) -> list[str]:
+    return [f.rule for f in found]
+
+
+class TestRegistry:
+    def test_all_rules_present(self):
+        ids = [info.id for info in all_rules()]
+        assert ids == ["HTL001", "HTL002", "HTL003", "HTL004", "HTL005"]
+
+
+class TestHTL000SuppressionAudit:
+    def test_bare_suppression_is_flagged(self):
+        found = findings("x = 1  # htaplint: ignore\n")
+        assert rule_ids(found) == [SUPPRESSION_AUDIT_RULE]
+
+    def test_missing_reason_is_flagged(self):
+        found = findings("x = 1  # htaplint: ignore[HTL001]\n")
+        assert rule_ids(found) == [SUPPRESSION_AUDIT_RULE]
+        assert "no reason" in found[0].message
+
+    def test_reasoned_suppression_passes_audit(self):
+        found = findings(
+            "import random  # htaplint: ignore[HTL001] -- fixture needs it\n"
+        )
+        assert found == []
+
+    def test_audit_findings_bypass_suppression(self):
+        # A malformed directive cannot silence itself: audit findings
+        # are appended after line suppressions are applied.
+        found = findings("x = 1  # htaplint: ignore\n")
+        assert rule_ids(found) == [SUPPRESSION_AUDIT_RULE]
+
+    def test_directive_inside_string_is_not_a_suppression(self):
+        found = findings('s = "# htaplint: ignore"\n')
+        assert found == []
+
+
+class TestHTL001Determinism:
+    def test_import_random_fires(self):
+        found = findings("import random\n")
+        assert rule_ids(found) == ["HTL001"]
+
+    def test_import_time_and_datetime_fire(self):
+        found = findings("import time\nfrom datetime import datetime\n")
+        assert rule_ids(found) == ["HTL001", "HTL001"]
+
+    def test_uuid4_and_urandom_fire(self):
+        found = findings(
+            """\
+            import os
+            import uuid
+
+            def token():
+                return uuid.uuid4().hex + str(os.urandom(4))
+            """
+        )
+        assert rule_ids(found) == ["HTL001", "HTL001"]
+
+    def test_np_random_module_call_fires(self):
+        found = findings("import numpy as np\nx = np.random.rand(3)\n")
+        assert rule_ids(found) == ["HTL001"]
+
+    def test_seeded_rng_passes(self):
+        found = findings(
+            """\
+            from repro.common.rng import make_rng, make_np_rng
+
+            def draw(seed):
+                rng = make_rng(seed)
+                return rng.random() + make_np_rng(seed).normal()
+            """
+        )
+        assert found == []
+
+    def test_rng_module_itself_is_exempt(self):
+        found = findings("import random\n", path="common/rng.py")
+        assert found == []
+
+    def test_suppression_silences_only_that_line(self):
+        found = findings(
+            """\
+            import random  # htaplint: ignore[HTL001] -- test fixture, seeded below
+            import time
+            """
+        )
+        assert rule_ids(found) == ["HTL001"]
+        assert found[0].line == 2
+
+
+STORE_FIRES = """\
+class Store:
+    def __init__(self):
+        self.mutations = 0
+        self._rows = []
+
+    def append(self, row):
+        self._rows.append(row)
+        self.mutations += 1
+
+    def truncate(self):
+        self._rows.clear()
+"""
+
+STORE_CLEAN = STORE_FIRES.replace(
+    "        self._rows.clear()",
+    "        self._rows.clear()\n        self.mutations += 1",
+)
+
+STORE_CLEAN_VIA_HELPER = """\
+class Store:
+    def __init__(self):
+        self.mutations = 0
+        self._rows = []
+
+    def append(self, row):
+        self._rows.append(row)
+        self._bump()
+
+    def _bump(self):
+        self.mutations += 1
+
+    def truncate(self):
+        self._rows.clear()
+        self._bump()
+"""
+
+ENGINE_FIRES = """\
+class FastEngine(HTAPEngine):
+    def bulk_write(self, rows):
+        self.row_store.append_rows(rows, commit_ts=1)
+"""
+
+ENGINE_CLEAN = """\
+class FastEngine(HTAPEngine):
+    def bulk_write(self, rows):
+        self.row_store.append_rows(rows, commit_ts=1)
+        self.scan_cache.invalidate("t")
+"""
+
+
+class TestHTL002Invalidation:
+    def test_store_mutation_without_bump_fires(self):
+        found = findings(STORE_FIRES)
+        assert rule_ids(found) == ["HTL002"]
+        assert "truncate" in found[0].message
+
+    def test_store_inline_bump_passes(self):
+        assert findings(STORE_CLEAN) == []
+
+    def test_store_bump_via_helper_passes(self):
+        assert findings(STORE_CLEAN_VIA_HELPER) == []
+
+    def test_engine_write_without_invalidate_fires(self):
+        found = findings(ENGINE_FIRES)
+        assert rule_ids(found) == ["HTL002"]
+        assert "scan_cache.invalidate" in found[0].message
+
+    def test_engine_write_with_invalidate_passes(self):
+        assert findings(ENGINE_CLEAN) == []
+
+    def test_suppression_with_reason_silences(self):
+        suppressed = STORE_FIRES.replace(
+            "    def truncate(self):",
+            "    def truncate(self):  # htaplint: ignore[HTL002] -- "
+            "fixture: watermark-only mutation",
+        )
+        assert findings(suppressed) == []
+
+
+PARITY_FIRES = """\
+class Merger:
+    def merge(self, rows):
+        if self.vectorized:
+            self.cost.charge_rows(1.0, len(rows))
+            out = fold(rows)
+        else:
+            out = [fold_one(r) for r in rows]
+        return out
+"""
+
+PARITY_CLEAN_BOTH = PARITY_FIRES.replace(
+    "            out = [fold_one(r) for r in rows]",
+    "            self.cost.charge_rows(1.0, len(rows))\n"
+    "            out = [fold_one(r) for r in rows]",
+)
+
+PARITY_CLEAN_NEITHER = """\
+class Merger:
+    def merge(self, rows):
+        if self.vectorized:
+            out = fold(rows)
+        else:
+            out = [fold_one(r) for r in rows]
+        self.cost.charge_rows(1.0, len(rows))
+        return out
+"""
+
+PARITY_CLEAN_TRANSITIVE = """\
+class Merger:
+    def _scalar(self, rows):
+        self.cost.charge_rows(1.0, len(rows))
+        return [fold_one(r) for r in rows]
+
+    def merge(self, rows):
+        if self.vectorized:
+            self.cost.charge_rows(1.0, len(rows))
+            return fold(rows)
+        else:
+            return self._scalar(rows)
+"""
+
+
+class TestHTL003CostParity:
+    def test_one_armed_charge_fires(self):
+        found = findings(PARITY_FIRES)
+        assert rule_ids(found) == ["HTL003"]
+        assert "scalar" in found[0].message
+
+    def test_both_arms_charging_passes(self):
+        assert findings(PARITY_CLEAN_BOTH) == []
+
+    def test_shared_charge_after_split_passes(self):
+        assert findings(PARITY_CLEAN_NEITHER) == []
+
+    def test_charge_through_helper_method_passes(self):
+        assert findings(PARITY_CLEAN_TRANSITIVE) == []
+
+    def test_ternary_split_fires(self):
+        found = findings(
+            "def f(cost, vectorized, rows):\n"
+            "    return cost.charge_rows(1.0, 1) if vectorized else rows\n"
+        )
+        assert rule_ids(found) == ["HTL003"]
+
+    def test_suppression_with_reason_silences(self):
+        suppressed = PARITY_FIRES.replace(
+            "        if self.vectorized:",
+            "        if self.vectorized:  # htaplint: ignore[HTL003] -- "
+            "fixture: scalar arm charges inside the store",
+        )
+        assert findings(suppressed) == []
+
+
+METRICS = frozenset({"engine.queries", "wal.fsyncs"})
+SPANS = frozenset({"engine.query"})
+
+
+class TestHTL004MetricNames:
+    def test_unregistered_metric_fires(self):
+        found = findings(
+            'reg.counter("engine.queris")\n',
+            registered_metrics=METRICS,
+            registered_spans=SPANS,
+        )
+        assert rule_ids(found) == ["HTL004"]
+        assert "engine.queris" in found[0].message
+
+    def test_registered_metric_passes(self):
+        found = findings(
+            'reg.counter("engine.queries")\nreg.histogram("wal.fsyncs")\n',
+            registered_metrics=METRICS,
+            registered_spans=SPANS,
+        )
+        assert found == []
+
+    def test_unregistered_span_fires(self):
+        found = findings(
+            'tracer.span("engine.sync")\n',
+            registered_metrics=METRICS,
+            registered_spans=SPANS,
+        )
+        assert rule_ids(found) == ["HTL004"]
+
+    def test_non_dotted_literal_is_ignored(self):
+        found = findings(
+            'reg.counter("plainname")\n',
+            registered_metrics=METRICS,
+            registered_spans=SPANS,
+        )
+        assert found == []
+
+    def test_no_registry_no_findings(self):
+        # Bare snippets without an injected registry are not checked.
+        assert findings('reg.counter("any.name")\n') == []
+
+    def test_suppression_with_reason_silences(self):
+        found = findings(
+            'reg.counter("engine.queris")  '
+            "# htaplint: ignore[HTL004] -- fixture: intentional typo\n",
+            registered_metrics=METRICS,
+            registered_spans=SPANS,
+        )
+        assert found == []
+
+
+SWALLOW_FIRES = """\
+def apply(entry):
+    try:
+        do_apply(entry)
+    except Exception:
+        pass
+"""
+
+SWALLOW_BROAD_NO_RERAISE = """\
+def apply(entry):
+    try:
+        do_apply(entry)
+    except Exception as err:
+        log(err)
+"""
+
+SWALLOW_CLEAN_RERAISE = """\
+def apply(entry):
+    try:
+        do_apply(entry)
+    except Exception as err:
+        log(err)
+        raise
+"""
+
+SWALLOW_CLEAN_NARROW = """\
+def apply(entry):
+    try:
+        do_apply(entry)
+    except KeyNotFoundError:
+        install_default(entry)
+"""
+
+
+class TestHTL005ErrorSwallow:
+    def test_pass_only_handler_fires(self):
+        found = findings(SWALLOW_FIRES, path="txn/wal.py")
+        assert rule_ids(found) == ["HTL005"]
+
+    def test_broad_catch_without_reraise_fires(self):
+        found = findings(SWALLOW_BROAD_NO_RERAISE, path="distributed/raft.py")
+        assert rule_ids(found) == ["HTL005"]
+
+    def test_log_and_reraise_passes(self):
+        assert findings(SWALLOW_CLEAN_RERAISE, path="txn/wal.py") == []
+
+    def test_narrow_handled_catch_passes(self):
+        assert findings(SWALLOW_CLEAN_NARROW, path="txn/wal.py") == []
+
+    def test_out_of_scope_paths_are_not_checked(self):
+        assert findings(SWALLOW_FIRES, path="bench/report.py") == []
+
+    def test_narrow_pass_only_still_fires(self):
+        narrowed = SWALLOW_FIRES.replace("except Exception:", "except KeyError:")
+        found = findings(narrowed, path="txn/wal.py")
+        assert rule_ids(found) == ["HTL005"]
+
+    def test_suppression_with_reason_silences(self):
+        suppressed = SWALLOW_FIRES.replace(
+            "    except Exception:",
+            "    except Exception:  # htaplint: ignore[HTL005] -- "
+            "fixture: fault injection swallows on purpose",
+        )
+        assert findings(suppressed, path="txn/wal.py") == []
