@@ -45,6 +45,8 @@ class CostModel:
     column_materialize_per_row_us: float = 0.15  # stitch row from columns
     delta_scan_per_row_us: float = 0.6       # unsorted in-memory delta probe
     segment_seal_per_row_us: float = 0.3     # encode one row into a segment
+    zone_map_check_us: float = 0.05          # min/max probe, per segment
+    code_filter_per_value_us: float = 0.004  # predicate on dictionary codes / runs
 
     # --- logging / disk --------------------------------------------------------
     wal_append_us: float = 2.0

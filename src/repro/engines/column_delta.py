@@ -575,6 +575,19 @@ class _HanaTableAccess:
             columns, predicate, read_fresh=self._engine.read_fresh
         )
 
+    def scan_pruning_hint(self, predicate: Predicate) -> float:
+        """Row-weighted prunable fraction across the L2 + Main stores
+        (L1 is a row delta — never prunable, so it dilutes the hint)."""
+        target = self._target()
+        total = len(target.l1) + len(target.l2) + len(target.main)
+        if total == 0:
+            return 0.0
+        prunable = sum(
+            len(store) * store.pruned_row_fraction(predicate)
+            for store in (target.l2, target.main)
+        )
+        return prunable / total
+
     def index_lookup_rows(self, predicate: Predicate) -> list[Row] | None:
         schema = self.schema()
         key = key_equality(predicate, schema.primary_key)

@@ -477,6 +477,13 @@ class _HeatwaveTableAccess:
         needed = set(columns) | predicate.referenced_columns()
         self._engine.tracker.record_query(self._table, needed)
 
+    def scan_pruning_hint(self, predicate: Predicate) -> float:
+        """Prunable fraction of the IMCS columnar image — only when the
+        scan would actually push down (all needed columns loaded)."""
+        if not self._columns_loaded(predicate.referenced_columns()):
+            return 0.0
+        return self._engine.imcs_store(self._table).pruned_row_fraction(predicate)
+
     def scan_rows(self, predicate: Predicate) -> list[Row]:
         before = self._engine.cost.now_us()
         rows = self._engine.store(self._table).scan(predicate)

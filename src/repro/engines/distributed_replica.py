@@ -267,6 +267,13 @@ class _ReplicaTableAccess:
         )
         return result.arrays
 
+    def scan_pruning_hint(self, predicate: Predicate) -> float:
+        """Prunable fraction of the learner-side columnar replica."""
+        store = self._engine.cluster.columnar.column_stores.get(self._table)
+        if store is None:
+            return 0.0
+        return store.pruned_row_fraction(predicate)
+
     def index_lookup_rows(self, predicate: Predicate) -> list[Row] | None:
         schema = self.schema()
         key = key_equality(predicate, schema.primary_key)

@@ -284,6 +284,11 @@ class _ImcuTableAccess:
         result = imcu.scan(imcu.smu.populate_ts, columns, predicate, patch=False)
         return result.arrays
 
+    def scan_pruning_hint(self, predicate: Predicate) -> float:
+        """Prunable fraction of the populated IMCU (all-or-nothing: the
+        unit is one pruning granule; patch reads are never pruned)."""
+        return self._engine.imcu(self._table).pruned_row_fraction(predicate)
+
     def index_lookup_rows(self, predicate: Predicate) -> list[Row] | None:
         schema = self.schema()
         snapshot = self._engine.read_snapshot_ts()

@@ -34,7 +34,15 @@ REGISTERED_METRICS: frozenset[str] = frozenset(
         "raft.elections",
         "raft.heartbeats",
         "raft.replication_lag",
+        # segment-parallel scan pipeline
+        "parallel.merge_ns",
+        "parallel.tasks",
+        # predicate-aware column scans
+        "scan.code_space_filters",
+        "scan.segments_pruned",
+        "scan.segments_scanned",
         # snapshot-scan cache
+        "scan_cache.bytes",
         "scan_cache.entries",
         "scan_cache.evictions",
         "scan_cache.hits",

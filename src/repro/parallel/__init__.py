@@ -1,0 +1,21 @@
+"""Deterministic segment-parallel execution.
+
+The column store fans per-segment scan+filter+gather tasks out to an
+:class:`OrderedSegmentPool` and merges the partial results back in
+segment-id order, so a parallel scan is byte-identical to the serial
+one (see :mod:`repro.parallel.pool` for the determinism contract).
+"""
+
+from .pool import (
+    OrderedSegmentPool,
+    get_default_pool,
+    scan_parallel,
+    set_default_pool,
+)
+
+__all__ = [
+    "OrderedSegmentPool",
+    "get_default_pool",
+    "scan_parallel",
+    "set_default_pool",
+]

@@ -49,6 +49,30 @@ class TableAccess(Protocol):
         """Index path: matching rows, or None when no usable index."""
         ...
 
+    # --------------------------------------------------- optional protocol
+    #
+    # Adapters *may* also expose the following methods; the query layer
+    # probes for them with getattr and degrades gracefully when absent:
+    #
+    # ``cache_token() -> Hashable | None``
+    #     A value pinning down exactly what a scan would return (reader
+    #     snapshot + every relevant mutation counter).  Enables the
+    #     MVCC-aware :class:`~repro.query.scan_cache.ScanCache`; return
+    #     None (or omit the method) to opt the table out of caching.
+    #
+    # ``note_cached_scan(columns, predicate) -> None``
+    #     Called on a scan-cache hit so the engine can keep its own
+    #     bookkeeping (freshness probes, adaptive stats) in step even
+    #     though no physical scan ran.
+    #
+    # ``scan_pruning_hint(predicate) -> float``
+    #     Planning-time estimate in [0, 1]: the fraction of the table's
+    #     columnar rows living in segments whose zone maps exclude
+    #     ``predicate``.  The optimizer discounts the COLUMN_SCAN price
+    #     by this fraction (floored at one zone-map check), which is how
+    #     segment skipping becomes visible to access-path choice.  Must
+    #     be an uncharged estimate — it runs during planning.
+
 
 Catalog = dict
 """table name -> TableAccess; what engines hand to the planner."""

@@ -93,6 +93,12 @@ class DualStoreTableAccess:
         result = self._columns.scan(columns, predicate, with_keys=False)
         return result.arrays
 
+    def scan_pruning_hint(self, predicate: Predicate) -> float:
+        """Fraction of columnar rows in zone-map-prunable segments."""
+        if self._columns is None:
+            return 0.0
+        return self._columns.pruned_row_fraction(predicate)
+
     def index_lookup_rows(self, predicate: Predicate) -> list[Row] | None:
         schema = self.schema()
         snapshot_ts = self._snapshot_ts_fn()

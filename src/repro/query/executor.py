@@ -121,7 +121,10 @@ class Executor:
     def _run_scan(self, scan: ScanPlan) -> Batch:
         adapter = self._catalog[scan.table]
         schema = adapter.schema()
-        needed = sorted(set(scan.columns) | scan.predicate.referenced_columns())
+        # Only the plan's output columns: adapters apply the predicate
+        # themselves, so WHERE-only columns are filtered in place (in
+        # code space where the codec allows) and never materialized.
+        needed = sorted(set(scan.columns))
         if not needed:
             needed = [schema.primary_key[0]]
         cache = self._scan_cache

@@ -191,10 +191,22 @@ class Planner:
                 )
             )
         if AccessPath.COLUMN_SCAN in available:
+            scan_us = n * n_cols * cost.column_scan_per_value_us
+            # Zone-map pruning makes the column side cheaper than its
+            # nominal per-value price; adapters that can bound the
+            # predicate against their segment zone maps report the
+            # fraction of rows in prunable segments (optional protocol).
+            hint_fn = getattr(adapter, "scan_pruning_hint", None)
+            if hint_fn is not None:
+                pruned = min(max(float(hint_fn(predicate)), 0.0), 1.0)
+                if pruned > 0.0:
+                    scan_us = max(
+                        scan_us * (1.0 - pruned), cost.zone_map_check_us
+                    )
             choices.append(
                 PathChoice(
                     AccessPath.COLUMN_SCAN,
-                    cost_us=n * n_cols * cost.column_scan_per_value_us
+                    cost_us=scan_us
                     + matching * cost.column_materialize_per_row_us,
                     estimated_rows=matching,
                 )
@@ -256,14 +268,29 @@ class Planner:
         aliases = {item.alias for item in query.select if item.alias is not None}
         for column in referenced - aliases:
             self._owner_of(column, query.tables)  # raises on unknown/ambiguous
-        # Columns each table must produce: referenced columns it owns.
+        # Columns each table must produce: *post-scan* referenced
+        # columns it owns.  WHERE-only columns are deliberately absent —
+        # adapters apply the scan predicate themselves, so a column that
+        # appears only in WHERE never needs to be materialized into the
+        # batch (late materialization across the scan boundary).
+        post_scan: set[str] = set(query.group_by)
+        for item in query.select:
+            post_scan |= item.expr.referenced_columns()
+        for join in query.joins:
+            post_scan.add(join.left_column)
+            post_scan.add(join.right_column)
+        for having in query.having:
+            post_scan |= having.expr.referenced_columns()
+        for order in query.order_by:
+            post_scan |= order.expr.referenced_columns()
+        post_scan.discard("*")
         cols_by_table: dict[str, list[str]] = {}
         for table in query.tables:
             schema = self._adapter(table).schema()
             if any(item.expr.display() == "*" for item in query.select):
                 cols = schema.column_names
             else:
-                cols = [c for c in referenced if schema.has_column(c)]
+                cols = sorted(c for c in post_scan if schema.has_column(c))
             cols_by_table[table] = cols
         scans = {
             table: self._plan_scan(

@@ -26,7 +26,8 @@ eagerly instead of waiting for LRU eviction.  Hit/miss/eviction/
 invalidation counts are exported as plain attributes and through the
 ``obs`` :class:`~repro.obs.registry.MetricsRegistry`
 (``scan_cache.hits`` / ``scan_cache.misses`` / ``scan_cache.evictions``
-/ ``scan_cache.invalidations``, plus the ``scan_cache.entries`` gauge).
+/ ``scan_cache.invalidations``, plus the ``scan_cache.entries`` and
+``scan_cache.bytes`` gauges).
 """
 
 from __future__ import annotations
@@ -58,10 +59,14 @@ class ScanCache:
             raise ValueError("scan cache capacity must be >= 1")
         self._capacity = capacity
         self._entries: OrderedDict[CacheKey, Batch] = OrderedDict()
+        #: Approximate per-entry footprint (array buffer bytes; object
+        #: arrays count their 8-byte pointers, not payloads).
+        self._entry_bytes: dict[CacheKey, int] = {}
         self.hits = 0
         self.misses = 0
         self.evictions = 0
         self.invalidations = 0
+        self.bytes = 0
         labels = dict(labels or {})
         reg = get_registry()
         self._hit_counter = reg.counter("scan_cache.hits", **labels)
@@ -69,6 +74,7 @@ class ScanCache:
         self._eviction_counter = reg.counter("scan_cache.evictions", **labels)
         self._invalidation_counter = reg.counter("scan_cache.invalidations", **labels)
         self._entries_gauge = reg.gauge("scan_cache.entries", **labels)
+        self._bytes_gauge = reg.gauge("scan_cache.bytes", **labels)
 
     # ------------------------------------------------------------- access
 
@@ -88,13 +94,21 @@ class ScanCache:
         return batch
 
     def put(self, key: CacheKey, batch: Mapping[str, np.ndarray]) -> None:
-        self._entries[key] = dict(batch)
+        if key in self._entries:
+            self.bytes -= self._entry_bytes[key]
+        entry = dict(batch)
+        size = sum(int(np.asarray(arr).nbytes) for arr in entry.values())
+        self._entries[key] = entry
+        self._entry_bytes[key] = size
+        self.bytes += size
         self._entries.move_to_end(key)
         while len(self._entries) > self._capacity:
-            self._entries.popitem(last=False)
+            evicted, _ = self._entries.popitem(last=False)
+            self.bytes -= self._entry_bytes.pop(evicted)
             self.evictions += 1
             self._eviction_counter.inc()
         self._entries_gauge.set(len(self._entries))
+        self._bytes_gauge.set(self.bytes)
 
     # ------------------------------------------------------------- invalidation
 
@@ -108,15 +122,19 @@ class ScanCache:
         if table is None:
             dropped = len(self._entries)
             self._entries.clear()
+            self._entry_bytes.clear()
+            self.bytes = 0
         else:
             stale = [key for key in self._entries if key[0] == table]
             dropped = len(stale)
             for key in stale:
                 del self._entries[key]
+                self.bytes -= self._entry_bytes.pop(key)
         if dropped:
             self.invalidations += dropped
             self._invalidation_counter.inc(dropped)
             self._entries_gauge.set(len(self._entries))
+            self._bytes_gauge.set(self.bytes)
         return dropped
 
     def clear(self) -> None:
@@ -132,4 +150,5 @@ class ScanCache:
             "evictions": self.evictions,
             "invalidations": self.invalidations,
             "entries": len(self._entries),
+            "bytes": self.bytes,
         }

@@ -1,7 +1,14 @@
 """Storage substrates: row stores, column store, delta stores, B+-tree."""
 
 from .btree import BPlusTree
-from .column_store import ColumnScanResult, ColumnStore, Segment
+from .column_store import (
+    ColumnScanResult,
+    ColumnStore,
+    Segment,
+    ZoneMap,
+    build_zone_map,
+    scan_mode,
+)
 from .compression import (
     BitPackedEncoding,
     DictionaryEncoding,
@@ -46,9 +53,12 @@ __all__ = [
     "RunLengthEncoding",
     "Segment",
     "SnapshotMetadataUnit",
+    "ZoneMap",
+    "build_zone_map",
     "choose_encoding",
     "collapse_batch",
     "collapse_entries",
     "encode_keys",
     "encoding_for_name",
+    "scan_mode",
 ]

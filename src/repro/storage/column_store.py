@@ -1,18 +1,35 @@
 """A compressed, segment-based in-memory column store.
 
 The analytical substrate of all four architectures: immutable sealed
-segments of compressed column arrays with zone maps (min/max per
-segment) and a delete bitmap.  Inserted/merged rows always form new
-segments; deletes flip bits; updates are delete + re-insert — the
-standard append-only columnar contract that makes "column scan"
-(Table 2's AP rows) a pure vectorized operation.
+segments of compressed column arrays with zone maps (min/max,
+null count, distinct hint per segment) and a delete bitmap.  Inserted/
+merged rows always form new segments; deletes flip bits; updates are
+delete + re-insert — the standard append-only columnar contract that
+makes "column scan" (Table 2's AP rows) a pure vectorized operation.
+
+Scans are predicate-aware end to end:
+
+1. zone maps prune whole segments before any decode;
+2. surviving segments evaluate the predicate in code/run space where
+   the codec allows (:mod:`repro.storage.segment_filter`), decoding a
+   column only when they must;
+3. output columns are late-materialized — gathered at surviving
+   positions only;
+4. per-segment work optionally fans out to the deterministic
+   :mod:`repro.parallel` pool and merges back in segment-id order,
+   byte-identical to the serial loop.
+
+:func:`scan_mode` switches the pruning/code-space/parallel behavior
+process-wide (ablation benches and differential tests use it to
+reproduce the pre-pruning full-decode path).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from contextlib import contextmanager
+from dataclasses import dataclass, field
 from itertools import repeat
-from typing import Iterable, Sequence
+from typing import Any, Iterable, Iterator, Sequence
 
 import numpy as np
 
@@ -20,8 +37,15 @@ from ..common.clock import Timestamp
 from ..common.cost import CostModel
 from ..common.errors import StorageError
 from ..common.predicate import ALWAYS_TRUE, Predicate, column_range
-from ..common.types import Key, Row, Schema, decode_cell, rows_to_columns
-from .compression import Encoding, choose_encoding
+from ..common.types import NULL_INT, Key, Row, Schema, decode_cell, rows_to_columns
+from ..obs.registry import get_registry
+from .compression import (
+    DictionaryEncoding,
+    Encoding,
+    RunLengthEncoding,
+    choose_encoding,
+)
+from .segment_filter import EncodedColumns, predicate_mask
 
 #: Relative per-value scan cost by codec: compressed layouts move fewer
 #: bytes per value (RLE best on runs, bit-packing next, dictionary adds
@@ -44,6 +68,109 @@ SEAL_COST_FACTOR = {
 }
 
 
+@dataclass(frozen=True)
+class ZoneMap:
+    """Per-column pruning metadata for one sealed segment.
+
+    ``min``/``max`` reflect what the *mask* path sees: raw extrema for
+    integer columns (NULL sentinels included — ``predicate.mask``
+    compares the sentinel value itself), NaN-excluded extrema for float
+    columns (comparisons with NaN are always False, so skipping NaN is
+    conservative), and sorted-dictionary endpoints for dictionary-coded
+    object columns.  ``None`` min/max means "no usable bound".
+
+    ``null_count`` counts NULL cells (sentinel/NaN/None) and
+    ``distinct_hint`` is a codec-derived cardinality upper bound
+    (dictionary size, or RLE run count) for selectivity estimation.
+
+    Iterating yields ``(min, max)`` — the historical tuple shape.
+    """
+
+    min: Any
+    max: Any
+    null_count: int = 0
+    distinct_hint: int | None = None
+
+    def __iter__(self) -> Iterator[Any]:
+        yield self.min
+        yield self.max
+
+
+def build_zone_map(arr: np.ndarray, encoding: Encoding) -> ZoneMap | None:
+    """Zone map for one sealed column array (None when unusable)."""
+    n = len(arr)
+    if n == 0:
+        return None
+    if isinstance(encoding, DictionaryEncoding):
+        distinct: int | None = encoding.cardinality()
+    elif isinstance(encoding, RunLengthEncoding):
+        distinct = encoding.n_runs()  # upper bound: runs >= distinct values
+    else:
+        distinct = None
+    if arr.dtype == object:
+        null_count = int(
+            np.frompyfunc(lambda v: v is None, 1, 1)(arr).astype(bool).sum()
+        )
+        zmin = zmax = None
+        if isinstance(encoding, DictionaryEncoding) and encoding.cardinality():
+            # The sorted dictionary gives exact extrema for free; plain
+            # object columns stay unbounded (a Python-level min/max
+            # pass is not worth the seal-time cost).
+            zmin = encoding.dictionary[0]
+            zmax = encoding.dictionary[-1]
+        if zmin is None and null_count < n:
+            return (
+                ZoneMap(None, None, null_count, distinct) if null_count else None
+            )
+        return ZoneMap(zmin, zmax, null_count, distinct)
+    if arr.dtype.kind == "f":
+        null_count = int(np.isnan(arr).sum())
+        if null_count == n:
+            return ZoneMap(None, None, null_count, distinct)
+        return ZoneMap(
+            float(np.nanmin(arr)), float(np.nanmax(arr)), null_count, distinct
+        )
+    null_count = (
+        int(np.count_nonzero(arr == NULL_INT)) if arr.dtype.kind == "i" else 0
+    )
+    return ZoneMap(arr.min().item(), arr.max().item(), null_count, distinct)
+
+
+def zones_may_match(
+    zone_maps: dict[str, ZoneMap], n_rows: int, predicate: Predicate
+) -> bool:
+    """Zone-map check: can any of ``n_rows`` satisfy the predicate?
+
+    Conservative by construction: a unit is skipped only when the
+    predicate's extracted bounds provably exclude every value the mask
+    path would see — including the all-NULL case, where a bounded
+    predicate cannot match (NULL comparisons are False).
+    """
+    for col in predicate.referenced_columns():
+        bounds = column_range(predicate, col)
+        if bounds is None:
+            continue
+        zone = zone_maps.get(col)
+        if zone is None:
+            continue
+        if zone.min is None:
+            # No usable extrema.  All-NULL columns (min is None and
+            # every cell null) cannot satisfy a bounded predicate.
+            if zone.null_count >= n_rows:
+                return False
+            continue
+        low, high = bounds
+        try:
+            if low is not None and zone.max < low:
+                return False
+            if high is not None and zone.min > high:
+                return False
+        except TypeError:
+            # Bound incomparable with the zone's type: no pruning.
+            continue
+    return True
+
+
 @dataclass
 class Segment:
     """One sealed, immutable batch of rows in columnar form."""
@@ -52,52 +179,90 @@ class Segment:
     n_rows: int
     encodings: dict[str, Encoding]
     keys: list[Key]
-    zone_maps: dict[str, tuple]
+    zone_maps: dict[str, ZoneMap]
     delete_mask: np.ndarray          # True = row is dead
     max_commit_ts: Timestamp
+    #: Number of set bits in ``delete_mask``, maintained by the delete
+    #: paths so per-scan liveness checks never re-sum the mask.
+    dead_count: int = 0
 
     def live_count(self) -> int:
-        return int(self.n_rows - self.delete_mask.sum())
+        return self.n_rows - self.dead_count
 
     def size_bytes(self) -> int:
         return sum(enc.size_bytes() for enc in self.encodings.values())
 
     def may_match(self, predicate: Predicate, schema: Schema) -> bool:
         """Zone-map check: can any row here satisfy the predicate?"""
-        for col in predicate.referenced_columns():
-            bounds = column_range(predicate, col)
-            zone = self.zone_maps.get(col)
-            if bounds is None or zone is None:
-                continue
-            low, high = bounds
-            zmin, zmax = zone
-            if low is not None and zmax < low:
-                return False
-            if high is not None and zmin > high:
-                return False
-        return True
+        return zones_may_match(self.zone_maps, self.n_rows, predicate)
 
 
 @dataclass
 class ColumnScanResult:
     """Arrays for the requested columns plus the matching keys.
 
-    ``keys`` is empty when the scan ran with ``with_keys=False`` (pure
-    columnar consumers like the executor never touch them), so ``len``
-    falls back to the array length.
+    ``keys`` is ``None`` when the scan ran with ``with_keys=False``
+    (pure columnar consumers like the executor never touch them) — no
+    key list is ever allocated on that path — so ``len`` falls back to
+    the array length.
     """
 
     arrays: dict[str, np.ndarray]
-    keys: list[Key]
+    keys: list[Key] | None = None
     segments_scanned: int = 0
     segments_pruned: int = 0
+    code_space_filters: int = 0
 
     def __len__(self) -> int:
-        if self.keys:
+        if self.keys is not None:
             return len(self.keys)
         for arr in self.arrays.values():
             return len(arr)
         return 0
+
+
+#: Process-wide scan behavior; :func:`scan_mode` overrides it for a
+#: block.  ``parallel=True`` means "use :func:`repro.parallel.
+#: get_default_pool` when one is installed" — with no pool installed
+#: scans stay serial.
+_SCAN_DEFAULTS = {"prune": True, "code_space": True, "parallel": True}
+
+
+@contextmanager
+def scan_mode(
+    *,
+    prune: bool | None = None,
+    code_space: bool | None = None,
+    parallel: bool | None = None,
+) -> Iterator[None]:
+    """Temporarily override the default scan pipeline behavior.
+
+    ``scan_mode(prune=False, code_space=False)`` reproduces the
+    pre-pruning full-decode scan (every needed column of every live
+    segment decoded before the predicate runs) — the ablation baseline
+    for the perf bench and the reference side of differential tests.
+    """
+    saved = dict(_SCAN_DEFAULTS)
+    if prune is not None:
+        _SCAN_DEFAULTS["prune"] = prune
+    if code_space is not None:
+        _SCAN_DEFAULTS["code_space"] = code_space
+    if parallel is not None:
+        _SCAN_DEFAULTS["parallel"] = parallel
+    try:
+        yield
+    finally:
+        _SCAN_DEFAULTS.update(saved)
+
+
+@dataclass
+class _SegmentPartial:
+    """One segment's contribution to a scan (built off the shared clock)."""
+
+    arrays: dict[str, np.ndarray] | None  # None: no surviving rows
+    keys: Sequence[Key] | None
+    charge_us: float
+    code_space_filters: int
 
 
 class ColumnStore:
@@ -120,6 +285,15 @@ class ColumnStore:
         #: Monotone write-version: bumped on any operation that can change
         #: what a scan returns (seal/delete/compact).  Scan caches key on it.
         self.mutations = 0
+        #: Store-level zone index: per-column (min, max) over every
+        #: sealed segment, widened on append and rebuilt on compact.
+        #: Lets planners bound a predicate against the whole table in
+        #: O(1) and backs :meth:`table_range`.
+        self._zone_ranges: dict[str, tuple] = {}
+        reg = get_registry()
+        self._scanned_counter = reg.counter("scan.segments_scanned")
+        self._pruned_counter = reg.counter("scan.segments_pruned")
+        self._code_filter_counter = reg.counter("scan.code_space_filters")
 
     # ------------------------------------------------------------- metadata
 
@@ -168,22 +342,14 @@ class ColumnStore:
             self.delete_keys(stale)
         arrays = rows_to_columns(self.schema, validated)
         encodings: dict[str, Encoding] = {}
-        zone_maps: dict[str, tuple] = {}
+        zone_maps: dict[str, ZoneMap] = {}
         for col in self.schema.columns:
             arr = arrays[col.name]
-            if self._forced_encoding is not None:
-                from .compression import PlainEncoding, encoding_for_name
-
-                try:
-                    encodings[col.name] = encoding_for_name(self._forced_encoding, arr)
-                except (ValueError, TypeError):
-                    # Codec inapplicable to this dtype (e.g. bit-packing
-                    # strings): store plainly rather than failing the seal.
-                    encodings[col.name] = PlainEncoding(data=arr)
-            else:
-                encodings[col.name] = choose_encoding(arr)
-            if arr.dtype != object and len(arr):
-                zone_maps[col.name] = (arr.min().item(), arr.max().item())
+            encodings[col.name] = self._encode_column(arr)
+            zone = build_zone_map(arr, encodings[col.name])
+            if zone is not None:
+                zone_maps[col.name] = zone
+        self._widen_zone_index(zone_maps)
         segment = Segment(
             segment_id=self._next_segment_id,
             n_rows=len(validated),
@@ -230,7 +396,7 @@ class ColumnStore:
         if stale:
             self._delete_positions(stale)
         encodings: dict[str, Encoding] = {}
-        zone_maps: dict[str, tuple] = {}
+        zone_maps: dict[str, ZoneMap] = {}
         for col in self.schema.columns:
             arr = np.asarray(arrays[col.name])
             if len(arr) != n:
@@ -238,8 +404,10 @@ class ColumnStore:
                     f"column {col.name!r} has {len(arr)} values for {n} keys"
                 )
             encodings[col.name] = self._encode_column(arr)
-            if arr.dtype != object and len(arr):
-                zone_maps[col.name] = (arr.min().item(), arr.max().item())
+            zone = build_zone_map(arr, encodings[col.name])
+            if zone is not None:
+                zone_maps[col.name] = zone
+        self._widen_zone_index(zone_maps)
         segment = Segment(
             segment_id=self._next_segment_id,
             n_rows=n,
@@ -273,6 +441,28 @@ class ColumnStore:
                 return PlainEncoding(data=arr)
         return choose_encoding(arr)
 
+    def _widen_zone_index(self, zone_maps: dict[str, ZoneMap]) -> None:
+        """Fold a new segment's zone maps into the store-level index.
+
+        Only called from the sealing paths (which bump ``mutations``);
+        deletes leave the index conservatively wide and ``compact``
+        rebuilds it from scratch.
+        """
+        for name, zone in zone_maps.items():
+            if zone.min is None:
+                continue
+            current = self._zone_ranges.get(name)
+            if current is None:
+                self._zone_ranges[name] = (zone.min, zone.max)
+                continue
+            lo, hi = current
+            try:
+                self._zone_ranges[name] = (
+                    min(lo, zone.min), max(hi, zone.max)
+                )
+            except TypeError:  # mixed incomparable types across segments
+                self._zone_ranges.pop(name, None)
+
     def _delete_positions(self, keys: Iterable[Key]) -> int:
         """Flip delete bits without bumping the write version."""
         if not self._locations:
@@ -286,9 +476,9 @@ class ColumnStore:
             by_segment.setdefault(loc[0], []).append(loc[1])
         hit = 0
         for segment_id, positions in by_segment.items():
-            self._segment_by_id[segment_id].delete_mask[
-                np.asarray(positions, dtype=np.int64)
-            ] = True
+            segment = self._segment_by_id[segment_id]
+            segment.delete_mask[np.asarray(positions, dtype=np.int64)] = True
+            segment.dead_count += len(positions)
             hit += len(positions)
         return hit
 
@@ -303,7 +493,9 @@ class ColumnStore:
             if loc is None:
                 continue
             segment_id, pos = loc
-            self._segment_by_id[segment_id].delete_mask[pos] = True
+            segment = self._segment_by_id[segment_id]
+            segment.delete_mask[pos] = True
+            segment.dead_count += 1
             hit += 1
         return hit
 
@@ -349,76 +541,171 @@ class ColumnStore:
         columns: Sequence[str] | None = None,
         predicate: Predicate = ALWAYS_TRUE,
         with_keys: bool = True,
+        *,
+        prune: bool | None = None,
+        code_space: bool | None = None,
+        parallel: bool | None = None,
     ) -> ColumnScanResult:
-        """Vectorized scan: decode needed columns, mask, gather, concat.
+        """Predicate-aware scan: prune, filter encoded, gather survivors.
 
-        Cost is charged per (row, referenced column) pair actually
-        scanned; zone maps prune whole segments before any decode.
-        ``with_keys=False`` skips building the per-row key list — the
-        dominant Python-level cost for wide scans — for callers that
-        only consume the arrays.
+        Per segment: zone maps prune first; the predicate then runs in
+        code/run space where the codec allows (decoding a column only
+        when it must); output columns are gathered at surviving
+        positions only.  ``with_keys=False`` never allocates the key
+        list.  The keyword-only flags override :func:`scan_mode`'s
+        process-wide defaults; ``prune=False, code_space=False`` is the
+        pre-pruning full-decode reference path.
+
+        With a :mod:`repro.parallel` pool installed (and ``parallel``
+        on), surviving segments fan out to worker threads and merge in
+        segment-id order.  Workers never touch the shared clock — each
+        segment task accumulates its simulated charge and the merge
+        accounts the total here, so serial and parallel scans produce
+        identical results *and* identical simulated cost.
         """
         wanted = list(columns) if columns is not None else self.schema.column_names
         for name in wanted:
             self.schema.index_of(name)  # validate
         needed = set(wanted) | predicate.referenced_columns()
-        out_arrays: dict[str, list[np.ndarray]] = {name: [] for name in wanted}
-        out_keys: list[Key] = []
-        scanned = 0
+        if prune is None:
+            prune = _SCAN_DEFAULTS["prune"]
+        if code_space is None:
+            code_space = _SCAN_DEFAULTS["code_space"]
+        if parallel is None:
+            parallel = _SCAN_DEFAULTS["parallel"]
+        pool = None
+        if parallel:
+            from ..parallel import get_default_pool
+
+            pool = get_default_pool()
+        # Snapshot the segment list: appends racing with (or triggered
+        # mid-scan by) this scan never change what it returns.
+        live = [seg for seg in self._segments if seg.live_count() > 0]
+        survivors: list[Segment] = []
         pruned = 0
+        charge = 0.0
+        if prune:
+            for segment in live:
+                charge += self._cost.zone_map_check_us
+                if segment.may_match(predicate, self.schema):
+                    survivors.append(segment)
+                else:
+                    pruned += 1
+        else:
+            survivors = live
+
+        def task(segment: Segment) -> _SegmentPartial:
+            return self._scan_segment(
+                segment, wanted, needed, predicate, with_keys, code_space
+            )
+
+        if pool is not None and len(survivors) > 1:
+            parts = pool.map_ordered(task, survivors)
+        else:
+            parts = [task(segment) for segment in survivors]
+        out_arrays: dict[str, list[np.ndarray]] = {name: [] for name in wanted}
+        out_keys: list[Key] | None = [] if with_keys else None
+        code_filters = 0
+        for part in parts:  # already in segment-id order
+            charge += part.charge_us
+            code_filters += part.code_space_filters
+            if part.arrays is None:
+                continue
+            for name in wanted:
+                out_arrays[name].append(part.arrays[name])
+            if out_keys is not None:
+                out_keys.extend(part.keys)
+        self._cost.charge(charge)
+        scanned = len(survivors)
+        if scanned:
+            self._scanned_counter.inc(scanned)
+        if pruned:
+            self._pruned_counter.inc(pruned)
+        if code_filters:
+            self._code_filter_counter.inc(code_filters)
+        final = {
+            name: (
+                np.concatenate(parts_)
+                if parts_
+                else np.array([], dtype=self.schema.column(name).dtype.numpy_dtype)
+            )
+            for name, parts_ in out_arrays.items()
+        }
+        return ColumnScanResult(
+            arrays=final,
+            keys=out_keys,
+            segments_scanned=scanned,
+            segments_pruned=pruned,
+            code_space_filters=code_filters,
+        )
+
+    def _scan_segment(
+        self,
+        segment: Segment,
+        wanted: list[str],
+        needed: set[str],
+        predicate: Predicate,
+        with_keys: bool,
+        code_space: bool,
+    ) -> _SegmentPartial:
+        """One segment's scan work; thread-safe (no shared-state writes)."""
+        data = EncodedColumns(
+            segment.encodings,
+            segment.n_rows,
+            self._cost.column_scan_per_value_us,
+            self._cost.code_filter_per_value_us,
+            SCAN_COST_FACTOR,
+        )
+        if code_space:
+            mask = predicate_mask(predicate, data)
+        else:
+            # Reference behavior: decode every needed column up front
+            # and evaluate the predicate on materialized arrays.
+            decoded = {name: data.array(name) for name in needed}
+            if decoded:
+                mask = np.asarray(predicate.mask(decoded), dtype=bool)
+            else:
+                mask = np.ones(segment.n_rows, dtype=bool)
+        mask = mask & ~segment.delete_mask
+        if not mask.any():
+            return _SegmentPartial(None, None, data.charge_us, data.code_space_filters)
+        if mask.all():
+            # Every row survives: full decodes (concatenate at the merge
+            # copies, so sharing the decoded buffers is safe).
+            arrays = {name: data.array(name) for name in wanted}
+            keys: Sequence[Key] | None = segment.keys if with_keys else None
+            return _SegmentPartial(
+                arrays, keys, data.charge_us, data.code_space_filters
+            )
+        positions = np.flatnonzero(mask)
+        arrays = {name: data.gather(name, positions) for name in wanted}
+        keys = [segment.keys[p] for p in positions] if with_keys else None
+        return _SegmentPartial(arrays, keys, data.charge_us, data.code_space_filters)
+
+    # ------------------------------------------------------- pruning estimates
+
+    def table_range(self, column: str) -> tuple | None:
+        """Store-level (min, max) over every sealed segment, or None."""
+        return self._zone_ranges.get(column)
+
+    def pruned_row_fraction(self, predicate: Predicate) -> float:
+        """Fraction of stored rows in segments zone maps would prune.
+
+        A planning-time estimate (no simulated charge): the optimizer
+        discounts the column-scan price by this fraction, which is how
+        zone-map pruning becomes visible to access-path choice.
+        """
+        total = 0
+        pruned_rows = 0
         for segment in self._segments:
             if segment.live_count() == 0:
                 continue
+            total += segment.n_rows
             if not segment.may_match(predicate, self.schema):
-                pruned += 1
-                continue
-            scanned += 1
-            decoded = {
-                name: segment.encodings[name].decode() for name in needed
-            }
-            scan_factor = sum(
-                SCAN_COST_FACTOR.get(segment.encodings[name].name, 1.0)
-                for name in needed
-            ) / max(len(needed), 1)
-            self._cost.charge(
-                self._cost.column_scan_per_value_us
-                * scan_factor
-                * segment.n_rows
-                * max(len(needed), 1)
-            )
-            mask = predicate.mask(decoded) & ~segment.delete_mask
-            if not mask.any():
-                continue
-            if mask.all():
-                # Every row survives: skip the gather (concatenate below
-                # copies, so sharing the decoded buffers here is safe).
-                for name in wanted:
-                    if name in decoded:
-                        out_arrays[name].append(decoded[name])
-                    else:
-                        out_arrays[name].append(segment.encodings[name].decode())
-                if with_keys:
-                    out_keys.extend(segment.keys)
-                continue
-            positions = np.flatnonzero(mask)
-            for name in wanted:
-                if name in decoded:
-                    out_arrays[name].append(decoded[name][positions])
-                else:
-                    out_arrays[name].append(segment.encodings[name].take(positions))
-            if with_keys:
-                out_keys.extend(segment.keys[p] for p in positions)
-        final = {
-            name: (
-                np.concatenate(parts)
-                if parts
-                else np.array([], dtype=self.schema.column(name).dtype.numpy_dtype)
-            )
-            for name, parts in out_arrays.items()
-        }
-        return ColumnScanResult(
-            arrays=final, keys=out_keys, segments_scanned=scanned, segments_pruned=pruned
-        )
+                pruned_rows += segment.n_rows
+        if total == 0:
+            return 0.0
+        return pruned_rows / total
 
     def all_rows(self) -> list[Row]:
         """Materialize every live row (test/verification helper)."""
@@ -437,7 +724,7 @@ class ColumnStore:
         total = sum(seg.n_rows for seg in self._segments)
         if total == 0:
             return 0.0
-        dead = sum(int(seg.delete_mask.sum()) for seg in self._segments)
+        dead = sum(seg.dead_count for seg in self._segments)
         return dead / total
 
     def compact(self, vectorized: bool = False) -> None:
@@ -457,6 +744,7 @@ class ColumnStore:
             self._segments.clear()
             self._segment_by_id.clear()
             self._locations.clear()
+            self._zone_ranges.clear()  # rebuilt by the re-seal below
             if n:
                 self.append_batch(result.arrays, result.keys, commit_ts=max_ts)
         else:
@@ -464,6 +752,7 @@ class ColumnStore:
             self._segments.clear()
             self._segment_by_id.clear()
             self._locations.clear()
+            self._zone_ranges.clear()
             if rows:
                 self.append_rows(rows, commit_ts=max_ts)
         self._max_commit_ts = max_ts

@@ -121,6 +121,52 @@ class DictionaryEncoding(Encoding):
     def cardinality(self) -> int:
         return len(self.dictionary)
 
+    # --------------------------------------------------- code-space predicates
+    #
+    # The dictionary is sorted, so codes order exactly like values and
+    # value comparisons rewrite to integer comparisons on the codes —
+    # filters run on the encoded segment without decompressing it.
+
+    def code_space_safe(self) -> bool:
+        """Whether code-space evaluation is exact for this dictionary.
+
+        NaN sorts to the end of the dictionary but compares False to
+        everything, so range rewrites would wrongly include NaN rows;
+        callers must fall back to decoded evaluation in that case.
+        """
+        d = self.dictionary
+        return not (d.dtype.kind == "f" and bool(np.isnan(d).any()))
+
+    def code_cut(self, value, side: str) -> int:
+        """The code-space boundary for ``value`` (``np.searchsorted``).
+
+        May raise TypeError for values incomparable with the dictionary
+        dtype — callers treat that as "not evaluable in code space".
+        """
+        return int(np.searchsorted(self.dictionary, value, side=side))
+
+    def code_for(self, value) -> int | None:
+        """The exact code of ``value``, or None when absent."""
+        i = self.code_cut(value, "left")
+        if i < len(self.dictionary) and bool(self.dictionary[i] == value):
+            return i
+        return None
+
+    def codes_for_values(self, values) -> np.ndarray:
+        """Codes of the ``values`` present in the dictionary.
+
+        Values are coerced to the dictionary dtype first — the same
+        cast ``np.isin`` applies on decoded data, so IN-list semantics
+        match the decoded path exactly.
+        """
+        vals = np.asarray(list(values), dtype=self.dictionary.dtype)
+        if len(vals) == 0 or len(self.dictionary) == 0:
+            return np.array([], dtype=np.int32)
+        idx = np.searchsorted(self.dictionary, vals, side="left")
+        idx = np.minimum(idx, len(self.dictionary) - 1)
+        present = np.asarray(self.dictionary[idx] == vals, dtype=bool)
+        return idx[present].astype(np.int32)
+
 
 @dataclass
 class RunLengthEncoding(Encoding):
@@ -150,11 +196,18 @@ class RunLengthEncoding(Encoding):
     def __len__(self) -> int:
         return int(self.run_ends[-1]) if len(self.run_ends) else 0
 
+    def lengths(self) -> np.ndarray:
+        """Per-run lengths; with :attr:`values` this is enough to
+        evaluate a predicate per *run* and ``np.repeat`` the run mask —
+        run-space filtering without materializing the column."""
+        if len(self.run_ends) == 0:
+            return np.array([], dtype=np.int64)
+        return np.diff(np.concatenate(([0], self.run_ends)))
+
     def decode(self) -> np.ndarray:
         if len(self.run_ends) == 0:
             return self.values[:0]
-        lengths = np.diff(np.concatenate(([0], self.run_ends)))
-        return np.repeat(self.values, lengths)
+        return np.repeat(self.values, self.lengths())
 
     def size_bytes(self) -> int:
         if self.values.dtype == object:

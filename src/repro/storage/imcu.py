@@ -19,9 +19,17 @@ from ..common.clock import Timestamp
 from ..common.cost import CostModel
 from ..common.predicate import ALWAYS_TRUE, Predicate
 from ..common.types import Key, Row, Schema, rows_to_columns
-from .column_store import ColumnScanResult
+from ..obs.registry import get_registry
+from .column_store import (
+    _SCAN_DEFAULTS,
+    ColumnScanResult,
+    ZoneMap,
+    build_zone_map,
+    zones_may_match,
+)
 from .compression import Encoding, choose_encoding
 from .row_store import MVCCRowStore
+from .segment_filter import EncodedColumns, predicate_mask
 
 
 @dataclass
@@ -54,8 +62,13 @@ class InMemoryColumnUnit:
         self._encodings: dict[str, Encoding] = {}
         self._keys: list[Key] = []
         self._key_set: set = set()
+        self.zone_maps: dict[str, ZoneMap] = {}
         self.smu = SnapshotMetadataUnit()
         self.populations = 0
+        reg = get_registry()
+        self._scanned_counter = reg.counter("scan.segments_scanned")
+        self._pruned_counter = reg.counter("scan.segments_pruned")
+        self._code_filter_counter = reg.counter("scan.code_space_filters")
 
     # ------------------------------------------------------------- populate
 
@@ -64,13 +77,16 @@ class InMemoryColumnUnit:
         rows = self._rows.snapshot_rows(snapshot_ts)
         self._keys = [self.schema.key_of(r) for r in rows]
         self._key_set = set(self._keys)
+        self._encodings = {}
+        self.zone_maps = {}
         if rows:
             arrays = rows_to_columns(self.schema, rows)
-            self._encodings = {
-                name: choose_encoding(arr) for name, arr in arrays.items()
-            }
-        else:
-            self._encodings = {}
+            for name, arr in arrays.items():
+                enc = choose_encoding(arr)
+                self._encodings[name] = enc
+                zone = build_zone_map(arr, enc)
+                if zone is not None:
+                    self.zone_maps[name] = zone
         self.smu = SnapshotMetadataUnit(populate_ts=snapshot_ts)
         self.populations += 1
         self._cost.charge_rows(self._cost.rebuild_per_row_us, max(len(rows), 1))
@@ -97,12 +113,26 @@ class InMemoryColumnUnit:
 
     # ------------------------------------------------------------- scan
 
+    def pruned_row_fraction(self, predicate: Predicate) -> float:
+        """Fraction of populated rows the unit's zone maps would prune.
+
+        All-or-nothing (the IMCU is one pruning granule); a
+        planning-time estimate with no simulated charge.
+        """
+        n = self.populated_rows()
+        if n == 0 or not self._encodings:
+            return 0.0
+        return 0.0 if zones_may_match(self.zone_maps, n, predicate) else 1.0
+
     def scan(
         self,
         snapshot_ts: Timestamp,
         columns: list[str] | None = None,
         predicate: Predicate = ALWAYS_TRUE,
         patch: bool = True,
+        *,
+        prune: bool | None = None,
+        code_space: bool | None = None,
     ) -> ColumnScanResult:
         """Columnar scan patched with current row-store truth.
 
@@ -110,39 +140,84 @@ class InMemoryColumnUnit:
         new keys are re-read from the row store at ``snapshot_ts`` —
         which is why this architecture's freshness is High in Table 1
         (at the cost of per-stale-row patch reads).
+
+        The unit is one pruning granule: when its zone maps exclude the
+        predicate, the whole columnar side is skipped (patch reads still
+        run — staleness is orthogonal to pruning).  Surviving scans
+        evaluate the predicate in code/run space where the codec allows
+        and late-materialize output columns at surviving positions.
+        ``prune``/``code_space`` default to :func:`~repro.storage.
+        column_store.scan_mode`'s process-wide settings.
         """
+        if prune is None:
+            prune = _SCAN_DEFAULTS["prune"]
+        if code_space is None:
+            code_space = _SCAN_DEFAULTS["code_space"]
         wanted = list(columns) if columns is not None else self.schema.column_names
         needed = set(wanted) | predicate.referenced_columns()
         n = len(self._keys)
         arrays: dict[str, np.ndarray] = {}
         out_keys: list[Key] = []
-        if n and self._encodings:
-            decoded = {name: self._encodings[name].decode() for name in needed}
-            self._cost.charge(
-                self._cost.column_scan_per_value_us * n * max(len(needed), 1)
+        scanned = pruned = code_filters = 0
+        unit_matches = True
+        if n and self._encodings and prune:
+            self._cost.charge(self._cost.zone_map_check_us)
+            unit_matches = zones_may_match(self.zone_maps, n, predicate)
+        if n and self._encodings and unit_matches:
+            scanned = 1
+            # Factors stay 1.0 here: the IMCU's per-value price never
+            # varied by codec, and the reference path must keep parity.
+            data = EncodedColumns(
+                self._encodings,
+                n,
+                self._cost.column_scan_per_value_us,
+                self._cost.code_filter_per_value_us,
+                {},
             )
+            if code_space:
+                mask = predicate_mask(predicate, data)
+            else:
+                # Reference behavior: decode every needed column up
+                # front and evaluate on materialized arrays.
+                decoded = {name: data.array(name) for name in needed}
+                if decoded:
+                    mask = np.asarray(predicate.mask(decoded), dtype=bool)
+                else:
+                    mask = np.ones(n, dtype=bool)
             stale = self.smu.stale_keys
             if stale:
-                clean_mask = np.array([k not in stale for k in self._keys], dtype=bool)
-            else:
-                clean_mask = np.ones(n, dtype=bool)
-            mask = predicate.mask(decoded) & clean_mask
+                mask = mask & np.array(
+                    [k not in stale for k in self._keys], dtype=bool
+                )
             positions = np.flatnonzero(mask)
             for name in wanted:
-                source = decoded.get(name)
-                if source is None:
-                    source = self._encodings[name].decode()
-                arrays[name] = source[positions]
+                arrays[name] = data.gather(name, positions)
             out_keys = [self._keys[p] for p in positions]
+            self._cost.charge(data.charge_us)
+            code_filters = data.code_space_filters
         else:
+            if n and self._encodings:
+                pruned = 1
             for name in wanted:
                 arrays[name] = np.array(
                     [], dtype=self.schema.column(name).dtype.numpy_dtype
                 )
+        if scanned:
+            self._scanned_counter.inc(scanned)
+        if pruned:
+            self._pruned_counter.inc(pruned)
+        if code_filters:
+            self._code_filter_counter.inc(code_filters)
         if not patch:
             # Isolated mode: stale keys were dropped above and no patch
             # reads happen — the scan is cheaper but the image is stale.
-            return ColumnScanResult(arrays=arrays, keys=out_keys, segments_scanned=1)
+            return ColumnScanResult(
+                arrays=arrays,
+                keys=out_keys,
+                segments_scanned=scanned,
+                segments_pruned=pruned,
+                code_space_filters=code_filters,
+            )
         # Patch stale + brand-new keys from the row store.
         patch_keys = self.smu.stale_keys | self.smu.new_keys
         patch_rows: list[Row] = []
@@ -157,4 +232,10 @@ class InMemoryColumnUnit:
             for name in wanted:
                 arrays[name] = np.concatenate([arrays[name], patch_arrays[name]])
             out_keys.extend(patched_keys)
-        return ColumnScanResult(arrays=arrays, keys=out_keys, segments_scanned=1)
+        return ColumnScanResult(
+            arrays=arrays,
+            keys=out_keys,
+            segments_scanned=scanned,
+            segments_pruned=pruned,
+            code_space_filters=code_filters,
+        )

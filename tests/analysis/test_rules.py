@@ -141,6 +141,27 @@ class Store:
         self._bump()
 """
 
+ZONE_STORE_FIRES = """\
+class ZoneStore:
+    def __init__(self):
+        self.mutations = 0
+        self._segments = []
+        self._zone_ranges = {}
+
+    def append(self, seg, zones):
+        self.mutations += 1
+        self._segments.append(seg)
+        self._zone_ranges.update(zones)
+
+    def drop_zones(self):
+        self._zone_ranges.clear()
+"""
+
+ZONE_STORE_CLEAN = ZONE_STORE_FIRES.replace(
+    "        self._zone_ranges.clear()",
+    "        self.mutations += 1\n        self._zone_ranges.clear()",
+)
+
 ENGINE_FIRES = """\
 class FastEngine(HTAPEngine):
     def bulk_write(self, rows):
@@ -166,6 +187,17 @@ class TestHTL002Invalidation:
 
     def test_store_bump_via_helper_passes(self):
         assert findings(STORE_CLEAN_VIA_HELPER) == []
+
+    def test_zone_index_mutation_without_bump_fires(self):
+        # Zone-map maintenance state learned as a tracked attribute:
+        # touching the store-level zone index outside a version bump is
+        # exactly the stale-scan hazard HTL002 exists to catch.
+        found = findings(ZONE_STORE_FIRES)
+        assert rule_ids(found) == ["HTL002"]
+        assert "drop_zones" in found[0].message
+
+    def test_zone_index_mutation_with_bump_passes(self):
+        assert findings(ZONE_STORE_CLEAN) == []
 
     def test_engine_write_without_invalidate_fires(self):
         found = findings(ENGINE_FIRES)

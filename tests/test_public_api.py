@@ -12,6 +12,7 @@ PACKAGES = [
     "repro.txn",
     "repro.distributed",
     "repro.sync",
+    "repro.parallel",
     "repro.query",
     "repro.scheduler",
     "repro.engines",
