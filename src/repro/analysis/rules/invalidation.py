@@ -9,8 +9,8 @@ cannot survive.  PR 2/3 wired the bumps by hand through dozens of call
 sites; this rule machine-checks the convention at two layers:
 
 **Store layer.**  A class that declares a version counter (an attribute
-named ``mutations`` or ``installs``/``_installs`` initialized in
-``__init__``) is *version-tracked*.  The rule learns which ``self.*``
+named ``mutations``, ``installs``/``_installs``, or ``epoch``/``_epoch``
+initialized in ``__init__``) is *version-tracked*.  The rule learns which ``self.*``
 attributes its bumping methods mutate (the scan-visible state) and then
 flags any public method that mutates one of those attributes while
 neither bumping the counter itself nor (transitively, through
@@ -37,7 +37,11 @@ from typing import Iterator
 from ..callgraph import ClassIndex, ModuleIndex, reaches
 from ..core import FileContext, Finding, attr_chain, register
 
-_VERSION_COUNTERS = {"mutations", "installs", "_installs"}
+#: ``epoch`` covers the statistics/plan-cache fence (PR 6): a class
+#: serving cached state under an epoch must bump it on every state
+#: change, or the plan cache keeps serving plans costed against
+#: statistics that no longer exist.
+_VERSION_COUNTERS = {"mutations", "installs", "_installs", "epoch", "_epoch"}
 
 #: Methods that mutate a container in place when called on `self.<attr>`.
 _MUTATOR_CALLS = {

@@ -9,6 +9,12 @@ from .chbenchmark import (
     ChRunResult,
     get_query,
 )
+from .frontdoor import (
+    PREPARED_STATEMENTS,
+    FrontDoorBenchConfig,
+    FrontDoorBenchDriver,
+    FrontDoorBenchResult,
+)
 from .hap import HapCell, hap_schema, run_hap_cell, run_hap_grid
 from .htapbench import HTAPBenchDriver, HtapBenchResult, HtapBenchStep
 from .metrics import (
@@ -36,6 +42,9 @@ __all__ = [
     "ChBenchmarkDriver",
     "ChQuery",
     "ChRunResult",
+    "FrontDoorBenchConfig",
+    "FrontDoorBenchDriver",
+    "FrontDoorBenchResult",
     "HTAPBenchDriver",
     "HapCell",
     "HtapBenchResult",
@@ -43,6 +52,7 @@ __all__ = [
     "HtapRunMetrics",
     "MixedRunConfig",
     "MixedWorkloadRunner",
+    "PREPARED_STATEMENTS",
     "QUERY_IDS",
     "ScheduledRunConfig",
     "ScheduledRunResult",

@@ -71,6 +71,106 @@ ALWAYS_TRUE = TruePredicate()
 
 
 @dataclass(frozen=True)
+class Param:
+    """Placeholder for a prepared-statement parameter (SQL ``?``).
+
+    Appears only in predicate *value* slots (the literal side of a
+    comparison, BETWEEN bound, or IN-list member).  A predicate holding
+    Params is a template: :func:`bind_predicate` must replace every
+    Param with a concrete literal before evaluation.  Comparison
+    operators raise so an unbound template fails loudly instead of
+    silently matching nothing (``__eq__`` stays structural — templates
+    are dict keys in the plan cache).
+    """
+
+    index: int
+
+    def _unbound(self, *_args):
+        raise QueryError(
+            f"parameter ?{self.index} is unbound; bind_predicate() first"
+        )
+
+    __lt__ = __le__ = __gt__ = __ge__ = _unbound
+
+
+def collect_params(predicate: Predicate) -> list[int]:
+    """Indices of every :class:`Param` in value slots, in syntax order."""
+    found: list[int] = []
+
+    def visit_value(value: Any) -> None:
+        if isinstance(value, Param):
+            found.append(value.index)
+
+    def visit(p: Predicate) -> None:
+        if isinstance(p, Comparison):
+            visit_value(p.value)
+        elif isinstance(p, Between):
+            visit_value(p.low)
+            visit_value(p.high)
+        elif isinstance(p, InList):
+            for v in p.values:
+                visit_value(v)
+        elif isinstance(p, (And, Or)):
+            for child in p.children:
+                visit(child)
+        elif isinstance(p, Not):
+            visit(p.child)
+
+    visit(predicate)
+    return found
+
+
+def bind_predicate(predicate: Predicate, params: Sequence[Any]) -> Predicate:
+    """Replace every :class:`Param` with ``params[param.index]``.
+
+    Returns ``predicate`` itself when it holds no Params, so binding a
+    plain predicate is free.  Raises :class:`QueryError` on an index
+    beyond ``params`` (too few arguments for the statement).
+    """
+
+    def bind_value(value: Any) -> Any:
+        if isinstance(value, Param):
+            if value.index >= len(params):
+                raise QueryError(
+                    f"statement needs parameter ?{value.index} but only "
+                    f"{len(params)} were bound"
+                )
+            return params[value.index]
+        return value
+
+    def visit(p: Predicate) -> Predicate:
+        if isinstance(p, Comparison):
+            bound = bind_value(p.value)
+            return p if bound is p.value else Comparison(p.column, p.op, bound)
+        if isinstance(p, Between):
+            low, high = bind_value(p.low), bind_value(p.high)
+            if low is p.low and high is p.high:
+                return p
+            return Between(p.column, low, high)
+        if isinstance(p, InList):
+            values = tuple(bind_value(v) for v in p.values)
+            if values == p.values:
+                return p
+            return InList(p.column, values)
+        if isinstance(p, And):
+            children = tuple(visit(c) for c in p.children)
+            if all(c is o for c, o in zip(children, p.children)):
+                return p
+            return And(children)
+        if isinstance(p, Or):
+            children = tuple(visit(c) for c in p.children)
+            if all(c is o for c, o in zip(children, p.children)):
+                return p
+            return Or(children)
+        if isinstance(p, Not):
+            child = visit(p.child)
+            return p if child is p.child else Not(child)
+        return p
+
+    return visit(predicate)
+
+
+@dataclass(frozen=True)
 class Comparison(Predicate):
     """``column <op> literal`` for op in =, !=, <, <=, >, >=."""
 

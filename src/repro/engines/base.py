@@ -23,17 +23,22 @@ import abc
 from dataclasses import dataclass
 from typing import Any
 
+import dataclasses
+from typing import Sequence
+
 from ..common.clock import LogicalClock, Timestamp
 from ..common.cost import CostModel
-from ..common.predicate import ALWAYS_TRUE, Predicate
+from ..common.errors import QueryError
+from ..common.predicate import ALWAYS_TRUE, Predicate, bind_predicate
 from ..common.types import Key, Row, Schema
 from ..distributed.cluster import BusyLedger
 from ..obs import SimTracer, get_registry
 from ..query.access import AccessPath
 from ..query.ast import Query, QueryResult
 from ..query.executor import Executor
-from ..query.optimizer import Planner
+from ..query.optimizer import Planner, PhysicalPlan
 from ..query.parser import parse
+from ..query.plan_cache import CachedPlan, PlanCache, param_signature
 from ..query.scan_cache import ScanCache
 
 
@@ -109,6 +114,10 @@ class HTAPEngine(abc.ABC):
         #: executor; write/sync paths invalidate it per table, and the
         #: adapters' ``cache_token()`` version-fences it besides.
         self.scan_cache = ScanCache(labels={"engine": self.info.name})
+        #: Parameterized plan cache for prepared statements; fenced on
+        #: per-table stats epochs and invalidated eagerly on DDL and
+        #: sync/merge (the same write paths as the scan cache).
+        self.plan_cache = PlanCache(labels={"engine": self.info.name})
         labels = {"engine": self.info.name}
         registry = get_registry()
         self._m_tp_commits = registry.counter("engine.tp_commits", **labels)
@@ -140,6 +149,9 @@ class HTAPEngine(abc.ABC):
         # (coalesced, once-per-batch invalidation).
         if moved:
             self.scan_cache.invalidate()
+            # Merge/sync replaces the columnar image the cached plans
+            # were costed against; drop them with the batches.
+            self.plan_cache.invalidate()
         self._m_sync_calls.inc()
         if moved:
             self._m_sync_rows.inc(moved)
@@ -184,6 +196,8 @@ class HTAPEngine(abc.ABC):
         self._catalog[table] = adapter
         self._planner = None
         self._executor = None
+        # DDL: plans compiled against the old catalog are void.
+        self.plan_cache.invalidate()
 
     @property
     def planner(self) -> Planner:
@@ -205,15 +219,41 @@ class HTAPEngine(abc.ABC):
         self,
         query: str | Query,
         force_path: AccessPath | None = None,
+        params: Sequence[Any] = (),
     ) -> QueryResult:
-        """Plan + execute; AP busy time lands on the engine's AP nodes."""
+        """Plan + execute; AP busy time lands on the engine's AP nodes.
+
+        This is the *cold* path: every call parses and optimizes.
+        Prepared statements go through :meth:`execute_prepared`, which
+        serves repeat shapes from the plan cache.  ``params`` binds
+        ``?`` placeholders positionally.
+        """
         logical = parse(query) if isinstance(query, str) else query
+        if logical.param_count > 0 or params:
+            if logical.param_count != len(params):
+                raise QueryError(
+                    f"statement has {logical.param_count} parameters, "
+                    f"{len(params)} bound"
+                )
+            logical = dataclasses.replace(
+                logical,
+                where=bind_predicate(logical.where, params),
+                param_count=0,
+            )
         planner = (
             self.planner
             if force_path is None
             else Planner(self._catalog, self.cost, force_path=force_path)
         )
-        plan = planner.plan(logical)
+        return self.run_plan(planner.plan(logical))
+
+    def run_plan(self, plan: PhysicalPlan) -> QueryResult:
+        """Execute an already-built plan with uniform AP accounting.
+
+        Both the cold path and the plan-cache hit path funnel through
+        here, so a cached plan costs exactly what the same plan costs
+        cold — planning itself charges no simulated time.
+        """
         before = self.cost.now_us()
         with self.tracer.span("engine.query", engine=self.info.name):
             result = self.executor.execute(plan)
@@ -224,6 +264,65 @@ class HTAPEngine(abc.ABC):
         self.queries_run += 1
         self._m_ap_queries.inc()
         return result
+
+    def _stats_epoch_of(self, table: str) -> int | None:
+        """Current stats epoch, or None when the adapter has no epoch
+        protocol (which opts its statements out of plan caching)."""
+        adapter = self._catalog[table]
+        epoch_fn = getattr(adapter, "stats_epoch", None)
+        return None if epoch_fn is None else epoch_fn()
+
+    def execute_prepared(
+        self, statement: str, params: Sequence[Any] = ()
+    ) -> QueryResult:
+        """The prepared-statement path: parse/optimize once per
+        (statement, param-type signature, stats epoch), then re-execute
+        the cached plan with each call's parameters rebound."""
+        signature = param_signature(params)
+        entry = self.plan_cache.lookup(
+            statement, signature, self._stats_epoch_of
+        )
+        if entry is not None:
+            if entry.param_count != len(params):
+                raise QueryError(
+                    f"statement has {entry.param_count} parameters, "
+                    f"{len(params)} bound"
+                )
+            return self.run_plan(entry.bind(params))
+        template = parse(statement)
+        if template.param_count != len(params):
+            raise QueryError(
+                f"statement has {template.param_count} parameters, "
+                f"{len(params)} bound"
+            )
+        # Bind-peek: plan with this call's values so selectivity
+        # estimation sees concrete literals.
+        bound = dataclasses.replace(
+            template,
+            where=bind_predicate(template.where, params),
+            param_count=0,
+        )
+        plan = self.planner.plan(bound)
+        tables = tuple(bound.tables)
+        # Epochs are read *after* planning: plan() pulled stats through
+        # the same StatsCache, so these are exactly the versions the
+        # plan was costed against.
+        stats_token = tuple(self._stats_epoch_of(t) for t in tables)
+        if None not in stats_token:
+            # A table without the epoch protocol cannot be fenced, so
+            # statements touching it are never cached.
+            self.plan_cache.store(
+                statement,
+                signature,
+                CachedPlan(
+                    plan=plan,
+                    template_predicates=self.planner.scan_predicates(template),
+                    param_count=len(params),
+                    tables=tables,
+                    stats_token=stats_token,
+                ),
+            )
+        return self.run_plan(plan)
 
     def explain(self, query: str | Query) -> str:
         logical = parse(query) if isinstance(query, str) else query

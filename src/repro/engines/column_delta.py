@@ -543,12 +543,18 @@ class _HanaTableAccess:
         version = len(target.l1) + len(target.l2) + len(target.main)
         return self._stats.get(version)
 
+    def stats_epoch(self) -> int:
+        """Plan-cache fence: version of the currently served statistics
+        (optional protocol, see access.py)."""
+        self.stats()
+        return self._stats.epoch
+
     def available_paths(self) -> set[AccessPath]:
         # The "row path" here is a full materialization — the primary
         # store is columnar, so there is no cheap tuple heap to scan.
         return {AccessPath.ROW_SCAN, AccessPath.INDEX_LOOKUP, AccessPath.COLUMN_SCAN}
 
-    def cache_token(self):
+    def cache_token(self, path=None):
         """Scan-cache version token: L1 size/high-water commit ts plus
         the merge generations and write versions of L2/Main — any HANA
         write or merge changes at least one component."""

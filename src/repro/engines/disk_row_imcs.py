@@ -450,13 +450,19 @@ class _HeatwaveTableAccess:
     def stats(self) -> TableStats:
         return self._stats.get(self._engine.commits)
 
+    def stats_epoch(self) -> int:
+        """Plan-cache fence: version of the currently served statistics
+        (optional protocol, see access.py)."""
+        self.stats()
+        return self._stats.epoch
+
     def _columns_loaded(self, needed: set[str]) -> bool:
         return needed <= self._engine.loaded_columns(self._table)
 
     def available_paths(self) -> set[AccessPath]:
         return {AccessPath.ROW_SCAN, AccessPath.INDEX_LOOKUP, AccessPath.COLUMN_SCAN}
 
-    def cache_token(self):
+    def cache_token(self, path=None):
         """Scan-cache version token: primary write version, IMCS write
         version, unpropagated-delta depth, the loaded-column set (a
         reselect flips pushdown↔fallback results routing), and the

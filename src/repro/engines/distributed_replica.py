@@ -232,10 +232,16 @@ class _ReplicaTableAccess:
     def stats(self) -> TableStats:
         return self._stats.get(self._engine.cluster.commits)
 
+    def stats_epoch(self) -> int:
+        """Plan-cache fence: version of the currently served statistics
+        (optional protocol, see access.py)."""
+        self.stats()
+        return self._stats.epoch
+
     def available_paths(self) -> set[AccessPath]:
         return {AccessPath.ROW_SCAN, AccessPath.INDEX_LOOKUP, AccessPath.COLUMN_SCAN}
 
-    def cache_token(self):
+    def cache_token(self, path=None):
         """Scan-cache version token: cluster commit count (fences writes
         even before learner apply), the replica's applied timestamp, the
         columnar write version, the delta-log backlog, and the freshness

@@ -31,6 +31,15 @@ from .base import EngineInfo, EngineSession, HTAPEngine
 _NODE = "node0"
 
 
+def _is_image_scan_entry(key) -> bool:
+    """Scan-cache keys whose token pins only the stale columnar image
+    (see ``_ImcuTableAccess.cache_token``): primary-side commits cannot
+    change what those scans return, so write-path invalidation keeps
+    them — they die by token when the IMCU repopulates."""
+    token = key[4]
+    return isinstance(token, tuple) and bool(token) and token[0] == "imcs"
+
+
 class RowIMCSEngine(HTAPEngine):
     """Primary row store + IMCU-per-table, single node."""
 
@@ -82,7 +91,7 @@ class RowIMCSEngine(HTAPEngine):
         imcu = self._imcus[table]
         for entry in entries:
             imcu.on_change(entry.key)
-        self.scan_cache.invalidate(table)
+        self.scan_cache.invalidate(table, keep=_is_image_scan_entry)
 
     # ------------------------------------------------------------- OLTP
 
@@ -117,7 +126,7 @@ class RowIMCSEngine(HTAPEngine):
             imcu.on_change(key_of(row))
         tm.commits += 1
         self._m_tp_commits.inc()
-        self.scan_cache.invalidate(table)
+        self.scan_cache.invalidate(table, keep=_is_image_scan_entry)
         self.ledger.charge(_NODE, self.cost.now_us() - before)
 
     # ------------------------------------------------------------- DS / metrics
@@ -251,16 +260,30 @@ class _ImcuTableAccess:
     def stats(self) -> TableStats:
         return self._stats.get(self._store().installs)
 
+    def stats_epoch(self) -> int:
+        """Plan-cache fence: version of the currently served statistics
+        (optional protocol, see access.py)."""
+        self.stats()
+        return self._stats.epoch
+
     def available_paths(self) -> set[AccessPath]:
         return {AccessPath.ROW_SCAN, AccessPath.INDEX_LOOKUP, AccessPath.COLUMN_SCAN}
 
-    def cache_token(self):
+    def cache_token(self, path: AccessPath | None = None):
         """Scan-cache version token: the reader snapshot (including any
         time-travel override — historical MVCC reads are immutable and
         cacheable per snapshot), the primary's write/vacuum versions,
-        the IMCU population generation, and the patch mode."""
-        store = self._store()
+        the IMCU population generation, and the patch mode.
+
+        An isolated-mode COLUMN_SCAN reads *only* the stale columnar
+        image (``scan_columns`` passes ``patch=False``), so its token is
+        just the image generation — primary-side writes between syncs
+        keep those cached scans servable instead of invalidating them.
+        """
         imcu = self._engine.imcu(self._table)
+        if path is AccessPath.COLUMN_SCAN and not self._engine.read_fresh:
+            return ("imcs", imcu.populations, imcu.smu.populate_ts)
+        store = self._store()
         return (
             self._engine.read_snapshot_ts(),
             store.installs,

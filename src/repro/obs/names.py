@@ -41,6 +41,12 @@ REGISTERED_METRICS: frozenset[str] = frozenset(
         "scan.code_space_filters",
         "scan.segments_pruned",
         "scan.segments_scanned",
+        # parameterized plan cache
+        "plan_cache.entries",
+        "plan_cache.evictions",
+        "plan_cache.hits",
+        "plan_cache.invalidations",
+        "plan_cache.misses",
         # snapshot-scan cache
         "scan_cache.bytes",
         "scan_cache.entries",
@@ -48,6 +54,15 @@ REGISTERED_METRICS: frozenset[str] = frozenset(
         "scan_cache.hits",
         "scan_cache.invalidations",
         "scan_cache.misses",
+        # session tier (front door)
+        "session.admitted",
+        "session.completed",
+        "session.delayed",
+        "session.group_commit_size",
+        "session.latency_us",
+        "session.opened",
+        "session.queue_depth",
+        "session.shed",
         # schedulers
         "scheduler.freshness_lag",
         "scheduler.olap_slots",

@@ -30,6 +30,7 @@ from .learned_optimizer import (
 )
 from .optimizer import PathChoice, PhysicalPlan, Planner, ScanPlan, split_conjuncts
 from .parser import parse
+from .plan_cache import CachedPlan, PlanCache, param_signature
 from .scan_cache import ScanCache
 from .statistics import ColumnStats, TableStats
 
@@ -39,6 +40,7 @@ __all__ = [
     "AggFunc",
     "Aggregate",
     "Arith",
+    "CachedPlan",
     "Catalog",
     "ColumnRef",
     "ColumnStats",
@@ -54,6 +56,7 @@ __all__ = [
     "PathChoice",
     "PathFeatures",
     "PhysicalPlan",
+    "PlanCache",
     "Planner",
     "Query",
     "QueryResult",
@@ -65,6 +68,7 @@ __all__ = [
     "TableStats",
     "extract_features",
     "hit_rate",
+    "param_signature",
     "parse",
     "split_conjuncts",
 ]

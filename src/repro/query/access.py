@@ -54,16 +54,29 @@ class TableAccess(Protocol):
     # Adapters *may* also expose the following methods; the query layer
     # probes for them with getattr and degrades gracefully when absent:
     #
-    # ``cache_token() -> Hashable | None``
+    # ``cache_token(path: AccessPath | None = None) -> Hashable | None``
     #     A value pinning down exactly what a scan would return (reader
     #     snapshot + every relevant mutation counter).  Enables the
     #     MVCC-aware :class:`~repro.query.scan_cache.ScanCache`; return
     #     None (or omit the method) to opt the table out of caching.
+    #     ``path`` is the access path about to run: an adapter may
+    #     return a *narrower* token for a path whose result depends on
+    #     fewer versions (e.g. an isolated-mode column scan reads only
+    #     the stale columnar image, so primary-side writes need not
+    #     invalidate it), but must stay conservative when unsure.
     #
     # ``note_cached_scan(columns, predicate) -> None``
     #     Called on a scan-cache hit so the engine can keep its own
     #     bookkeeping (freshness probes, adaptive stats) in step even
     #     though no physical scan ran.
+    #
+    # ``stats_epoch() -> int``
+    #     Version of the statistics the planner would see right now
+    #     (refreshing them first if they drifted past the stats-cache
+    #     slack).  The plan cache fences cached plans on it: equal
+    #     epochs guarantee the plan was costed against the statistics
+    #     currently being served.  Tables without it opt out of plan
+    #     caching for statements that reference them.
     #
     # ``scan_pruning_hint(predicate) -> float``
     #     Planning-time estimate in [0, 1]: the fraction of the table's

@@ -54,6 +54,12 @@ class DualStoreTableAccess:
         """Statistics refreshed lazily with slack (like real engines)."""
         return self._stats.get(self._rows.installs)
 
+    def stats_epoch(self) -> int:
+        """Plan-cache fence: version of the currently served statistics
+        (optional protocol, see access.py)."""
+        self.stats()
+        return self._stats.epoch
+
     def available_paths(self) -> set[AccessPath]:
         paths = {AccessPath.ROW_SCAN, AccessPath.INDEX_LOOKUP}
         if self._columns is not None:
@@ -64,7 +70,7 @@ class DualStoreTableAccess:
         """Secondary-index columns the planner may treat as sargable."""
         return set(self._rows._secondary)
 
-    def cache_token(self):
+    def cache_token(self, path=None):
         """Version token for the snapshot-scan cache.
 
         Pins the reader snapshot (MVCC isolation: different snapshot ⇒

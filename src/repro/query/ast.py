@@ -210,6 +210,9 @@ class Query:
     order_by: list[OrderItem] = field(default_factory=list)
     limit: int | None = None
     distinct: bool = False
+    #: Number of ``?`` placeholders in WHERE; > 0 marks a prepared-
+    #: statement template whose predicate must be bound before running.
+    param_count: int = 0
 
     def has_aggregates(self) -> bool:
         return any(is_aggregate(item.expr) for item in self.select)

@@ -131,7 +131,7 @@ class Executor:
         cache_key = None
         if cache is not None:
             token_fn = getattr(adapter, "cache_token", None)
-            token = token_fn() if token_fn is not None else None
+            token = token_fn(scan.path) if token_fn is not None else None
             if token is not None:
                 try:
                     cache_key = (

@@ -152,6 +152,20 @@ class Planner:
                 )
         return by_table
 
+    def scan_predicates(self, query: Query) -> dict[str, Predicate]:
+        """Per-table conjunction of the single-table WHERE conjuncts.
+
+        The exact split :meth:`plan` pushes into each ScanPlan.  The
+        split is structural (value-independent), so calling this on a
+        parameter *template* yields template predicates that bind 1:1
+        against the ScanPlans of a plan built from any binding of the
+        same statement — the plan cache's rebinding contract.
+        """
+        return {
+            table: conjoin(conjuncts)
+            for table, conjuncts in self._predicates_by_table(query).items()
+        }
+
     # ------------------------------------------------------------- costing
 
     def price_paths(

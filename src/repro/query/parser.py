@@ -30,6 +30,7 @@ from ..common.predicate import (
     InList,
     Not,
     Or,
+    Param,
     Predicate,
 )
 from .ast import (
@@ -53,7 +54,7 @@ _TOKEN_RE = re.compile(
       | (?P<string>'(?:[^']|'')*')
       | (?P<ident>[A-Za-z_][A-Za-z_0-9]*)
       | (?P<op><=|>=|!=|<>|=|<|>)
-      | (?P<punct>[(),*+\-/.])
+      | (?P<punct>[(),*+\-/.?])
     )
     """,
     re.VERBOSE,
@@ -113,6 +114,10 @@ class _Parser:
         self._sql = sql
         self._tokens = tokenize(sql)
         self._i = 0
+        # ``?`` placeholders are numbered left to right; they are only
+        # legal in WHERE value slots (prepared-statement surface).
+        self._param_count = 0
+        self._in_where = False
 
     # ------------------------------------------------------------- cursor
 
@@ -170,7 +175,9 @@ class _Parser:
         tables, join_conditions = self._table_list()
         where: Predicate = ALWAYS_TRUE
         if self._accept_keyword("where"):
+            self._in_where = True
             where, extra_joins = self._condition()
+            self._in_where = False
             join_conditions.extend(extra_joins)
         group_by: list[str] = []
         if self._accept_keyword("group"):
@@ -209,6 +216,7 @@ class _Parser:
             order_by=order_by,
             limit=limit,
             distinct=distinct,
+            param_count=self._param_count,
         )
 
     def _select_list(self) -> list[SelectItem]:
@@ -348,8 +356,20 @@ class _Parser:
             return float(token.text) if "." in token.text else int(token.text)
         if token.kind == "string":
             return token.text[1:-1].replace("''", "'")
+        if token.kind == "punct" and token.text == "?":
+            if not self._in_where:
+                raise SqlSyntaxError(
+                    "parameters (?) are only supported in WHERE", token.pos
+                )
+            param = Param(self._param_count)
+            self._param_count += 1
+            return param
         if token.kind == "punct" and token.text == "-":
             inner = self._value()
+            if isinstance(inner, Param):
+                raise SqlSyntaxError(
+                    "cannot negate a parameter; bind the sign instead", token.pos
+                )
             return -inner
         raise SqlSyntaxError(f"expected a literal, found {token.text!r}", token.pos)
 

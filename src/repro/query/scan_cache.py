@@ -33,7 +33,7 @@ invalidation counts are exported as plain attributes and through the
 from __future__ import annotations
 
 from collections import OrderedDict
-from typing import Mapping
+from typing import Callable, Mapping
 
 import numpy as np
 
@@ -43,7 +43,11 @@ Batch = dict
 CacheKey = tuple
 """(table, path, columns, predicate, token) — see module docstring."""
 
-DEFAULT_CAPACITY = 64
+#: Sized for the session tier: a 1k-session prepared-statement mix
+#: keeps a few hundred live (predicate, token) point-read batches; at
+#: 64 the LRU thrashed (evictions ≫ hits) while batches average well
+#: under a kilobyte, so a deeper cache costs ~¼ MB.
+DEFAULT_CAPACITY = 512
 
 
 class ScanCache:
@@ -66,6 +70,10 @@ class ScanCache:
         self.misses = 0
         self.evictions = 0
         self.invalidations = 0
+        #: Entries dropped by test/bench ``clear()`` resets — kept out
+        #: of ``invalidations`` so that obs series only counts real
+        #: write-path invalidations.
+        self.clears = 0
         self.bytes = 0
         labels = dict(labels or {})
         reg = get_registry()
@@ -112,12 +120,19 @@ class ScanCache:
 
     # ------------------------------------------------------------- invalidation
 
-    def invalidate(self, table: str | None = None) -> int:
+    def invalidate(
+        self,
+        table: str | None = None,
+        keep: Callable[[CacheKey], bool] | None = None,
+    ) -> int:
         """Drop entries for ``table`` (or all); returns how many dropped.
 
         Correctness never depends on this being called — version tokens
         already fence stale entries off — but engines call it on their
         write/sync paths so dead batches free memory immediately.
+        ``keep`` lets a write path spare entries its mutation provably
+        cannot affect (e.g. scans of a stale columnar image whose token
+        only moves on repopulation); keeping too much is still safe.
         """
         if table is None:
             dropped = len(self._entries)
@@ -125,7 +140,11 @@ class ScanCache:
             self._entry_bytes.clear()
             self.bytes = 0
         else:
-            stale = [key for key in self._entries if key[0] == table]
+            stale = [
+                key
+                for key in self._entries
+                if key[0] == table and (keep is None or not keep(key))
+            ]
             dropped = len(stale)
             for key in stale:
                 del self._entries[key]
@@ -138,7 +157,21 @@ class ScanCache:
         return dropped
 
     def clear(self) -> None:
-        self.invalidate()
+        """Drop everything *without* counting an invalidation.
+
+        Resets between tests/bench phases are bookkeeping, not
+        write-path activity; routing them through :meth:`invalidate`
+        inflated the ``scan_cache.invalidations`` obs series on every
+        reset.  Clears are tallied separately in :attr:`clears`.
+        """
+        dropped = len(self._entries)
+        self._entries.clear()
+        self._entry_bytes.clear()
+        self.bytes = 0
+        if dropped:
+            self.clears += dropped
+            self._entries_gauge.set(0)
+            self._bytes_gauge.set(0)
 
     # ------------------------------------------------------------- stats
 
@@ -149,6 +182,7 @@ class ScanCache:
             "misses": self.misses,
             "evictions": self.evictions,
             "invalidations": self.invalidations,
+            "clears": self.clears,
             "entries": len(self._entries),
             "bytes": self.bytes,
         }

@@ -5,6 +5,25 @@ commit.  Recomputing stats per query would bill the analytical path
 for work no real system does, so adapters wrap their computation in a
 :class:`StatsCache` that only refreshes once the table's change
 counter has drifted past a slack threshold.
+
+The slack is keyed off the *live* version delta, not the cached row
+count alone: the drift since the cached point is an upper bound on how
+many of the cached rows can still exist, so the allowed slack shrinks
+as the drift grows (``delta <= fraction * (row_count - delta)``).
+After a large delete/truncate this busts the slack immediately instead
+of letting an oversized threshold — computed from a row count that no
+longer exists — serve stale stats far past the intended drift.
+
+Backward version movement (a counter reset after recovery) always
+refreshes: a reset counter says nothing about drift, so the cached
+entry cannot be trusted.
+
+``epoch`` is the cache's externally visible version: it advances on
+every refresh *and* on invalidation, and never moves while the cached
+stats are served unchanged.  The parameterized plan cache keys plans
+on it (a plan is valid exactly as long as the statistics it was costed
+against), so every state change here must bump it — the htaplint
+HTL002 store-layer rule machine-checks that invariant.
 """
 
 from __future__ import annotations
@@ -29,19 +48,29 @@ class StatsCache:
         self._cached: TableStats | None = None
         self._version_at: int = -1
         self.refreshes = 0
+        #: Version of the served statistics; bumps on refresh and on
+        #: invalidate, so equal epochs imply identical stats objects.
+        self.epoch = 0
+
+    def _within_slack(self, version: int) -> bool:
+        if version < self._version_at:
+            return False  # counter went backward (reset/recovery)
+        delta = version - self._version_at
+        base = max(self._cached.row_count - delta, 0)
+        slack = max(self._min_slack, int(base * self._slack_fraction))
+        return delta <= slack
 
     def get(self, version: int) -> TableStats:
         """Return cached stats unless ``version`` drifted past the slack."""
-        if self._cached is not None:
-            base = max(self._cached.row_count, 1)
-            slack = max(self._min_slack, int(base * self._slack_fraction))
-            if abs(version - self._version_at) <= slack:
-                return self._cached
+        if self._cached is not None and self._within_slack(version):
+            return self._cached
         self._cached = self._compute()
         self._version_at = version
         self.refreshes += 1
+        self.epoch += 1
         return self._cached
 
     def invalidate(self) -> None:
         self._cached = None
         self._version_at = -1
+        self.epoch += 1

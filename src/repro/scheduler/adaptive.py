@@ -52,8 +52,12 @@ class AdaptiveHTAPScheduler(Scheduler):
         self.lag_target = lag_target
         self.weights = weights or AdaptiveWeights()
         self._step = max(1, step)
-        self._oltp_slots = total_slots // 2
+        self._oltp_slots = max(1, min(total_slots - 1, total_slots // 2))
         self._direction = 1
+        #: Slot delta actually applied by the previous round's move —
+        #: zero when the clamp swallowed the proposal.  Score changes
+        #: are only attributed to moves that really happened.
+        self._last_move = 0
         self._last_score: float | None = None
         self._lag_history: list[int] = []
         self._tp_scale: float | None = None
@@ -95,9 +99,24 @@ class AdaptiveHTAPScheduler(Scheduler):
             self._lag_history.append(last.freshness_lag)
             score = self._score(last)
             if self._last_score is not None:
-                if score < self._last_score:
-                    self._direction = -self._direction  # that move hurt: reverse
-                self._oltp_slots += self._direction * self._step
+                # Attribute the score change to the move that was
+                # *applied*, not the one proposed: at a slot boundary
+                # the clamp can swallow a move entirely, and reversing
+                # on such a phantom move lets score noise flip the
+                # climb direction spuriously.
+                if self._last_move != 0 and score < self._last_score:
+                    self._direction = -self._direction  # that move hurt
+                proposed = self._oltp_slots + self._direction * self._step
+                applied = max(1, min(self.total_slots - 1, proposed))
+                if applied == self._oltp_slots and proposed != applied:
+                    # The climb ran into the clamp: that direction is
+                    # exhausted, so turn around deterministically
+                    # instead of waiting for a noisy score to do it.
+                    self._direction = -self._direction
+                    proposed = self._oltp_slots + self._direction * self._step
+                    applied = max(1, min(self.total_slots - 1, proposed))
+                self._last_move = applied - self._oltp_slots
+                self._oltp_slots = applied
             self._last_score = score
             # Predictive freshness control: sync *before* the lag target
             # is crossed rather than after.

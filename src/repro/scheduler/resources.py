@@ -47,6 +47,15 @@ class ResourceAllocation:
     def total_slots(self) -> int:
         return self.oltp_slots + self.olap_slots
 
+    def slots_for(self, workload_class: str) -> int:
+        """Slots granted to one workload class ("oltp" | "olap") —
+        what the session tier's admission controller consumes."""
+        if workload_class == "oltp":
+            return self.oltp_slots
+        if workload_class == "olap":
+            return self.olap_slots
+        raise ValueError(f"unknown workload class {workload_class!r}")
+
 
 @dataclass
 class RoundMetrics:

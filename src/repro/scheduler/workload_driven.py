@@ -31,6 +31,17 @@ class WorkloadDrivenScheduler(Scheduler):
         sync_every: int = 8,
     ):
         super().__init__(total_slots)
+        if min_slots < 1:
+            raise ValueError("min_slots must be >= 1")
+        if 2 * min_slots > total_slots:
+            # The clamp below is max(min, min(total - min, x)); with
+            # 2*min > total it inverts (lower bound above upper bound)
+            # and would return min_slots for OLTP while leaving OLAP
+            # total - min_slots < min_slots — or zero slots outright.
+            raise ValueError(
+                f"min_slots={min_slots} needs 2*min_slots <= total_slots="
+                f"{total_slots} so both workload classes keep their floor"
+            )
         self.min_slots = min_slots
         self.smoothing = smoothing
         self._sync_every = max(1, sync_every)

@@ -1,0 +1,39 @@
+"""The high-concurrency front door (ROADMAP item 2).
+
+Benches used to call engines directly, one operation at a time; the
+survey's scheduling critique (§2.2(5)/§2.4) is about what happens when
+*thousands of concurrent clients* share one entry point instead.  This
+package is that entry point:
+
+* :class:`ClientSession` / :class:`PreparedStatement` — deterministic
+  simulated clients; prepared statements go through the engine's
+  parameterized plan cache (parse/optimize once per statement shape);
+* :class:`AdmissionController` — workload-class admission control and
+  backpressure honoring the scheduler's slot splits (delay on pressure,
+  shed on overload);
+* :class:`GroupCommitTuner` — retunes the WAL group-commit window from
+  the observed session arrival rate;
+* :class:`FrontDoor` — multiplexes every session's queued operations
+  over one engine, round by round, under a scheduler's allocations.
+
+Everything runs on simulated time (the shared CostModel clock); the
+tier is fully deterministic and lint-clean under htaplint HTL001.
+"""
+
+from .admission import AdmissionController, AdmissionDecision, AdmissionPolicy
+from .frontdoor import FrontDoor, FrontDoorConfig, FrontDoorReport
+from .group_commit import GroupCommitTuner
+from .session import ClientSession, Operation, PreparedStatement
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "AdmissionPolicy",
+    "ClientSession",
+    "FrontDoor",
+    "FrontDoorConfig",
+    "FrontDoorReport",
+    "GroupCommitTuner",
+    "Operation",
+    "PreparedStatement",
+]

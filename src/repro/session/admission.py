@@ -1,0 +1,108 @@
+"""Workload-class admission control and backpressure.
+
+The scheduler decides the slot split; admission control makes clients
+*feel* it.  Each workload class ("oltp" | "olap") owns a queue whose
+tolerable depth scales with the slots that class was granted this
+round: a class squeezed to few slots backs its clients off sooner,
+so queue memory stays bounded and tail latency stays tied to the slot
+decision instead of growing without bound.
+
+Two thresholds per class, both proportional to granted slots:
+
+* **delay** — past this depth the submit is still enqueued but the
+  client is told to back off (counted in ``session.delayed``);
+* **shed** — past this depth the submit is refused outright (counted
+  in ``session.shed``; the operation never enters the queue).
+
+Decisions are purely a function of (queue depth, granted slots) —
+deterministic, no wall clock, no randomness.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Mapping
+
+from ..obs import get_registry
+from ..scheduler.resources import ResourceAllocation
+
+
+class AdmissionDecision(enum.Enum):
+    ADMIT = "admit"
+    DELAY = "delay"  # enqueued, but the client should back off
+    SHED = "shed"    # refused; not enqueued
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """Queue-depth thresholds, per granted slot."""
+
+    delay_depth_per_slot: int = 16
+    shed_depth_per_slot: int = 64
+
+    def __post_init__(self) -> None:
+        if self.delay_depth_per_slot < 1 or self.shed_depth_per_slot < 1:
+            raise ValueError("admission thresholds must be >= 1")
+        if self.shed_depth_per_slot < self.delay_depth_per_slot:
+            raise ValueError("shed threshold must be >= delay threshold")
+
+
+class AdmissionController:
+    """Per-class admit/delay/shed decisions from slot-scaled depths."""
+
+    WORKLOAD_CLASSES = ("oltp", "olap")
+
+    def __init__(
+        self,
+        policy: AdmissionPolicy | None = None,
+        labels: Mapping[str, str] | None = None,
+    ):
+        self.policy = policy or AdmissionPolicy()
+        # Until the first allocation lands, both classes get one slot's
+        # worth of tolerance (the scheduler guarantees >= 1 per class).
+        self._slots = {cls: 1 for cls in self.WORKLOAD_CLASSES}
+        self.admitted = {cls: 0 for cls in self.WORKLOAD_CLASSES}
+        self.delayed = {cls: 0 for cls in self.WORKLOAD_CLASSES}
+        self.shed = {cls: 0 for cls in self.WORKLOAD_CLASSES}
+        labels = dict(labels or {})
+        reg = get_registry()
+        self._m_admitted = {
+            cls: reg.counter("session.admitted", workload=cls, **labels)
+            for cls in self.WORKLOAD_CLASSES
+        }
+        self._m_delayed = {
+            cls: reg.counter("session.delayed", workload=cls, **labels)
+            for cls in self.WORKLOAD_CLASSES
+        }
+        self._m_shed = {
+            cls: reg.counter("session.shed", workload=cls, **labels)
+            for cls in self.WORKLOAD_CLASSES
+        }
+
+    def on_allocation(self, allocation: ResourceAllocation) -> None:
+        """Adopt this round's slot split as the new depth scale."""
+        for cls in self.WORKLOAD_CLASSES:
+            self._slots[cls] = max(1, allocation.slots_for(cls))
+
+    def delay_threshold(self, workload_class: str) -> int:
+        return self._slots[workload_class] * self.policy.delay_depth_per_slot
+
+    def shed_threshold(self, workload_class: str) -> int:
+        return self._slots[workload_class] * self.policy.shed_depth_per_slot
+
+    def admit(self, workload_class: str, queue_depth: int) -> AdmissionDecision:
+        """Decide for one submit given the class's current queue depth."""
+        if workload_class not in self._slots:
+            raise ValueError(f"unknown workload class {workload_class!r}")
+        if queue_depth >= self.shed_threshold(workload_class):
+            self.shed[workload_class] += 1
+            self._m_shed[workload_class].inc()
+            return AdmissionDecision.SHED
+        if queue_depth >= self.delay_threshold(workload_class):
+            self.delayed[workload_class] += 1
+            self._m_delayed[workload_class].inc()
+            return AdmissionDecision.DELAY
+        self.admitted[workload_class] += 1
+        self._m_admitted[workload_class].inc()
+        return AdmissionDecision.ADMIT

@@ -1,0 +1,82 @@
+"""Arrival-rate-driven WAL group-commit tuning.
+
+A fixed group-commit window is wrong at both ends of the load curve:
+size 1 burns one fsync per commit under a burst, a large window makes
+a lone commit wait for company that never arrives.  The tuner closes
+the loop the way the survey's §2.2 logging discussion implies real
+engines do — from the *observed* arrival rate:
+
+    window ≈ smoothed OLTP arrivals per round / target fsyncs per round
+
+clamped to [min_batch, max_batch] and smoothed with a deterministic
+EMA so one quiet round does not collapse a window a burst just opened.
+Engines without a tunable WAL (the distributed-replica architecture
+replicates through consensus instead) simply get a no-op tuner.
+"""
+
+from __future__ import annotations
+
+from ..obs import get_registry
+from ..txn.wal import WriteAheadLog
+
+
+class GroupCommitTuner:
+    """Maps session arrival rate to a WAL group-commit window."""
+
+    def __init__(
+        self,
+        wal: WriteAheadLog | None,
+        min_batch: int = 1,
+        max_batch: int = 64,
+        target_fsyncs_per_round: int = 4,
+        smoothing: float = 0.5,
+        labels: dict[str, str] | None = None,
+    ):
+        if min_batch < 1 or max_batch < min_batch:
+            raise ValueError("need 1 <= min_batch <= max_batch")
+        if target_fsyncs_per_round < 1:
+            raise ValueError("target_fsyncs_per_round must be >= 1")
+        if not 0.0 <= smoothing < 1.0:
+            raise ValueError("smoothing must be in [0, 1)")
+        self._wal = wal
+        self._min = min_batch
+        self._max = max_batch
+        self._target_fsyncs = target_fsyncs_per_round
+        self._smoothing = smoothing
+        self._rate: float | None = None  # EMA of arrivals per round
+        self.applied_size = wal.group_commit_size if wal is not None else 0
+        self._m_size = get_registry().gauge(
+            "session.group_commit_size", **(labels or {})
+        )
+        if wal is not None:
+            self._m_size.set(float(self.applied_size))
+
+    @property
+    def smoothed_rate(self) -> float:
+        return self._rate if self._rate is not None else 0.0
+
+    def observe_round(self, oltp_arrivals: int) -> int:
+        """Fold one round's arrivals in; retune and return the window.
+
+        Returns 0 when the engine has no tunable WAL.
+        """
+        if oltp_arrivals < 0:
+            raise ValueError("arrivals must be >= 0")
+        if self._rate is None:
+            self._rate = float(oltp_arrivals)
+        else:
+            self._rate = (
+                self._smoothing * self._rate
+                + (1.0 - self._smoothing) * oltp_arrivals
+            )
+        if self._wal is None:
+            return 0
+        size = max(
+            self._min,
+            min(self._max, round(self._rate / self._target_fsyncs)),
+        )
+        if size != self.applied_size:
+            self._wal.set_group_commit_size(size)
+            self.applied_size = size
+            self._m_size.set(float(size))
+        return self.applied_size

@@ -1,0 +1,105 @@
+"""Deterministic simulated clients and their prepared statements.
+
+A :class:`ClientSession` is one logical connection to the front door.
+It never touches the engine directly: every operation is *submitted*
+to the front door's per-class queue and runs when a scheduling round
+grants that class budget.  Latency is therefore simulated end-to-end
+(queue wait + execution), which is exactly the number the survey's
+scheduling discussion cares about.
+
+Prepared statements are client-side handles over the engine's
+parameterized plan cache: ``prepare()`` once, then ``execute(params)``
+per call.  Sessions keep a handle per statement text, so a client that
+re-prepares the same shape reuses the handle (mirroring real drivers'
+statement caches).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Sequence
+
+from ..engines.base import HTAPEngine
+from ..query.ast import QueryResult
+from .admission import AdmissionDecision
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .frontdoor import FrontDoor
+
+
+class PreparedStatement:
+    """A parse-once handle; ``execute`` binds parameters per call.
+
+    With ``use_plan_cache=False`` the handle degrades to the cold path
+    (full parse/optimize every call) — the bench's control arm.
+    """
+
+    def __init__(
+        self, engine: HTAPEngine, statement: str, use_plan_cache: bool = True
+    ):
+        self.engine = engine
+        self.statement = statement
+        self.use_plan_cache = use_plan_cache
+
+    def execute(self, params: Sequence[Any] = ()) -> QueryResult:
+        if self.use_plan_cache:
+            return self.engine.execute_prepared(self.statement, params)
+        return self.engine.query(self.statement, params=params)
+
+
+@dataclass
+class Operation:
+    """One queued unit of client work."""
+
+    kind: str                    # "oltp" | "olap"
+    run: Callable[[], Any]
+    submitted_at: float          # simulated us at submission
+    session_id: int
+    #: True when admission said DELAY — enqueued, but the client was
+    #: told to back off before submitting more.
+    delayed: bool = False
+
+
+class ClientSession:
+    """One simulated client multiplexed through the front door."""
+
+    def __init__(
+        self,
+        frontdoor: "FrontDoor",
+        session_id: int,
+        workload_class: str,
+    ):
+        self.frontdoor = frontdoor
+        self.session_id = session_id
+        self.workload_class = workload_class
+        self.submitted = 0
+        self.completed = 0
+        self.shed = 0
+        self._statements: dict[str, PreparedStatement] = {}
+
+    def prepare(self, statement: str) -> PreparedStatement:
+        """Client-side statement cache: one handle per statement text."""
+        handle = self._statements.get(statement)
+        if handle is None:
+            handle = PreparedStatement(
+                self.frontdoor.engine,
+                statement,
+                use_plan_cache=self.frontdoor.config.use_plan_cache,
+            )
+            self._statements[statement] = handle
+        return handle
+
+    def submit(
+        self, fn: Callable[[], Any], kind: str | None = None
+    ) -> AdmissionDecision:
+        """Queue arbitrary work (e.g. one TPC-C transaction closure)."""
+        return self.frontdoor.submit(self, fn, kind or self.workload_class)
+
+    def submit_query(
+        self, statement: str, params: Sequence[Any] = ()
+    ) -> AdmissionDecision:
+        """Queue one execution of a (prepared) query."""
+        handle = self.prepare(statement)
+        return self.frontdoor.submit(
+            self, lambda: handle.execute(params), "olap"
+        )

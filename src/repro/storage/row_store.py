@@ -49,6 +49,7 @@ class MVCCRowStore:
         self._secondary: dict[str, BPlusTree] = {}
         self._mv_indexes: dict[str, MultiVersionIndex] = {}
         self._installs = 0  # total versions ever installed (activity counter)
+        self._versions = 0  # live version count, maintained incrementally
 
     # ------------------------------------------------------------- metadata
 
@@ -68,7 +69,9 @@ class MVCCRowStore:
                 yield key
 
     def version_count(self) -> int:
-        return sum(len(chain) for chain in self._chains.values())
+        """O(1): scan-cache tokens read this on every scan, so it must
+        not walk the chains (writes and vacuum keep the tally)."""
+        return self._versions
 
     def memory_bytes(self) -> int:
         """Rough footprint: versions dominate; ~48 bytes/cell heuristic."""
@@ -102,6 +105,7 @@ class MVCCRowStore:
         self._cost.charge(self._cost.row_point_write_us)
         self._chains.setdefault(key, []).append(RowVersion(row=row, begin_ts=commit_ts))
         self._installs += 1
+        self._versions += 1
         self._index_add(key, row)
         for column, index in self._mv_indexes.items():
             index.on_insert(key, row[self.schema.index_of(column)], commit_ts)
@@ -117,6 +121,7 @@ class MVCCRowStore:
         old.end_ts = commit_ts
         chain.append(RowVersion(row=row, begin_ts=commit_ts))
         self._installs += 1
+        self._versions += 1
         self._index_remove(key, old.row)
         self._index_add(key, row)
         for column, index in self._mv_indexes.items():
@@ -290,6 +295,7 @@ class MVCCRowStore:
                 dead_keys.append(key)
         for key in dead_keys:
             del self._chains[key]
+        self._versions -= reclaimed
         for index in self._mv_indexes.values():
             index.vacuum(oldest_active_ts)
         return reclaimed

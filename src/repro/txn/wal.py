@@ -146,6 +146,25 @@ class WriteAheadLog:
         if self._unforced_commits >= self._group_commit_size:
             self.force()
 
+    @property
+    def group_commit_size(self) -> int:
+        return self._group_commit_size
+
+    def set_group_commit_size(self, size: int) -> None:
+        """Retune the group-commit window (the front door's arrival-rate
+        knob): larger batches amortize fsyncs under bursts, size 1 keeps
+        commit latency minimal when traffic is light.
+
+        Shrinking the window below the commits already pending forces
+        immediately — a commit admitted under the old window must never
+        wait longer because the window shrank.
+        """
+        if size < 1:
+            raise ValueError("group_commit_size must be >= 1")
+        self._group_commit_size = size
+        if self._unforced_commits >= size:
+            self.force()
+
     def force(self) -> None:
         """Simulated fsync: pay the sync cost, clear the pending batch,
         and advance the durability horizon to the current tail."""

@@ -176,6 +176,23 @@ class FastEngine(HTAPEngine):
 """
 
 
+EPOCH_CACHE_FIRES = """\
+class StatsFence:
+    def __init__(self):
+        self.epoch = 0
+        self._cached = None
+
+    def refresh(self, stats):
+        self._cached = stats
+        self.epoch += 1
+
+    def invalidate(self):
+        self._cached = None
+"""
+
+EPOCH_CACHE_CLEAN = EPOCH_CACHE_FIRES + "        self.epoch += 1\n"
+
+
 class TestHTL002Invalidation:
     def test_store_mutation_without_bump_fires(self):
         found = findings(STORE_FIRES)
@@ -214,6 +231,17 @@ class TestHTL002Invalidation:
             "fixture: watermark-only mutation",
         )
         assert findings(suppressed) == []
+
+    def test_epoch_fence_without_bump_fires(self):
+        # The plan-cache fence (PR 6): served-state changes in an
+        # epoch-carrying cache must move the epoch, or cached plans
+        # keep validating against statistics that no longer exist.
+        found = findings(EPOCH_CACHE_FIRES)
+        assert rule_ids(found) == ["HTL002"]
+        assert "invalidate" in found[0].message
+
+    def test_epoch_fence_with_bump_passes(self):
+        assert findings(EPOCH_CACHE_CLEAN) == []
 
 
 PARITY_FIRES = """\

@@ -106,6 +106,26 @@ class TestScanCacheUnit:
         assert stats["misses"] == 1
         assert stats["entries"] == 0
 
+    def test_clear_does_not_count_invalidations(self):
+        """Test/bench resets used to route through invalidate() and
+        inflate the scan_cache.invalidations obs series — regression."""
+        reg = get_registry()
+        cache = ScanCache(labels={"engine": "test"})
+        cache.put(("t", 1), {"a": [1]})
+        cache.put(("t", 2), {"a": [2]})
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.bytes == 0
+        assert cache.invalidations == 0
+        assert cache.clears == 2
+        assert cache.stats["clears"] == 2
+        assert reg.counter_total("scan_cache.invalidations") == 0
+        # A real write-path invalidation still counts as before.
+        cache.put(("t", 3), {"a": [3]})
+        cache.invalidate("t")
+        assert cache.invalidations == 1
+        assert cache.clears == 2
+
 
 def build_snapshot_env(snapshot_holder):
     """Row store with rows installed at ts=1 and ts=5; reader snapshot

@@ -36,10 +36,34 @@ class TestStatsCache:
 
     def test_fraction_scales_with_row_count(self):
         cache, calls = make_cache(min_slack=1, fraction=0.5)
-        cache.get(0)      # row_count 100 -> slack max(1, 50) = 50
-        cache.get(40)
+        cache.get(0)
+        # Slack shrinks as drift grows: delta <= 0.5 * (100 - delta),
+        # so 33 is the largest cached drift (33 <= int(0.5 * 67) = 33).
+        cache.get(33)
         assert len(calls) == 1
-        cache.get(60)
+        cache.get(34)
+        assert len(calls) == 2
+
+    def test_truncate_busts_slack_immediately(self):
+        """Slack must key off the live drift, not the cached row count:
+        after a truncate-sized delta the cached 100 rows cannot all
+        exist, so even a generous fraction refreshes — regression for
+        the oversized-slack stale serve."""
+        cache, calls = make_cache(min_slack=1, fraction=10.0)
+        cache.get(0)  # cached-row-count slack would be 1000
+        cache.get(100)  # delta == row_count: base max(100-100, 0) = 0
+        assert len(calls) == 2
+
+    def test_backward_version_refreshes(self):
+        """A version counter moving backward (reset after recovery) says
+        nothing about drift; the old abs() check treated it as small
+        drift and served stale stats — regression."""
+        cache, calls = make_cache(min_slack=10)
+        cache.get(100)
+        cache.get(95)
+        assert len(calls) == 2
+        # And the refresh re-anchors at the new (lower) version.
+        cache.get(96)
         assert len(calls) == 2
 
     def test_invalidate_forces_recompute(self):
@@ -48,3 +72,20 @@ class TestStatsCache:
         cache.invalidate()
         cache.get(0)
         assert len(calls) == 2
+
+    def test_epoch_tracks_refreshes_and_invalidations(self):
+        """The plan cache fences plans on ``epoch``: it must advance on
+        every refresh and invalidate, and hold while cached stats are
+        served unchanged."""
+        cache, calls = make_cache(min_slack=10)
+        assert cache.epoch == 0
+        cache.get(0)
+        assert cache.epoch == 1
+        cache.get(5)  # served from cache
+        assert cache.epoch == 1
+        cache.get(50)  # past slack -> refresh
+        assert cache.epoch == 2
+        cache.invalidate()
+        assert cache.epoch == 3
+        cache.get(50)
+        assert cache.epoch == 4

@@ -59,6 +59,22 @@ class TestWorkloadDriven:
         alloc = sched.allocate(metrics(oltp_backlog=0, olap_backlog=100))
         assert alloc.oltp_slots == 2
 
+    def test_rejects_inverted_min_slots(self):
+        """2*min_slots > total_slots inverts the clamp and used to
+        hand OLAP fewer than min_slots (down to zero) — regression."""
+        with pytest.raises(ValueError):
+            WorkloadDrivenScheduler(total_slots=4, min_slots=3)
+        with pytest.raises(ValueError):
+            WorkloadDrivenScheduler(total_slots=5, min_slots=3)
+        with pytest.raises(ValueError):
+            WorkloadDrivenScheduler(total_slots=4, min_slots=0)
+        # The boundary case 2*min == total is legal and must keep both
+        # floors intact even under a fully one-sided backlog.
+        sched = WorkloadDrivenScheduler(total_slots=6, min_slots=3, smoothing=0.0)
+        alloc = sched.allocate(metrics(oltp_backlog=100, olap_backlog=0))
+        assert alloc.oltp_slots == 3
+        assert alloc.olap_slots == 3
+
     def test_ignores_freshness(self):
         sched = WorkloadDrivenScheduler(total_slots=8)
         alloc = sched.allocate(metrics(freshness_lag=10_000))
@@ -101,10 +117,44 @@ class TestAdaptive:
         sched = AdaptiveHTAPScheduler(total_slots=10, lag_target=100)
         sched.allocate(None)
         sched.allocate(metrics(oltp_completed=100, olap_completed=10))
+        # This round applies a real move (+step toward OLTP).
+        sched.allocate(metrics(oltp_completed=100, olap_completed=10))
+        assert sched._last_move != 0
         direction_before = sched._direction
-        # Much worse round: direction must flip.
+        # Much worse round after an applied move: direction must flip.
         sched.allocate(metrics(oltp_completed=1, olap_completed=0))
         assert sched._direction == -direction_before
+
+    def test_no_flip_without_applied_move(self):
+        """A worse score with no preceding move must not reverse the
+        climb: the old code attributed the drop to a move that never
+        happened — regression."""
+        sched = AdaptiveHTAPScheduler(total_slots=10, lag_target=100)
+        sched.allocate(None)
+        # First metrics round only seeds the score; no move applied yet.
+        sched.allocate(metrics(oltp_completed=100, olap_completed=10))
+        assert sched._last_move == 0
+        direction_before = sched._direction
+        sched.allocate(metrics(oltp_completed=1, olap_completed=0))
+        assert sched._direction == direction_before
+
+    def test_clamped_move_turns_around_deterministically(self):
+        """When the climb hits the slot boundary the proposal is fully
+        clamped; the scheduler must turn around instead of recording a
+        phantom move and letting score noise steer the direction."""
+        sched = AdaptiveHTAPScheduler(total_slots=10, lag_target=100, step=5)
+        good = metrics(oltp_completed=100, olap_completed=10)
+        sched.allocate(None)          # oltp = 5
+        sched.allocate(good)          # seeds score
+        alloc = sched.allocate(good)  # +5 proposed -> clamped to 9
+        assert alloc.oltp_slots == 9
+        assert sched._last_move == 4
+        # Same score again: no reversal from scoring, but +5 from 9 is
+        # fully clamped -> deterministic turnaround to 4.
+        alloc = sched.allocate(good)
+        assert alloc.oltp_slots == 4
+        assert sched._direction == -1
+        assert sched._last_move == -5
 
     def test_predictive_sync_before_threshold(self):
         sched = AdaptiveHTAPScheduler(total_slots=8, lag_target=100)

@@ -1,0 +1,70 @@
+"""Unit tests: workload-class admission control and backpressure."""
+
+import pytest
+
+from repro.scheduler.resources import ResourceAllocation
+from repro.session import AdmissionController, AdmissionDecision, AdmissionPolicy
+
+
+class TestPolicyValidation:
+    def test_thresholds_must_be_positive(self):
+        with pytest.raises(ValueError):
+            AdmissionPolicy(delay_depth_per_slot=0)
+        with pytest.raises(ValueError):
+            AdmissionPolicy(shed_depth_per_slot=0)
+
+    def test_shed_must_not_undercut_delay(self):
+        with pytest.raises(ValueError):
+            AdmissionPolicy(delay_depth_per_slot=8, shed_depth_per_slot=4)
+        AdmissionPolicy(delay_depth_per_slot=8, shed_depth_per_slot=8)
+
+
+class TestThresholds:
+    def test_default_is_one_slot_per_class(self):
+        ctl = AdmissionController(AdmissionPolicy(4, 16))
+        assert ctl.delay_threshold("oltp") == 4
+        assert ctl.shed_threshold("olap") == 16
+
+    def test_allocation_scales_thresholds(self):
+        ctl = AdmissionController(AdmissionPolicy(4, 16))
+        ctl.on_allocation(ResourceAllocation(oltp_slots=3, olap_slots=5))
+        assert ctl.delay_threshold("oltp") == 12
+        assert ctl.shed_threshold("oltp") == 48
+        assert ctl.delay_threshold("olap") == 20
+        assert ctl.shed_threshold("olap") == 80
+
+    def test_zero_slot_class_keeps_one_slot_of_tolerance(self):
+        ctl = AdmissionController(AdmissionPolicy(4, 16))
+        ctl.on_allocation(ResourceAllocation(oltp_slots=0, olap_slots=8))
+        assert ctl.delay_threshold("oltp") == 4
+
+
+class TestDecisions:
+    def test_depth_bands(self):
+        ctl = AdmissionController(AdmissionPolicy(2, 4))
+        assert ctl.admit("oltp", 0) is AdmissionDecision.ADMIT
+        assert ctl.admit("oltp", 1) is AdmissionDecision.ADMIT
+        assert ctl.admit("oltp", 2) is AdmissionDecision.DELAY
+        assert ctl.admit("oltp", 3) is AdmissionDecision.DELAY
+        assert ctl.admit("oltp", 4) is AdmissionDecision.SHED
+        assert ctl.admit("oltp", 400) is AdmissionDecision.SHED
+
+    def test_counters_are_disjoint(self):
+        """Every submission lands in exactly one of admitted/delayed/shed."""
+        ctl = AdmissionController(AdmissionPolicy(2, 4))
+        for depth in range(10):
+            ctl.admit("olap", depth)
+        assert ctl.admitted["olap"] == 2
+        assert ctl.delayed["olap"] == 2
+        assert ctl.shed["olap"] == 6
+        assert (
+            ctl.admitted["olap"] + ctl.delayed["olap"] + ctl.shed["olap"]
+            == 10
+        )
+        # The other class is untouched.
+        assert ctl.admitted["oltp"] == 0
+
+    def test_unknown_class_rejected(self):
+        ctl = AdmissionController()
+        with pytest.raises(ValueError, match="workload class"):
+            ctl.admit("batch", 0)

@@ -1,0 +1,192 @@
+"""Unit tests: the FrontDoor session multiplexer."""
+
+import pytest
+
+from repro.common import Column, DataType, Schema
+from repro.engines import make_engine
+from repro.scheduler.resources import ExecutionMode, ResourceAllocation
+from repro.session import (
+    AdmissionDecision,
+    AdmissionPolicy,
+    FrontDoor,
+    FrontDoorConfig,
+)
+from repro.session.frontdoor import resolve_wal
+
+
+class FixedScheduler:
+    """Deterministic stand-in: the same allocation every round."""
+
+    def __init__(self, oltp=2, olap=2, mode=ExecutionMode.SHARED):
+        self.allocation = ResourceAllocation(
+            oltp_slots=oltp, olap_slots=olap, mode=mode
+        )
+
+    def allocate(self, _last):
+        return self.allocation
+
+
+def make_frontdoor(config: FrontDoorConfig | None = None, **sched_kwargs):
+    engine = make_engine("a")
+    engine.create_table(
+        Schema(
+            "t",
+            [Column("id", DataType.INT64), Column("v", DataType.INT64)],
+            ["id"],
+        )
+    )
+    engine.load_rows("t", [(i, i * 10) for i in range(20)])
+    engine.sync()
+    return FrontDoor(engine, FixedScheduler(**sched_kwargs), config)
+
+
+class TestSessions:
+    def test_open_session_assigns_ids(self):
+        door = make_frontdoor()
+        a = door.open_session("oltp")
+        b = door.open_session("olap")
+        assert (a.session_id, b.session_id) == (0, 1)
+        assert b.workload_class == "olap"
+        assert door.sessions == [a, b]
+
+    def test_unknown_workload_class_rejected(self):
+        door = make_frontdoor()
+        with pytest.raises(ValueError, match="workload class"):
+            door.open_session("batch")
+        session = door.open_session("olap")
+        with pytest.raises(ValueError, match="workload class"):
+            session.submit(lambda: None, kind="batch")
+
+    def test_prepare_reuses_handles(self):
+        door = make_frontdoor()
+        session = door.open_session("olap")
+        sql = "SELECT v FROM t WHERE id = ?"
+        assert session.prepare(sql) is session.prepare(sql)
+
+
+class TestSubmitAndDrain:
+    def test_submit_enqueues_and_round_completes(self):
+        door = make_frontdoor()
+        session = door.open_session("olap")
+        for i in range(5):
+            decision = session.submit_query(
+                "SELECT v FROM t WHERE id = ?", (i,)
+            )
+            assert decision is AdmissionDecision.ADMIT
+        assert door.queue_depth("olap") == 5
+        metrics = door.run_round()
+        assert metrics.olap_completed == 5
+        assert door.queue_depth("olap") == 0
+        assert door.completed["olap"] == 5
+        # Queue wait + execution is on the simulated clock.
+        assert door.latency["olap"].p50() > 0
+
+    def test_shed_operations_never_enter_the_queue(self):
+        door = make_frontdoor(
+            FrontDoorConfig(
+                policy=AdmissionPolicy(
+                    delay_depth_per_slot=1, shed_depth_per_slot=2
+                )
+            )
+        )
+        session = door.open_session("olap")
+        decisions = [
+            session.submit_query("SELECT v FROM t WHERE id = ?", (i,))
+            for i in range(4)
+        ]
+        # Depths 0/1/2/3 against thresholds delay=1, shed=2.
+        assert decisions == [
+            AdmissionDecision.ADMIT,
+            AdmissionDecision.DELAY,
+            AdmissionDecision.SHED,
+            AdmissionDecision.SHED,
+        ]
+        assert door.queue_depth("olap") == 2
+        assert session.shed == 2
+        assert session.submitted == 4
+
+    def test_report_accounting_is_complete(self):
+        door = make_frontdoor(
+            FrontDoorConfig(
+                policy=AdmissionPolicy(
+                    delay_depth_per_slot=2, shed_depth_per_slot=4
+                )
+            )
+        )
+        sessions = [door.open_session("olap") for _ in range(12)]
+        for i, session in enumerate(sessions):
+            session.submit_query("SELECT v FROM t WHERE id = ?", (i % 20,))
+        report = door.run_rounds(3)
+        submitted = sum(s.submitted for s in sessions)
+        accounted = (
+            sum(report.admitted.values())
+            + sum(report.delayed.values())
+            + sum(report.shed.values())
+        )
+        assert accounted == submitted == 12
+        assert sum(report.completed.values()) + sum(
+            door.queue_depth(c) for c in ("oltp", "olap")
+        ) == sum(report.admitted.values()) + sum(report.delayed.values())
+
+    def test_drain_all_empties_queues(self):
+        door = make_frontdoor()
+        session = door.open_session("olap")
+        for i in range(9):
+            session.submit_query("SELECT v FROM t WHERE id = ?", (i,))
+        door.drain_all()
+        assert door.queue_depth("olap") == 0
+        assert door.completed["olap"] == 9
+
+
+class TestPlanCacheWiring:
+    def test_prepared_path_hits_the_plan_cache(self):
+        door = make_frontdoor()
+        session = door.open_session("olap")
+        for i in range(4):
+            session.submit_query("SELECT v FROM t WHERE id = ?", (i,))
+        door.run_round()
+        assert door.engine.plan_cache.hits == 3
+        assert door.engine.plan_cache.misses == 1
+
+    def test_control_arm_never_caches(self):
+        door = make_frontdoor(FrontDoorConfig(use_plan_cache=False))
+        session = door.open_session("olap")
+        for i in range(4):
+            session.submit_query("SELECT v FROM t WHERE id = ?", (i,))
+        door.run_round()
+        assert door.engine.plan_cache.hits == 0
+        assert door.engine.plan_cache.misses == 0
+
+
+class TestGroupCommitWiring:
+    def test_resolve_wal_finds_tunable_wal(self):
+        door = make_frontdoor()
+        assert resolve_wal(door.engine) is not None
+        assert resolve_wal(make_engine("b", seed=5)) is None
+
+    def test_arrival_rate_widens_the_window(self):
+        door = make_frontdoor()
+        sessions = [door.open_session("oltp") for _ in range(64)]
+
+        def writer(session):
+            def run():
+                with door.engine.session() as s:
+                    s.update("t", (session.session_id % 20, 1))
+
+            return run
+
+        for _ in range(3):
+            for session in sessions:
+                session.submit(writer(session))
+            door.run_round()
+        # 64 arrivals/round against 4 target fsyncs -> window 16.
+        assert door.tuner.applied_size > 1
+        assert door.report().group_commit_size == door.tuner.applied_size
+
+    def test_mode_toggles_read_fresh(self):
+        door = make_frontdoor(mode=ExecutionMode.ISOLATED)
+        door.run_round()
+        assert door.engine.read_fresh is False
+        shared = make_frontdoor(mode=ExecutionMode.SHARED)
+        shared.run_round()
+        assert shared.engine.read_fresh is True

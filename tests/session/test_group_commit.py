@@ -1,0 +1,73 @@
+"""Unit tests: arrival-rate-driven WAL group-commit tuning."""
+
+import pytest
+
+from repro.session import GroupCommitTuner
+from repro.txn.wal import WriteAheadLog
+
+
+def make_wal(size: int = 1) -> WriteAheadLog:
+    return WriteAheadLog(group_commit_size=size)
+
+
+class TestValidation:
+    def test_batch_bounds(self):
+        with pytest.raises(ValueError):
+            GroupCommitTuner(make_wal(), min_batch=0)
+        with pytest.raises(ValueError):
+            GroupCommitTuner(make_wal(), min_batch=8, max_batch=4)
+
+    def test_target_and_smoothing(self):
+        with pytest.raises(ValueError):
+            GroupCommitTuner(make_wal(), target_fsyncs_per_round=0)
+        with pytest.raises(ValueError):
+            GroupCommitTuner(make_wal(), smoothing=1.0)
+        with pytest.raises(ValueError):
+            GroupCommitTuner(make_wal(), smoothing=-0.1)
+
+    def test_negative_arrivals_rejected(self):
+        tuner = GroupCommitTuner(make_wal())
+        with pytest.raises(ValueError):
+            tuner.observe_round(-1)
+
+
+class TestTuning:
+    def test_first_observation_seeds_the_rate(self):
+        tuner = GroupCommitTuner(make_wal(), target_fsyncs_per_round=4)
+        assert tuner.smoothed_rate == 0.0
+        size = tuner.observe_round(32)
+        assert tuner.smoothed_rate == 32.0
+        assert size == 8                      # 32 arrivals / 4 fsyncs
+        assert tuner._wal.group_commit_size == 8
+
+    def test_ema_smooths_quiet_rounds(self):
+        tuner = GroupCommitTuner(
+            make_wal(), target_fsyncs_per_round=4, smoothing=0.5
+        )
+        tuner.observe_round(32)
+        size = tuner.observe_round(0)         # rate: 0.5*32 + 0.5*0 = 16
+        assert tuner.smoothed_rate == 16.0
+        assert size == 4
+
+    def test_clamped_to_bounds(self):
+        tuner = GroupCommitTuner(
+            make_wal(), min_batch=2, max_batch=16, target_fsyncs_per_round=1
+        )
+        assert tuner.observe_round(10_000) == 16
+        quiet = GroupCommitTuner(
+            make_wal(8), min_batch=2, max_batch=16, target_fsyncs_per_round=4
+        )
+        assert quiet.observe_round(0) == 2
+
+    def test_wal_only_touched_on_change(self):
+        wal = make_wal(8)
+        tuner = GroupCommitTuner(wal, target_fsyncs_per_round=4)
+        assert tuner.observe_round(32) == 8   # already 8: no-op retune
+        assert wal.group_commit_size == 8
+
+    def test_no_wal_is_a_noop(self):
+        """The distributed-replica architecture has nothing to tune."""
+        tuner = GroupCommitTuner(None)
+        assert tuner.observe_round(500) == 0
+        assert tuner.applied_size == 0
+        assert tuner.smoothed_rate == 500.0   # rate still tracked
