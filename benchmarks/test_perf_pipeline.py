@@ -1,0 +1,289 @@
+"""Morsel-driven compressed-execution microbench: code-space joins,
+GROUP BY, and DISTINCT vs the decode-first reference.
+
+Times the executor's default compressed mode (dictionary codes flow
+past the scan boundary; materialization deferred to result emit)
+against ``Executor(compressed=False)`` (decode every column at the
+scan, run every operator on decoded values) over identical plans and
+catalogs, asserting zero result divergence on every workload.  Writes
+``BENCH_pipeline.json`` at the repo root with ops/s and speedups so CI
+can archive the numbers.
+
+Row count defaults to 100k; CI sets ``PIPELINE_BENCH_ROWS`` smaller.
+The ≥3x acceptance gate applies to the aggregate-heavy workloads
+(string-keyed GROUP BY and the join + GROUP BY mix) at full size only —
+at reduced size fixed per-query overhead dominates and the asserts
+relax to "not slower".
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.common import Column, CostModel, DataType, Schema
+from repro.obs import get_registry
+from repro.parallel import scan_parallel
+from repro.query import DualStoreTableAccess, Executor, Planner, parse
+from repro.storage import ColumnStore
+from repro.storage.row_store import MVCCRowStore
+
+from conftest import obs_report, print_table
+
+N_ROWS = int(os.environ.get("PIPELINE_BENCH_ROWS", "100000"))
+FULL_SIZE = N_ROWS >= 100_000
+BEST_OF = 5
+N_SEGMENTS = 20
+REPORT_PATH = Path(__file__).resolve().parents[1] / "BENCH_pipeline.json"
+
+#: Distinct region names: 512 at full size so string-space grouping has
+#: real work, scaled down with the row count so each orders segment
+#: still clears the codec's per-segment cardinality bar (a column only
+#: dictionary-encodes when ``unique <= segment_rows // 2``) at reduced
+#: CI sizes.
+N_REGIONS = min(512, max(8, N_ROWS // 64))
+REGIONS = [f"region_{i:03d}" for i in range(N_REGIONS)]
+PRIORITIES = ["high", "low", "mid"]
+
+#: The series the compressed pipeline must report into.
+PIPELINE_METRICS = [
+    "exec.code_space_joins",
+    "exec.code_space_groups",
+    "exec.code_space_distincts",
+    "exec.morsel_partials",
+    "parallel.morsels",
+]
+
+WORKLOADS = {
+    # String-keyed aggregate-heavy GROUP BY: decode-first gathers two
+    # 100k-string columns and groups on them; compressed groups on the
+    # packed int codes.  Gated.
+    "groupby_strings": (
+        "SELECT o_region, o_priority, COUNT(*), SUM(o_cust) FROM orders "
+        "GROUP BY o_region, o_priority"
+    ),
+    # The GROUP BY + join mix from the acceptance criteria: a
+    # dictionary-code equi-join feeding a grouped aggregate.  Gated.
+    "join_groupby": (
+        "SELECT r_zone, COUNT(*), SUM(o_cust) FROM orders "
+        "JOIN regions ON o_region = r_name GROUP BY r_zone"
+    ),
+    # Multi-column DISTINCT entirely on codes.
+    "distinct_codes": "SELECT DISTINCT o_region, o_priority FROM orders",
+    # Code-space equality filter + late materialization: ~1/3 of the
+    # table survives the filter, but only the LIMITed rows decode.
+    "filter_topn": (
+        "SELECT o_id, o_region, o_priority FROM orders "
+        "WHERE o_priority = 'high' ORDER BY o_id LIMIT 50"
+    ),
+}
+
+GATED = ("groupby_strings", "join_groupby")
+
+
+def build_catalog(n_rows: int):
+    rng = random.Random(42)
+    orders = Schema(
+        "orders",
+        [
+            Column("o_id", DataType.INT64),
+            Column("o_cust", DataType.INT64),
+            Column("o_region", DataType.STRING),
+            Column("o_priority", DataType.STRING),
+            Column("o_amount", DataType.FLOAT64),
+        ],
+        ["o_id"],
+    )
+    regions = Schema(
+        "regions",
+        [
+            Column("r_id", DataType.INT64),
+            Column("r_name", DataType.STRING),
+            Column("r_zone", DataType.STRING),
+        ],
+        ["r_id"],
+    )
+    order_rows = [
+        (
+            i,
+            rng.randrange(1000),
+            REGIONS[rng.randrange(len(REGIONS))],
+            PRIORITIES[rng.randrange(len(PRIORITIES))],
+            round(rng.uniform(1.0, 100.0), 2),
+        )
+        for i in range(n_rows)
+    ]
+    # Region names repeat across branch rows so the name column clears
+    # the codec's per-segment cardinality bar and the join stays in
+    # code space; the dimension table loads as ONE segment for the same
+    # reason (chopping it up would leave each piece nearly all-unique).
+    # A fixed 2048 rows keeps the dimension big enough that the planner
+    # picks a COLUMN_SCAN at every bench size.
+    region_rows = [
+        (i, REGIONS[i % len(REGIONS)], f"zone_{(i % len(REGIONS)) // 32}")
+        for i in range(2048)
+    ]
+    cost = CostModel()
+    catalog = {}
+    for schema, rows, n_segments in (
+        (orders, order_rows, N_SEGMENTS),
+        (regions, region_rows, 1),
+    ):
+        row_store = MVCCRowStore(schema, cost)
+        column_store = ColumnStore(schema, cost)
+        for row in rows:
+            row_store.install_insert(row, commit_ts=1)
+        seg_rows = max(len(rows) // n_segments, 1)
+        for start in range(0, len(rows), seg_rows):
+            column_store.append_rows(rows[start : start + seg_rows], commit_ts=1)
+        catalog[schema.table_name] = DualStoreTableAccess(
+            row_store, column_store, cost
+        )
+    return catalog, cost
+
+
+def best_of_pair(fast_fn, base_fn, k=BEST_OF):
+    """Interleaved best-of-``k``: alternate the two paths within each
+    trial so allocator/cache drift hits both equally."""
+    fast_fn()  # warmup
+    base_fn()
+    fast_best = base_best = float("inf")
+    for _ in range(k):
+        start = time.perf_counter()
+        fast_fn()
+        fast_best = min(fast_best, time.perf_counter() - start)
+        start = time.perf_counter()
+        base_fn()
+        base_best = min(base_best, time.perf_counter() - start)
+    return fast_best, base_best
+
+
+@pytest.fixture(scope="module")
+def report():
+    get_registry().reset()
+    catalog, cost = build_catalog(N_ROWS)
+    planner = Planner(catalog, cost)
+    compressed = Executor(catalog, cost)
+    decode_first = Executor(catalog, cost, compressed=False)
+    results: dict[str, dict] = {}
+
+    for name, sql in WORKLOADS.items():
+        plan = planner.plan(parse(sql))
+        # Differential first: identical rows, columns, and value types.
+        fast_r = compressed.execute(plan)
+        ref_r = decode_first.execute(plan)
+        assert fast_r.columns == ref_r.columns, name
+        assert fast_r.rows == ref_r.rows, name
+        for ra, rb in zip(fast_r.rows, ref_r.rows):
+            assert [type(v) for v in ra] == [type(v) for v in rb], name
+
+        fast_t, base_t = best_of_pair(
+            lambda p=plan: compressed.execute(p),
+            lambda p=plan: decode_first.execute(p),
+        )
+        results[name] = {
+            "rows": N_ROWS,
+            "result_rows": len(fast_r),
+            "compressed_s": fast_t,
+            "decode_first_s": base_t,
+            "compressed_ops_per_s": 1.0 / fast_t,
+            "decode_first_ops_per_s": 1.0 / base_t,
+            "speedup": base_t / fast_t,
+        }
+
+    # --- serial vs morsel-parallel compressed run --------------------
+    # Morsel granularity scaled to the row count so segments split (and
+    # the morsel series report) at reduced CI sizes too.
+    morsel_rows = max(N_ROWS // 40, 64)
+    plan = planner.plan(parse(WORKLOADS["join_groupby"]))
+    serial_r = compressed.execute(plan)
+    with scan_parallel(workers=4, morsel_rows=morsel_rows) as pool:
+        pooled_r = compressed.execute(plan)
+        tasks_run = pool.tasks_run
+    assert pooled_r.rows == serial_r.rows
+    results["morsel_parallel"] = {
+        "rows": N_ROWS,
+        "result_rows": len(pooled_r),
+        "pool_tasks": tasks_run,
+    }
+
+    bench = obs_report("compressed_pipeline")
+    payload = {
+        "bench": "morsel_compressed_pipeline",
+        "rows": N_ROWS,
+        "full_size": FULL_SIZE,
+        "best_of": BEST_OF,
+        "workloads": results,
+        "extras": {
+            "obs": {
+                "counters": {
+                    k: v
+                    for k, v in bench.extras["obs"]["counters"].items()
+                    if k.startswith(("exec.", "parallel.", "scan."))
+                }
+            }
+        },
+    }
+    REPORT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    print_table(
+        f"Compressed execution ({N_ROWS} rows, best of {BEST_OF})",
+        ["workload", "decode-first ops/s", "compressed ops/s", "speedup"],
+        [
+            [
+                name,
+                r["decode_first_ops_per_s"],
+                r["compressed_ops_per_s"],
+                r["speedup"],
+            ]
+            for name, r in results.items()
+            if "speedup" in r
+        ],
+        widths=[18, 20, 18, 10],
+    )
+    payload["report"] = bench
+    return payload
+
+
+def test_aggregate_heavy_speedup(report):
+    """The acceptance gate: the GROUP BY and GROUP BY + join mixes must
+    beat decode-first by ≥3x at 100k rows."""
+    for name in GATED:
+        assert report["workloads"][name]["speedup"] >= (
+            3.0 if FULL_SIZE else 1.0
+        ), name
+
+
+def test_distinct_and_filter_not_slower(report):
+    # At reduced size fixed per-query overhead dominates the tiny
+    # filter+LIMIT workload, so the bar is only "not pathological".
+    for name in ("distinct_codes", "filter_topn"):
+        assert report["workloads"][name]["speedup"] >= (
+            1.0 if FULL_SIZE else 0.35
+        ), name
+
+
+def test_morsel_parallel_ran_tasks(report):
+    # Wall-clock ratio is load-dependent (GIL); the contract here is
+    # determinism plus visible fan-out, not a speedup gate.
+    assert report["workloads"]["morsel_parallel"]["pool_tasks"] >= 2
+
+
+def test_pipeline_metrics_in_obs_report(report):
+    """Every code-space series shows nonzero activity in the snapshot."""
+    counters = report["report"].extras["obs"]["counters"]
+    for name in PIPELINE_METRICS:
+        assert counters.get(name, 0) > 0, name
+
+
+def test_report_written(report):
+    on_disk = json.loads(REPORT_PATH.read_text())
+    assert on_disk["bench"] == "morsel_compressed_pipeline"
+    assert on_disk["rows"] == N_ROWS
+    for name in ("exec.code_space_joins", "exec.code_space_groups"):
+        assert name in on_disk["extras"]["obs"]["counters"]

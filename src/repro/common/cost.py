@@ -47,6 +47,8 @@ class CostModel:
     segment_seal_per_row_us: float = 0.3     # encode one row into a segment
     zone_map_check_us: float = 0.05          # min/max probe, per segment
     code_filter_per_value_us: float = 0.004  # predicate on dictionary codes / runs
+    code_gather_per_value_us: float = 0.006  # hand a dictionary code downstream
+    code_remap_per_value_us: float = 0.003   # rewrite a code into a merged dictionary
 
     # --- logging / disk --------------------------------------------------------
     wal_append_us: float = 2.0

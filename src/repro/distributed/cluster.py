@@ -316,36 +316,35 @@ class ColumnarReplica:
         columns: list[str] | None,
         predicate: Predicate = ALWAYS_TRUE,
         read_delta: bool = True,
+        encode: bool = False,
     ) -> ColumnScanResult:
-        """Log-based delta + column scan (Table 2's second AP technique)."""
+        """Log-based delta + column scan (Table 2's second AP technique).
+
+        ``encode=True`` keeps dictionary columns as CodeColumns across
+        the delta overlay (fresh log rows fold into the code space with
+        a decoded fallback)."""
         store = self.column_stores[table]
-        result = store.scan(columns, predicate)
+        result = store.scan(columns, predicate, encode=encode)
         if not read_delta:
             return result
         live, tombstones = self.delta_logs[table].effective_rows()
         if not live and not tombstones:
             return result
         schema = store.schema
-        import numpy as np
-
         from ..common.types import rows_to_columns
+        from ..storage.code_batch import overlay_arrays
 
         drop = tombstones | set(live)
-        if drop:
-            keep = [i for i, k in enumerate(result.keys) if k not in drop]
-            for name in list(result.arrays):
-                result.arrays[name] = result.arrays[name][keep]
-            result.keys = [result.keys[i] for i in keep]
         fresh_rows = [
             row for row in live.values() if predicate.matches(row, schema)
         ]
+        fresh_columns = rows_to_columns(schema, fresh_rows) if fresh_rows else None
+        result.arrays = overlay_arrays(
+            result.arrays, result.keys, drop, fresh_rows, fresh_columns
+        )
+        if drop:
+            result.keys = [k for k in result.keys if k not in drop]
         if fresh_rows:
-            wanted = columns if columns is not None else schema.column_names
-            arrays = rows_to_columns(schema, fresh_rows)
-            for name in wanted:
-                result.arrays[name] = np.concatenate(
-                    [result.arrays[name], arrays[name]]
-                )
             result.keys.extend(schema.key_of(r) for r in fresh_rows)
         return result
 
@@ -641,10 +640,11 @@ class DistributedCluster:
         columns: list[str] | None = None,
         predicate: Predicate = ALWAYS_TRUE,
         read_delta: bool = True,
+        encode: bool = False,
     ) -> ColumnScanResult:
         """Columnar scan on the analytics tier (learner-fed)."""
         self._build()
-        return self.columnar.scan(table, columns, predicate, read_delta)
+        return self.columnar.scan(table, columns, predicate, read_delta, encode)
 
     # ------------------------------------------------------------- sync & time
 

@@ -32,6 +32,7 @@ from ..query.access import AccessPath
 from ..query.statistics import TableStats
 from ..query.stats_cache import StatsCache
 from ..obs import get_registry
+from ..storage.code_batch import CodeColumn, concat_code_parts, overlay_arrays
 from ..storage.column_store import ColumnStore
 from ..storage.delta_store import InMemoryDeltaStore, collapse_entries
 from ..txn.wal import WalKind, WriteAheadLog
@@ -203,6 +204,54 @@ class HanaTable:
                 for name in arrays
             }
         return arrays
+
+    def scan_columns_encoded(
+        self, columns: list[str], predicate: Predicate, read_fresh: bool
+    ) -> dict[str, np.ndarray]:
+        """Compressed variant of :meth:`scan_columns`: Main and L2 scan
+        with ``encode=True``; columns both layers serve as codes merge
+        via dictionary union (remap charged here, in the driver), and
+        the L1 overlay folds fresh rows into the code space with a
+        decoded fallback."""
+        main_res = self.main.scan(columns, predicate, encode=True)
+        l2_res = self.l2.scan(columns, predicate, encode=True)
+        arrays: dict[str, np.ndarray] = {}
+        remapped = 0
+        for name in main_res.arrays:
+            a, b = main_res.arrays[name], l2_res.arrays[name]
+            a_code, b_code = isinstance(a, CodeColumn), isinstance(b, CodeColumn)
+            if a_code and b_code:
+                column, n_remap = concat_code_parts(
+                    [(a.codes, a.dictionary), (b.codes, b.dictionary)]
+                )
+                arrays[name] = column
+                remapped += n_remap
+                continue
+            # One side plain: keep the encoded side when the plain side
+            # is empty (the common fresh-L2 case), else decode.
+            if a_code and len(b) == 0:
+                arrays[name] = a
+                continue
+            if b_code and len(a) == 0:
+                arrays[name] = b
+                continue
+            if a_code:
+                a = a.decode()
+            if b_code:
+                b = b.decode()
+            arrays[name] = np.concatenate([a, b])
+        if remapped:
+            self._cost.charge_rows(self._cost.code_remap_per_value_us, remapped)
+        keys = main_res.keys + l2_res.keys
+        if not read_fresh or not len(self.l1):
+            return arrays
+        live, tombstones = self.l1.effective_rows(
+            self.l1.max_commit_ts(), ALWAYS_TRUE
+        )
+        drop = tombstones | set(live)
+        fresh = [r for r in live.values() if predicate.matches(r, self.schema)]
+        fresh_columns = rows_to_columns(self.schema, fresh) if fresh else None
+        return overlay_arrays(arrays, keys, drop, fresh, fresh_columns)
 
     def all_latest_rows(self) -> list[Row]:
         """Materialize current state across all three layers (row path)."""
@@ -580,6 +629,24 @@ class _HanaTableAccess:
         return self._target().scan_columns(
             columns, predicate, read_fresh=self._engine.read_fresh
         )
+
+    def scan_columns_encoded(self, columns: list[str], predicate: Predicate):
+        return self._target().scan_columns_encoded(
+            columns, predicate, read_fresh=self._engine.read_fresh
+        )
+
+    def code_space_hint(self, columns: list[str]) -> float:
+        """Row-weighted encoded fraction across L2 + Main (L1 rows are
+        decoded overlay — they dilute the hint like unprunable rows)."""
+        target = self._target()
+        total = len(target.l1) + len(target.l2) + len(target.main)
+        if total == 0:
+            return 0.0
+        encoded = sum(
+            len(store) * store.encoded_column_fraction(columns)
+            for store in (target.l2, target.main)
+        )
+        return encoded / total
 
     def scan_pruning_hint(self, predicate: Predicate) -> float:
         """Row-weighted prunable fraction across the L2 + Main stores

@@ -30,6 +30,7 @@ from ..query.column_selection import (
 )
 from ..query.statistics import TableStats
 from ..query.stats_cache import StatsCache
+from ..storage.code_batch import overlay_arrays
 from ..storage.column_store import ColumnStore
 from ..storage.delta_store import InMemoryDeltaStore, collapse_entries
 from ..storage.disk_row_store import DiskRowStore
@@ -517,25 +518,50 @@ class _HeatwaveTableAccess:
         )
         return result.arrays
 
-    def _scan_with_delta(self, columns: list[str], predicate: Predicate):
+    def scan_columns_encoded(
+        self, columns: list[str], predicate: Predicate
+    ) -> dict[str, np.ndarray]:
+        """Compressed pushdown: the IMCS serves dictionary columns as
+        codes.  The fallback (columns not loaded) stays decoded — the
+        disk row store has no code space to hand off."""
+        needed = set(columns) | predicate.referenced_columns()
+        self._engine.tracker.record_query(self._table, needed)
+        if not self._columns_loaded(needed):
+            self._engine.fallbacks += 1
+            rows = self.scan_rows(predicate)
+            arrays = rows_to_columns(self.schema(), rows)
+            return {name: arrays[name] for name in columns}
+        self._engine.pushdowns += 1
+        if self._engine.read_fresh and len(self._engine._deltas[self._table]):
+            return self._scan_with_delta(columns, predicate, encode=True)
+        result = self._engine.imcs_store(self._table).scan(
+            columns, predicate, with_keys=False, encode=True
+        )
+        return result.arrays
+
+    def code_space_hint(self, columns: list[str]) -> float:
+        """Encoded fraction of the IMCS image — only when the scan would
+        push down (all needed columns loaded)."""
+        if not self._columns_loaded(set(columns)):
+            return 0.0
+        return self._engine.imcs_store(self._table).encoded_column_fraction(columns)
+
+    def _scan_with_delta(
+        self, columns: list[str], predicate: Predicate, encode: bool = False
+    ):
         engine = self._engine
-        result = engine.imcs_store(self._table).scan(columns, predicate)
+        result = engine.imcs_store(self._table).scan(
+            columns, predicate, encode=encode
+        )
         delta = engine._deltas[self._table]
         live, tombstones = delta.effective_rows(delta.max_commit_ts())
         schema = self.schema()
         drop = tombstones | set(live)
-        arrays = result.arrays
-        if drop:
-            keep = [i for i, k in enumerate(result.keys) if k not in drop]
-            arrays = {name: arr[keep] for name, arr in arrays.items()}
         fresh = [r for r in live.values() if predicate.matches(r, schema)]
-        if fresh:
-            fresh_arrays = rows_to_columns(schema, fresh)
-            arrays = {
-                name: np.concatenate([arrays[name], fresh_arrays[name]])
-                for name in arrays
-            }
-        return arrays
+        fresh_columns = rows_to_columns(schema, fresh) if fresh else None
+        return overlay_arrays(
+            result.arrays, result.keys, drop, fresh, fresh_columns
+        )
 
     def index_lookup_rows(self, predicate: Predicate) -> list[Row] | None:
         schema = self.schema()

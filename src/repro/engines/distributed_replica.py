@@ -273,12 +273,31 @@ class _ReplicaTableAccess:
         )
         return result.arrays
 
+    def scan_columns_encoded(
+        self, columns: list[str], predicate: Predicate
+    ) -> dict[str, np.ndarray]:
+        result = self._engine.cluster.analytic_scan(
+            self._table,
+            columns,
+            predicate,
+            read_delta=self._engine.read_fresh,
+            encode=True,
+        )
+        return result.arrays
+
     def scan_pruning_hint(self, predicate: Predicate) -> float:
         """Prunable fraction of the learner-side columnar replica."""
         store = self._engine.cluster.columnar.column_stores.get(self._table)
         if store is None:
             return 0.0
         return store.pruned_row_fraction(predicate)
+
+    def code_space_hint(self, columns: list[str]) -> float:
+        """Fraction of ``columns`` the replica store serves as codes."""
+        store = self._engine.cluster.columnar.column_stores.get(self._table)
+        if store is None:
+            return 0.0
+        return store.encoded_column_fraction(columns)
 
     def index_lookup_rows(self, predicate: Predicate) -> list[Row] | None:
         schema = self.schema()

@@ -307,10 +307,30 @@ class _ImcuTableAccess:
         result = imcu.scan(imcu.smu.populate_ts, columns, predicate, patch=False)
         return result.arrays
 
+    def scan_columns_encoded(
+        self, columns: list[str], predicate: Predicate
+    ) -> dict[str, np.ndarray]:
+        """Compressed scan: dictionary columns stay encoded (CodeColumn);
+        patch rows are folded into the code space at the merge."""
+        imcu = self._engine.imcu(self._table)
+        if self._engine.read_fresh:
+            result = imcu.scan(
+                self._engine.clock.now(), columns, predicate, encode=True
+            )
+            return result.arrays
+        result = imcu.scan(
+            imcu.smu.populate_ts, columns, predicate, patch=False, encode=True
+        )
+        return result.arrays
+
     def scan_pruning_hint(self, predicate: Predicate) -> float:
         """Prunable fraction of the populated IMCU (all-or-nothing: the
         unit is one pruning granule; patch reads are never pruned)."""
         return self._engine.imcu(self._table).pruned_row_fraction(predicate)
+
+    def code_space_hint(self, columns: list[str]) -> float:
+        """Fraction of ``columns`` the IMCU serves as dictionary codes."""
+        return self._engine.imcu(self._table).encoded_column_fraction(columns)
 
     def index_lookup_rows(self, predicate: Predicate) -> list[Row] | None:
         schema = self.schema()

@@ -34,9 +34,16 @@ REGISTERED_METRICS: frozenset[str] = frozenset(
         "raft.elections",
         "raft.heartbeats",
         "raft.replication_lag",
-        # segment-parallel scan pipeline
+        # morsel-driven parallel scan pipeline
         "parallel.merge_ns",
+        "parallel.morsels",
         "parallel.tasks",
+        # compressed (code-space) execution
+        "exec.code_space_distincts",
+        "exec.code_space_groups",
+        "exec.code_space_joins",
+        "exec.morsel_partials",
+        "exec.morsel_probes",
         # predicate-aware column scans
         "scan.code_space_filters",
         "scan.segments_pruned",

@@ -1,12 +1,23 @@
-"""Deterministic segment-parallel execution.
+"""Deterministic morsel-driven parallel execution.
 
-The column store fans per-segment scan+filter+gather tasks out to an
-:class:`OrderedSegmentPool` and merges the partial results back in
-segment-id order, so a parallel scan is byte-identical to the serial
+Scans fan per-morsel scan+filter+gather tasks out to an
+:class:`OrderedSegmentPool` and merge the partial results back in
+submission order, so a parallel scan is byte-identical to the serial
 one (see :mod:`repro.parallel.pool` for the determinism contract).
+Downstream pipeline stages — partial aggregation and join probing over
+morsels — live in :mod:`repro.parallel.morsel` under the same exact
+ordered-merge discipline.
 """
 
+from .morsel import (
+    EXACT_MERGE_KINDS,
+    MorselAggregate,
+    morsel_probe,
+    morsel_ranges,
+    partial_group_aggregate,
+)
 from .pool import (
+    DEFAULT_MORSEL_ROWS,
     OrderedSegmentPool,
     get_default_pool,
     scan_parallel,
@@ -14,8 +25,14 @@ from .pool import (
 )
 
 __all__ = [
+    "DEFAULT_MORSEL_ROWS",
+    "EXACT_MERGE_KINDS",
+    "MorselAggregate",
     "OrderedSegmentPool",
     "get_default_pool",
+    "morsel_probe",
+    "morsel_ranges",
+    "partial_group_aggregate",
     "scan_parallel",
     "set_default_pool",
 ]

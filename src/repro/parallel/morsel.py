@@ -1,0 +1,175 @@
+"""Morsel-driven pipeline stages with exact ordered merges.
+
+A *morsel* is a contiguous row range of a larger batch — the unit of
+work NUMA-style engines hand to workers.  This module provides the
+stages that run per morsel downstream of the scan (partial aggregation,
+join probing) under the same discipline as
+:class:`~repro.parallel.pool.OrderedSegmentPool`:
+
+* morsel boundaries are a pure function of batch size and granularity
+  (`morsel_ranges`), never of worker count or timing;
+* per-morsel results merge in submission order;
+* only *exactly mergeable* reductions run as morsel partials — COUNT,
+  MIN, MAX, and integer/bool SUM, whose merges are associative and
+  exact — so the merged output is bit-identical to the single-pass
+  kernel no matter how the rows were cut.  Float SUM/AVG are *not*
+  mergeable (float addition does not re-associate bit-exactly) and stay
+  on the flat kernel by design.
+
+Simulated-cost discipline: nothing here touches the shared clock; the
+executor charges aggregation by input row exactly as the flat kernel
+does, so morsel and flat runs are cost-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .pool import DEFAULT_MORSEL_ROWS, OrderedSegmentPool
+
+#: Reduction kinds whose partials merge exactly (see module docstring).
+EXACT_MERGE_KINDS = frozenset({"count", "sum_int", "min", "max"})
+
+
+def morsel_ranges(
+    n_rows: int, morsel_rows: int = DEFAULT_MORSEL_ROWS
+) -> list[tuple[int, int]]:
+    """Deterministic ``[start, stop)`` cuts of ``n_rows``."""
+    if n_rows <= 0:
+        return []
+    return [
+        (start, min(start + morsel_rows, n_rows))
+        for start in range(0, n_rows, morsel_rows)
+    ]
+
+
+@dataclass
+class MorselAggregate:
+    """Merged per-group state, ordered by ascending group code —
+    exactly the group order of the flat sort-based kernel."""
+
+    group_codes: np.ndarray   # sorted unique packed group codes
+    counts: np.ndarray        # rows per group (int64)
+    first_rows: np.ndarray    # first source row index per group
+    reduced: list[np.ndarray]  # one array per spec, group-ordered
+
+
+def _starts_of(sorted_codes: np.ndarray) -> np.ndarray:
+    starts = np.empty(len(sorted_codes), dtype=bool)
+    starts[0] = True
+    np.not_equal(sorted_codes[1:], sorted_codes[:-1], out=starts[1:])
+    return np.flatnonzero(starts)
+
+
+def _reduce_block(
+    kind: str, values: np.ndarray, order: np.ndarray, starts: np.ndarray
+) -> np.ndarray:
+    ordered = values[order]
+    if kind == "sum_int":
+        return np.add.reduceat(ordered, starts)
+    if kind == "min":
+        return np.minimum.reduceat(ordered, starts)
+    if kind == "max":
+        return np.maximum.reduceat(ordered, starts)
+    raise ValueError(f"unmergeable reduction kind {kind!r}")
+
+
+def partial_group_aggregate(
+    codes: np.ndarray,
+    specs: list[tuple[str, np.ndarray | None]],
+    pool: OrderedSegmentPool | None = None,
+    morsel_rows: int | None = None,
+) -> MorselAggregate:
+    """Group-by ``codes`` via per-morsel partials + exact ordered merge.
+
+    ``specs`` lists ``(kind, values)`` reductions with kinds drawn from
+    :data:`EXACT_MERGE_KINDS` (``count`` needs no values — it rides on
+    the per-group counts).  The result is bit-identical to sorting the
+    whole batch and reducing once, for any morsel granularity and any
+    worker count — which is what makes it safe to use opportunistically
+    whenever a pool is installed.
+    """
+    rows = len(codes)
+    if morsel_rows is None:
+        morsel_rows = getattr(pool, "morsel_rows", None) or DEFAULT_MORSEL_ROWS
+    if rows == 0:
+        empty = np.array([], dtype=np.int64)
+        return MorselAggregate(
+            empty,
+            empty.copy(),
+            empty.copy(),
+            [
+                np.array(
+                    [], dtype=values.dtype if values is not None else np.int64
+                )
+                for _kind, values in specs
+            ],
+        )
+    reductions = [(kind, values) for kind, values in specs if kind != "count"]
+
+    def one_morsel(cut: tuple[int, int]):
+        start, stop = cut
+        local = codes[start:stop]
+        order = np.argsort(local, kind="stable")
+        sorted_local = local[order]
+        starts = _starts_of(sorted_local)
+        uniq = sorted_local[starts]
+        counts = np.diff(np.append(starts, len(sorted_local))).astype(np.int64)
+        first = start + order[starts].astype(np.int64)
+        blocks = [
+            _reduce_block(kind, values[start:stop], order, starts)
+            for kind, values in reductions
+        ]
+        return uniq, counts, first, blocks
+
+    cuts = morsel_ranges(rows, morsel_rows)
+    if pool is not None and len(cuts) > 1:
+        partials = pool.map_ordered(one_morsel, cuts)
+    else:
+        partials = [one_morsel(cut) for cut in cuts]
+
+    all_uniq = np.concatenate([p[0] for p in partials])
+    all_counts = np.concatenate([p[1] for p in partials])
+    all_first = np.concatenate([p[2] for p in partials])
+    order = np.argsort(all_uniq, kind="stable")
+    sorted_uniq = all_uniq[order]
+    starts = _starts_of(sorted_uniq)
+    group_codes = sorted_uniq[starts]
+    counts = np.add.reduceat(all_counts[order], starts)
+    first_rows = np.minimum.reduceat(all_first[order], starts)
+    reduced = []
+    for i, (kind, _values) in enumerate(reductions):
+        merge_kind = "sum_int" if kind == "sum_int" else kind
+        block = np.concatenate([p[3][i] for p in partials])
+        reduced.append(_reduce_block(merge_kind, block, order, starts))
+    # Re-expand to the caller's spec order, counts standing in for
+    # "count" entries.
+    out: list[np.ndarray] = []
+    it = iter(reduced)
+    for kind, _values in specs:
+        out.append(counts.copy() if kind == "count" else next(it))
+    return MorselAggregate(group_codes, counts, first_rows, out)
+
+
+def morsel_probe(
+    n_probe: int,
+    probe_fn,
+    pool: OrderedSegmentPool | None = None,
+    morsel_rows: int | None = None,
+) -> list:
+    """Fan a join probe over probe-side morsels, merged in morsel order.
+
+    ``probe_fn(start, stop)`` probes rows ``[start, stop)`` against the
+    (shared, read-only) build side and returns its partial result.  The
+    probe-major concatenation of per-morsel outputs equals the flat
+    probe because each probe row's matches depend only on that row.
+    """
+    if morsel_rows is None:
+        morsel_rows = getattr(pool, "morsel_rows", None) or DEFAULT_MORSEL_ROWS
+    cuts = morsel_ranges(n_probe, morsel_rows)
+    task = lambda cut: probe_fn(cut[0], cut[1])  # noqa: E731
+    if pool is not None and len(cuts) > 1:
+        return pool.map_ordered(task, cuts)
+    return [task(cut) for cut in cuts]

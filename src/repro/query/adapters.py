@@ -99,11 +99,30 @@ class DualStoreTableAccess:
         result = self._columns.scan(columns, predicate, with_keys=False)
         return result.arrays
 
+    def scan_columns_encoded(
+        self, columns: list[str], predicate: Predicate
+    ) -> dict[str, np.ndarray]:
+        """Compressed-execution scan: code-space-safe dictionary columns
+        come back as :class:`~repro.storage.code_batch.CodeColumn`
+        (codes + dictionary) instead of decoded arrays; everything else
+        is a plain array, exactly as :meth:`scan_columns` returns it."""
+        if self._columns is None:
+            return self.scan_columns(columns, predicate)
+        result = self._columns.scan(columns, predicate, with_keys=False, encode=True)
+        return result.arrays
+
     def scan_pruning_hint(self, predicate: Predicate) -> float:
         """Fraction of columnar rows in zone-map-prunable segments."""
         if self._columns is None:
             return 0.0
         return self._columns.pruned_row_fraction(predicate)
+
+    def code_space_hint(self, columns: list[str]) -> float:
+        """Fraction of ``columns`` an encoded scan serves as codes
+        (planner discount hint, no charge)."""
+        if self._columns is None:
+            return 0.0
+        return self._columns.encoded_column_fraction(columns)
 
     def index_lookup_rows(self, predicate: Predicate) -> list[Row] | None:
         schema = self.schema()

@@ -36,6 +36,9 @@ import numpy as np
 from ..common.cost import CostModel
 from ..common.errors import QueryError
 from ..common.types import rows_to_columns
+from ..obs.registry import get_registry
+from ..parallel import get_default_pool, morsel_probe, partial_group_aggregate
+from ..storage.code_batch import align_build_codes, is_code_column
 from .access import AccessPath, Catalog
 from .ast import (
     Aggregate,
@@ -77,11 +80,24 @@ class Executor:
         cost: CostModel | None = None,
         scan_cache: ScanCache | None = None,
         vectorized: bool = True,
+        compressed: bool = True,
     ):
         self._catalog = catalog
         self._cost = cost or CostModel()
         self._scan_cache = scan_cache
         self._vectorized = vectorized
+        #: Compressed execution: column scans that can serve dictionary
+        #: codes stay encoded past the scan boundary (joins, GROUP BY and
+        #: DISTINCT run on codes; materialization is deferred to result
+        #: emit).  ``compressed=False`` is the decode-first reference the
+        #: differential tests and the pipeline bench compare against.
+        self._compressed = compressed
+        reg = get_registry()
+        self._code_join_counter = reg.counter("exec.code_space_joins")
+        self._code_group_counter = reg.counter("exec.code_space_groups")
+        self._code_distinct_counter = reg.counter("exec.code_space_distincts")
+        self._morsel_partial_counter = reg.counter("exec.morsel_partials")
+        self._morsel_probe_counter = reg.counter("exec.morsel_probes")
 
     # ------------------------------------------------------------- entry
 
@@ -99,9 +115,15 @@ class Executor:
             self._cost.charge_rows(
                 self._cost.residual_filter_per_row_us, _batch_len(batch)
             )
-            mask = batch[col_a] == batch[col_b]
+            side_a, side_b = batch[col_a], batch[col_b]
+            if is_code_column(side_a):
+                side_a = side_a.decode()
+            if is_code_column(side_b):
+                side_b = side_b.decode()
+            mask = side_a == side_b
             batch = {name: arr[mask] for name, arr in batch.items()}
         query = plan.query
+        batch = self._decode_expr_columns(query, batch)
         if query.group_by or query.has_aggregates():
             columns, rows = self._aggregate(query, batch)
             rows = self._order_and_limit(query, columns, rows)
@@ -127,6 +149,11 @@ class Executor:
         needed = sorted(set(scan.columns))
         if not needed:
             needed = [schema.primary_key[0]]
+        encoded = (
+            self._compressed
+            and scan.path is AccessPath.COLUMN_SCAN
+            and hasattr(adapter, "scan_columns_encoded")
+        )
         cache = self._scan_cache
         cache_key = None
         if cache is not None:
@@ -137,6 +164,13 @@ class Executor:
                     cache_key = (
                         scan.table, scan.path, tuple(needed), scan.predicate, token
                     )
+                    if encoded:
+                        # Encoded entries append a marker *after* the
+                        # token, so keep-filters that read key[4] still
+                        # see the token.  Serial and morsel-parallel
+                        # scans share the key either way — a warm serial
+                        # entry serves a parallel rescan.
+                        cache_key = cache_key + ("enc",)
                     hit = cache.get(cache_key)
                 except TypeError:  # unhashable predicate/token: skip caching
                     cache_key = None
@@ -149,14 +183,23 @@ class Executor:
                         # Shallow copy: downstream operators build new
                         # dicts, but never hand the cached one around.
                         return dict(hit)
-        batch = self._scan_adapter(adapter, schema, scan, needed)
+        batch = self._scan_adapter(adapter, schema, scan, needed, encoded)
         if cache_key is not None:
             cache.put(cache_key, batch)
             return dict(batch)
         return batch
 
-    def _scan_adapter(self, adapter, schema, scan: ScanPlan, needed: list[str]) -> Batch:
+    def _scan_adapter(
+        self,
+        adapter,
+        schema,
+        scan: ScanPlan,
+        needed: list[str],
+        encoded: bool = False,
+    ) -> Batch:
         if scan.path is AccessPath.COLUMN_SCAN:
+            if encoded:
+                return adapter.scan_columns_encoded(needed, scan.predicate)
             return adapter.scan_columns(needed, scan.predicate)
         if scan.path is AccessPath.INDEX_LOOKUP:
             rows = adapter.index_lookup_rows(scan.predicate)
@@ -167,6 +210,46 @@ class Executor:
         self._cost.charge_rows(self._cost.column_materialize_per_row_us, len(rows))
         arrays = rows_to_columns(schema, rows)
         return {name: arrays[name] for name in needed}
+
+    # ------------------------------------------------------------- decode guard
+
+    def _decode_expr_columns(self, query: Query, batch: Batch) -> Batch:
+        """Decode CodeColumns consumed by arithmetic expressions.
+
+        Compressed execution keeps plain column references encoded —
+        joins, GROUP BY, DISTINCT, MIN/MAX and result emit are all
+        code-aware — but an ``Arith`` tree computes on values, so any
+        column it references is decoded here (an operator-internal
+        decode, outside the simulated cost model like the join's
+        one-sided key decode).
+        """
+        names: set[str] = set()
+
+        def visit(expr: Expr, top: bool) -> None:
+            if isinstance(expr, ColumnRef):
+                if not top:
+                    names.add(expr.name)
+            elif isinstance(expr, Aggregate):
+                if expr.arg is not None:
+                    visit(expr.arg, True)
+            elif isinstance(expr, Arith):
+                visit(expr.left, False)
+                visit(expr.right, False)
+
+        for item in query.select:
+            visit(item.expr, True)
+        for having in query.having:
+            visit(having.expr, True)
+        for item in query.order_by:
+            visit(item.expr, True)
+        if not names:
+            return batch
+        out = dict(batch)
+        for name in names:
+            col = out.get(name)
+            if is_code_column(col):
+                out[name] = col.decode()
+        return out
 
     # ------------------------------------------------------------- join
 
@@ -188,11 +271,32 @@ class Executor:
             build_col, probe_col = probe_col, build_col
         build_values = build[build_col]
         probe_values = probe[probe_col]
+        if is_code_column(probe_values) and is_code_column(build_values):
+            # Code-space join: remap the build side's codes into the
+            # probe side's dictionary and join on the integer codes.
+            # The remap is charged here, before (and regardless of) the
+            # vectorized/scalar split — both arms pay the same
+            # code-alignment price (the HTL003 parity discipline).
+            probe_values, build_values, n_remapped = align_build_codes(
+                probe_values, build_values
+            )
+            if n_remapped:
+                self._cost.charge_rows(
+                    self._cost.code_remap_per_value_us, n_remapped
+                )
+            self._code_join_counter.inc()
+        else:
+            # One-sided encoding: the join runs on values; the encoded
+            # side is decoded in place (operator-internal decode).
+            if is_code_column(probe_values):
+                probe_values = probe_values.decode()
+            if is_code_column(build_values):
+                build_values = build_values.decode()
         self._cost.charge_rows(self._cost.hash_build_per_row_us, len(build_values))
         self._cost.charge_rows(self._cost.hash_probe_per_row_us, len(probe_values))
         if self._vectorized:
             try:
-                probe_positions, build_positions = _equi_join_positions(
+                probe_positions, build_positions = self._probe_positions(
                     probe_values, build_values
                 )
             except _Unvectorizable:
@@ -211,39 +315,89 @@ class Executor:
                 out[name] = arr[build_positions]
         return out
 
+    def _probe_positions(
+        self, probe_values: np.ndarray, build_values: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized join probe, morsel-parallel when a pool is up.
+
+        Each probe morsel matches against the shared read-only build
+        side; the probe-major concatenation of per-morsel outputs equals
+        the flat probe exactly (each probe row's matches depend only on
+        that row).  No extra simulated charge: the per-row probe price
+        was charged flat, and morselization must not change it.
+        """
+        pool = get_default_pool()
+        morsel_rows = getattr(pool, "morsel_rows", None) if pool else None
+        n_probe = len(probe_values)
+        if pool is None or not morsel_rows or n_probe <= morsel_rows:
+            return _equi_join_positions(probe_values, build_values)
+
+        def probe_part(start: int, stop: int):
+            pp, bp = _equi_join_positions(probe_values[start:stop], build_values)
+            return pp + start, bp
+
+        parts = morsel_probe(n_probe, probe_part, pool)
+        self._morsel_probe_counter.inc(len(parts))
+        return (
+            np.concatenate([p[0] for p in parts]),
+            np.concatenate([p[1] for p in parts]),
+        )
+
     # ------------------------------------------------------------- aggregate
 
     def _aggregate(self, query: Query, batch: Batch) -> tuple[list[str], list[tuple]]:
         n = _batch_len(batch)
         aggregates = _collect_aggregates(query.select)
         self._cost.charge(self._cost.agg_per_value_us * n * max(len(aggregates), 1))
-        if query.group_by:
-            order, starts, group_reps = self._group(batch, query.group_by)
-        else:
-            order = np.arange(n)
-            starts = np.array([0], dtype=np.int64) if n else np.array([], dtype=np.int64)
-            group_reps = {}
-        agg_values: dict[str, np.ndarray] = {}
-        counts = _segment_counts(starts, n)
-        for agg in aggregates:
-            agg_values[agg.display()] = _reduce_aggregate(agg, batch, order, starts, counts)
-        # Global aggregate over an empty input still yields one row.
-        n_groups = len(starts) if (query.group_by or n) else 0
-        if not query.group_by and n == 0:
-            n_groups = 1
-            counts = np.array([0])
-            for agg in aggregates:
-                agg_values[agg.display()] = np.array(
-                    [agg.compute(np.array([]), 0)], dtype=object
-                )
         # HAVING needs every referenced aggregate computed, even ones
         # not in the select list.
+        having_aggs: list[Aggregate] = []
+        seen = {agg.display() for agg in aggregates}
         for having in query.having:
             for agg in _collect_aggregates([SelectItem(having.expr)]):
-                if agg.display() not in agg_values:
-                    agg_values[agg.display()] = _reduce_aggregate(
-                        agg, batch, order, starts, counts
+                if agg.display() not in seen:
+                    seen.add(agg.display())
+                    having_aggs.append(agg)
+        if query.group_by and any(
+            is_code_column(batch.get(col)) for col in query.group_by
+        ):
+            self._code_group_counter.inc()
+        morsel = None
+        if query.group_by and n:
+            morsel = self._morsel_aggregate(
+                query.group_by, batch, aggregates + having_aggs
+            )
+        if morsel is not None:
+            group_reps, counts, agg_values = morsel
+            n_groups = len(counts)
+        else:
+            if query.group_by:
+                order, starts, group_reps = self._group(batch, query.group_by)
+            else:
+                order = np.arange(n)
+                starts = (
+                    np.array([0], dtype=np.int64) if n else np.array([], dtype=np.int64)
+                )
+                group_reps = {}
+            agg_values = {}
+            counts = _segment_counts(starts, n)
+            for agg in aggregates:
+                agg_values[agg.display()] = _reduce_aggregate(
+                    agg, batch, order, starts, counts
+                )
+            # Global aggregate over an empty input still yields one row.
+            n_groups = len(starts) if (query.group_by or n) else 0
+            if not query.group_by and n == 0:
+                n_groups = 1
+                counts = np.array([0])
+                for agg in aggregates:
+                    agg_values[agg.display()] = np.array(
+                        [agg.compute(np.array([]), 0)], dtype=object
                     )
+            for agg in having_aggs:
+                agg_values[agg.display()] = _reduce_aggregate(
+                    agg, batch, order, starts, counts
+                )
         columns = [item.output_name for item in query.select]
         groups = self._having_survivors(query, n_groups, agg_values, group_reps)
         rows: list[tuple] = []
@@ -255,6 +409,84 @@ class Executor:
                 )
             rows.append(tuple(row))
         return columns, rows
+
+    def _morsel_aggregate(
+        self, group_by: list[str], batch: Batch, aggs: list[Aggregate]
+    ):
+        """Morsel-driven partial aggregation, or None for the flat kernel.
+
+        Eligible only when a pool is installed, the batch spans multiple
+        morsels, and every aggregate is *exactly mergeable* (COUNT,
+        MIN/MAX, integer/bool SUM — see
+        :data:`repro.parallel.EXACT_MERGE_KINDS`); MIN/MAX over encoded
+        columns reduce on dictionary codes and decode one value per
+        group.  The merged output is bit-identical to the flat kernel
+        for any morsel split, and no extra cost is charged — the
+        aggregation price was already charged per input row.
+        """
+        from .ast import AggFunc
+
+        if not self._vectorized:
+            return None
+        pool = get_default_pool()
+        n = _batch_len(batch)
+        morsel_rows = getattr(pool, "morsel_rows", None) if pool else None
+        if pool is None or not morsel_rows or n <= morsel_rows:
+            return None
+        specs: list[tuple[str, np.ndarray | None]] = []
+        posts: list[np.ndarray | None] = []
+        for agg in aggs:
+            if agg.func is AggFunc.COUNT:
+                specs.append(("count", None))
+                posts.append(None)
+                continue
+            assert agg.arg is not None
+            try:
+                values = agg.arg.evaluate(batch)
+            except Exception:
+                return None  # the flat kernel owns the error surface
+            if is_code_column(values):
+                if agg.func is AggFunc.MIN or agg.func is AggFunc.MAX:
+                    # Codes order like values (sorted dictionary): reduce
+                    # the codes, decode one winner per group.
+                    kind = "min" if agg.func is AggFunc.MIN else "max"
+                    specs.append((kind, np.asarray(values.codes)))
+                    posts.append(values.dictionary)
+                    continue
+                values = values.decode()
+            arr = np.asarray(values)
+            if agg.func is AggFunc.SUM and arr.dtype.kind in "biu":
+                if arr.dtype == np.bool_:
+                    arr = arr.astype(np.int64)
+                specs.append(("sum_int", arr))
+                posts.append(None)
+                continue
+            if (
+                agg.func in (AggFunc.MIN, AggFunc.MAX)
+                and arr.dtype.kind in "biufmM"
+            ):
+                specs.append(("min" if agg.func is AggFunc.MIN else "max", arr))
+                posts.append(None)
+                continue
+            return None  # AVG / float SUM / object values: flat kernel
+        for col in group_by:
+            if col not in batch:
+                return None  # flat path raises the reference QueryError
+        try:
+            combined = _pack_codes(
+                [batch[col] for col in group_by], nan_distinct=False
+            )
+        except _Unvectorizable:
+            return None
+        state = partial_group_aggregate(combined, specs, pool)
+        self._morsel_partial_counter.inc()
+        group_reps = {col: batch[col][state.first_rows] for col in group_by}
+        agg_values: dict[str, np.ndarray] = {}
+        for agg, post, reduced in zip(aggs, posts, state.reduced):
+            agg_values[agg.display()] = (
+                post[reduced] if post is not None else reduced
+            )
+        return group_reps, state.counts, agg_values
 
     def _having_survivors(
         self,
@@ -341,31 +573,64 @@ class Executor:
                     arrays.append(batch[name])
                 continue
             columns.append(item.output_name)
-            arrays.append(np.asarray(item.expr.evaluate(batch)))
+            value = item.expr.evaluate(batch)
+            arrays.append(value if is_code_column(value) else np.asarray(value))
         return columns, arrays
 
     def _project_scalar(self, query: Query, batch: Batch) -> tuple[list[str], list[tuple]]:
         """Row-at-a-time reference: materialize tuples, then dedup."""
         n = _batch_len(batch)
         columns, arrays = self._projection_arrays(query, batch)
-        self._cost.charge_rows(self._cost.column_materialize_per_row_us, n)
-        rows = [
-            tuple(_to_py(arr[i]) for arr in arrays)
-            for i in range(n)
-        ]
+        if not any(is_code_column(arr) for arr in arrays):
+            self._cost.charge_rows(self._cost.column_materialize_per_row_us, n)
+            rows = [
+                tuple(_to_py(arr[i]) for arr in arrays)
+                for i in range(n)
+            ]
+            if query.distinct:
+                self._cost.charge_rows(self._cost.distinct_per_row_us, n)
+                rows = _distinct_rows_scalar(rows)
+            return columns, rows
+        # Compressed reference arm: dedup row-at-a-time on dictionary
+        # codes (equal codes <=> equal values within one dictionary),
+        # then decode only the survivors at the result boundary — the
+        # same charge points as the vectorized late path.
+        keep: list[int] | range = range(n)
         if query.distinct:
             self._cost.charge_rows(self._cost.distinct_per_row_us, n)
-            rows = _distinct_rows_scalar(rows)
+            seen: set = set()
+            kept: list[int] = []
+            for i in range(n):
+                key = tuple(
+                    int(arr.codes[i]) if is_code_column(arr) else _to_py(arr[i])
+                    for arr in arrays
+                )
+                if key not in seen:
+                    seen.add(key)
+                    kept.append(i)
+            keep = kept
+            self._code_distinct_counter.inc()
+        self._cost.charge_rows(
+            self._cost.column_materialize_per_row_us, len(keep)
+        )
+        rows = [tuple(_to_py(arr[i]) for arr in arrays) for i in keep]
         return columns, rows
 
     def _project_vectorized(
         self, query: Query, batch: Batch
     ) -> tuple[list[str], list[tuple]]:
         """Columnar late materialization: DISTINCT / ORDER BY / LIMIT run
-        over arrays; tuples are built only at the result boundary."""
+        over arrays; tuples are built only at the result boundary.
+
+        With encoded projection columns the materialization charge moves
+        *after* DISTINCT: dedup runs on packed dictionary codes, and only
+        surviving rows pay the decode (late materialization past the scan
+        boundary)."""
         n = _batch_len(batch)
         columns, arrays = self._projection_arrays(query, batch)
-        self._cost.charge_rows(self._cost.column_materialize_per_row_us, n)
+        late = any(is_code_column(arr) for arr in arrays)
+        if not late:
+            self._cost.charge_rows(self._cost.column_materialize_per_row_us, n)
         if query.distinct:
             self._cost.charge_rows(self._cost.distinct_per_row_us, n)
             try:
@@ -374,12 +639,33 @@ class Executor:
                 # Mixed/unorderable objects: dedup row-at-a-time, then
                 # hand the rows to the scalar order/limit (cost for the
                 # sort is charged there).
+                if late:
+                    self._cost.charge_rows(
+                        self._cost.column_materialize_per_row_us, n
+                    )
+                    arrays = [
+                        arr.decode() if is_code_column(arr) else arr
+                        for arr in arrays
+                    ]
                 rows = _arrays_to_rows(arrays)
                 rows = _distinct_rows_scalar(rows)
                 return columns, self._order_and_limit(
                     query, columns, rows, charge=True
                 )
             arrays = [arr[keep] for arr in arrays]
+            if late:
+                self._code_distinct_counter.inc()
+        if late:
+            # Result emit: only post-DISTINCT survivors pay the
+            # materialization charge (mirroring the scalar reference
+            # arm).  The physical gather is deferred further still —
+            # ORDER BY sorts directly on dictionary codes (the sorted
+            # dictionary makes code order value order), so after LIMIT
+            # only the emitted rows are decoded at all.
+            n_emit = len(arrays[0]) if arrays else 0
+            self._cost.charge_rows(
+                self._cost.column_materialize_per_row_us, n_emit
+            )
         if query.order_by:
             n_sort = len(arrays[0]) if arrays else 0
             self._cost.charge_rows(self._cost.sort_per_row_us, n_sort)
@@ -388,6 +674,10 @@ class Executor:
             except _Unvectorizable:
                 # NULL/NaN sort keys: the scalar reference semantics
                 # (including its errors) are authoritative.
+                arrays = [
+                    arr.decode() if is_code_column(arr) else arr
+                    for arr in arrays
+                ]
                 rows = _arrays_to_rows(arrays)
                 return columns, self._order_and_limit(
                     query, columns, rows, charge=False
@@ -395,6 +685,10 @@ class Executor:
             arrays = [arr[sel] for arr in arrays]
         elif query.limit is not None:
             arrays = [arr[: query.limit] for arr in arrays]
+        if late:
+            arrays = [
+                arr.decode() if is_code_column(arr) else arr for arr in arrays
+            ]
         return columns, _arrays_to_rows(arrays)
 
     # ------------------------------------------------------------- order/limit
@@ -455,6 +749,12 @@ def _factorize(
     (~2x faster than sorting 100k Python strings) — only GROUP BY needs
     value-ordered codes, for its sorted group output.
     """
+    if is_code_column(arr):
+        # Already factorized: dictionary codes are value-ordered (sorted
+        # dictionary) and NULL/NaN-free, so they are exact under every
+        # nan_distinct/ordered combination.  Sparse codes (values absent
+        # from this batch) only waste packing range, never correctness.
+        return np.asarray(arr.codes, dtype=np.int64), max(len(arr.dictionary), 1)
     arr = np.asarray(arr)
     n = len(arr)
     if arr.dtype == object:
@@ -690,6 +990,12 @@ def _order_code_array(arr: np.ndarray) -> np.ndarray:
     including raising TypeError for None — are preserved by falling
     back, so we refuse them here.
     """
+    if is_code_column(arr):
+        # Sorted NULL-free dictionary: code order IS value order, so the
+        # codes sort without decoding.  Factorize like the int branch so
+        # DESC negation is overflow-safe.
+        _, inv = np.unique(np.asarray(arr.codes), return_inverse=True)
+        return np.asarray(inv, dtype=np.int64)
     arr = np.asarray(arr)
     if arr.dtype == object:
         if _is_none_mask(arr).any():
@@ -778,7 +1084,18 @@ def _reduce_aggregate(
     if agg.func is AggFunc.COUNT and agg.arg is None:
         return counts.copy()
     assert agg.arg is not None
-    values = np.asarray(agg.arg.evaluate(batch))[order]
+    values = agg.arg.evaluate(batch)
+    if is_code_column(values):
+        if agg.func is AggFunc.MIN or agg.func is AggFunc.MAX:
+            # Compressed MIN/MAX: codes order like values, so reduce the
+            # codes and decode one winner per group.
+            codes = np.asarray(values.codes)[order]
+            if agg.func is AggFunc.MIN:
+                return values.dictionary[np.minimum.reduceat(codes, starts)]
+            return values.dictionary[np.maximum.reduceat(codes, starts)]
+        # SUM/AVG/COUNT need the values; operator-internal decode.
+        values = values.decode()
+    values = np.asarray(values)[order]
     if agg.func is AggFunc.COUNT:
         return counts.copy()
     if agg.func is AggFunc.AVG:
@@ -848,7 +1165,10 @@ def _eval_group_vector(
             raise QueryError(
                 f"column {expr.name!r} must appear in GROUP BY or an aggregate"
             )
-        return group_reps[expr.name], np.ones(n_groups, dtype=bool)
+        reps = group_reps[expr.name]
+        if is_code_column(reps):
+            reps = reps.decode()
+        return reps, np.ones(n_groups, dtype=bool)
     if isinstance(expr, Literal):
         return np.full(n_groups, expr.value), np.ones(n_groups, dtype=bool)
     if isinstance(expr, Arith):

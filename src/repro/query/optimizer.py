@@ -217,11 +217,23 @@ class Planner:
                     scan_us = max(
                         scan_us * (1.0 - pruned), cost.zone_map_check_us
                     )
+            # Compressed execution discount: columns the adapter can
+            # hand off as dictionary codes skip the per-row materialize
+            # at the scan boundary (they pay the cheaper code gather;
+            # decode is deferred to result emit on far fewer rows).
+            materialize_us = cost.column_materialize_per_row_us
+            hint_fn = getattr(adapter, "code_space_hint", None)
+            if hint_fn is not None:
+                frac = min(max(float(hint_fn(columns_needed)), 0.0), 1.0)
+                if frac > 0.0:
+                    materialize_us = (
+                        materialize_us * (1.0 - frac)
+                        + frac * cost.code_gather_per_value_us
+                    )
             choices.append(
                 PathChoice(
                     AccessPath.COLUMN_SCAN,
-                    cost_us=scan_us
-                    + matching * cost.column_materialize_per_row_us,
+                    cost_us=scan_us + matching * materialize_us,
                     estimated_rows=matching,
                 )
             )

@@ -105,7 +105,12 @@ class ScanCache:
         if key in self._entries:
             self.bytes -= self._entry_bytes[key]
         entry = dict(batch)
-        size = sum(int(np.asarray(arr).nbytes) for arr in entry.values())
+        # Columns may be plain ndarrays or encoded CodeColumns; both
+        # expose nbytes (codes + dictionary for the latter).
+        size = 0
+        for arr in entry.values():
+            nbytes = getattr(arr, "nbytes", None)
+            size += int(nbytes) if nbytes is not None else int(np.asarray(arr).nbytes)
         self._entries[key] = entry
         self._entry_bytes[key] = size
         self.bytes += size

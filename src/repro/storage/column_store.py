@@ -39,6 +39,7 @@ from ..common.errors import StorageError
 from ..common.predicate import ALWAYS_TRUE, Predicate, column_range
 from ..common.types import NULL_INT, Key, Row, Schema, decode_cell, rows_to_columns
 from ..obs.registry import get_registry
+from .code_batch import CodeColumn, concat_code_parts
 from .compression import (
     DictionaryEncoding,
     Encoding,
@@ -257,11 +258,19 @@ def scan_mode(
 
 @dataclass
 class _SegmentPartial:
-    """One segment's contribution to a scan (built off the shared clock)."""
+    """One segment's (or morsel's) contribution to a scan.
 
-    arrays: dict[str, np.ndarray] | None  # None: no surviving rows
+    Built entirely off the shared clock: simulated work is carried as
+    ``(per-value rate, value count)`` pairs so the merge can aggregate
+    integer counts per rate before pricing them — any morsel split of a
+    segment settles *bit-identical* cost to the serial segment scan.
+    ``arrays`` values are ndarrays, or :class:`CodeColumn` parts when
+    the scan hands codes across the boundary (``encode=True``).
+    """
+
+    arrays: dict[str, object] | None  # None: no surviving rows
     keys: Sequence[Key] | None
-    charge_us: float
+    charges: tuple[tuple[float, int], ...]
     code_space_filters: int
 
 
@@ -294,6 +303,7 @@ class ColumnStore:
         self._scanned_counter = reg.counter("scan.segments_scanned")
         self._pruned_counter = reg.counter("scan.segments_pruned")
         self._code_filter_counter = reg.counter("scan.code_space_filters")
+        self._morsel_counter = reg.counter("parallel.morsels")
 
     # ------------------------------------------------------------- metadata
 
@@ -545,6 +555,7 @@ class ColumnStore:
         prune: bool | None = None,
         code_space: bool | None = None,
         parallel: bool | None = None,
+        encode: bool = False,
     ) -> ColumnScanResult:
         """Predicate-aware scan: prune, filter encoded, gather survivors.
 
@@ -556,12 +567,24 @@ class ColumnStore:
         process-wide defaults; ``prune=False, code_space=False`` is the
         pre-pruning full-decode reference path.
 
+        ``encode=True`` keeps output columns *encoded* across the scan
+        boundary: a wanted column whose every surviving segment carries
+        a code-space-safe sorted dictionary is returned as a
+        :class:`CodeColumn` (codes gathered at surviving positions, one
+        merged dictionary — cross-segment dictionaries union-remap at
+        the merge), so joins/GROUP BY/DISTINCT downstream can run on
+        codes and defer materialization to result emit.
+
         With a :mod:`repro.parallel` pool installed (and ``parallel``
-        on), surviving segments fan out to worker threads and merge in
-        segment-id order.  Workers never touch the shared clock — each
-        segment task accumulates its simulated charge and the merge
-        accounts the total here, so serial and parallel scans produce
-        identical results *and* identical simulated cost.
+        on), work fans out to worker threads and merges in submission
+        order.  The unit of work is a *morsel* — a row range of a
+        surviving segment (``pool.morsel_rows``; whole segments when
+        unset).  Zone-map pruning runs once per segment here in the
+        driver, never per morsel, and workers never touch the shared
+        clock: each task reports (rate, value-count) charge pairs whose
+        integer counts the merge aggregates per rate before pricing, so
+        serial, segment-parallel and morsel-parallel scans produce
+        identical results *and* bit-identical simulated cost.
         """
         wanted = list(columns) if columns is not None else self.schema.column_names
         for name in wanted:
@@ -593,28 +616,69 @@ class ColumnStore:
                     pruned += 1
         else:
             survivors = live
+        encode_cols = (
+            self._encodable_columns(wanted, survivors) if encode else frozenset()
+        )
+        morsel_rows = getattr(pool, "morsel_rows", None) if pool else None
+        tasks: list[tuple[Segment, int, int, int]] = []
+        for segment in survivors:
+            if morsel_rows and segment.n_rows > morsel_rows:
+                for index, start in enumerate(range(0, segment.n_rows, morsel_rows)):
+                    stop = min(start + morsel_rows, segment.n_rows)
+                    tasks.append((segment, start, stop, index))
+            else:
+                tasks.append((segment, 0, segment.n_rows, 0))
 
-        def task(segment: Segment) -> _SegmentPartial:
+        def task(desc: tuple[Segment, int, int, int]) -> _SegmentPartial:
+            segment, start, stop, index = desc
             return self._scan_segment(
-                segment, wanted, needed, predicate, with_keys, code_space
+                segment, start, stop, index, wanted, needed,
+                predicate, with_keys, code_space, encode_cols,
             )
 
-        if pool is not None and len(survivors) > 1:
-            parts = pool.map_ordered(task, survivors)
+        if pool is not None and len(tasks) > 1:
+            parts = pool.map_ordered(task, tasks)
+            if len(tasks) > len(survivors):
+                self._morsel_counter.inc(len(tasks))
         else:
-            parts = [task(segment) for segment in survivors]
-        out_arrays: dict[str, list[np.ndarray]] = {name: [] for name in wanted}
+            parts = [task(desc) for desc in tasks]
+        out_arrays: dict[str, list] = {name: [] for name in wanted}
         out_keys: list[Key] | None = [] if with_keys else None
         code_filters = 0
-        for part in parts:  # already in segment-id order
-            charge += part.charge_us
-            code_filters += part.code_space_filters
+        rate_counts: dict[float, int] = {}
+        for desc, part in zip(tasks, parts):  # already in submission order
+            for rate, count in part.charges:
+                rate_counts[rate] = rate_counts.get(rate, 0) + count
+            if desc[3] == 0:
+                # Every morsel of a segment evaluates the same leaves;
+                # count each segment's code-space filters once (morsel 0
+                # is representative), matching the serial scan's tally.
+                code_filters += part.code_space_filters
             if part.arrays is None:
                 continue
             for name in wanted:
                 out_arrays[name].append(part.arrays[name])
             if out_keys is not None:
                 out_keys.extend(part.keys)
+        final: dict[str, object] = {}
+        remapped = 0
+        for name, parts_ in out_arrays.items():
+            if not parts_:
+                final[name] = np.array(
+                    [], dtype=self.schema.column(name).dtype.numpy_dtype
+                )
+            elif name in encode_cols:
+                column, n_remap = concat_code_parts(
+                    [(p.codes, p.dictionary) for p in parts_]
+                )
+                final[name] = column
+                remapped += n_remap
+            else:
+                final[name] = np.concatenate(parts_)
+        for rate, count in rate_counts.items():
+            charge += rate * count
+        if remapped:
+            charge += self._cost.code_remap_per_value_us * remapped
         self._cost.charge(charge)
         scanned = len(survivors)
         if scanned:
@@ -623,14 +687,6 @@ class ColumnStore:
             self._pruned_counter.inc(pruned)
         if code_filters:
             self._code_filter_counter.inc(code_filters)
-        final = {
-            name: (
-                np.concatenate(parts_)
-                if parts_
-                else np.array([], dtype=self.schema.column(name).dtype.numpy_dtype)
-            )
-            for name, parts_ in out_arrays.items()
-        }
         return ColumnScanResult(
             arrays=final,
             keys=out_keys,
@@ -639,22 +695,77 @@ class ColumnStore:
             code_space_filters=code_filters,
         )
 
+    def _encodable_columns(
+        self, wanted: list[str], survivors: list[Segment]
+    ) -> frozenset[str]:
+        """Wanted columns every surviving segment can serve as codes.
+
+        All-or-nothing per column and decided up front in the driver —
+        a fixed representation regardless of pool, morsel split, or
+        which segments end up empty, so scan results are deterministic.
+        """
+        if not survivors:
+            return frozenset()
+        ok = []
+        for name in wanted:
+            if all(
+                isinstance(seg.encodings.get(name), DictionaryEncoding)
+                and seg.encodings[name].code_space_safe()
+                for seg in survivors
+            ):
+                ok.append(name)
+        return frozenset(ok)
+
+    def encoded_column_fraction(self, columns: Sequence[str]) -> float:
+        """Fraction of ``columns`` servable as dictionary codes across
+        every live segment — the planner's code-space hint (a planning
+        estimate: no simulated charge)."""
+        cols = list(columns)
+        live = [seg for seg in self._segments if seg.live_count() > 0]
+        if not live or not cols:
+            return 0.0
+        servable = sum(
+            1
+            for name in cols
+            if all(
+                isinstance(seg.encodings.get(name), DictionaryEncoding)
+                and seg.encodings[name].code_space_safe()
+                for seg in live
+            )
+        )
+        return servable / len(cols)
+
     def _scan_segment(
         self,
         segment: Segment,
+        start: int,
+        stop: int,
+        morsel_index: int,
         wanted: list[str],
         needed: set[str],
         predicate: Predicate,
         with_keys: bool,
         code_space: bool,
+        encode_cols: frozenset[str],
     ) -> _SegmentPartial:
-        """One segment's scan work; thread-safe (no shared-state writes)."""
+        """One morsel's scan work (rows ``[start, stop)`` of a segment);
+        thread-safe (no shared-state writes)."""
+        whole = start == 0 and stop == segment.n_rows
+        if whole:
+            encodings = segment.encodings
+        else:
+            encodings = {
+                name: enc.slice(start, stop)
+                for name, enc in segment.encodings.items()
+                if name in needed
+            }
         data = EncodedColumns(
-            segment.encodings,
-            segment.n_rows,
+            encodings,
+            stop - start,
             self._cost.column_scan_per_value_us,
             self._cost.code_filter_per_value_us,
             SCAN_COST_FACTOR,
+            self._cost.code_gather_per_value_us,
         )
         if code_space:
             mask = predicate_mask(predicate, data)
@@ -665,22 +776,47 @@ class ColumnStore:
             if decoded:
                 mask = np.asarray(predicate.mask(decoded), dtype=bool)
             else:
-                mask = np.ones(segment.n_rows, dtype=bool)
-        mask = mask & ~segment.delete_mask
+                mask = np.ones(stop - start, dtype=bool)
+        mask = mask & ~segment.delete_mask[start:stop]
         if not mask.any():
-            return _SegmentPartial(None, None, data.charge_us, data.code_space_filters)
-        if mask.all():
-            # Every row survives: full decodes (concatenate at the merge
-            # copies, so sharing the decoded buffers is safe).
-            arrays = {name: data.array(name) for name in wanted}
-            keys: Sequence[Key] | None = segment.keys if with_keys else None
             return _SegmentPartial(
-                arrays, keys, data.charge_us, data.code_space_filters
+                None, None, data.charge_items(), data.code_space_filters
+            )
+        if mask.all():
+            # Every row survives: full decodes / full code arrays
+            # (concatenate at the merge copies, so sharing buffers is
+            # safe).
+            arrays = {
+                name: (
+                    CodeColumn(data.codes(name), data.encoding(name).dictionary)
+                    if name in encode_cols
+                    else data.array(name)
+                )
+                for name in wanted
+            }
+            keys: Sequence[Key] | None = None
+            if with_keys:
+                keys = segment.keys if whole else segment.keys[start:stop]
+            return _SegmentPartial(
+                arrays, keys, data.charge_items(), data.code_space_filters
             )
         positions = np.flatnonzero(mask)
-        arrays = {name: data.gather(name, positions) for name in wanted}
-        keys = [segment.keys[p] for p in positions] if with_keys else None
-        return _SegmentPartial(arrays, keys, data.charge_us, data.code_space_filters)
+        arrays = {
+            name: (
+                CodeColumn(
+                    data.codes(name, positions), data.encoding(name).dictionary
+                )
+                if name in encode_cols
+                else data.gather(name, positions)
+            )
+            for name in wanted
+        }
+        keys = (
+            [segment.keys[start + p] for p in positions] if with_keys else None
+        )
+        return _SegmentPartial(
+            arrays, keys, data.charge_items(), data.code_space_filters
+        )
 
     # ------------------------------------------------------- pruning estimates
 

@@ -48,16 +48,25 @@ from .compression import DictionaryEncoding, Encoding, RunLengthEncoding
 
 
 class EncodedColumns:
-    """Lazy decoded-column cache over one segment, with cost accounting."""
+    """Lazy decoded-column cache over one segment, with cost accounting.
+
+    Charges accumulate as ``{per-value rate: value count}`` instead of a
+    running float: integer counts sum exactly across any morsel split of
+    the segment, so a morsel-driven scan settles *bit-identical*
+    simulated cost to the serial scan no matter how the rows were cut
+    (``rate * (a + b) == rate * n`` exactly, whereas
+    ``rate*a + rate*b`` need not be).
+    """
 
     __slots__ = (
         "_encodings",
         "n_rows",
         "_scan_us",
         "_code_us",
+        "_code_gather_us",
         "_factors",
         "_decoded",
-        "charge_us",
+        "_charge_counts",
         "code_space_filters",
     )
 
@@ -68,15 +77,30 @@ class EncodedColumns:
         scan_per_value_us: float,
         code_filter_per_value_us: float,
         scan_factors: Mapping[str, float],
+        code_gather_per_value_us: float = 0.0,
     ):
         self._encodings = encodings
         self.n_rows = n_rows
         self._scan_us = scan_per_value_us
         self._code_us = code_filter_per_value_us
+        self._code_gather_us = code_gather_per_value_us
         self._factors = scan_factors
         self._decoded: dict[str, np.ndarray] = {}
-        self.charge_us = 0.0
+        self._charge_counts: dict[float, int] = {}
         self.code_space_filters = 0
+
+    def _add_charge(self, rate: float, count: int) -> None:
+        if count:
+            self._charge_counts[rate] = self._charge_counts.get(rate, 0) + count
+
+    @property
+    def charge_us(self) -> float:
+        return sum(rate * count for rate, count in self._charge_counts.items())
+
+    def charge_items(self) -> tuple[tuple[float, int], ...]:
+        """(rate, value-count) pairs, in first-charge order — the merge
+        side aggregates counts per rate before pricing them."""
+        return tuple(self._charge_counts.items())
 
     def encoding(self, name: str) -> Encoding:
         return self._encodings[name]
@@ -88,8 +112,8 @@ class EncodedColumns:
             enc = self._encodings[name]
             arr = enc.decode()
             self._decoded[name] = arr
-            self.charge_us += (
-                self._scan_us * self._factors.get(enc.name, 1.0) * self.n_rows
+            self._add_charge(
+                self._scan_us * self._factors.get(enc.name, 1.0), self.n_rows
             )
         return arr
 
@@ -103,14 +127,28 @@ class EncodedColumns:
         if arr is not None:
             return arr[positions]
         enc = self._encodings[name]
-        self.charge_us += (
-            self._scan_us * self._factors.get(enc.name, 1.0) * len(positions)
+        self._add_charge(
+            self._scan_us * self._factors.get(enc.name, 1.0), len(positions)
         )
         return enc.take(positions)
 
+    def codes(self, name: str, positions: np.ndarray | None = None):
+        """Dictionary codes (not values) at ``positions`` — the encoded
+        hand-off for compressed execution.  Touching a code costs
+        ``code_gather_per_value_us``, a fraction of the decode price;
+        the deferred materialization is charged downstream at result
+        emit.  Only valid for dictionary encodings.
+        """
+        enc = self._encodings[name]
+        if positions is None:
+            self._add_charge(self._code_gather_us, self.n_rows)
+            return enc.codes
+        self._add_charge(self._code_gather_us, len(positions))
+        return enc.codes[positions]
+
     def note_code_filter(self) -> None:
         self.code_space_filters += 1
-        self.charge_us += self._code_us * self.n_rows
+        self._add_charge(self._code_us, self.n_rows)
 
 
 def predicate_mask(predicate: Predicate, data: EncodedColumns) -> np.ndarray:

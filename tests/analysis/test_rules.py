@@ -103,6 +103,50 @@ class TestHTL001Determinism:
         assert rule_ids(found) == ["HTL001"]
         assert found[0].line == 2
 
+    def test_wall_clock_morsel_scheduler_fires(self):
+        # Morsel scheduling must be a pure function of batch size and
+        # granularity: cutting work by elapsed wall time makes results
+        # depend on machine speed, which HTL001 exists to catch.
+        found = findings(
+            """\
+            import time
+
+            def adaptive_cuts(n_rows, budget_s):
+                start = time.monotonic()
+                cuts = []
+                step = 4096
+                for lo in range(0, n_rows, step):
+                    if time.monotonic() - start > budget_s:
+                        step *= 2
+                    cuts.append((lo, min(lo + step, n_rows)))
+                return cuts
+            """
+        )
+        assert rule_ids(found) == ["HTL001"]
+
+    def test_deterministic_morsel_ranges_pass(self):
+        found = findings(
+            """\
+            def morsel_ranges(n_rows, morsel_rows):
+                return [
+                    (start, min(start + morsel_rows, n_rows))
+                    for start in range(0, n_rows, morsel_rows)
+                ]
+            """
+        )
+        assert found == []
+
+    def test_shipped_morsel_scheduling_is_clean(self):
+        # The sweep itself: the parallel package's only sanctioned
+        # wall-clock use is pool.py's suppressed observability import.
+        from pathlib import Path
+
+        import repro.parallel as parallel_pkg
+        from repro.analysis import analyze_tree
+
+        pkg_dir = Path(parallel_pkg.__file__).resolve().parent
+        assert analyze_tree(pkg_dir, rule_ids=["HTL001"]) == []
+
 
 STORE_FIRES = """\
 class Store:
@@ -316,6 +360,42 @@ class TestHTL003CostParity:
             "fixture: scalar arm charges inside the store",
         )
         assert findings(suppressed) == []
+
+
+CODE_JOIN_FIRES = """\
+class CodeJoin:
+    def probe(self, probe, build):
+        probe_codes, build_codes, remapped = align_build_codes(probe, build)
+        if self.vectorized:
+            self.cost.charge_rows(self.remap_per_value_us, remapped)
+            return searchsorted_probe(probe_codes, build_codes)
+        else:
+            return [lookup(c, build_codes) for c in probe_codes.tolist()]
+"""
+
+CODE_JOIN_CLEAN = """\
+class CodeJoin:
+    def probe(self, probe, build):
+        probe_codes, build_codes, remapped = align_build_codes(probe, build)
+        self.cost.charge_rows(self.remap_per_value_us, remapped)
+        if self.vectorized:
+            return searchsorted_probe(probe_codes, build_codes)
+        else:
+            return [lookup(c, build_codes) for c in probe_codes.tolist()]
+"""
+
+
+class TestHTL003CodeSpaceKernels:
+    """The compressed-execution shape: dictionary-remap charges must sit
+    *outside* the vectorized/scalar split (the executor hoists them), or
+    the scalar reference path silently undercounts."""
+
+    def test_remap_charge_inside_vectorized_arm_fires(self):
+        found = findings(CODE_JOIN_FIRES)
+        assert rule_ids(found) == ["HTL003"]
+
+    def test_remap_charge_hoisted_before_split_passes(self):
+        assert findings(CODE_JOIN_CLEAN) == []
 
 
 METRICS = frozenset({"engine.queries", "wal.fsyncs"})

@@ -1,0 +1,447 @@
+"""Differential tests: compressed (code-space) execution vs decode-first.
+
+The executor's default mode keeps dictionary-encoded columns as
+:class:`~repro.storage.code_batch.CodeColumn` past the scan boundary —
+equi-joins, GROUP BY, and DISTINCT run on the codes, and decoding is
+deferred to result emit.  ``Executor(compressed=False)`` is the
+decode-first reference.  These tests prove the contract from both
+directions:
+
+* results (rows *and* value types) are byte-identical to decode-first,
+  for every engine architecture and every operator mix;
+* simulated cost is invariant to *how* the compressed path runs —
+  vectorized vs scalar reference, serial vs morsel-parallel — while
+  compressed vs decode-first costs legitimately differ (that delta is
+  the modeled win, gated in the pipeline bench);
+* the code-space operators actually engage (counters move) rather than
+  silently falling back to decode;
+* MVCC still holds: snapshots pin what a scan sees even when a
+  predicate writes to the store mid-query.
+"""
+
+import numpy as np
+import pytest
+
+from repro.common import Column, CostModel, DataType, Schema
+from repro.common.predicate import Between
+from repro.engines import make_engine
+from repro.obs import get_registry
+from repro.parallel import scan_parallel
+from repro.query import DualStoreTableAccess, Executor, Planner, parse
+from repro.query.access import AccessPath
+from repro.storage import ColumnStore
+from repro.storage.code_batch import CodeColumn
+from repro.storage.row_store import MVCCRowStore
+
+REGIONS = ["east", "north", "south", "west"]
+PRIORITIES = ["high", "low", "mid"]
+
+
+def orders_schema():
+    return Schema(
+        "orders",
+        [
+            Column("o_id", DataType.INT64),
+            Column("o_cust", DataType.INT64),
+            Column("o_region", DataType.STRING),
+            Column("o_priority", DataType.STRING),
+            Column("o_amount", DataType.FLOAT64),
+        ],
+        ["o_id"],
+    )
+
+
+def regions_schema():
+    return Schema(
+        "regions",
+        [
+            Column("r_id", DataType.INT64),
+            Column("r_name", DataType.STRING),
+            Column("r_zone", DataType.STRING),
+        ],
+        ["r_id"],
+    )
+
+
+def order_rows(n=400):
+    return [
+        (
+            i,
+            i % 23,
+            REGIONS[i % len(REGIONS)],
+            PRIORITIES[(i // 2) % len(PRIORITIES)],
+            float(i % 97) + 0.25,
+        )
+        for i in range(n)
+    ]
+
+
+def region_rows():
+    """One row per (region, branch office): region names repeat, so the
+    name column clears the codec's cardinality bar and dictionary-
+    encodes — the join stays in code space on both sides."""
+    return [
+        (i, REGIONS[i % len(REGIONS)],
+         "amer" if REGIONS[i % len(REGIONS)] in ("east", "west") else "apac")
+        for i in range(32)
+    ]
+
+
+#: The operator battery: code-space joins, GROUP BY, DISTINCT, HAVING,
+#: code-space predicates, late materialization under ORDER BY/LIMIT,
+#: and the flat-kernel escapes (float SUM/AVG).
+SQL = [
+    "SELECT o_region, COUNT(*) FROM orders GROUP BY o_region",
+    "SELECT o_region, o_priority, COUNT(*), SUM(o_cust) FROM orders "
+    "GROUP BY o_region, o_priority ORDER BY o_region, o_priority",
+    "SELECT o_priority, MIN(o_region), MAX(o_region) FROM orders "
+    "GROUP BY o_priority",
+    "SELECT o_region, SUM(o_amount), AVG(o_amount) FROM orders "
+    "GROUP BY o_region ORDER BY o_region",
+    "SELECT o_region, COUNT(*) FROM orders GROUP BY o_region "
+    "HAVING COUNT(*) > 10",
+    "SELECT DISTINCT o_region FROM orders",
+    "SELECT DISTINCT o_region, o_priority FROM orders "
+    "ORDER BY o_region, o_priority",
+    "SELECT o_id, o_region FROM orders WHERE o_region = 'west' "
+    "ORDER BY o_id LIMIT 9",
+    "SELECT o_id, o_priority FROM orders WHERE o_id < 50 ORDER BY o_id",
+    "SELECT o_id, r_zone FROM orders JOIN regions ON o_region = r_name "
+    "ORDER BY o_id LIMIT 11",
+    "SELECT r_zone, COUNT(*), SUM(o_cust) FROM orders "
+    "JOIN regions ON o_region = r_name GROUP BY r_zone",
+    "SELECT DISTINCT r_zone, o_priority FROM orders "
+    "JOIN regions ON o_region = r_name",
+]
+
+
+def build_reference_catalog(n=400):
+    """Dual-store tables whose string columns dictionary-encode."""
+    cost = CostModel()
+    catalog = {}
+    for schema, rows in (
+        (orders_schema(), order_rows(n)),
+        (regions_schema(), region_rows()),
+    ):
+        row_store = MVCCRowStore(schema, cost)
+        column_store = ColumnStore(schema, cost)
+        for row in rows:
+            row_store.install_insert(row, commit_ts=1)
+        # Several sealed segments so morsel/segment fan-out has work.
+        for start in range(0, len(rows), 100):
+            column_store.append_rows(rows[start:start + 100], commit_ts=1)
+        catalog[schema.table_name] = DualStoreTableAccess(
+            row_store, column_store, cost
+        )
+    return catalog, cost
+
+
+@pytest.fixture()
+def env():
+    catalog, cost = build_reference_catalog()
+    return catalog, Planner(catalog, cost), cost
+
+
+def assert_rows_and_types_equal(a, b, context=""):
+    assert a.columns == b.columns, context
+    assert len(a.rows) == len(b.rows), context
+    for ra, rb in zip(a.rows, b.rows):
+        assert ra == rb, f"{context}: {ra} != {rb}"
+        for va, vb in zip(ra, rb):
+            assert type(va) is type(vb), (
+                f"{context}: {va!r} is {type(va)}, {vb!r} is {type(vb)}"
+            )
+
+
+# ------------------------------------------------------- reference catalog
+
+
+class TestCompressedVsDecodeFirst:
+    @pytest.mark.parametrize("idx", range(len(SQL)))
+    def test_rows_and_types_identical(self, env, idx):
+        catalog, planner, _cost = env
+        plan = planner.plan(parse(SQL[idx]))
+        compressed = Executor(catalog, CostModel()).execute(plan)
+        decoded = Executor(catalog, CostModel(), compressed=False).execute(plan)
+        assert_rows_and_types_equal(compressed, decoded, SQL[idx])
+
+    @pytest.mark.parametrize("idx", range(len(SQL)))
+    def test_identical_under_forced_column_scans(self, env, idx):
+        """Force COLUMN_SCAN everywhere so even the tiny dimension table
+        arrives encoded — the both-sides-CodeColumn join shape."""
+        catalog, _planner, cost = env
+        planner = Planner(catalog, cost, force_path=AccessPath.COLUMN_SCAN)
+        plan = planner.plan(parse(SQL[idx]))
+        compressed = Executor(catalog, CostModel()).execute(plan)
+        decoded = Executor(catalog, CostModel(), compressed=False).execute(plan)
+        assert_rows_and_types_equal(compressed, decoded, SQL[idx])
+
+    def test_code_space_operators_engage(self, env):
+        """The compressed run must hit the code-space kernels — a silent
+        decode fallback would pass the differential tests trivially.
+        COLUMN_SCAN is forced so the dimension side arrives encoded."""
+        catalog, _planner, cost = env
+        planner = Planner(catalog, cost, force_path=AccessPath.COLUMN_SCAN)
+        reg = get_registry()
+        before = {
+            name: reg.counter_total(name)
+            for name in (
+                "exec.code_space_joins",
+                "exec.code_space_groups",
+                "exec.code_space_distincts",
+            )
+        }
+        executor = Executor(catalog, CostModel())
+        for sql in SQL:
+            executor.execute(planner.plan(parse(sql)))
+        for name, was in before.items():
+            assert reg.counter_total(name) > was, name
+
+    def test_encoded_scan_returns_code_columns(self, env):
+        catalog, _planner, _cost = env
+        from repro.common.predicate import ALWAYS_TRUE
+
+        batch = catalog["orders"].scan_columns_encoded(
+            ["o_region", "o_amount"], ALWAYS_TRUE
+        )
+        assert isinstance(batch["o_region"], CodeColumn)
+        assert not isinstance(batch["o_amount"], CodeColumn)
+        np.testing.assert_array_equal(
+            batch["o_region"].decode(),
+            catalog["orders"].scan_columns(["o_region"], ALWAYS_TRUE)[
+                "o_region"
+            ],
+        )
+
+    def test_code_space_hint_fraction(self, env):
+        catalog, _planner, _cost = env
+        adapter = catalog["orders"]
+        assert adapter.code_space_hint(["o_region", "o_priority"]) == 1.0
+        assert adapter.code_space_hint(["o_amount"]) == 0.0
+        assert 0.0 < adapter.code_space_hint(["o_region", "o_amount"]) < 1.0
+
+
+class TestCostParity:
+    """Simulated cost must not depend on *how* the compressed path runs.
+
+    Each arm gets its own (deterministic) catalog and cost model so the
+    clock starts from the same state — summing identical charges at
+    different clock offsets would otherwise round differently in the
+    last ulp and mask real parity bugs behind an approx.
+    """
+
+    @staticmethod
+    def _run(sql, vectorized=True, morsel_rows=None):
+        catalog, cost = build_reference_catalog()
+        plan = Planner(catalog, cost).plan(parse(sql))
+        executor = Executor(catalog, cost, vectorized=vectorized)
+        before = cost.now_us()
+        if morsel_rows is None:
+            result = executor.execute(plan)
+        else:
+            with scan_parallel(workers=4, morsel_rows=morsel_rows):
+                result = executor.execute(plan)
+        return result, cost.now_us() - before
+
+    @pytest.mark.parametrize("idx", range(len(SQL)))
+    def test_vectorized_vs_scalar_compressed(self, idx):
+        """HTL003 at the operator level: the vectorized code-space
+        kernels and the retained scalar reference charge identically."""
+        vec, vec_cost = self._run(SQL[idx], vectorized=True)
+        ref, ref_cost = self._run(SQL[idx], vectorized=False)
+        assert vec_cost == ref_cost, SQL[idx]
+        assert sorted(vec.rows) == sorted(ref.rows), SQL[idx]
+
+    @pytest.mark.parametrize("idx", range(len(SQL)))
+    def test_serial_vs_morsel_parallel(self, idx):
+        """Byte-identical rows and bit-identical simulated cost for any
+        morsel split (count-based charge accounting)."""
+        serial, serial_cost = self._run(SQL[idx])
+        for morsel_rows in (32, 77):
+            parallel, parallel_cost = self._run(
+                SQL[idx], morsel_rows=morsel_rows
+            )
+            assert_rows_and_types_equal(
+                serial, parallel, f"{SQL[idx]} @ morsel_rows={morsel_rows}"
+            )
+            assert serial_cost == parallel_cost, SQL[idx]
+
+    def test_morsel_partials_and_probes_engage(self, env):
+        catalog, planner, cost = env
+        reg = get_registry()
+        partials = reg.counter_total("exec.morsel_partials")
+        probes = reg.counter_total("exec.morsel_probes")
+        morsels = reg.counter_total("parallel.morsels")
+        executor = Executor(catalog, cost)
+        with scan_parallel(workers=4, morsel_rows=32):
+            executor.execute(planner.plan(parse(SQL[1])))   # group by
+            executor.execute(planner.plan(parse(SQL[10])))  # join + group
+        assert reg.counter_total("exec.morsel_partials") > partials
+        assert reg.counter_total("exec.morsel_probes") > probes
+        assert reg.counter_total("parallel.morsels") > morsels
+
+
+# ----------------------------------------------------------------- engines
+
+
+@pytest.mark.parametrize("cat", ["a", "b", "c", "d"])
+class TestEngineDifferential:
+    def _engine(self, cat):
+        kwargs = {"seed": 5} if cat == "b" else {}
+        engine = make_engine(cat, **kwargs)
+        engine.create_table(orders_schema())
+        engine.create_table(regions_schema())
+        engine.bulk_load("orders", order_rows(300))
+        engine.bulk_load("regions", region_rows())
+        engine.force_sync()
+        return engine
+
+    def _decode_first(self, engine, sql):
+        plan = engine.planner.plan(parse(sql))
+        return Executor(engine._catalog, engine.cost, compressed=False).execute(
+            plan
+        )
+
+    def test_compressed_equals_decode_first(self, cat):
+        engine = self._engine(cat)
+        for sql in SQL:
+            compressed = engine.query(sql)
+            decoded = self._decode_first(engine, sql)
+            assert_rows_and_types_equal(
+                compressed, decoded, f"engine {cat}: {sql}"
+            )
+
+    def test_serial_equals_morsel_parallel(self, cat):
+        engine = self._engine(cat)
+        for sql in SQL:
+            serial = engine.query(sql)
+            with scan_parallel(workers=4, morsel_rows=48):
+                parallel = engine.query(sql)
+            assert_rows_and_types_equal(
+                serial, parallel, f"engine {cat}: {sql}"
+            )
+
+    def test_freshness_after_writes(self, cat):
+        """MVCC freshness: writes land identically in both modes, with
+        and without a sync in between."""
+        engine = self._engine(cat)
+        sql = (
+            "SELECT o_region, COUNT(*), SUM(o_cust) FROM orders "
+            "GROUP BY o_region ORDER BY o_region"
+        )
+        engine.insert("orders", (9_000, 3, "west", "high", 1.5))
+        engine.insert("orders", (9_001, 4, "east", "low", 2.5))
+        engine.delete("orders", 7)
+        for _ in range(2):
+            compressed = engine.query(sql)
+            decoded = self._decode_first(engine, sql)
+            assert_rows_and_types_equal(compressed, decoded, f"engine {cat}")
+            engine.force_sync()
+
+
+# ------------------------------------------------------------ MVCC / cache
+
+
+class _WritingPredicate(Between):
+    """Adversarial range predicate whose evaluation appends rows to the
+    store — a concurrent writer landing mid-scan.  The scan's snapshot
+    discipline must keep the in-flight query blind to the new rows."""
+
+    def __init__(self, store, column, low, high):
+        super().__init__(column, low, high)
+        self._store = store
+        self._next_id = [50_000]
+
+    def mask(self, arrays):
+        nid = self._next_id[0]
+        self._next_id[0] += 1
+        self._store.append_rows(
+            [(nid, 1, "east", "mid", 0.5)], commit_ts=99
+        )
+        return super().mask(arrays)
+
+
+class TestMidScanWrites:
+    def _store(self):
+        store = ColumnStore(orders_schema(), CostModel())
+        rows = order_rows(200)
+        for start in range(0, len(rows), 50):
+            store.append_rows(rows[start:start + 50], commit_ts=1)
+        return store
+
+    def test_encoded_scan_snapshot_ignores_mid_scan_appends(self):
+        store = self._store()
+        pred = _WritingPredicate(store, "o_id", 0, 10_000)
+        before = store.segment_count()
+        with scan_parallel(workers=1, morsel_rows=32):
+            result = store.scan(
+                ["o_id", "o_region"], pred, with_keys=False, encode=True
+            )
+        assert store.segment_count() > before  # the writes landed...
+        assert len(result) == 200              # ...unseen by the scan
+        assert isinstance(result.arrays["o_region"], CodeColumn)
+        assert max(result.arrays["o_id"].tolist()) < 50_000
+
+    def test_serial_and_parallel_encoded_agree_under_writes(self):
+        outs = []
+        for parallel in (False, True):
+            store = self._store()
+            pred = _WritingPredicate(store, "o_id", 30, 170)
+            if parallel:
+                with scan_parallel(workers=1, morsel_rows=32):
+                    result = store.scan(
+                        ["o_id", "o_region"], pred, with_keys=False,
+                        encode=True,
+                    )
+            else:
+                result = store.scan(
+                    ["o_id", "o_region"], pred, with_keys=False,
+                    parallel=False, encode=True,
+                )
+            outs.append(result)
+        np.testing.assert_array_equal(
+            outs[0].arrays["o_id"], outs[1].arrays["o_id"]
+        )
+        np.testing.assert_array_equal(
+            outs[0].arrays["o_region"].decode(),
+            outs[1].arrays["o_region"].decode(),
+        )
+
+
+class TestScanCacheKeys:
+    """Satellite: pooled/morsel scans share cache keys with serial ones."""
+
+    def _executor_env(self):
+        from repro.query.scan_cache import ScanCache
+
+        catalog, cost = build_reference_catalog(n=200)
+        cache = ScanCache()
+        planner = Planner(catalog, cost)
+        executor = Executor(catalog, cost, scan_cache=cache)
+        return planner, executor, cache
+
+    def test_warm_serial_entry_serves_parallel_rescan(self):
+        planner, executor, cache = self._executor_env()
+        plan = planner.plan(parse(SQL[0]))
+        first = executor.execute(plan)
+        assert cache.misses == 1 and cache.hits == 0
+        with scan_parallel(workers=4, morsel_rows=32):
+            second = executor.execute(plan)
+        assert cache.hits == 1, "morsel-parallel rescan must hit the warm entry"
+        assert_rows_and_types_equal(first, second)
+
+    def test_compressed_and_decoded_keys_diverge(self):
+        """An encoded batch must never serve a decode-first executor
+        (and vice versa): the modes append distinct cache keys."""
+        from repro.query.scan_cache import ScanCache
+
+        catalog, cost = build_reference_catalog(n=200)
+        cache = ScanCache()
+        planner = Planner(catalog, cost)
+        plan = planner.plan(parse(SQL[0]))
+        compressed = Executor(catalog, cost, scan_cache=cache).execute(plan)
+        decoded = Executor(
+            catalog, cost, scan_cache=cache, compressed=False
+        ).execute(plan)
+        assert cache.misses == 2 and cache.hits == 0
+        assert_rows_and_types_equal(compressed, decoded)
