@@ -1,0 +1,219 @@
+"""Cluster scale-out perf gate: elastic multi-Raft throughput.
+
+Runs :class:`repro.bench.cluster_scaleout.ClusterScaleoutDriver` over
+``CLUSTER_NODES`` storage-node counts (default the full 4 -> 16 -> 64
+ladder; CI shrinks to ``4,8``) plus the mid-bench shard-split arm, and
+gates on:
+
+- **scaling efficiency** at 16 nodes vs 4 of at least 0.7, measured as
+  makespan-based TP throughput (busiest row node's BusyLedger time) on
+  a fixed operation count — the "near-linear TP scale-out" claim;
+- **exactly-once elasticity**: every write acknowledged across the
+  mid-bench shard split is present exactly once afterwards (zero lost,
+  zero duplicated) on the row path *and* the re-homed columnar replica,
+  while CH-benCHmark reads keep completing mid-split;
+- **bounded, observable staleness**: the split makes router caches
+  stale, so stale-epoch retries must be observed (> 0) and none may
+  exhaust their retry budget.
+
+The largest arm is reported but not gated: with the work held fixed,
+64 shards get only a few transactions per leader and discretization
+(not the architecture) dominates the busiest-leader makespan.
+
+Writes ``BENCH_cluster.json`` at the repo root.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import asdict
+from pathlib import Path
+
+import pytest
+
+from repro.bench.cluster_scaleout import (
+    ClusterScaleoutConfig,
+    ClusterScaleoutDriver,
+    ScaleoutArm,
+)
+from repro.obs import get_registry
+
+from conftest import obs_report, print_table
+
+NODE_COUNTS = tuple(
+    int(n) for n in os.environ.get("CLUSTER_NODES", "4,16,64").split(",")
+)
+WRITE_TXNS = int(os.environ.get("CLUSTER_WRITES", "180"))
+FULL_SIZE = 16 in NODE_COUNTS and WRITE_TXNS >= 180
+#: The gate applies at 16 nodes; reduced CI ladders gate their largest.
+GATE_NODES = 16 if 16 in NODE_COUNTS else NODE_COUNTS[-1]
+EFFICIENCY_FLOOR = 0.7 if FULL_SIZE else 0.5
+REPORT_PATH = Path(__file__).resolve().parents[1] / "BENCH_cluster.json"
+
+#: Router/resharding series the cluster must report into.
+CLUSTER_METRICS = [
+    "router.routes",
+    "router.stale_retries",
+    "shardmap.epoch",
+    "reshard.splits",
+    "reshard.rows_moved",
+]
+
+
+def roll_up(series: dict, prefixes: tuple[str, ...]) -> dict[str, float]:
+    """Sum labeled series (``name{labels}``) into per-name totals;
+    histogram summaries contribute their sample count."""
+    totals: dict[str, float] = {}
+    for key, value in series.items():
+        name = key.split("{", 1)[0]
+        if not name.startswith(prefixes):
+            continue
+        amount = value["count"] if isinstance(value, dict) else value
+        totals[name] = totals.get(name, 0.0) + amount
+    return totals
+
+
+@pytest.fixture(scope="module")
+def report():
+    get_registry().reset()
+    driver = ClusterScaleoutDriver(
+        ClusterScaleoutConfig(node_counts=NODE_COUNTS, write_txns=WRITE_TXNS)
+    )
+    walls: list[float] = []
+    last = time.perf_counter()
+
+    def on_arm(_arm) -> None:
+        nonlocal last
+        now = time.perf_counter()
+        walls.append(now - last)
+        last = now
+
+    result = driver.run(on_arm=on_arm)
+
+    base = result.arms[0]
+    payload = {
+        "bench": "cluster_scaleout",
+        "node_counts": list(NODE_COUNTS),
+        "write_txns": WRITE_TXNS,
+        "ch_reads": result.config.ch_reads,
+        "full_size": FULL_SIZE,
+        "gate_nodes": GATE_NODES,
+        "efficiency_floor": EFFICIENCY_FLOOR,
+        "arms": [
+            {**asdict(arm), "tp_per_sim_s": arm.tp_per_sim_s, "wall_s": wall}
+            for arm, wall in zip(result.arms, walls)
+        ],
+        "efficiency": {str(n): e for n, e in result.efficiency.items()},
+        "split": {
+            **asdict(result.split),
+            "exactly_once": result.split.exactly_once,
+            "wall_s": walls[len(result.arms)],
+        },
+    }
+
+    bench = obs_report(
+        "cluster_scaleout",
+        tp_per_sec=base.tp_per_sim_s,
+        ap_per_sec=base.ch_reads,
+    )
+    payload["extras"] = {
+        "obs": {
+            "counters": roll_up(
+                bench.extras["obs"]["counters"],
+                ("router.", "reshard.", "shardmap."),
+            ),
+            "gauges": roll_up(
+                bench.extras["obs"]["gauges"], ("shardmap.", "router.")
+            ),
+        }
+    }
+    REPORT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    print_table(
+        f"Cluster scale-out, {WRITE_TXNS} write txns + "
+        f"{result.config.ch_reads} CH reads per arm",
+        ["nodes", "shards", "tp makespan us", "tp/sim-s", "efficiency"],
+        [
+            [
+                arm.nodes,
+                arm.shards,
+                arm.tp_makespan_us,
+                arm.tp_per_sim_s,
+                result.efficiency[arm.nodes],
+            ]
+            for arm in result.arms
+        ],
+        widths=[8, 8, 16, 14, 12],
+    )
+    payload["result"] = result
+    return payload
+
+
+def test_scaling_efficiency_gate(report):
+    """The tentpole gate: >= 0.7 throughput-scaling efficiency at 16
+    nodes vs 4 (makespan-based), relaxed on reduced CI ladders."""
+    assert report["efficiency"][str(GATE_NODES)] >= EFFICIENCY_FLOOR
+
+
+def test_throughput_grows_with_nodes(report):
+    """Scale-out must help monotonically: the same fixed work finishes
+    with strictly higher makespan-based throughput on every step up."""
+    tps = [arm.tp_per_sim_s for arm in report["result"].arms]
+    assert all(b > a for a, b in zip(tps, tps[1:]))
+
+
+def test_fixed_work_completes_everywhere(report):
+    """Identical committed work on every arm — the arms are comparable
+    and the admission policy shed nothing."""
+    for arm in report["result"].arms:
+        assert arm.committed == WRITE_TXNS
+        assert arm.ch_reads == report["ch_reads"]
+        assert arm.aborted == 0
+
+
+def test_split_zero_lost_zero_duplicated(report):
+    """The elasticity gate: every write acknowledged across the
+    mid-bench split is present exactly once, on both tiers."""
+    split = report["split"]
+    assert split["exactly_once"]
+    assert split["lost"] == 0
+    assert split["duplicates"] == 0
+    assert split["present"] == split["expected"] > 0
+    assert split["columnar_rows"] == split["expected"]
+    assert split["epoch"] == 1
+    assert split["rows_moved"] > 0
+
+
+def test_ch_reads_keep_executing_during_split(report):
+    """Resharding is online: OLAP rounds completed work while the
+    split was mid-flight."""
+    assert report["split"]["ch_reads_during_split"] > 0
+
+
+def test_stale_retries_bounded_and_observed(report):
+    """The split invalidates router caches: stale-epoch retries must
+    show up (the protocol ran) and every retry must converge within
+    its budget (none exhausted)."""
+    split = report["split"]
+    assert split["stale_retries"] >= 1
+    assert split["retries_exhausted"] == 0
+
+
+def test_cluster_metrics_in_obs_report(report):
+    obs = report["extras"]["obs"]
+    merged = {**obs["counters"], **obs["gauges"]}
+    for name in CLUSTER_METRICS:
+        assert name in merged, name
+    assert merged["reshard.splits"] >= 1
+    assert merged["router.routes"] > 0
+
+
+def test_report_written(report):
+    on_disk = json.loads(REPORT_PATH.read_text())
+    assert on_disk["bench"] == "cluster_scaleout"
+    assert on_disk["node_counts"] == list(NODE_COUNTS)
+    assert on_disk["efficiency"] == report["efficiency"]
+    assert on_disk["split"]["exactly_once"]
+    assert "router.stale_retries" in on_disk["extras"]["obs"]["counters"]

@@ -9,6 +9,13 @@ from .chbenchmark import (
     ChRunResult,
     get_query,
 )
+from .cluster_scaleout import (
+    ClusterScaleoutConfig,
+    ClusterScaleoutDriver,
+    ScaleoutArm,
+    ScaleoutResult,
+    SplitCheck,
+)
 from .frontdoor import (
     PREPARED_STATEMENTS,
     FrontDoorBenchConfig,
@@ -42,6 +49,8 @@ __all__ = [
     "ChBenchmarkDriver",
     "ChQuery",
     "ChRunResult",
+    "ClusterScaleoutConfig",
+    "ClusterScaleoutDriver",
     "FrontDoorBenchConfig",
     "FrontDoorBenchDriver",
     "FrontDoorBenchResult",
@@ -54,9 +63,12 @@ __all__ = [
     "MixedWorkloadRunner",
     "PREPARED_STATEMENTS",
     "QUERY_IDS",
+    "ScaleoutArm",
+    "ScaleoutResult",
     "ScheduledRunConfig",
     "ScheduledRunResult",
     "ScheduledWorkloadRunner",
+    "SplitCheck",
     "TpccLoader",
     "TpccScale",
     "TpccWorkload",

@@ -86,6 +86,26 @@ class TwoPhaseCommitError(ReproError):
     """A distributed commit failed during prepare or commit."""
 
 
+class StaleEpochError(ReproError):
+    """A shard rejected a request routed with an out-of-date shard map.
+
+    Carries the authoritative epoch so the router can tell how far
+    behind its cache is before refetching."""
+
+    def __init__(self, shard_id: int, current_epoch: int, detail: str = ""):
+        suffix = f" ({detail})" if detail else ""
+        super().__init__(
+            f"shard {shard_id} rejected stale-epoch request; "
+            f"metadata is at epoch {current_epoch}{suffix}"
+        )
+        self.shard_id = shard_id
+        self.current_epoch = current_epoch
+
+
+class RoutingError(ReproError):
+    """A router could not place a request (retries exhausted, no shard)."""
+
+
 class SchedulerError(ReproError):
     """A resource scheduler was configured or driven incorrectly."""
 

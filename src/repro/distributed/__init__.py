@@ -1,12 +1,19 @@
-"""Distributed substrate: simulated network, Raft, 2PC, regions, cluster."""
+"""Distributed substrate: simulated network, Raft, 2PC, shards, cluster."""
 
 from .cluster import (
     BusyLedger,
-    ColumnarReplica,
     DistributedCluster,
     RegionStateMachine,
     WriteKind,
     WriteOp,
+)
+from .metadata import (
+    RING_SIZE,
+    MetadataService,
+    Shard,
+    ShardMap,
+    ShardMapDelta,
+    hash_point,
 )
 from .network import SimNetwork
 from .partitioner import HashPartitioner, Partitioner, RangePartitioner
@@ -20,6 +27,16 @@ from .raft import (
     RequestVoteReply,
     Role,
 )
+from .replica import ColumnarReplica
+from .resharding import (
+    MigrationTap,
+    ReshardOperation,
+    ReshardPhase,
+    ShardMerge,
+    ShardMigrate,
+    ShardSplit,
+)
+from .router import Router
 from .two_phase_commit import (
     TwoPhaseCoordinator,
     TwoPhaseResult,
@@ -35,14 +52,26 @@ __all__ = [
     "DistributedCluster",
     "HashPartitioner",
     "LogEntry",
+    "MetadataService",
+    "MigrationTap",
     "Partitioner",
+    "RING_SIZE",
     "RaftGroup",
     "RaftNode",
     "RangePartitioner",
     "RegionStateMachine",
     "RequestVote",
     "RequestVoteReply",
+    "ReshardOperation",
+    "ReshardPhase",
     "Role",
+    "Router",
+    "Shard",
+    "ShardMap",
+    "ShardMapDelta",
+    "ShardMerge",
+    "ShardMigrate",
+    "ShardSplit",
     "SimNetwork",
     "TwoPhaseCoordinator",
     "TwoPhaseResult",
@@ -50,4 +79,5 @@ __all__ = [
     "Vote",
     "WriteKind",
     "WriteOp",
+    "hash_point",
 ]

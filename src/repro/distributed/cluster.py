@@ -1,7 +1,7 @@
 """A simulated distributed HTAP cluster (architecture (b)'s substrate).
 
 Physical layout: ``n_storage_nodes`` row-store nodes host the voting
-replicas of every region's Raft group (placement round-robin), and one
+replicas of every shard's Raft group (placement round-robin), and one
 or more analytics nodes host non-voting *learner* replicas that convert
 the replicated log into columnar form (per-table delta logs + column
 store) — precisely TiDB's design as the survey describes it:
@@ -11,9 +11,18 @@ store) — precisely TiDB's design as the survey describes it:
     logs are also sent to learner nodes that store the data in
     columnar format."
 
-Transactions touching one region commit through that region's Raft
-group alone; cross-region transactions run two-phase commit whose
-participants are Raft-replicated regions ("2PC+Raft+logging").
+The key space is elastic: a :class:`~repro.distributed.metadata.ShardMap`
+(owned by the cluster's :class:`MetadataService`) tiles the 64-bit hash
+ring with contiguous shard intervals, each served by its own Raft
+group.  Clients route through stateless
+:class:`~repro.distributed.router.Router` caches; shards enforce the
+epoch contract by rejecting requests for ring points they no longer own
+(:class:`StaleEpochError`), which is what makes online resharding
+(:mod:`~repro.distributed.resharding`) safe under live traffic.
+
+Transactions touching one shard commit through that shard's Raft group
+alone; cross-shard transactions run two-phase commit whose participants
+are Raft-replicated shards ("2PC+Raft+logging").
 
 Simulated time measures *latency*; per-physical-node busy time in a
 :class:`BusyLedger` measures *throughput* (makespan = the bottleneck
@@ -24,52 +33,41 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Any
+from typing import Any, Callable
 
 from ..common.clock import LogicalClock, Timestamp
 from ..common.cost import CostModel
 from ..common.errors import (
     KeyNotFoundError,
+    StaleEpochError,
     TransactionAborted,
     TwoPhaseCommitError,
 )
 from ..common.predicate import ALWAYS_TRUE, Predicate
 from ..common.types import Key, Row, Schema
-from ..obs import get_registry
-from ..storage.column_store import ColumnScanResult, ColumnStore
-from ..storage.delta_batch import (
-    KIND_DELETE,
-    KIND_INSERT,
-    KIND_UPDATE,
-    DeltaBatch,
-)
-from ..storage.delta_log import LogDeltaManager
-from ..storage.delta_store import DeltaEntry, DeltaKind, collapse_entries
+from ..storage.column_store import ColumnScanResult
+from .metadata import MetadataService, ShardMap, hash_point
 from .network import SimNetwork
-from .partitioner import HashPartitioner
 from .raft import RaftGroup
+from .replica import ColumnarReplica, _runs_by_table
+from .router import Router
 from .two_phase_commit import TwoPhaseCoordinator, TxnOutcome, Vote
+
+__all__ = [
+    "BusyLedger",
+    "ColumnarReplica",
+    "DistributedCluster",
+    "RegionStateMachine",
+    "WriteKind",
+    "WriteOp",
+    "_runs_by_table",
+]
 
 
 class WriteKind(enum.Enum):
     INSERT = "insert"
     UPDATE = "update"
     DELETE = "delete"
-
-
-def _runs_by_table(writes):
-    """Group one commit's writes by table, preserving per-table order.
-    Single-table transactions (the common case) pass through without
-    building intermediate groups."""
-    if not writes:
-        return ()
-    first = writes[0].table
-    if all(w.table == first for w in writes):
-        return ((first, writes),)
-    groups: dict[str, list] = {}
-    for w in writes:
-        groups.setdefault(w.table, []).append(w)
-    return groups.items()
 
 
 @dataclass(frozen=True)
@@ -113,11 +111,24 @@ class BusyLedger:
 
 
 class RegionStateMachine:
-    """Deterministic row-store state machine replicated by one Raft group."""
+    """Deterministic row-store state machine replicated by one Raft group.
 
-    def __init__(self, region_id: int, schemas: dict[str, Schema]):
+    Beyond the 2PC commands ("prepare"/"commit"/"abort") and "bulk"
+    loads, it understands the resharding protocol: "install" (staged
+    snapshot from a migration source), "tail" (dual-logged writes that
+    committed on the source after the snapshot barrier), "rehome" (the
+    flip-time authoritative image, also consumed by learners), and
+    "truncate" (drop a ring interval that migrated away)."""
+
+    def __init__(
+        self,
+        region_id: int,
+        schemas: dict[str, Schema],
+        point_fn: Callable[[str, Any], int] = hash_point,
+    ):
         self.region_id = region_id
         self.schemas = schemas
+        self._point_fn = point_fn
         self.rows: dict[str, dict[Key, Row]] = {t: {} for t in schemas}
         self.prepared: dict[int, tuple[list[WriteOp], Timestamp]] = {}
         self.vote_log: dict[int, bool] = {}
@@ -144,14 +155,35 @@ class RegionStateMachine:
             _op, txn_id = command
             self.prepared.pop(txn_id, None)
             self.vote_log.pop(txn_id, None)
-        elif op == "bulk":
-            # Bulk load: pre-validated fresh rows installed in one command.
+        elif op in ("bulk", "install", "rehome"):
+            # Whole-row upserts: a pre-validated bulk load, a staged
+            # migration snapshot, or the flip-time authoritative image.
             _op, table_name, rows, commit_ts = command
             table = self.rows[table_name]
             key_of = self.schemas[table_name].key_of
             for row in rows:
                 table[key_of(row)] = row
             self.last_commit_ts = max(self.last_commit_ts, commit_ts)
+        elif op == "tail":
+            # Dual-logged writes replayed onto a migration target: each
+            # entry carries its own source commit timestamp.
+            _op, entries = command
+            for kind, table_name, key, row, commit_ts in entries:
+                table = self.rows[table_name]
+                if kind == "delete":
+                    table.pop(key, None)
+                else:
+                    table[key] = row
+                self.last_commit_ts = max(self.last_commit_ts, commit_ts)
+        elif op == "truncate":
+            # The interval [lo, hi) migrated away: drop its rows.
+            _op, lo, hi = command
+            for table_name, table in self.rows.items():
+                gone = [
+                    key for key in table if lo <= self._point_fn(table_name, key) < hi
+                ]
+                for key in gone:
+                    del table[key]
         else:
             raise TwoPhaseCommitError(f"unknown region command {op!r}")
 
@@ -174,265 +206,9 @@ class RegionStateMachine:
         self.last_commit_ts = max(self.last_commit_ts, commit_ts)
 
 
-class ColumnarReplica:
-    """The analytics side fed by learner applies: per-table delta logs
-    that the log-based delta merge folds into per-table column stores."""
-
-    def __init__(
-        self,
-        schemas: dict[str, Schema],
-        cost: CostModel,
-        seal_threshold: int = 64,
-        vectorized: bool = True,
-    ):
-        self._cost = cost
-        self.vectorized = vectorized
-        self.delta_logs = {
-            name: LogDeltaManager(schema, cost=cost, seal_threshold=seal_threshold)
-            for name, schema in schemas.items()
-        }
-        self.column_stores = {
-            name: ColumnStore(schema, cost=cost) for name, schema in schemas.items()
-        }
-        self.applied_ts: Timestamp = 0
-        # Keyed by (region, txn_id): each region's learner stream carries
-        # only that region's slice of a 2PC transaction, and streams from
-        # different regions interleave arbitrarily.
-        self._pending: dict[tuple[int, int], tuple[list[WriteOp], Timestamp]] = {}
-        registry = get_registry()
-        self._m_merge_events = registry.counter("sync.log_merge.events")
-        self._m_merge_rows = registry.counter("sync.log_merge.rows")
-        self._h_apply_batch = registry.histogram("raft.apply_batch_commands")
-        self._h_merge_batch = registry.histogram(
-            "sync.batch_rows", technique="replica_merge"
-        )
-        self._h_merge_latency = registry.histogram(
-            "sync.merge_latency_us", technique="replica_merge"
-        )
-
-    def learner_apply(self, region: int, _index: int, command: tuple) -> None:
-        op = command[0]
-        if op == "prepare":
-            _op, txn_id, writes, commit_ts = command
-            self._pending[(region, txn_id)] = (writes, commit_ts)
-        elif op == "commit":
-            _op, txn_id = command
-            staged = self._pending.pop((region, txn_id), None)
-            if staged is None:
-                return
-            writes, commit_ts = staged
-            for w in writes:
-                log = self.delta_logs[w.table]
-                if w.kind is WriteKind.INSERT:
-                    log.record_insert(w.row, commit_ts)
-                elif w.kind is WriteKind.UPDATE:
-                    log.record_update(w.row, commit_ts)
-                else:
-                    log.record_delete(w.key, commit_ts)
-            self.applied_ts = max(self.applied_ts, commit_ts)
-        elif op == "abort":
-            _op, txn_id = command
-            self._pending.pop((region, txn_id), None)
-        elif op == "bulk":
-            _op, table, rows, commit_ts = command
-            log = self.delta_logs[table]
-            for row in rows:
-                log.record_insert(row, commit_ts)
-            self.applied_ts = max(self.applied_ts, commit_ts)
-
-    def learner_apply_batch(
-        self, region: int, _start_index: int, commands: list[tuple]
-    ) -> None:
-        """Batched log replay: one pass over a committed run of commands,
-        accumulating per-table column slabs (kind codes, keys, rows,
-        commit timestamps) that land with one columnar bulk append each
-        (TiDB's batched learner replay) — no per-write DeltaEntry
-        objects on this path."""
-        per_table: dict[str, tuple[list, list, list, list]] = {}
-        max_ts = self.applied_ts
-        pending = self._pending
-        insert_kind = WriteKind.INSERT
-        delete_kind = WriteKind.DELETE
-        for command in commands:
-            op = command[0]
-            if op == "prepare":
-                _op, txn_id, writes, commit_ts = command
-                pending[(region, txn_id)] = (writes, commit_ts)
-            elif op == "commit":
-                staged = pending.pop((region, command[1]), None)
-                if staged is None:
-                    continue
-                writes, commit_ts = staged
-                for table, run in _runs_by_table(writes):
-                    cols = per_table.get(table)
-                    if cols is None:
-                        cols = per_table[table] = ([], [], [], [])
-                    kinds, keys, rows, ts = cols
-                    # Identity checks beat enum-hash dict lookups here.
-                    kinds.extend(
-                        [
-                            KIND_INSERT
-                            if w.kind is insert_kind
-                            else (
-                                KIND_DELETE
-                                if w.kind is delete_kind
-                                else KIND_UPDATE
-                            )
-                            for w in run
-                        ]
-                    )
-                    keys.extend([w.key for w in run])
-                    rows.extend(
-                        [None if w.kind is delete_kind else w.row for w in run]
-                    )
-                    ts.extend([commit_ts] * len(run))
-                if commit_ts > max_ts:
-                    max_ts = commit_ts
-            elif op == "abort":
-                pending.pop((region, command[1]), None)
-            elif op == "bulk":
-                _op, table, bulk_rows, commit_ts = command
-                cols = per_table.get(table)
-                if cols is None:
-                    cols = per_table[table] = ([], [], [], [])
-                kinds, keys, rows, ts = cols
-                key_of = self.delta_logs[table].schema.key_of
-                kinds.extend([KIND_INSERT] * len(bulk_rows))
-                keys.extend([key_of(row) for row in bulk_rows])
-                rows.extend(bulk_rows)
-                ts.extend([commit_ts] * len(bulk_rows))
-                if commit_ts > max_ts:
-                    max_ts = commit_ts
-        for table, (kinds, keys, rows, ts) in per_table.items():
-            self.delta_logs[table].append_batch_columns(kinds, keys, rows, ts)
-        self.applied_ts = max_ts
-        self._h_apply_batch.observe(len(commands))
-
-    # ------------------------------------------------------------- queries
-
-    def scan(
-        self,
-        table: str,
-        columns: list[str] | None,
-        predicate: Predicate = ALWAYS_TRUE,
-        read_delta: bool = True,
-        encode: bool = False,
-    ) -> ColumnScanResult:
-        """Log-based delta + column scan (Table 2's second AP technique).
-
-        ``encode=True`` keeps dictionary columns as CodeColumns across
-        the delta overlay (fresh log rows fold into the code space with
-        a decoded fallback)."""
-        store = self.column_stores[table]
-        result = store.scan(columns, predicate, encode=encode)
-        if not read_delta:
-            return result
-        live, tombstones = self.delta_logs[table].effective_rows()
-        if not live and not tombstones:
-            return result
-        schema = store.schema
-        from ..common.types import rows_to_columns
-        from ..storage.code_batch import overlay_arrays
-
-        drop = tombstones | set(live)
-        fresh_rows = [
-            row for row in live.values() if predicate.matches(row, schema)
-        ]
-        fresh_columns = rows_to_columns(schema, fresh_rows) if fresh_rows else None
-        result.arrays = overlay_arrays(
-            result.arrays, result.keys, drop, fresh_rows, fresh_columns
-        )
-        if drop:
-            result.keys = [k for k in result.keys if k not in drop]
-        if fresh_rows:
-            result.keys.extend(schema.key_of(r) for r in fresh_rows)
-        return result
-
-    def merge_deltas(self) -> int:
-        """Log-based delta merge: seal + fold every delta file into the
-        column stores.  Returns rows merged."""
-        start = self._cost.now_us()
-        merged = 0
-        batch_entries = 0
-        for table, log in self.delta_logs.items():
-            log.seal()
-            files = log.drain_files()
-            if not files:
-                continue
-            self._m_merge_events.inc()
-            store = self.column_stores[table]
-            if self.vectorized:
-                # Concatenate the files' column slabs without ever
-                # materializing DeltaEntry objects.
-                kinds: list[int] = []
-                keys: list = []
-                rows: list = []
-                ts: list = []
-                for f in files:
-                    self._cost.charge(self._cost.page_read_us * f.page_count())
-                    f_kinds, f_keys, f_rows, f_ts = f.columns()
-                    kinds.extend(f_kinds)
-                    keys.extend(f_keys)
-                    rows.extend(f_rows)
-                    ts.extend(f_ts)
-                batch_entries += len(keys)
-                merged += self._fold_vectorized(store, kinds, keys, rows, ts)
-                if ts:
-                    store.advance_sync_ts(max(ts))
-            else:
-                entries: list[DeltaEntry] = []
-                for f in files:
-                    self._cost.charge(self._cost.page_read_us * f.page_count())
-                    entries.extend(f.entries)
-                batch_entries += len(entries)
-                merged += self._fold_scalar(store, entries)
-                if entries:
-                    store.advance_sync_ts(max(e.commit_ts for e in entries))
-        elapsed = self._cost.now_us() - start
-        self._h_merge_batch.observe(batch_entries)
-        self._h_merge_latency.observe(elapsed)
-        return merged
-
-    def _fold_scalar(self, store: ColumnStore, entries: list[DeltaEntry]) -> int:
-        live, tombstones = collapse_entries(entries)
-        if tombstones:
-            store.delete_keys(tombstones)
-        if not live:
-            return 0
-        rows = list(live.values())
-        max_ts = max(e.commit_ts for e in entries)
-        self._cost.charge_rows(self._cost.merge_per_row_us, len(rows))
-        store.append_rows(rows, commit_ts=max_ts)
-        self._m_merge_rows.inc(len(rows))
-        return len(rows)
-
-    def _fold_vectorized(
-        self,
-        store: ColumnStore,
-        kinds: list[int],
-        keys: list,
-        rows: list,
-        ts: list,
-    ) -> int:
-        from ..common.types import rows_to_columns
-
-        collapsed = DeltaBatch.from_columns(kinds, keys, rows, ts).collapse()
-        if collapsed.tombstones:
-            store.delete_batch(collapsed.tombstones)
-        if not collapsed.live_keys:
-            return 0
-        self._cost.charge_rows(self._cost.merge_per_row_us, len(collapsed.live_keys))
-        arrays = rows_to_columns(store.schema, collapsed.live_rows)
-        store.append_batch(arrays, collapsed.live_keys, commit_ts=max(ts))
-        self._m_merge_rows.inc(len(collapsed.live_keys))
-        return len(collapsed.live_keys)
-
-    def unmerged_entries(self) -> int:
-        return sum(log.pending_entries() for log in self.delta_logs.values())
-
-
 class DistributedCluster:
-    """Regions x Raft x 2PC with columnar learner replicas."""
+    """Shards x Raft x 2PC with columnar learner replicas and elastic
+    shard maps (metadata service + stateless router tier)."""
 
     def __init__(
         self,
@@ -444,6 +220,7 @@ class DistributedCluster:
         clock: LogicalClock | None = None,
         seed: int = 0,
         vectorized: bool = True,
+        point_fn: Callable[[str, Any], int] = hash_point,
     ):
         if replication > n_storage_nodes:
             replication = n_storage_nodes
@@ -454,21 +231,31 @@ class DistributedCluster:
         self.n_storage_nodes = n_storage_nodes
         self.n_analytic_nodes = max(1, n_analytic_nodes)
         self.replication = replication
-        self.n_regions = n_regions if n_regions is not None else n_storage_nodes
+        self._initial_shards = n_regions if n_regions is not None else n_storage_nodes
         self._seed = seed
         self.vectorized = vectorized
+        self.point_of = point_fn
         self.schemas: dict[str, Schema] = {}
-        self.partitioner = HashPartitioner(self.n_regions)
+        self.metadata = MetadataService(ShardMap.uniform(self._initial_shards))
+        self.router = Router(self.metadata, cost=self.cost, point_fn=point_fn)
         self.coordinator = TwoPhaseCoordinator(cost=self.cost)
         self.columnar = ColumnarReplica({}, self.cost, vectorized=vectorized)
+        # Grow-only, shard-id-indexed (ids are allocated monotonically;
+        # merged-away shards keep their slot so indices never shift).
         self._groups: list[RaftGroup] = []
         self._region_sms: list[dict[str, RegionStateMachine]] = []
         self._region_leader_node: list[list[str]] = []  # physical placement
+        self._migration_taps: list = []  # resharding dual-log buffers
         self._built = False
         self.commits = 0
         self.aborts = 0
 
     # ------------------------------------------------------------- build
+
+    @property
+    def n_regions(self) -> int:
+        """Live shard count (grows/shrinks with online resharding)."""
+        return self.metadata.current().n_shards
 
     def create_table(self, schema: Schema) -> None:
         if self._built:
@@ -482,153 +269,252 @@ class DistributedCluster:
         self.columnar = ColumnarReplica(
             self.schemas, self.cost, vectorized=self.vectorized
         )
-        for region in range(self.n_regions):
-            voters = []
-            placement = []
-            for r in range(self.replication):
-                phys = (region + r) % self.n_storage_nodes
-                voters.append(f"r{region}.n{phys}")
-                placement.append(f"n{phys}")
-            learner_id = f"r{region}.learner"
-            sms = {v: RegionStateMachine(region, self.schemas) for v in voters}
-            apply_fns = {v: sms[v].apply for v in voters}
-            apply_batch_fns = {}
-            if self.vectorized:
-                # Learners replay committed runs in batches; voters keep
-                # the per-entry apply (their 2PC votes are read between
-                # individual proposals).
-                def _learner_apply_batch(start, commands, _region=region):
-                    self.columnar.learner_apply_batch(_region, start, commands)
-
-                apply_batch_fns[learner_id] = _learner_apply_batch
-            else:
-
-                def _learner_apply(index, command, _region=region):
-                    self.columnar.learner_apply(_region, index, command)
-
-                apply_fns[learner_id] = _learner_apply
-            group = RaftGroup(
-                group_id=f"region{region}",
-                voter_ids=voters,
-                learner_ids=[learner_id],
-                network=self.network,
-                cost=self.cost,
-                apply_fns=apply_fns,
-                seed=self._seed + region,
-                # Home-node preference spreads leaders round-robin over
-                # the physical nodes (PD-style leader balancing).
-                preferred_leader=voters[0],
-                apply_batch_fns=apply_batch_fns,
-            )
-            self._groups.append(group)
-            self._region_sms.append(sms)
-            self._region_leader_node.append(placement)
+        for sid in self.metadata.current().shard_ids():
+            self._make_shard(sid)
         for group in self._groups:
             group.elect_leader()
+
+    def _make_shard(self, sid: int) -> None:
+        """Create the Raft group + state machines for shard ``sid``.
+
+        Used both at boot and when resharding spawns a new shard; the
+        shard-id-indexed lists stay aligned because ids are allocated
+        monotonically by the metadata service."""
+        if sid != len(self._groups):
+            raise TwoPhaseCommitError(
+                f"shard ids must be allocated in order (got {sid}, "
+                f"expected {len(self._groups)})"
+            )
+        voters = []
+        placement = []
+        for r in range(self.replication):
+            phys = (sid + r) % self.n_storage_nodes
+            voters.append(f"r{sid}.n{phys}")
+            placement.append(f"n{phys}")
+        learner_id = f"r{sid}.learner"
+        sms = {
+            v: RegionStateMachine(sid, self.schemas, point_fn=self.point_of)
+            for v in voters
+        }
+        apply_fns = {v: sms[v].apply for v in voters}
+        apply_batch_fns = {}
+        if self.vectorized:
+            # Learners replay committed runs in batches; voters keep
+            # the per-entry apply (their 2PC votes are read between
+            # individual proposals).
+            def _learner_apply_batch(start, commands, _sid=sid):
+                self.columnar.learner_apply_batch(_sid, start, commands)
+
+            apply_batch_fns[learner_id] = _learner_apply_batch
+        else:
+
+            def _learner_apply(index, command, _sid=sid):
+                self.columnar.learner_apply(_sid, index, command)
+
+            apply_fns[learner_id] = _learner_apply
+        group = RaftGroup(
+            group_id=f"region{sid}",
+            voter_ids=voters,
+            learner_ids=[learner_id],
+            network=self.network,
+            cost=self.cost,
+            apply_fns=apply_fns,
+            seed=self._seed + sid,
+            # Home-node preference spreads leaders round-robin over
+            # the physical nodes (PD-style leader balancing).
+            preferred_leader=voters[0],
+            apply_batch_fns=apply_batch_fns,
+        )
+        self._groups.append(group)
+        self._region_sms.append(sms)
+        self._region_leader_node.append(placement)
 
     def _phys_node_of_leader(self, region: int) -> str:
         leader = self._groups[region].elect_leader()
         # leader id is "r<region>.n<phys>"
         return leader.node_id.split(".", 1)[1]
 
+    def _leader_sm(self, region: int) -> RegionStateMachine:
+        leader = self._groups[region].elect_leader()
+        return self._region_sms[region][leader.node_id]
+
+    def _live_sids(self) -> list[int]:
+        return self.metadata.current().shard_ids()
+
+    # ------------------------------------------------------------- epoch guard
+
+    def _check_ownership(self, sid: int, points: list[int]) -> None:
+        """The server side of the epoch contract: a shard (which sees
+        the live map for free — it is co-located with metadata in this
+        simulation) rejects any request for a ring point it no longer
+        owns, instead of silently serving stale topology."""
+        current = self.metadata.current()
+        shard = current.get(sid)
+        for point in points:
+            if shard is None or not shard.owns(point):
+                raise StaleEpochError(sid, current.epoch)
+
+    def _charge_group_write(self, sid: int, n_writes: int) -> None:
+        """Busy accounting: the leader does the row work + fsync, the
+        followers append to their WALs in parallel."""
+        phys = self._phys_node_of_leader(sid)
+        per_write = self.cost.row_point_write_us + self.cost.wal_append_us
+        self.ledger.charge(phys, n_writes * per_write + self.cost.wal_fsync_us)
+        for replica_node in self._region_leader_node[sid][1:]:
+            self.ledger.charge(replica_node, n_writes * self.cost.wal_append_us)
+
+    def _tap_commit(
+        self, writes: list[WriteOp], points: list[int], commit_ts: Timestamp
+    ) -> None:
+        """Dual-log committed writes that fall inside an in-flight
+        migration's moving interval (the resharding tail)."""
+        for tap in self._migration_taps:
+            for w, point in zip(writes, points):
+                if tap.lo <= point < tap.hi:
+                    tap.record(w.kind.value, w.table, w.key, w.row, commit_ts)
+
     # ------------------------------------------------------------- writes
 
     def region_of(self, table: str, key: Key) -> int:
-        return self.partitioner.region_of((table, key))
+        """Owning shard id per the *authoritative* map (test/debug aid;
+        clients route through a :class:`Router` cache instead)."""
+        return self.metadata.current().shard_for_point(
+            self.point_of(table, key)
+        ).shard_id
 
-    def execute_transaction(self, writes: list[WriteOp]) -> Timestamp:
+    def execute_transaction(
+        self, writes: list[WriteOp], router: Router | None = None
+    ) -> Timestamp:
         """Commit ``writes`` atomically; raises TransactionAborted on
-        validation failure at any region."""
+        validation failure at any shard.  Routed through ``router``
+        (the cluster's co-located router by default) with the full
+        stale-epoch retry protocol."""
         self._build()
         if not writes:
             raise TwoPhaseCommitError("empty transaction")
-        by_region: dict[int, list[WriteOp]] = {}
         for w in writes:
             if w.table not in self.schemas:
                 raise KeyNotFoundError(f"no table {w.table!r}")
-            by_region.setdefault(self.region_of(w.table, w.key), []).append(w)
+        router = router or self.router
+        points = [self.point_of(w.table, w.key) for w in writes]
+        return router.retrying(lambda: self._commit_routed(writes, points, router))
+
+    def _commit_routed(
+        self, writes: list[WriteOp], points: list[int], router: Router
+    ) -> Timestamp:
+        by_shard: dict[int, tuple[list[WriteOp], list[int]]] = {}
+        for w, point in zip(writes, points):
+            sid = router.shard_for_point(point).shard_id
+            slot = by_shard.get(sid)
+            if slot is None:
+                slot = by_shard[sid] = ([], [])
+            slot[0].append(w)
+            slot[1].append(point)
+        # Every participant validates ownership before anything is
+        # proposed, so a stale route aborts with no partial effects.
+        for sid, (_ws, ps) in by_shard.items():
+            self._check_ownership(sid, ps)
         commit_ts = self.clock.tick()
         participants = {
-            f"region{r}": _RaftRegionParticipant(self, r) for r in by_region
+            f"region{sid}": _RaftRegionParticipant(self, sid) for sid in by_shard
         }
         payloads = {
-            f"region{r}": (ws, commit_ts) for r, ws in by_region.items()
+            f"region{sid}": (ws, commit_ts) for sid, (ws, _ps) in by_shard.items()
         }
-        # Busy accounting: the leader node of each region does the work.
-        for r, ws in by_region.items():
-            phys = self._phys_node_of_leader(r)
-            per_write = self.cost.row_point_write_us + self.cost.wal_append_us
-            self.ledger.charge(phys, len(ws) * per_write + self.cost.wal_fsync_us)
-            # Follower replication work (parallel, on other nodes).
-            for replica_node in self._region_leader_node[r][1:]:
-                self.ledger.charge(replica_node, len(ws) * self.cost.wal_append_us)
+        for sid, (ws, _ps) in by_shard.items():
+            self._charge_group_write(sid, len(ws))
         result = self.coordinator.execute(payloads, participants)
         if result.outcome is TxnOutcome.ABORTED:
             self.aborts += 1
-            raise TransactionAborted(result.txn_id, "region validation failed")
+            raise TransactionAborted(result.txn_id, "shard validation failed")
         self.commits += 1
+        if self._migration_taps:
+            self._tap_commit(writes, points, commit_ts)
         return commit_ts
 
-    def bulk_load(self, table: str, rows: list[Row]) -> Timestamp:
+    def bulk_load(
+        self, table: str, rows: list[Row], router: Router | None = None
+    ) -> Timestamp:
         """Load pre-validated fresh rows through Raft in one command per
-        region instead of one 2PC transaction per row batch."""
+        shard instead of one 2PC transaction per row batch."""
         self._build()
         if table not in self.schemas:
             raise KeyNotFoundError(f"no table {table!r}")
         if not rows:
             return self.clock.now()
         schema = self.schemas[table]
-        by_region: dict[int, list[Row]] = {}
-        for row in rows:
-            row = schema.validate_row(row)
-            by_region.setdefault(self.region_of(table, schema.key_of(row)), []).append(
-                row
-            )
+        router = router or self.router
+        validated = [schema.validate_row(row) for row in rows]
+        points = [self.point_of(table, schema.key_of(row)) for row in validated]
+        return router.retrying(
+            lambda: self._bulk_routed(table, validated, points, router)
+        )
+
+    def _bulk_routed(
+        self, table: str, rows: list[Row], points: list[int], router: Router
+    ) -> Timestamp:
+        by_shard: dict[int, tuple[list[Row], list[int]]] = {}
+        for row, point in zip(rows, points):
+            sid = router.shard_for_point(point).shard_id
+            slot = by_shard.get(sid)
+            if slot is None:
+                slot = by_shard[sid] = ([], [])
+            slot[0].append(row)
+            slot[1].append(point)
+        for sid, (_rs, ps) in by_shard.items():
+            self._check_ownership(sid, ps)
         commit_ts = self.clock.tick()
-        for region, region_rows in by_region.items():
-            phys = self._phys_node_of_leader(region)
-            per_write = self.cost.row_point_write_us + self.cost.wal_append_us
-            self.ledger.charge(
-                phys, len(region_rows) * per_write + self.cost.wal_fsync_us
-            )
-            for replica_node in self._region_leader_node[region][1:]:
-                self.ledger.charge(
-                    replica_node, len(region_rows) * self.cost.wal_append_us
-                )
-            self._groups[region].propose_and_wait(
-                ("bulk", table, tuple(region_rows), commit_ts)
+        schema = self.schemas[table]
+        for sid, (shard_rows, _ps) in by_shard.items():
+            self._charge_group_write(sid, len(shard_rows))
+            self._groups[sid].propose_and_wait(
+                ("bulk", table, tuple(shard_rows), commit_ts)
             )
         self.commits += 1
+        if self._migration_taps:
+            for tap in self._migration_taps:
+                for row, point in zip(rows, points):
+                    if tap.lo <= point < tap.hi:
+                        tap.record(
+                            "insert", table, schema.key_of(row), row, commit_ts
+                        )
         return commit_ts
 
     # ------------------------------------------------------------- reads
 
-    def read(self, table: str, key: Key) -> Row | None:
-        """Point read served by the owning region's leader replica."""
+    def read(
+        self, table: str, key: Key, router: Router | None = None
+    ) -> Row | None:
+        """Point read served by the owning shard's leader replica."""
         self._build()
-        region = self.region_of(table, key)
-        self.cost.charge(self.cost.network_rtt_us)
-        leader = self._groups[region].elect_leader()
-        sm = self._region_sms[region][leader.node_id]
-        self.cost.charge(self.cost.row_point_read_us)
-        self.ledger.charge(
-            self._phys_node_of_leader(region), self.cost.row_point_read_us
-        )
-        return sm.rows[table].get(key)
+        router = router or self.router
+        point = self.point_of(table, key)
+
+        def attempt() -> Row | None:
+            sid = router.shard_for_point(point).shard_id
+            self._check_ownership(sid, [point])
+            self.cost.charge(self.cost.network_rtt_us)
+            sm = self._leader_sm(sid)
+            self.cost.charge(self.cost.row_point_read_us)
+            self.ledger.charge(
+                self._phys_node_of_leader(sid), self.cost.row_point_read_us
+            )
+            return sm.rows[table].get(key)
+
+        return router.retrying(attempt)
 
     def row_scan(self, table: str, predicate: Predicate = ALWAYS_TRUE) -> list[Row]:
-        """Scatter-gather scan over every region's leader (row path)."""
+        """Scatter-gather scan over every live shard's leader (row path)."""
         self._build()
         schema = self.schemas[table]
         out: list[Row] = []
-        for region in range(self.n_regions):
+        for sid in self._live_sids():
             self.cost.charge(self.cost.network_rtt_us)
-            leader = self._groups[region].elect_leader()
-            sm = self._region_sms[region][leader.node_id]
+            sm = self._leader_sm(sid)
             rows = sm.rows[table]
             self.cost.charge_rows(self.cost.row_scan_per_row_us, max(len(rows), 1))
             self.ledger.charge(
-                self._phys_node_of_leader(region),
+                self._phys_node_of_leader(sid),
                 self.cost.row_scan_per_row_us * max(len(rows), 1),
             )
             out.extend(r for r in rows.values() if predicate.matches(r, schema))
@@ -659,9 +545,9 @@ class DistributedCluster:
         spent = 0.0
         while spent < max_us:
             lagging = any(
-                g.elect_leader().commit_index
-                > g.nodes[f"r{i}.learner"].last_applied
-                for i, g in enumerate(self._groups)
+                self._groups[sid].elect_leader().commit_index
+                > self._groups[sid].nodes[f"r{sid}.learner"].last_applied
+                for sid in self._live_sids()
             )
             if not lagging and self.network.pending() == 0:
                 return
@@ -692,6 +578,13 @@ class DistributedCluster:
 
     # ------------------------------------------------------------- helpers
 
+    def make_router(self, name: str) -> Router:
+        """A fresh stateless router with its own shard-map cache (each
+        front-door / bench client gets one, like a TiDB-server node)."""
+        return Router(
+            self.metadata, cost=self.cost, name=name, point_fn=self.point_of
+        )
+
     def insert(self, table: str, row: Row) -> Timestamp:
         schema = self.schemas[table]
         row = schema.validate_row(row)
@@ -711,7 +604,7 @@ class DistributedCluster:
 
 
 class _RaftRegionParticipant:
-    """Adapts one Raft-replicated region to the 2PC Participant protocol."""
+    """Adapts one Raft-replicated shard to the 2PC Participant protocol."""
 
     def __init__(self, cluster: DistributedCluster, region: int):
         self._cluster = cluster

@@ -58,6 +58,12 @@ class SimNetwork:
         with the whole simulated world, not just their own activity."""
         self._tickers.append(ticker)
 
+    def remove_ticker(self, ticker: Callable[[], None]) -> None:
+        """Forget a ticker (a retired Raft group stops driving time).
+        Idempotent: retiring twice is a no-op."""
+        if ticker in self._tickers:
+            self._tickers.remove(ticker)
+
     def _run_tickers(self) -> None:
         for ticker in self._tickers:
             ticker()
@@ -68,6 +74,12 @@ class SimNetwork:
         if node_id in self._handlers:
             raise ValueError(f"node {node_id!r} already registered")
         self._handlers[node_id] = handler
+
+    def unregister(self, node_id: str) -> None:
+        """Remove a node entirely (a merged-away shard's replicas).
+        In-flight messages to it are dropped at delivery time."""
+        self._handlers.pop(node_id, None)
+        self._down.discard(node_id)
 
     def node_ids(self) -> list[str]:
         return list(self._handlers)

@@ -7,6 +7,7 @@ range partitioning is available for ordered scans and region splits.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from typing import Any, Sequence
 
 from ..common.errors import StorageError
@@ -51,12 +52,11 @@ class RangePartitioner(Partitioner):
         return len(self._boundaries) + 1
 
     def region_of(self, key: Any) -> int:
-        # First-column comparison for composite keys.
+        # First-column comparison for composite keys.  bisect_right finds
+        # the first boundary > probe in O(log n); region i holds keys in
+        # [b_{i-1}, b_i), matching the old linear scan exactly.
         probe = key[0] if isinstance(key, tuple) else key
-        for i, bound in enumerate(self._boundaries):
-            if probe < bound:
-                return i
-        return len(self._boundaries)
+        return bisect_right(self._boundaries, probe)
 
 
 def _stable_hash(key: Any) -> int:

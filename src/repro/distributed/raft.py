@@ -460,6 +460,14 @@ class RaftGroup:
         for node in self.nodes.values():
             node.tick()
 
+    def shutdown(self) -> None:
+        """Retire the group: deregister every replica from the network
+        and stop driving timeouts.  Used when resharding merges a shard
+        away — the group's log is dead weight once the map epoch flips."""
+        for node_id in self.nodes:
+            self.network.unregister(node_id)
+        self.network.remove_ticker(self._tick_all)
+
     def advance(self, delta_us: float) -> None:
         """Advance the shared world clock (ticks every registered group)."""
         self.network.advance(delta_us)
@@ -502,8 +510,15 @@ class RaftGroup:
             while spent < max_us:
                 if leader.commit_index >= index and leader.current_term == term:
                     return index
-                if not leader.is_leader() or leader.current_term != term:
-                    break  # deposed: re-elect and re-propose
+                if (
+                    not leader.is_leader()
+                    or leader.current_term != term
+                    or self.leader() is not leader
+                ):
+                    # Deposed — or a crashed leader that still believes
+                    # in itself while the group elected a successor at a
+                    # higher term: re-elect and re-propose either way.
+                    break
                 self.advance(100.0)
                 spent += 100.0
         raise ConsensusError(
@@ -526,8 +541,12 @@ class RaftGroup:
             while spent < max_us:
                 if leader.commit_index >= index and leader.current_term == term:
                     return index
-                if not leader.is_leader() or leader.current_term != term:
-                    break  # deposed: re-elect and re-propose
+                if (
+                    not leader.is_leader()
+                    or leader.current_term != term
+                    or self.leader() is not leader
+                ):
+                    break  # deposed or superseded: re-elect and re-propose
                 self.advance(100.0)
                 spent += 100.0
         raise ConsensusError(

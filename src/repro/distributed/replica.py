@@ -1,0 +1,331 @@
+"""The columnar learner replica: delta logs fed by Raft learner applies.
+
+Extracted from ``cluster.py`` (which had grown to mix replica-merge,
+placement, and 2PC orchestration): this module owns the analytics side
+of architecture (b) — per-table delta logs that each shard's learner
+stream appends into, and the log-based delta merge that folds them into
+per-table column stores.
+
+Resharding commands in the learner stream:
+
+* ``"rehome"`` — proposed on the *target* group at the split/merge/
+  migrate flip, carrying the moved interval's current committed rows;
+  replayed through the same bulk path as ``"bulk"`` loads
+  (``learner_apply_batch`` column slabs), it rebuilds the re-homed
+  learner's columnar state idempotently (the values equal the truth at
+  the flip instant, so replay can never resurrect stale data no matter
+  how merges interleave).
+* ``"install"`` / ``"tail"`` / ``"truncate"`` — voter-side migration
+  machinery (staged snapshot, dual-logged writes, source cleanup).  The
+  learner ignores them: the source shard's learner stream already
+  carried every one of those writes, and the column replica is keyed by
+  primary key, not by shard.
+"""
+
+from __future__ import annotations
+
+from ..common.clock import Timestamp
+from ..common.cost import CostModel
+from ..common.predicate import ALWAYS_TRUE, Predicate
+from ..common.types import Schema
+from ..obs import get_registry
+from ..storage.column_store import ColumnScanResult, ColumnStore
+from ..storage.delta_batch import (
+    KIND_DELETE,
+    KIND_INSERT,
+    KIND_UPDATE,
+    DeltaBatch,
+)
+from ..storage.delta_log import LogDeltaManager
+from ..storage.delta_store import DeltaEntry, collapse_entries
+
+#: Learner-stream commands the columnar replica deliberately skips
+#: (voter-side resharding machinery; see the module docstring).
+_LEARNER_IGNORED_OPS = frozenset({"install", "tail", "truncate"})
+
+
+def _runs_by_table(writes):
+    """Group one commit's writes by table, preserving per-table order.
+    Single-table transactions (the common case) pass through without
+    building intermediate groups."""
+    if not writes:
+        return ()
+    first = writes[0].table
+    if all(w.table == first for w in writes):
+        return ((first, writes),)
+    groups: dict[str, list] = {}
+    for w in writes:
+        groups.setdefault(w.table, []).append(w)
+    return groups.items()
+
+
+class ColumnarReplica:
+    """The analytics side fed by learner applies: per-table delta logs
+    that the log-based delta merge folds into per-table column stores."""
+
+    def __init__(
+        self,
+        schemas: dict[str, Schema],
+        cost: CostModel,
+        seal_threshold: int = 64,
+        vectorized: bool = True,
+    ):
+        self._cost = cost
+        self.vectorized = vectorized
+        self.delta_logs = {
+            name: LogDeltaManager(schema, cost=cost, seal_threshold=seal_threshold)
+            for name, schema in schemas.items()
+        }
+        self.column_stores = {
+            name: ColumnStore(schema, cost=cost) for name, schema in schemas.items()
+        }
+        self.applied_ts: Timestamp = 0
+        # Keyed by (shard, txn_id): each shard's learner stream carries
+        # only that shard's slice of a 2PC transaction, and streams from
+        # different shards interleave arbitrarily.
+        self._pending: dict[tuple[int, int], tuple[list, Timestamp]] = {}
+        registry = get_registry()
+        self._m_merge_events = registry.counter("sync.log_merge.events")
+        self._m_merge_rows = registry.counter("sync.log_merge.rows")
+        self._h_apply_batch = registry.histogram("raft.apply_batch_commands")
+        self._h_merge_batch = registry.histogram(
+            "sync.batch_rows", technique="replica_merge"
+        )
+        self._h_merge_latency = registry.histogram(
+            "sync.merge_latency_us", technique="replica_merge"
+        )
+
+    def learner_apply(self, region: int, _index: int, command: tuple) -> None:
+        from .cluster import WriteKind
+
+        op = command[0]
+        if op == "prepare":
+            _op, txn_id, writes, commit_ts = command
+            self._pending[(region, txn_id)] = (writes, commit_ts)
+        elif op == "commit":
+            _op, txn_id = command
+            staged = self._pending.pop((region, txn_id), None)
+            if staged is None:
+                return
+            writes, commit_ts = staged
+            for w in writes:
+                log = self.delta_logs[w.table]
+                if w.kind is WriteKind.INSERT:
+                    log.record_insert(w.row, commit_ts)
+                elif w.kind is WriteKind.UPDATE:
+                    log.record_update(w.row, commit_ts)
+                else:
+                    log.record_delete(w.key, commit_ts)
+            self.applied_ts = max(self.applied_ts, commit_ts)
+        elif op == "abort":
+            _op, txn_id = command
+            self._pending.pop((region, txn_id), None)
+        elif op in ("bulk", "rehome"):
+            _op, table, rows, commit_ts = command
+            log = self.delta_logs[table]
+            for row in rows:
+                if op == "rehome":
+                    log.record_update(row, commit_ts)
+                else:
+                    log.record_insert(row, commit_ts)
+            self.applied_ts = max(self.applied_ts, commit_ts)
+        elif op in _LEARNER_IGNORED_OPS:
+            return
+
+    def learner_apply_batch(
+        self, region: int, _start_index: int, commands: list[tuple]
+    ) -> None:
+        """Batched log replay: one pass over a committed run of commands,
+        accumulating per-table column slabs (kind codes, keys, rows,
+        commit timestamps) that land with one columnar bulk append each
+        (TiDB's batched learner replay) — no per-write DeltaEntry
+        objects on this path."""
+        from .cluster import WriteKind
+
+        per_table: dict[str, tuple[list, list, list, list]] = {}
+        max_ts = self.applied_ts
+        pending = self._pending
+        insert_kind = WriteKind.INSERT
+        delete_kind = WriteKind.DELETE
+        for command in commands:
+            op = command[0]
+            if op == "prepare":
+                _op, txn_id, writes, commit_ts = command
+                pending[(region, txn_id)] = (writes, commit_ts)
+            elif op == "commit":
+                staged = pending.pop((region, command[1]), None)
+                if staged is None:
+                    continue
+                writes, commit_ts = staged
+                for table, run in _runs_by_table(writes):
+                    cols = per_table.get(table)
+                    if cols is None:
+                        cols = per_table[table] = ([], [], [], [])
+                    kinds, keys, rows, ts = cols
+                    # Identity checks beat enum-hash dict lookups here.
+                    kinds.extend(
+                        [
+                            KIND_INSERT
+                            if w.kind is insert_kind
+                            else (
+                                KIND_DELETE
+                                if w.kind is delete_kind
+                                else KIND_UPDATE
+                            )
+                            for w in run
+                        ]
+                    )
+                    keys.extend([w.key for w in run])
+                    rows.extend(
+                        [None if w.kind is delete_kind else w.row for w in run]
+                    )
+                    ts.extend([commit_ts] * len(run))
+                if commit_ts > max_ts:
+                    max_ts = commit_ts
+            elif op == "abort":
+                pending.pop((region, command[1]), None)
+            elif op in ("bulk", "rehome"):
+                # "rehome" rides the same bulk slab path: the re-homed
+                # learner's columnar slice rebuilds as one batched
+                # upsert append, exactly like a bulk load.
+                _op, table, bulk_rows, commit_ts = command
+                cols = per_table.get(table)
+                if cols is None:
+                    cols = per_table[table] = ([], [], [], [])
+                kinds, keys, rows, ts = cols
+                key_of = self.delta_logs[table].schema.key_of
+                kind = KIND_INSERT if op == "bulk" else KIND_UPDATE
+                kinds.extend([kind] * len(bulk_rows))
+                keys.extend([key_of(row) for row in bulk_rows])
+                rows.extend(bulk_rows)
+                ts.extend([commit_ts] * len(bulk_rows))
+                if commit_ts > max_ts:
+                    max_ts = commit_ts
+            elif op in _LEARNER_IGNORED_OPS:
+                continue
+        for table, (kinds, keys, rows, ts) in per_table.items():
+            self.delta_logs[table].append_batch_columns(kinds, keys, rows, ts)
+        self.applied_ts = max_ts
+        self._h_apply_batch.observe(len(commands))
+
+    # ------------------------------------------------------------- queries
+
+    def scan(
+        self,
+        table: str,
+        columns: list[str] | None,
+        predicate: Predicate = ALWAYS_TRUE,
+        read_delta: bool = True,
+        encode: bool = False,
+    ) -> ColumnScanResult:
+        """Log-based delta + column scan (Table 2's second AP technique).
+
+        ``encode=True`` keeps dictionary columns as CodeColumns across
+        the delta overlay (fresh log rows fold into the code space with
+        a decoded fallback)."""
+        store = self.column_stores[table]
+        result = store.scan(columns, predicate, encode=encode)
+        if not read_delta:
+            return result
+        live, tombstones = self.delta_logs[table].effective_rows()
+        if not live and not tombstones:
+            return result
+        schema = store.schema
+        from ..common.types import rows_to_columns
+        from ..storage.code_batch import overlay_arrays
+
+        drop = tombstones | set(live)
+        fresh_rows = [
+            row for row in live.values() if predicate.matches(row, schema)
+        ]
+        fresh_columns = rows_to_columns(schema, fresh_rows) if fresh_rows else None
+        result.arrays = overlay_arrays(
+            result.arrays, result.keys, drop, fresh_rows, fresh_columns
+        )
+        if drop:
+            result.keys = [k for k in result.keys if k not in drop]
+        if fresh_rows:
+            result.keys.extend(schema.key_of(r) for r in fresh_rows)
+        return result
+
+    def merge_deltas(self) -> int:
+        """Log-based delta merge: seal + fold every delta file into the
+        column stores.  Returns rows merged."""
+        start = self._cost.now_us()
+        merged = 0
+        batch_entries = 0
+        for table, log in self.delta_logs.items():
+            log.seal()
+            files = log.drain_files()
+            if not files:
+                continue
+            self._m_merge_events.inc()
+            store = self.column_stores[table]
+            if self.vectorized:
+                # Concatenate the files' column slabs without ever
+                # materializing DeltaEntry objects.
+                kinds: list[int] = []
+                keys: list = []
+                rows: list = []
+                ts: list = []
+                for f in files:
+                    self._cost.charge(self._cost.page_read_us * f.page_count())
+                    f_kinds, f_keys, f_rows, f_ts = f.columns()
+                    kinds.extend(f_kinds)
+                    keys.extend(f_keys)
+                    rows.extend(f_rows)
+                    ts.extend(f_ts)
+                batch_entries += len(keys)
+                merged += self._fold_vectorized(store, kinds, keys, rows, ts)
+                if ts:
+                    store.advance_sync_ts(max(ts))
+            else:
+                entries: list[DeltaEntry] = []
+                for f in files:
+                    self._cost.charge(self._cost.page_read_us * f.page_count())
+                    entries.extend(f.entries)
+                batch_entries += len(entries)
+                merged += self._fold_scalar(store, entries)
+                if entries:
+                    store.advance_sync_ts(max(e.commit_ts for e in entries))
+        elapsed = self._cost.now_us() - start
+        self._h_merge_batch.observe(batch_entries)
+        self._h_merge_latency.observe(elapsed)
+        return merged
+
+    def _fold_scalar(self, store: ColumnStore, entries: list[DeltaEntry]) -> int:
+        live, tombstones = collapse_entries(entries)
+        if tombstones:
+            store.delete_keys(tombstones)
+        if not live:
+            return 0
+        rows = list(live.values())
+        max_ts = max(e.commit_ts for e in entries)
+        self._cost.charge_rows(self._cost.merge_per_row_us, len(rows))
+        store.append_rows(rows, commit_ts=max_ts)
+        self._m_merge_rows.inc(len(rows))
+        return len(rows)
+
+    def _fold_vectorized(
+        self,
+        store: ColumnStore,
+        kinds: list[int],
+        keys: list,
+        rows: list,
+        ts: list,
+    ) -> int:
+        from ..common.types import rows_to_columns
+
+        collapsed = DeltaBatch.from_columns(kinds, keys, rows, ts).collapse()
+        if collapsed.tombstones:
+            store.delete_batch(collapsed.tombstones)
+        if not collapsed.live_keys:
+            return 0
+        self._cost.charge_rows(self._cost.merge_per_row_us, len(collapsed.live_keys))
+        arrays = rows_to_columns(store.schema, collapsed.live_rows)
+        store.append_batch(arrays, collapsed.live_keys, commit_ts=max(ts))
+        self._m_merge_rows.inc(len(collapsed.live_keys))
+        return len(collapsed.live_keys)
+
+    def unmerged_entries(self) -> int:
+        return sum(log.pending_entries() for log in self.delta_logs.values())

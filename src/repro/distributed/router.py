@@ -1,0 +1,140 @@
+"""Stateless routers: cached shard maps, bisect lookups, stale retries.
+
+A :class:`Router` is the TiDB-server / proxy role: it holds no data,
+only a cached :class:`~repro.distributed.metadata.ShardMap`.  Routing a
+key is a local bisect over the cached map — **zero** metadata round
+trips on the hot path.  The metadata node is consulted only when a
+shard rejects a request with :class:`StaleEpochError` (the cached map
+routed to a group that no longer owns the key after a split/merge/
+migration): the router then pays one metadata RTT to catch up
+(incremental deltas when the service still has them, full snapshot
+otherwise) and retries with capped exponential backoff.  Retries are
+bounded; exhaustion surfaces as :class:`RoutingError` rather than
+looping forever against a flapping map.
+
+Routers are cheap — a deployment runs many; each keeps its own cache
+and its own staleness, which is exactly what the resharding chaos test
+exercises (a freshly started router with an old snapshot must converge
+through the same retry path).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, TypeVar
+
+from ..common.cost import CostModel
+from ..common.errors import RoutingError, StaleEpochError
+from ..obs import get_registry
+from .metadata import MetadataService, Shard, ShardMap, hash_point
+
+T = TypeVar("T")
+
+#: Retry backoff: ``base * 2**attempt`` simulated µs, capped.
+BACKOFF_BASE_US = 50.0
+BACKOFF_CAP_US = 800.0
+
+
+class Router:
+    """One stateless routing node with a private shard-map cache."""
+
+    def __init__(
+        self,
+        metadata: MetadataService,
+        cost: CostModel | None = None,
+        name: str = "router0",
+        max_retries: int = 4,
+        point_fn: Callable[[str, Any], int] = hash_point,
+    ):
+        self._metadata = metadata
+        self._cost = cost or CostModel()
+        self.name = name
+        self.max_retries = max_retries
+        self._point_fn = point_fn
+        self._map: ShardMap = metadata.snapshot()
+        reg = get_registry()
+        labels = {"router": name}
+        self._m_routes = reg.counter("router.routes", **labels)
+        self._m_refreshes = reg.counter("router.refreshes", **labels)
+        self._m_stale = reg.counter("router.stale_retries", **labels)
+        self._m_exhausted = reg.counter("router.retries_exhausted", **labels)
+        self._g_epoch = reg.gauge("router.cached_epoch", **labels)
+        self._g_epoch.set(float(self._map.epoch))
+
+    # ------------------------------------------------------------- hot path
+
+    @property
+    def cached_epoch(self) -> int:
+        return self._map.epoch
+
+    def point_of(self, table: str, key: Any) -> int:
+        return self._point_fn(table, key)
+
+    def shard_for(self, table: str, key: Any) -> Shard:
+        """Cache-only lookup: bisect over the cached map, no metadata
+        traffic, no simulated network charge."""
+        self._m_routes.inc()
+        return self._map.shard_for_point(self._point_fn(table, key))
+
+    def shard_for_point(self, point: int) -> Shard:
+        self._m_routes.inc()
+        return self._map.shard_for_point(point)
+
+    # ------------------------------------------------------------- refresh
+
+    def refresh(self) -> int:
+        """Catch the cache up to the metadata service (one RTT).
+
+        Returns the number of epochs advanced."""
+        self._cost.charge(self._cost.network_rtt_us)
+        self._m_refreshes.inc()
+        before = self._map.epoch
+        deltas = self._metadata.deltas_since(before)
+        if deltas is None:
+            self._map = self._metadata.snapshot()
+        else:
+            for delta in deltas:
+                self._map = self._map.apply(delta)
+        self._g_epoch.set(float(self._map.epoch))
+        return self._map.epoch - before
+
+    # ------------------------------------------------------------- retries
+
+    def retrying(self, fn: Callable[[], T]) -> T:
+        """Run ``fn`` (which routes through this router's cache) until
+        it stops raising :class:`StaleEpochError`: each rejection costs
+        one capped backoff plus one metadata refresh, bounded by
+        ``max_retries``."""
+        attempt = 0
+        while True:
+            try:
+                return fn()
+            except StaleEpochError as err:
+                self._m_stale.inc()
+                if attempt >= self.max_retries:
+                    self._m_exhausted.inc()
+                    raise RoutingError(
+                        f"router {self.name}: {attempt + 1} stale-epoch "
+                        f"rejections without converging (metadata at epoch "
+                        f"{err.current_epoch})"
+                    ) from err
+                self._cost.charge(
+                    min(BACKOFF_BASE_US * (2.0 ** attempt), BACKOFF_CAP_US)
+                )
+                self.refresh()
+                attempt += 1
+
+    def call(self, table: str, key: Any, fn: Callable[[Shard], T]) -> T:
+        """Route one keyed operation with the full retry protocol."""
+        return self.retrying(lambda: fn(self.shard_for(table, key)))
+
+    # ------------------------------------------------------------- report
+
+    @property
+    def stats(self) -> dict[str, float]:
+        return {
+            "routes": self._m_routes.value,
+            "refreshes": self._m_refreshes.value,
+            "stale_retries": self._m_stale.value,
+            "retries_exhausted": self._m_exhausted.value,
+            "cached_epoch": float(self._map.epoch),
+        }

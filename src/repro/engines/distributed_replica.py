@@ -64,6 +64,16 @@ class DistributedReplicaEngine(HTAPEngine):
         # one place.
         self.ledger = self.cluster.ledger
 
+    @property
+    def router(self):
+        """The cluster's co-located shard-map router (the front door and
+        benches can also mint their own via :meth:`make_router`)."""
+        return self.cluster.router
+
+    def make_router(self, name: str):
+        """A fresh stateless router with an independent shard-map cache."""
+        return self.cluster.make_router(name)
+
     # ------------------------------------------------------------- schema
 
     def create_table(self, schema: Schema) -> None:

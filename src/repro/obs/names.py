@@ -34,6 +34,24 @@ REGISTERED_METRICS: frozenset[str] = frozenset(
         "raft.elections",
         "raft.heartbeats",
         "raft.replication_lag",
+        # stateless router tier
+        "router.cached_epoch",
+        "router.refreshes",
+        "router.retries_exhausted",
+        "router.routes",
+        "router.stale_retries",
+        # shard-map metadata service
+        "shardmap.delta_fetches",
+        "shardmap.epoch",
+        "shardmap.full_fetches",
+        "shardmap.shards",
+        # online resharding
+        "reshard.duration_us",
+        "reshard.merges",
+        "reshard.migrations",
+        "reshard.rows_moved",
+        "reshard.splits",
+        "reshard.tail_writes",
         # morsel-driven parallel scan pipeline
         "parallel.merge_ns",
         "parallel.morsels",

@@ -15,11 +15,13 @@ decisions show up in the tail, not just in throughput.
 
 from __future__ import annotations
 
+import itertools
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from ..common.metrics import LatencyRecorder
+from ..distributed.router import Router
 from ..engines.base import HTAPEngine
 from ..obs import get_registry
 from ..scheduler.resources import (
@@ -46,6 +48,25 @@ def resolve_wal(engine: HTAPEngine) -> WriteAheadLog | None:
     if wal is None:
         wal = getattr(getattr(engine, "txn_manager", None), "wal", None)
     return wal if isinstance(wal, WriteAheadLog) else None
+
+
+def resolve_router(engine: HTAPEngine) -> Router | None:
+    """Mint this front door's own shard-map router, when the engine is
+    distributed.
+
+    The distributed-replica architecture (b) routes every keyed
+    operation through a stateless router cache; each front door gets its
+    *own* router (its own cache, its own staleness) exactly like one
+    TiDB-server node.  Single-node architectures route nothing.
+    """
+    make = getattr(engine, "make_router", None)
+    if make is None:
+        return None
+    router = make(f"frontdoor{next(_FRONTDOOR_IDS)}")
+    return router if isinstance(router, Router) else None
+
+
+_FRONTDOOR_IDS = itertools.count()
 
 
 @dataclass(frozen=True)
@@ -75,6 +96,9 @@ class FrontDoorReport:
     plan_cache: dict[str, int]
     group_commit_size: int
     trace: ScheduleTrace
+    #: Shard-map router cache stats (routes, refreshes, stale retries);
+    #: None for single-node engines, which have no router.
+    router: dict[str, float] | None = None
 
 
 class FrontDoor:
@@ -89,6 +113,7 @@ class FrontDoor:
         self.engine = engine
         self.scheduler = scheduler
         self.config = config or FrontDoorConfig()
+        self.router = resolve_router(engine)
         labels = {"engine": engine.info.name}
         self.admission = AdmissionController(self.config.policy, labels=labels)
         self.tuner = GroupCommitTuner(
@@ -253,4 +278,5 @@ class FrontDoor:
             plan_cache=dict(self.engine.plan_cache.stats),
             group_commit_size=self.tuner.applied_size,
             trace=self.trace,
+            router=self.router.stats if self.router is not None else None,
         )

@@ -108,6 +108,35 @@ class TestPartitioners:
         with pytest.raises(StorageError):
             RangePartitioner([5, 5])
 
+    def test_range_bisect_matches_linear_reference(self):
+        # Differential check for the bisect fast path: identical to the
+        # O(n) boundary scan, boundary values included.
+        bounds = [10, 20, 30, 47]
+        part = RangePartitioner(bounds)
+
+        def linear(probe):
+            for i, bound in enumerate(bounds):
+                if probe < bound:
+                    return i
+            return len(bounds)
+
+        for key in range(-5, 60):
+            assert part.region_of(key) == linear(key)
+
+    def test_partitioners_agree_on_n_regions_invariants(self):
+        # Hash and range partitioners with the same region count must
+        # both map every key into [0, n_regions).
+        n = 5
+        hash_part = HashPartitioner(n)
+        range_part = RangePartitioner([10, 20, 30, 40])
+        assert hash_part.n_regions == range_part.n_regions == n
+        for key in range(100):
+            assert 0 <= hash_part.region_of(key) < n
+            assert 0 <= range_part.region_of(key) < n
+        # Both cover every region given enough spread-out keys.
+        assert {hash_part.region_of(k) for k in range(100)} == set(range(n))
+        assert {range_part.region_of(k) for k in range(50)} == set(range(n))
+
 
 def make_cluster(**kwargs):
     schema = Schema(

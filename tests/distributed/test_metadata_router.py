@@ -1,0 +1,199 @@
+"""Shard maps, the metadata service, and the stateless router tier."""
+
+import pytest
+
+from repro.common import CostModel, RoutingError, StaleEpochError, StorageError
+from repro.distributed import (
+    RING_SIZE,
+    MetadataService,
+    Router,
+    Shard,
+    ShardMap,
+    ShardMapDelta,
+    hash_point,
+)
+
+
+def uniform_service(n_shards=4):
+    return MetadataService(ShardMap.uniform(n_shards))
+
+
+class TestShardMap:
+    def test_uniform_tiles_the_ring(self):
+        m = ShardMap.uniform(4)
+        assert m.n_shards == 4
+        shards = m.shards()
+        assert shards[0].lo == 0
+        assert shards[-1].hi == RING_SIZE
+        for left, right in zip(shards, shards[1:]):
+            assert left.hi == right.lo
+
+    def test_bisect_lookup_matches_interval_scan(self):
+        m = ShardMap.uniform(7)
+        for point in [0, 1, RING_SIZE // 7, RING_SIZE // 2, RING_SIZE - 1]:
+            shard = m.shard_for_point(point)
+            # Differential reference: the O(n) interval scan.
+            expected = [s for s in m.shards() if s.owns(point)]
+            assert expected == [shard]
+
+    def test_every_hash_point_is_owned(self):
+        m = ShardMap.uniform(5)
+        for i in range(200):
+            point = hash_point("orders", i)
+            assert m.shard_for_point(point).owns(point)
+
+    def test_gaps_and_overlaps_rejected(self):
+        with pytest.raises(StorageError):
+            ShardMap([Shard(0, 0, 10), Shard(1, 20, RING_SIZE)])  # gap
+        with pytest.raises(StorageError):
+            ShardMap([Shard(0, 0, 30), Shard(1, 20, RING_SIZE)])  # overlap
+        with pytest.raises(StorageError):
+            ShardMap([Shard(0, 10, 10)])  # empty interval
+        with pytest.raises(StorageError):
+            ShardMap([])
+
+    def test_point_outside_span_raises(self):
+        m = ShardMap([Shard(0, 10, 20)])
+        with pytest.raises(RoutingError):
+            m.shard_for_point(5)
+        with pytest.raises(RoutingError):
+            m.shard_for_point(20)
+
+    def test_apply_delta_splits(self):
+        m = ShardMap.uniform(2)
+        victim = m.shards()[0]
+        mid = victim.midpoint()
+        m2 = m.apply(
+            ShardMapDelta(
+                epoch=1,
+                removed=(victim.shard_id,),
+                added=(
+                    Shard(victim.shard_id, victim.lo, mid),
+                    Shard(2, mid, victim.hi),
+                ),
+            )
+        )
+        assert m2.epoch == 1
+        assert m2.n_shards == 3
+        assert m.n_shards == 2  # immutable: the old map is untouched
+        assert m2.shard_for_point(mid).shard_id == 2
+
+
+class TestMetadataService:
+    def test_propose_bumps_epoch_and_serves_deltas(self):
+        svc = uniform_service(2)
+        victim = svc.current().shards()[0]
+        mid = victim.midpoint()
+        new_sid = svc.allocate_shard_id()
+        svc.propose(
+            [victim.shard_id],
+            [
+                Shard(victim.shard_id, victim.lo, mid),
+                Shard(new_sid, mid, victim.hi),
+            ],
+        )
+        assert svc.epoch == 1
+        deltas = svc.deltas_since(0)
+        assert [d.epoch for d in deltas] == [1]
+        assert svc.deltas_since(1) == []
+
+    def test_history_cap_falls_back_to_snapshot(self):
+        svc = MetadataService(ShardMap.uniform(2), history=2)
+        for _ in range(4):
+            victim = svc.current().shards()[-1]
+            mid = victim.midpoint()
+            sid = svc.allocate_shard_id()
+            svc.propose(
+                [victim.shard_id],
+                [Shard(victim.shard_id, victim.lo, mid), Shard(sid, mid, victim.hi)],
+            )
+        # Epoch 0 fell off the bounded history: incremental is impossible.
+        assert svc.deltas_since(0) is None
+        assert [d.epoch for d in svc.deltas_since(2)] == [3, 4]
+        # Catching up via the returned deltas reproduces the live map.
+        caught_up = ShardMap(svc.current().shards(), epoch=2)
+        stale = MetadataService(ShardMap.uniform(2), history=64)
+        # (stale map at epoch 0 cannot apply epoch-3 deltas directly)
+        with pytest.raises(StorageError):
+            stale.current().apply(svc.deltas_since(2)[1])
+        assert caught_up.shard_ids() == svc.current().shard_ids()
+
+    def test_shard_ids_allocated_monotonically(self):
+        svc = uniform_service(3)
+        assert svc.allocate_shard_id() == 3
+        assert svc.allocate_shard_id() == 4
+
+
+class TestRouter:
+    def test_cache_hits_bypass_metadata(self):
+        svc = uniform_service(4)
+        router = Router(svc, cost=CostModel(), name="t_cache_hits")
+        fetches0 = svc._m_full_fetches.value + svc._m_delta_fetches.value
+        for i in range(100):
+            shard = router.shard_for("orders", i)
+            assert shard.owns(hash_point("orders", i))
+        # The hot path never touched the metadata service.
+        assert svc._m_full_fetches.value + svc._m_delta_fetches.value == fetches0
+
+    def test_refresh_applies_incremental_deltas(self):
+        svc = uniform_service(2)
+        router = Router(svc, cost=CostModel(), name="t_refresh")
+        victim = svc.current().shards()[0]
+        mid = victim.midpoint()
+        sid = svc.allocate_shard_id()
+        svc.propose(
+            [victim.shard_id],
+            [Shard(victim.shard_id, victim.lo, mid), Shard(sid, mid, victim.hi)],
+        )
+        assert router.cached_epoch == 0
+        advanced = router.refresh()
+        assert advanced == 1
+        assert router.cached_epoch == 1
+        assert router.shard_for_point(mid).shard_id == sid
+
+    def test_stale_epoch_retry_converges(self):
+        svc = uniform_service(2)
+        cost = CostModel()
+        router = Router(svc, cost=cost, name="t_retry")
+
+        def op():
+            # A shard that rejects anything older than the live epoch.
+            if router.cached_epoch < svc.epoch:
+                raise StaleEpochError(0, svc.epoch)
+            return "ok"
+
+        victim = svc.current().shards()[0]
+        mid = victim.midpoint()
+        sid = svc.allocate_shard_id()
+        svc.propose(
+            [victim.shard_id],
+            [Shard(victim.shard_id, victim.lo, mid), Shard(sid, mid, victim.hi)],
+        )
+        before = cost.now_us()
+        assert router.retrying(op) == "ok"
+        assert router.stats["stale_retries"] == 1
+        assert router.stats["retries_exhausted"] == 0
+        # The retry charged backoff + one metadata RTT of simulated time.
+        assert cost.now_us() > before
+
+    def test_retries_exhausted_raises_routing_error(self):
+        svc = uniform_service(2)
+        router = Router(svc, cost=CostModel(), name="t_exhaust", max_retries=3)
+
+        def always_stale():
+            raise StaleEpochError(0, svc.epoch)
+
+        with pytest.raises(RoutingError):
+            router.retrying(always_stale)
+        assert router.stats["stale_retries"] == 4  # initial + 3 retries
+        assert router.stats["retries_exhausted"] == 1
+
+    def test_backoff_is_capped(self):
+        from repro.distributed.router import BACKOFF_BASE_US, BACKOFF_CAP_US
+
+        delays = [
+            min(BACKOFF_BASE_US * (2.0**attempt), BACKOFF_CAP_US)
+            for attempt in range(10)
+        ]
+        assert max(delays) == BACKOFF_CAP_US
+        assert delays[0] == BACKOFF_BASE_US
