@@ -4,8 +4,11 @@ Two enforcement layers for the invariants the paper reproduction rests
 on:
 
 * :mod:`repro.analysis.core` + :mod:`repro.analysis.rules` — *htaplint*,
-  an AST-based analyzer with repo-specific rules (HTL001-HTL005) run via
-  ``python -m repro.analysis``;
+  an AST-based analyzer with repo-specific rules (HTL001-HTL009) run via
+  ``python -m repro.analysis``.  HTL006-HTL009 are whole-program: a
+  project index (:mod:`repro.analysis.project`) resolves cross-module
+  calls and a CFG dominance pass (:mod:`repro.analysis.dataflow`)
+  checks guard-before-sink path invariants;
 * :mod:`repro.analysis.sanitizer` — runtime checkers that wrap the
   simulated cluster's message bus (vector-clock happens-before) and the
   MVCC read path (snapshot-isolation visibility) during tests.
@@ -25,6 +28,13 @@ from .core import (
     render_human,
     render_json,
 )
+from .project import ProjectIndex, load_or_build, tree_digest
+from .report import (
+    apply_baseline,
+    load_baseline,
+    render_sarif,
+    write_baseline,
+)
 
 __all__ = [
     "SUPPRESSION_AUDIT_RULE",
@@ -39,4 +49,11 @@ __all__ = [
     "parse_suppressions",
     "render_human",
     "render_json",
+    "ProjectIndex",
+    "load_or_build",
+    "tree_digest",
+    "apply_baseline",
+    "load_baseline",
+    "render_sarif",
+    "write_baseline",
 ]

@@ -1,5 +1,10 @@
 """CLI: ``python -m repro.analysis`` — lint the repro tree.
 
+One whole-program run: the project index (imports, class hierarchy,
+attribute types) is built once — or reloaded from ``--cache`` when the
+tree digest matches — and every rule, module-local and interprocedural,
+runs over it.
+
 Exit codes: 0 no findings, 1 findings, 2 usage error.
 """
 
@@ -10,6 +15,7 @@ import sys
 from pathlib import Path
 
 from .core import all_rules, analyze_tree, render_human, render_json
+from .report import apply_baseline, load_baseline, render_sarif, write_baseline
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -19,7 +25,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--format",
-        choices=("human", "json"),
+        choices=("human", "json", "sarif"),
         default="human",
         help="output format (default: human)",
     )
@@ -32,6 +38,26 @@ def main(argv: list[str] | None = None) -> int:
         "--root",
         metavar="DIR",
         help="package root to analyze (default: the installed repro package)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="subtract a committed baseline; only new findings are reported",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        metavar="FILE",
+        help="snapshot current findings to FILE and exit 0",
+    )
+    parser.add_argument(
+        "--cache",
+        metavar="FILE",
+        help="pickle the project index keyed by tree digest (CI time box)",
+    )
+    parser.add_argument(
+        "--output",
+        metavar="FILE",
+        help="write the report to FILE instead of stdout",
     )
     parser.add_argument(
         "--list-rules",
@@ -49,16 +75,41 @@ def main(argv: list[str] | None = None) -> int:
     if args.rules:
         rule_ids = [r.strip() for r in args.rules.split(",") if r.strip()]
     root = Path(args.root) if args.root else None
+    cache_path = Path(args.cache) if args.cache else None
     try:
-        findings = analyze_tree(root=root, rule_ids=rule_ids)
+        findings = analyze_tree(
+            root=root, rule_ids=rule_ids, cache_path=cache_path
+        )
     except ValueError as err:
         print(f"htaplint: {err}", file=sys.stderr)
         return 2
 
+    if args.write_baseline:
+        write_baseline(findings, args.write_baseline)
+        print(
+            f"htaplint: baseline of {len(findings)} finding(s) written to "
+            f"{args.write_baseline}"
+        )
+        return 0
+
+    if args.baseline:
+        try:
+            baseline = load_baseline(args.baseline)
+        except (OSError, ValueError, KeyError) as err:
+            print(f"htaplint: bad baseline {args.baseline}: {err}", file=sys.stderr)
+            return 2
+        findings = apply_baseline(findings, baseline)
+
     if args.format == "json":
-        print(render_json(findings))
+        report = render_json(findings)
+    elif args.format == "sarif":
+        report = render_sarif(findings)
     else:
-        print(render_human(findings))
+        report = render_human(findings)
+    if args.output:
+        Path(args.output).write_text(report + "\n")
+    else:
+        print(report)
     return 1 if findings else 0
 
 

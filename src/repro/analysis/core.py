@@ -27,7 +27,10 @@ import re
 import tokenize
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Iterable, Iterator
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .project import ProjectIndex
 
 # --------------------------------------------------------------------- findings
 
@@ -149,6 +152,10 @@ class FileContext:
     #: Metric/span registry for HTL004 (injected by the driver).
     registered_metrics: frozenset[str] = field(default_factory=frozenset)
     registered_spans: frozenset[str] = field(default_factory=frozenset)
+    #: Whole-program index for HTL006-HTL009.  The tree driver builds
+    #: it once and shares it across files; rules fall back to a
+    #: single-module index when it is absent (snippet fixtures).
+    project: "ProjectIndex | None" = None
 
     def in_subtree(self, *prefixes: str) -> bool:
         return any(
@@ -312,14 +319,18 @@ def analyze_source(
     registered_spans: frozenset[str] | None = None,
 ) -> list[Finding]:
     """Analyze an in-memory snippet (fixture tests use this)."""
+    from .project import ProjectIndex
+
     suppressions, audit = parse_suppressions(source, path)
+    tree = ast.parse(source)
     ctx = FileContext(
         path=path,
         source=source,
-        tree=ast.parse(source),
+        tree=tree,
         suppressions=suppressions,
         registered_metrics=registered_metrics or frozenset(),
         registered_spans=registered_spans or frozenset(),
+        project=ProjectIndex.from_single(path, tree),
     )
     findings = analyze_file(ctx, rule_ids)
     if rule_ids is None or SUPPRESSION_AUDIT_RULE in set(rule_ids):
@@ -329,17 +340,28 @@ def analyze_source(
 
 
 def analyze_tree(
-    root: Path | str | None = None, rule_ids: Iterable[str] | None = None
+    root: Path | str | None = None,
+    rule_ids: Iterable[str] | None = None,
+    cache_path: Path | str | None = None,
 ) -> list[Finding]:
     """Analyze every ``.py`` file under the repro package root.
 
     ``root`` defaults to the installed ``repro`` package directory, so
-    ``python -m repro.analysis`` lints whatever tree it runs from.
+    ``python -m repro.analysis`` lints whatever tree it runs from.  The
+    whole-program index is built once for the tree (reloaded from
+    ``cache_path`` when the content digest matches) and shared by every
+    file's :class:`FileContext`.
     """
+    from .project import ProjectIndex, load_or_build
+
     if root is None:
         root = Path(__file__).resolve().parent.parent
     root = Path(root)
     metrics, spans = _load_registry_names(root)
+    if cache_path is not None:
+        project = load_or_build(root, Path(cache_path))
+    else:
+        project = ProjectIndex.build(root)
     findings: list[Finding] = []
     for path in _iter_py_files(root):
         rel = path.relative_to(root).as_posix()
@@ -359,6 +381,7 @@ def analyze_tree(
             suppressions=suppressions,
             registered_metrics=metrics,
             registered_spans=spans,
+            project=project,
         )
         findings.extend(analyze_file(ctx, rule_ids))
         if rule_ids is None or SUPPRESSION_AUDIT_RULE in set(rule_ids):

@@ -1,0 +1,331 @@
+"""Per-function CFGs and the guard-dominance pass.
+
+The exactly-once rules are *path* properties: "every path from this
+entry to that sink passes through this guard first".  Name-based
+reachability cannot express them (a guard behind an ``if`` still
+"reaches"), so this module builds a statement-level control-flow graph
+per function and answers dominance questions on it:
+
+* :func:`build_cfg` — one node per simple statement plus headers for
+  ``if``/``while``/``for``/``try``; edges for branches, loops (with
+  back edges), ``break``/``continue``/``return``/``raise``, and
+  exception flow from every ``try``-body statement to every handler.
+  ``raise`` exits are kept separate from ``return`` exits so "raising
+  *is* the guard outcome" paths (ownership check throws
+  ``StaleEpochError``) don't count as unguarded escapes.
+* :func:`dominators` — the classic iterative dataflow.
+* :func:`unguarded` — sinks reachable from entry without passing a
+  guard node, computed as vertex-cut reachability (equivalent to "no
+  guard set member dominates the sink" but robust when several guard
+  nodes jointly cover the paths).
+
+**The at-least-once loop assumption.**  With ``loops_execute=True``,
+``for`` bodies are assumed to run at least once (the header's bypass
+edge is dropped).  This is the one deliberate unsoundness in the pass,
+and it is scoped to the shape that needs it: the cluster's guard loops
+iterate the same ``by_shard`` grouping that drives the downstream
+propose fan-out, so the zero-iteration path that skips the guard also
+has nothing to propose.  ``while`` loops never get the assumption —
+their zero-iteration path is exactly the unbounded-retry hazard HTL007
+checks.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+ENTRY = 0
+EXIT_RETURN = 1
+EXIT_RAISE = 2
+
+
+@dataclass
+class CFG:
+    """Statement-level control-flow graph of one function body."""
+
+    #: node id -> AST statement (None for the three synthetic nodes).
+    stmts: dict[int, ast.stmt | None] = field(default_factory=dict)
+    succs: dict[int, set[int]] = field(default_factory=dict)
+    preds: dict[int, set[int]] = field(default_factory=dict)
+    #: id(stmt) -> node id, for callers that hold AST nodes.
+    node_of: dict[int, int] = field(default_factory=dict)
+
+    def add_node(self, stmt: ast.stmt | None) -> int:
+        nid = len(self.stmts)
+        self.stmts[nid] = stmt
+        self.succs.setdefault(nid, set())
+        self.preds.setdefault(nid, set())
+        if stmt is not None:
+            self.node_of[id(stmt)] = nid
+        return nid
+
+    def add_edge(self, src: int, dst: int) -> None:
+        self.succs[src].add(dst)
+        self.preds[dst].add(src)
+
+    def nodes(self) -> Iterable[int]:
+        return self.stmts.keys()
+
+
+class _Builder:
+    def __init__(self, loops_execute: bool):
+        self.cfg = CFG()
+        self.loops_execute = loops_execute
+        for _ in (ENTRY, EXIT_RETURN, EXIT_RAISE):
+            self.cfg.add_node(None)
+        #: (break-targets, continue-targets) stack for loop bodies.
+        self._loops: list[tuple[set[int], int]] = []
+        #: handler-entry nodes of enclosing try blocks (exception flow).
+        self._handlers: list[list[int]] = []
+
+    # ------------------------------------------------------------ plumbing
+
+    def _join(self, frontier: set[int], node: int) -> None:
+        for src in frontier:
+            self.cfg.add_edge(src, node)
+
+    def _stmt_node(self, stmt: ast.stmt) -> int:
+        nid = self.cfg.add_node(stmt)
+        # Any statement inside a try body may transfer to its handlers.
+        for handlers in self._handlers:
+            for h in handlers:
+                self.cfg.add_edge(nid, h)
+        return nid
+
+    # ------------------------------------------------------------ sequence
+
+    def seq(self, stmts: list[ast.stmt], frontier: set[int]) -> set[int]:
+        for stmt in stmts:
+            if not frontier:
+                break  # unreachable code after return/raise/break
+            frontier = self.stmt(stmt, frontier)
+        return frontier
+
+    def stmt(self, stmt: ast.stmt, frontier: set[int]) -> set[int]:
+        if isinstance(stmt, ast.If):
+            return self._if(stmt, frontier)
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            return self._loop(stmt, frontier)
+        if isinstance(stmt, ast.Try):
+            return self._try(stmt, frontier)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            node = self._stmt_node(stmt)
+            self._join(frontier, node)
+            return self.seq(stmt.body, {node})
+        if isinstance(stmt, ast.Match):
+            return self._match(stmt, frontier)
+        node = self._stmt_node(stmt)
+        self._join(frontier, node)
+        if isinstance(stmt, ast.Return):
+            self.cfg.add_edge(node, EXIT_RETURN)
+            return set()
+        if isinstance(stmt, ast.Raise):
+            # An enclosing handler may catch it; the edge to the
+            # handlers was added by _stmt_node already.
+            self.cfg.add_edge(node, EXIT_RAISE)
+            return set()
+        if isinstance(stmt, ast.Break):
+            if self._loops:
+                self._loops[-1][0].add(node)
+            return set()
+        if isinstance(stmt, ast.Continue):
+            if self._loops:
+                self.cfg.add_edge(node, self._loops[-1][1])
+            return set()
+        return {node}
+
+    # ------------------------------------------------------------ compound
+
+    def _if(self, stmt: ast.If, frontier: set[int]) -> set[int]:
+        test = self._stmt_node(stmt)
+        self._join(frontier, test)
+        out = self.seq(stmt.body, {test})
+        if stmt.orelse:
+            out |= self.seq(stmt.orelse, {test})
+        else:
+            out |= {test}
+        return out
+
+    def _loop(
+        self, stmt: ast.While | ast.For | ast.AsyncFor, frontier: set[int]
+    ) -> set[int]:
+        header = self._stmt_node(stmt)
+        self._join(frontier, header)
+        breaks: set[int] = set()
+        self._loops.append((breaks, header))
+        body_out = self.seq(stmt.body, {header})
+        self._loops.pop()
+        for src in body_out:
+            self.cfg.add_edge(src, header)  # back edge
+        infinite = isinstance(stmt, ast.While) and (
+            isinstance(stmt.test, ast.Constant) and bool(stmt.test.value)
+        )
+        at_least_once = self.loops_execute and isinstance(
+            stmt, (ast.For, ast.AsyncFor)
+        )
+        if at_least_once:
+            out = set(body_out) | breaks
+            if not body_out and not breaks:
+                out = {header}  # empty body degenerates to the header
+        elif infinite:
+            out = set(breaks)
+        else:
+            out = {header} | breaks
+        if stmt.orelse:
+            out = self.seq(stmt.orelse, out or {header})
+        return out
+
+    def _try(self, stmt: ast.Try, frontier: set[int]) -> set[int]:
+        header = self._stmt_node(stmt)
+        self._join(frontier, header)
+        handler_entries = [self.cfg.add_node(h) for h in stmt.handlers]
+        self._handlers.append(handler_entries)
+        body_out = self.seq(stmt.body, {header})
+        self._handlers.pop()
+        for entry in handler_entries:
+            self.cfg.add_edge(header, entry)
+        out = set(body_out)
+        if stmt.orelse:
+            out = self.seq(stmt.orelse, out) if out else set()
+        for handler, entry in zip(stmt.handlers, handler_entries):
+            out |= self.seq(handler.body, {entry})
+        if stmt.finalbody:
+            out = self.seq(stmt.finalbody, out or {header})
+        return out
+
+    def _match(self, stmt: ast.Match, frontier: set[int]) -> set[int]:
+        header = self._stmt_node(stmt)
+        self._join(frontier, header)
+        out: set[int] = {header}
+        for case in stmt.cases:
+            out |= self.seq(case.body, {header})
+        return out
+
+
+def build_cfg(
+    fn: ast.FunctionDef | ast.AsyncFunctionDef | ast.Lambda,
+    loops_execute: bool = False,
+) -> CFG:
+    """CFG of ``fn``'s body; see the module docstring for semantics."""
+    builder = _Builder(loops_execute)
+    if isinstance(fn, ast.Lambda):
+        body: list[ast.stmt] = [ast.copy_location(ast.Expr(value=fn.body), fn.body)]
+    else:
+        body = fn.body
+    frontier = builder.seq(body, {ENTRY})
+    builder._join(frontier, EXIT_RETURN)
+    return builder.cfg
+
+
+# ================================================================ queries
+
+
+def dominators(cfg: CFG) -> dict[int, set[int]]:
+    """dom(n) for every node: the classic iterative dataflow
+    (dom(entry) = {entry}; dom(n) = {n} ∪ ⋂ dom(pred))."""
+    all_nodes = set(cfg.nodes())
+    dom: dict[int, set[int]] = {n: set(all_nodes) for n in all_nodes}
+    dom[ENTRY] = {ENTRY}
+    changed = True
+    while changed:
+        changed = False
+        for n in all_nodes:
+            if n == ENTRY:
+                continue
+            preds = cfg.preds[n]
+            if preds:
+                new = set.intersection(*(dom[p] for p in preds)) | {n}
+            else:
+                new = {n}  # unreachable
+            if new != dom[n]:
+                dom[n] = new
+                changed = True
+    return dom
+
+
+def reachable_avoiding(cfg: CFG, avoid: set[int], start: int = ENTRY) -> set[int]:
+    """Nodes reachable from ``start`` without entering ``avoid``."""
+    seen: set[int] = set()
+    stack = [start] if start not in avoid else []
+    while stack:
+        node = stack.pop()
+        if node in seen:
+            continue
+        seen.add(node)
+        for succ in sorted(cfg.succs[node]):
+            if succ not in avoid and succ not in seen:
+                stack.append(succ)
+    return seen
+
+
+def unguarded(cfg: CFG, guards: set[int], sinks: set[int]) -> set[int]:
+    """The subset of ``sinks`` reachable from entry on some path that
+    passes no guard node (a sink in ``guards`` counts as guarded)."""
+    open_paths = reachable_avoiding(cfg, guards)
+    return {s for s in sinks if s in open_paths and s not in guards}
+
+
+def establishes_on_all_paths(cfg: CFG, guards: set[int]) -> bool:
+    """True when every *normal* (returning) path passes a guard node.
+    Paths that end in ``raise`` are exempt — for ownership guards the
+    raise IS the guard's rejection outcome."""
+    return EXIT_RETURN not in reachable_avoiding(cfg, guards)
+
+
+def stmt_nodes(cfg: CFG, predicate: Callable[[ast.stmt], bool]) -> set[int]:
+    """Node ids whose statement satisfies ``predicate``."""
+    out: set[int] = set()
+    for nid, stmt in cfg.stmts.items():
+        if stmt is not None and predicate(stmt):
+            out.add(nid)
+    return out
+
+
+def calls_in_stmt(stmt: ast.stmt, include_nested_defs: bool = False):
+    """Calls syntactically inside one statement, excluding (by default)
+    bodies of nested function definitions — those run when *called*,
+    not when the statement executes.  Lambda bodies **are** included:
+    for the analyses here a lambda argument is assumed invoked by its
+    callee (``retrying(lambda: ...)``).  Headers only for compound
+    statements: an ``if``/``while``/``for``/``with``/``try`` statement
+    contributes its test/iter/context expressions, not its body (body
+    statements are their own CFG nodes)."""
+    if isinstance(stmt, ast.If) or isinstance(stmt, ast.While):
+        roots: list[ast.AST] = [stmt.test]
+    elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+        roots = [stmt.iter]
+    elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+        roots = [item.context_expr for item in stmt.items]
+    elif isinstance(stmt, ast.Try):
+        roots = []
+    elif isinstance(stmt, ast.ExceptHandler):
+        roots = [stmt.type] if stmt.type is not None else []
+    elif isinstance(stmt, ast.Match):
+        roots = [stmt.subject]
+    elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        # Defining a function executes nothing of its body; default
+        # values and decorators do run at definition time.
+        roots = [*stmt.args.defaults, *stmt.args.kw_defaults, *stmt.decorator_list]
+        roots = [r for r in roots if r is not None]
+        if include_nested_defs:
+            roots = [stmt]
+    else:
+        roots = [stmt]
+    out: list[ast.Call] = []
+    for root in roots:
+        stack: list[ast.AST] = [root]
+        while stack:
+            node = stack.pop()
+            if (
+                not include_nested_defs
+                and isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and node is not root
+            ):
+                continue
+            if isinstance(node, ast.Call):
+                out.append(node)
+            stack.extend(ast.iter_child_nodes(node))
+    out.reverse()
+    return out

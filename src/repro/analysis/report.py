@@ -1,0 +1,112 @@
+"""SARIF output and baseline subtraction for htaplint.
+
+CI wants two things beyond exit codes: annotatable diffs (GitHub's code
+scanning ingests SARIF 2.1.0 and renders findings inline on the PR) and
+a way to land the analyzer before the tree is perfectly clean
+(``--baseline`` subtracts a committed snapshot of known findings so
+only *new* violations fail the build).
+
+Baselines are keyed by ``(rule, path, message)`` — deliberately not by
+line, so pure moves (an unrelated edit shifting a known finding down
+three lines) do not resurrect it, while any semantic change to the
+finding (different message, different file) does.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .core import Finding, all_rules
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+TOOL_NAME = "htaplint"
+
+
+def render_sarif(findings: list[Finding]) -> str:
+    """Findings as a minimal single-run SARIF 2.1.0 log."""
+    rules = [
+        {
+            "id": info.id,
+            "name": info.name,
+            "shortDescription": {"text": info.description},
+        }
+        for info in all_rules()
+    ]
+    rule_index = {r["id"]: i for i, r in enumerate(rules)}
+    results = []
+    for f in findings:
+        result = {
+            "ruleId": f.rule,
+            "level": "error",
+            "message": {"text": f.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": f.path,
+                            "uriBaseId": "SRCROOT",
+                        },
+                        "region": {"startLine": f.line},
+                    }
+                }
+            ],
+        }
+        if f.rule in rule_index:
+            result["ruleIndex"] = rule_index[f.rule]
+        results.append(result)
+    log = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": TOOL_NAME,
+                        "informationUri": "https://example.invalid/htaplint",
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(log, indent=2)
+
+
+# ------------------------------------------------------------------ baseline
+
+
+def _key(f: Finding) -> tuple[str, str, str]:
+    return (f.rule, f.path, f.message)
+
+
+def write_baseline(findings: list[Finding], path: Path | str) -> None:
+    """Snapshot current findings as a committed baseline file."""
+    entries = [
+        {"rule": r, "path": p, "message": m}
+        for r, p, m in sorted({_key(f) for f in findings})
+    ]
+    Path(path).write_text(
+        json.dumps({"version": 1, "findings": entries}, indent=2) + "\n"
+    )
+
+
+def load_baseline(path: Path | str) -> set[tuple[str, str, str]]:
+    raw = json.loads(Path(path).read_text())
+    entries = raw.get("findings", []) if isinstance(raw, dict) else raw
+    out: set[tuple[str, str, str]] = set()
+    for entry in entries:
+        out.add((entry["rule"], entry["path"], entry["message"]))
+    return out
+
+
+def apply_baseline(
+    findings: list[Finding], baseline: set[tuple[str, str, str]]
+) -> list[Finding]:
+    """Findings not covered by the baseline (i.e. new violations)."""
+    return [f for f in findings if _key(f) not in baseline]

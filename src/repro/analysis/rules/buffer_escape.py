@@ -1,0 +1,270 @@
+"""HTL008 — store-owned NumPy buffers must not escape writable.
+
+The storage tier hands out column data constantly — codec ``decode()``,
+segment slices, cached scan batches.  A store-owned ``ndarray`` that
+escapes into a caller-visible result *by reference* lets any downstream
+kernel silently corrupt sealed segments (or lets a caller mutate a
+batch after handing it to a cache, poisoning every later hit).  Two
+escape shapes are checked:
+
+**(a) Alias returns.**  ``return self.X`` where ``X`` is
+``ndarray``-typed (via the project index's attribute typing), and
+``return self.X[a:b]`` — basic slicing aliases the buffer.  Advanced
+indexing (``self.X[positions]``, boolean masks, fancy gathers) copies
+and is exempt.  The sanctioned fixes: ``.copy()`` for small results, or
+a read-only view (``v = self.X.view(); v.flags.writeable = False``) for
+zero-copy hand-out — both naturally fall outside the flagged shapes.
+Wrapping a slice in another store-owned object
+(``PlainEncoding(data=self.data[a:b])``) is *not* flagged: the alias
+stays inside the storage tier, which is the codec slice contract.
+
+**(b) Cache aliasing discipline.**  For array-batch caches (class name
+contains ``Cache`` and some method annotates an ``ndarray``-typed
+payload), ``put`` must defensively decouple what it stores from the
+caller's mapping *and* freeze array values (a ``.writeable`` assignment
+or ``.copy()`` in the method body), and ``get`` must not return the
+stored entry object itself (a shallow ``dict(entry)`` per hit keeps the
+frozen arrays shared but the mapping private).  Violations of either
+half let one reader's mutation corrupt every other reader's hits.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..core import FileContext, Finding, register
+from ..project import ClassInfo, FunctionRef, ModuleInfo, ProjectIndex
+
+NDARRAY_QUAL = "numpy:ndarray"
+
+
+def _self_attr(expr: ast.expr) -> str | None:
+    if (
+        isinstance(expr, ast.Attribute)
+        and isinstance(expr.value, ast.Name)
+        and expr.value.id == "self"
+    ):
+        return expr.attr
+    return None
+
+
+def _is_basic_slice(sub: ast.expr) -> bool:
+    if isinstance(sub, ast.Slice):
+        return True
+    if isinstance(sub, ast.Tuple):
+        return any(isinstance(e, ast.Slice) for e in sub.elts)
+    return False
+
+
+def _mentions_ndarray(annotation: ast.expr | None) -> bool:
+    if annotation is None:
+        return False
+    for node in ast.walk(annotation):
+        if isinstance(node, ast.Attribute) and node.attr == "ndarray":
+            return True
+        if isinstance(node, ast.Name) and node.id == "ndarray":
+            return True
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            if "ndarray" in node.value:
+                return True
+    return False
+
+
+# -------------------------------------------------------------- (a) returns
+
+
+def _alias_return_findings(
+    project: ProjectIndex, mod: ModuleInfo, ci: ClassInfo
+) -> Iterator[tuple[int, str]]:
+    for mname, fn in ci.methods.items():
+        for node in ast.walk(fn):
+            if not isinstance(node, ast.Return) or node.value is None:
+                continue
+            value = node.value
+            attr = _self_attr(value)
+            if attr is not None:
+                tref = project.attr_type(ci, attr)
+                if tref is not None and tref.qual == NDARRAY_QUAL:
+                    yield (
+                        node.lineno,
+                        f"{ci.name}.{mname} returns store-owned buffer "
+                        f"self.{attr} by reference; a caller write would "
+                        "corrupt the sealed segment — return a read-only "
+                        "view or .copy()",
+                    )
+                continue
+            if isinstance(value, ast.Subscript):
+                attr = _self_attr(value.value)
+                if attr is None or not _is_basic_slice(value.slice):
+                    continue  # advanced indexing copies
+                tref = project.attr_type(ci, attr)
+                if tref is not None and tref.qual == NDARRAY_QUAL:
+                    yield (
+                        node.lineno,
+                        f"{ci.name}.{mname} returns a basic slice of "
+                        f"store-owned buffer self.{attr} (a writable "
+                        "view); use .copy() or a read-only view",
+                    )
+
+
+# ---------------------------------------------------------- (b) cache shape
+
+
+def _is_array_cache(ci: ClassInfo) -> bool:
+    if "Cache" not in ci.name:
+        return False
+    for fn in ci.methods.values():
+        args = fn.args
+        for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+            if _mentions_ndarray(arg.annotation):
+                return True
+    return False
+
+
+def _freezes(fn: ast.FunctionDef) -> bool:
+    """Does the method freeze or copy what it stores?  Either a
+    ``<view>.flags.writeable = False`` assignment or a ``.copy()``
+    call satisfies the discipline."""
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Attribute) and target.attr == "writeable":
+                    return True
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "copy"
+        ):
+            return True
+    return False
+
+
+def _entry_alias_names(fn: ast.FunctionDef) -> set[str]:
+    """Local names bound to a stored cache entry (``self.X[k]`` or
+    ``self.X.get(k)``) — returning one bare leaks the entry object."""
+    names: set[str] = set()
+    for node in ast.walk(fn):
+        if not (isinstance(node, ast.Assign) and len(node.targets) == 1):
+            continue
+        target = node.targets[0]
+        if not isinstance(target, ast.Name):
+            continue
+        value = node.value
+        if isinstance(value, ast.Subscript) and _self_attr(value.value):
+            names.add(target.id)
+        elif (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Attribute)
+            and value.func.attr == "get"
+            and _self_attr(value.func.value)
+        ):
+            names.add(target.id)
+    return names
+
+
+def _cache_findings(ci: ClassInfo) -> Iterator[tuple[int, str]]:
+    for mname, fn in ci.methods.items():
+        # put-side: storing a mapping/array payload without freezing.
+        stores = [
+            node
+            for node in ast.walk(fn)
+            if isinstance(node, ast.Assign)
+            and any(
+                isinstance(t, ast.Subscript) and _self_attr(t.value)
+                for t in node.targets
+            )
+            and _stores_payload(fn, node.value)
+        ]
+        if stores and not _freezes(fn):
+            for node in stores:
+                yield (
+                    node.lineno,
+                    f"{ci.name}.{mname} caches a caller-supplied batch "
+                    "without freezing its arrays (.copy() or a read-only "
+                    "view); a later caller write poisons every hit",
+                )
+        # get-side: returning the stored entry object by reference.
+        aliases = _entry_alias_names(fn)
+        for node in ast.walk(fn):
+            if not isinstance(node, ast.Return) or node.value is None:
+                continue
+            value = node.value
+            leaked = (
+                isinstance(value, ast.Subscript)
+                and _self_attr(value.value) is not None
+            ) or (isinstance(value, ast.Name) and value.id in aliases)
+            if leaked:
+                yield (
+                    node.lineno,
+                    f"{ci.name}.{mname} returns the stored cache entry by "
+                    "reference; mutate-after-get corrupts other readers — "
+                    "return a shallow dict(entry) copy",
+                )
+
+
+def _stores_payload(fn: ast.FunctionDef, value: ast.expr) -> bool:
+    """Is the stored value a batch-shaped payload (dict/mapping or
+    array), as opposed to bookkeeping scalars?  Conservative: dict
+    literals/calls, ``dict(...)`` of a parameter, or a name assigned
+    from one."""
+    if isinstance(value, (ast.Dict, ast.DictComp)):
+        return True
+    if isinstance(value, ast.Call):
+        func = value.func
+        tail = func.attr if isinstance(func, ast.Attribute) else (
+            func.id if isinstance(func, ast.Name) else ""
+        )
+        return tail == "dict"
+    if isinstance(value, ast.Name):
+        for node in ast.walk(fn):
+            if (
+                isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+                and node.targets[0].id == value.id
+            ):
+                if _stores_payload(fn, node.value):
+                    return True
+        # A parameter annotated as a mapping/array is a payload too.
+        args = fn.args
+        for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+            if arg.arg == value.id and (
+                _mentions_ndarray(arg.annotation)
+                or _annotation_is_mapping(arg.annotation)
+            ):
+                return True
+    return False
+
+
+def _annotation_is_mapping(annotation: ast.expr | None) -> bool:
+    if annotation is None:
+        return False
+    for node in ast.walk(annotation):
+        if isinstance(node, ast.Name) and node.id in ("Mapping", "dict", "Dict"):
+            return True
+        if isinstance(node, ast.Attribute) and node.attr in ("Mapping",):
+            return True
+    return False
+
+
+# ------------------------------------------------------------------- rule
+
+
+@register(
+    "HTL008",
+    "buffer-aliasing-escape",
+    "store-owned ndarray escapes into caller-visible results or cache "
+    "entries without .copy() or a read-only view",
+)
+def check(ctx: FileContext) -> Iterator[Finding]:
+    project = ctx.project or ProjectIndex.from_single(ctx.path, ctx.tree)
+    mod = project.module_of(ctx.path)
+    if mod is None:
+        return
+    for ci in mod.classes.values():
+        for line, message in _alias_return_findings(project, mod, ci):
+            yield Finding("HTL008", ctx.path, line, message)
+        if _is_array_cache(ci):
+            for line, message in _cache_findings(ci):
+                yield Finding("HTL008", ctx.path, line, message)

@@ -1,10 +1,13 @@
-"""HTL005 — no swallowed errors on the txn / WAL / Raft paths.
+"""HTL005 — no swallowed errors on the engine's critical paths.
 
 Durability and consensus code must fail loudly: an ``except Exception:
 pass`` in the WAL force path or the Raft apply loop converts a
 corruption bug into silent data loss that only surfaces as a wrong
-Table 1 number three PRs later.  Within ``txn/`` and ``distributed/``
-this rule flags:
+Table 1 number three PRs later.  The same holds for the query kernels
+(a broad except degrades a kernel bug into a silent scalar fallback —
+see ``executor._morsel_aggregate``), the session front door, and the
+TP→AP sync pipeline.  Within ``txn/``, ``distributed/``, ``query/``,
+``session/``, and ``sync/`` this rule flags:
 
 * any handler whose body is only ``pass``/``...`` (regardless of how
   narrow the caught type is);
@@ -23,7 +26,7 @@ from typing import Iterator
 
 from ..core import FileContext, Finding, register
 
-_SCOPES = ("txn/", "distributed/")
+_SCOPES = ("txn/", "distributed/", "query/", "session/", "sync/")
 
 _BROAD = {"Exception", "BaseException"}
 

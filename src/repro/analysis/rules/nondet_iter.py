@@ -1,0 +1,180 @@
+"""HTL009 — nondeterministic set iteration feeding order-sensitive sinks.
+
+Replica apply, dictionary merges, result assembly, and network fan-out
+must all be deterministic: the whole sync/distributed tier is built on
+"same inputs → same bytes" (merge generations, CRC-checked snapshots,
+Raft log replay).  Iterating a ``set``/``frozenset`` has no defined
+order (and *actually* varies run-to-run for str elements under hash
+randomization), so a set iteration that feeds an order-sensitive sink —
+an ``append``/``extend``/``write``/``send``, a ``yield``, an
+accumulating ``+=``, or a ``propose*`` — silently breaks replay
+determinism.
+
+Flagged shapes (set-typed iterables via the project index's local type
+tracking, plus syntactic ``set(...)``/``{...}`` literals):
+
+* ``for x in <set>:`` whose body hits an order-sensitive sink;
+* a ``list``/``tuple`` comprehension over a set (it *produces* an
+  ordered sequence from an unordered source);
+* ``list(<set>)`` / ``tuple(<set>)`` calls.
+
+Escape hatch: ``sorted(...)`` — it pins the order and is the idiomatic
+fix everywhere in the tree (see ``DictionaryEncoding.encode``).
+Membership tests, ``len``/``sum``/``min``/``max``/``any``/``all``
+reductions, and building another set are order-insensitive and never
+flagged.  ``dict`` iteration is *not* flagged: insertion order is
+defined in the target runtime, so determinism reduces to deterministic
+insertion — which the rules above already police at the set boundary.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..core import FileContext, Finding, register
+from ..project import FunctionRef, ProjectIndex
+
+#: Method-call tails that are order-sensitive sinks.
+ORDER_SINKS = {"append", "extend", "insert", "write", "send", "emit", "put"}
+SINK_PREFIX = "propose"
+
+#: Reductions whose result does not depend on iteration order.
+_ORDER_FREE_CALLS = {
+    "len", "sum", "min", "max", "any", "all", "set", "frozenset", "sorted",
+}
+
+
+def _tail(expr: ast.expr) -> str:
+    if isinstance(expr, ast.Attribute):
+        return expr.attr
+    if isinstance(expr, ast.Name):
+        return expr.id
+    return ""
+
+
+class _SetTyping:
+    """Is an expression set-typed?  Syntactic forms first, then the
+    resolver's local/attribute typing."""
+
+    def __init__(self, resolver):
+        self.resolver = resolver
+
+    def is_set(self, expr: ast.expr) -> bool:
+        if isinstance(expr, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(expr, ast.Call):
+            tail = _tail(expr.func)
+            if tail in ("set", "frozenset"):
+                return True
+            if tail in ("union", "intersection", "difference", "symmetric_difference"):
+                return self.is_set(expr.func.value) if isinstance(
+                    expr.func, ast.Attribute
+                ) else False
+            return self._typed_set(expr)
+        if isinstance(expr, ast.BinOp) and isinstance(
+            expr.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+        ):
+            return self.is_set(expr.left) or self.is_set(expr.right)
+        return self._typed_set(expr)
+
+    def _typed_set(self, expr: ast.expr) -> bool:
+        if self.resolver is None:
+            return False
+        tref = self.resolver.expr_type(expr)
+        return tref is not None and tref.qual in (
+            "builtins:set",
+            "builtins:frozenset",
+        )
+
+
+def _has_order_sink(loop: ast.For) -> tuple[bool, int]:
+    """(found, line) — an order-sensitive operation in the loop body."""
+    for stmt in loop.body:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Call):
+                tail = _tail(node.func)
+                if tail in ORDER_SINKS or tail.startswith(SINK_PREFIX):
+                    return True, node.lineno
+            elif isinstance(node, (ast.Yield, ast.YieldFrom)):
+                return True, getattr(node, "lineno", loop.lineno)
+            elif isinstance(node, ast.AugAssign) and isinstance(node.op, ast.Add):
+                return True, node.lineno
+    return False, loop.lineno
+
+
+def _function_findings(
+    typing: _SetTyping, fn: ast.AST
+) -> Iterator[tuple[int, str]]:
+    # Nested defs/lambdas are walked here too: closures share the
+    # enclosing function's resolver (which collects their assigns).
+    for node in ast.walk(fn):
+        if isinstance(node, ast.For) and typing.is_set(node.iter):
+            found, line = _has_order_sink(node)
+            if found:
+                yield (
+                    node.lineno,
+                    "iterating an unordered set feeds an order-sensitive "
+                    f"sink at line {line}; replay/merge determinism breaks "
+                    "under hash randomization — iterate sorted(...)",
+                )
+        elif isinstance(node, ast.ListComp):
+            for gen in node.generators:
+                if typing.is_set(gen.iter):
+                    yield (
+                        node.lineno,
+                        "list comprehension over an unordered set produces "
+                        "a nondeterministic ordering — use sorted(...)",
+                    )
+                    break
+        elif isinstance(node, ast.Call):
+            tail = _tail(node.func)
+            if (
+                tail in ("list", "tuple")
+                and len(node.args) == 1
+                and not node.keywords
+                and typing.is_set(node.args[0])
+            ):
+                yield (
+                    node.lineno,
+                    f"{tail}() of an unordered set pins a nondeterministic "
+                    "ordering — use sorted(...)",
+                )
+
+
+@register(
+    "HTL009",
+    "nondeterministic-iteration",
+    "unordered set iteration feeding an order-sensitive sink (merge, "
+    "append, send, yield)",
+)
+def check(ctx: FileContext) -> Iterator[Finding]:
+    project = ctx.project or ProjectIndex.from_single(ctx.path, ctx.tree)
+    mod = project.module_of(ctx.path)
+    if mod is None:
+        return
+    refs: list[FunctionRef] = []
+    for name, fn in mod.functions.items():
+        refs.append(FunctionRef(mod, None, name, fn))
+    for ci in mod.classes.values():
+        for name, fn in ci.methods.items():
+            refs.append(FunctionRef(mod, ci, name, fn))
+    seen: set[tuple[int, str]] = set()
+    for ref in refs:
+        typing = _SetTyping(project.resolver(ref))
+        for line, message in _function_findings(typing, ref.node):
+            key = (line, message)
+            if key not in seen:
+                seen.add(key)
+                yield Finding("HTL009", ctx.path, line, message)
+    # Module-level code (outside any def) — rare but checkable without
+    # local typing.
+    module_typing = _SetTyping(None)
+    for stmt in mod.tree.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            continue
+        for line, message in _function_findings(module_typing, stmt):
+            key = (line, message)
+            if key not in seen:
+                seen.add(key)
+                yield Finding("HTL009", ctx.path, line, message)

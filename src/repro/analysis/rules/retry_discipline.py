@@ -1,0 +1,313 @@
+"""HTL007 — StaleEpochError retry discipline.
+
+The epoch contract has a client half: a shard rejecting a stale route
+with :class:`StaleEpochError` is *routine* (it happens on every
+split/merge/migrate), so every call that can surface it must flow
+through ``Router.retrying`` — the one place that refreshes the cached
+map, backs off, and bounds attempts.  A bare call site that lets the
+error escape turns an online reshard into user-visible failures; a
+hand-rolled retry loop without a bound or backoff turns a flapping map
+into a livelock.  Two checks:
+
+**(a) Raiser escape.**  The project-wide *raiser set* — functions that
+``raise StaleEpochError`` or call another raiser outside a protected
+context — is computed as a fixpoint.  Protection contexts that stop
+propagation: an argument (lambda / local closure) of a ``*.retrying(...)``
+call, or an enclosing ``try`` whose handler catches ``StaleEpochError``
+(or a base of it).  Private helpers (leading-underscore names) may
+propagate freely — ``_commit_routed`` raising through to ``retrying``
+is the design — and the function that *directly* raises is the
+contract surface itself.  The finding is a **public** function that
+merely propagates: it leaks another component's routing-contract error
+to callers who never opted into handling it.
+
+**(b) Bounded retry loops.**  Any loop that catches ``StaleEpochError``
+must (i) bound its attempts — a conditional ``raise`` whose test reads
+a counter the loop advances or an attribute named like ``max_*`` — and
+(ii) back off between attempts (a ``charge``/``sleep``/``backoff``/
+``advance`` call in the handler).  ``Router.retrying`` is the reference
+implementation; copies that drop either half are flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..core import FileContext, Finding, register
+from ..project import FunctionRef, ProjectIndex
+
+ERROR_NAME = "StaleEpochError"
+#: Catching any of these stops propagation (bases of StaleEpochError).
+CATCHING_NAMES = {ERROR_NAME, "ReproError", "Exception", "BaseException"}
+RETRY_CALL = "retrying"
+BACKOFF_HINTS = ("charge", "sleep", "backoff", "advance")
+
+MAX_DEPTH = 12
+
+
+def _tail(expr: ast.expr | None) -> str:
+    while isinstance(expr, ast.Call):
+        expr = expr.func
+    if isinstance(expr, ast.Attribute):
+        return expr.attr
+    if isinstance(expr, ast.Name):
+        return expr.id
+    return ""
+
+
+def _raises_directly(fn: ast.AST) -> bool:
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Raise) and node.exc is not None:
+            if _tail(node.exc) == ERROR_NAME:
+                return True
+    return False
+
+
+def _handler_catches(handler: ast.ExceptHandler, names: set[str]) -> bool:
+    if handler.type is None:
+        return True  # bare except
+    nodes = (
+        handler.type.elts
+        if isinstance(handler.type, ast.Tuple)
+        else [handler.type]
+    )
+    return any(_tail(n) in names for n in nodes)
+
+
+class _Context:
+    """Per-function positional facts: which AST calls sit inside a
+    ``try`` whose handler catches StaleEpochError (or a base)."""
+
+    def __init__(self, fn: ast.AST):
+        self.protected: set[int] = set()  # id(call)
+        for node in ast.walk(fn):
+            if not isinstance(node, ast.Try):
+                continue
+            if any(_handler_catches(h, CATCHING_NAMES) for h in node.handlers):
+                for stmt in node.body:
+                    for sub in ast.walk(stmt):
+                        if isinstance(sub, ast.Call):
+                            self.protected.add(id(sub))
+
+
+def _own_calls(fn: ast.AST) -> Iterator[ast.Call]:
+    """Calls executed by ``fn``'s own body.  Nested defs and lambdas are
+    skipped: their calls run when *they* are invoked, and the common
+    invocation — being handed to ``Router.retrying`` — is exactly the
+    protected context.  A nested helper called directly still counts:
+    ``helper()`` resolves to the local def, whose body is then walked as
+    its own function."""
+    stack = list(ast.iter_child_nodes(fn))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        if isinstance(node, ast.Call):
+            yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+class _Analysis:
+    def __init__(self, project: ProjectIndex):
+        self.project = project
+        self._raiser: dict[str, bool] = {}
+        self._resolvers: dict[str, object] = {}
+        self._contexts: dict[str, _Context] = {}
+
+    def _resolver(self, ref: FunctionRef):
+        res = self._resolvers.get(ref.qual)
+        if res is None:
+            res = self.project.resolver(ref)
+            self._resolvers[ref.qual] = res
+        return res
+
+    def _context(self, ref: FunctionRef) -> _Context:
+        ctx = self._contexts.get(ref.qual)
+        if ctx is None:
+            ctx = _Context(ref.node)
+            self._contexts[ref.qual] = ctx
+        return ctx
+
+    def is_raiser(self, ref: FunctionRef, depth: int = 0) -> bool:
+        """Can a call to this function surface StaleEpochError to its
+        caller?  Locally-raised or propagated from an *unprotected*
+        callee call; stops at catches and at ``retrying`` boundaries."""
+        key = ref.qual
+        cached = self._raiser.get(key)
+        if cached is not None:
+            return cached
+        if depth > MAX_DEPTH:
+            return False
+        self._raiser[key] = False  # cycle guard
+        result = _raises_directly(ref.node)
+        if not result:
+            ctx = self._context(ref)
+            resolver = self._resolver(ref)
+            for node in _own_calls(ref.node):
+                if id(node) in ctx.protected:
+                    continue
+                if _tail(node.func) == RETRY_CALL:
+                    continue  # the protocol boundary sanitizes its args
+                for callee in resolver.resolve_call(node, ducks=False):
+                    if isinstance(callee.node, ast.Lambda):
+                        continue
+                    if callee.qual == key:
+                        continue
+                    if self.is_raiser(callee, depth + 1):
+                        result = True
+                        break
+                if result:
+                    break
+        self._raiser[key] = result
+        return result
+
+    # ------------------------------------------------------------ findings
+
+    def escape_findings(self, ref: FunctionRef) -> Iterator[tuple[int, str]]:
+        """(line, raiser-name) for the unprotected raiser calls that
+        make a *public* function leak StaleEpochError."""
+        if isinstance(ref.node, ast.Lambda):
+            return
+        if ref.name.startswith("_"):
+            return  # private helpers propagate by design
+        if _raises_directly(ref.node):
+            return  # the contract surface itself
+        if not self.is_raiser(ref):
+            return
+        ctx = self._context(ref)
+        resolver = self._resolver(ref)
+        for node in _own_calls(ref.node):
+            if id(node) in ctx.protected:
+                continue
+            if _tail(node.func) == RETRY_CALL:
+                continue
+            for callee in resolver.resolve_call(node, ducks=False):
+                if isinstance(callee.node, ast.Lambda):
+                    continue
+                if self.is_raiser(callee):
+                    yield node.lineno, callee.name
+                    break
+
+
+def _analysis(project: ProjectIndex) -> _Analysis:
+    memo = project.cache.get("htl007")
+    if memo is None:
+        memo = _Analysis(project)
+        project.cache["htl007"] = memo
+    return memo
+
+
+# ----------------------------------------------------------- bounded loops
+
+
+def _loop_findings(tree: ast.Module) -> Iterator[tuple[int, str]]:
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.While, ast.For)):
+            continue
+        handlers = [
+            h
+            for sub in ast.walk(node)
+            if isinstance(sub, ast.Try)
+            for h in sub.handlers
+            if _handler_catches(h, {ERROR_NAME})
+        ]
+        if not handlers:
+            continue
+        counters = _advanced_names(node)
+        if not _has_bound(node, counters):
+            yield (
+                node.lineno,
+                "retry loop catching StaleEpochError has no attempt bound "
+                "(no conditional raise on a loop-advanced counter or "
+                "max_* limit); a flapping shard map livelocks here",
+            )
+        if not any(_has_backoff(h) for h in handlers):
+            yield (
+                node.lineno,
+                "retry loop catching StaleEpochError never backs off "
+                "(no charge/sleep/backoff call in the handler); stale "
+                "retries hammer the metadata service",
+            )
+
+
+def _advanced_names(loop: ast.AST) -> set[str]:
+    names: set[str] = set()
+    for node in ast.walk(loop):
+        if isinstance(node, ast.AugAssign) and isinstance(node.target, ast.Name):
+            names.add(node.target.id)
+        elif isinstance(node, ast.Assign):
+            # attempt = attempt + 1
+            for target in node.targets:
+                if isinstance(target, ast.Name) and isinstance(
+                    node.value, ast.BinOp
+                ):
+                    names.add(target.id)
+    return names
+
+
+def _has_bound(loop: ast.AST, counters: set[str]) -> bool:
+    for node in ast.walk(loop):
+        if not isinstance(node, ast.If):
+            continue
+        if not any(isinstance(s, ast.Raise) for s in ast.walk(node)):
+            continue
+        for sub in ast.walk(node.test):
+            if isinstance(sub, ast.Name) and sub.id in counters:
+                return True
+            if isinstance(sub, ast.Attribute) and sub.attr.startswith("max"):
+                return True
+    return False
+
+
+def _has_backoff(handler: ast.ExceptHandler) -> bool:
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Call):
+            tail = _tail(node.func)
+            if any(h in tail for h in BACKOFF_HINTS):
+                return True
+    return False
+
+
+# ------------------------------------------------------------------- rule
+
+
+@register(
+    "HTL007",
+    "stale-epoch-retry-discipline",
+    "StaleEpochError raiser called outside Router.retrying, or a retry "
+    "loop without bound/backoff",
+)
+def check(ctx: FileContext) -> Iterator[Finding]:
+    project = ctx.project or ProjectIndex.from_single(ctx.path, ctx.tree)
+    mod = project.module_of(ctx.path)
+    if mod is None:
+        return
+    analysis = _analysis(project)
+    for ci in mod.classes.values():
+        for name, fn in ci.methods.items():
+            for line, raiser in analysis.escape_findings(
+                FunctionRef(mod, ci, name, fn)
+            ):
+                yield Finding(
+                    "HTL007",
+                    ctx.path,
+                    line,
+                    f"{ci.name}.{name} calls {raiser}() which can raise "
+                    "StaleEpochError outside Router.retrying; online "
+                    "resharding would surface as caller-visible errors",
+                )
+    for name, fn in mod.functions.items():
+        for line, raiser in analysis.escape_findings(
+            FunctionRef(mod, None, name, fn)
+        ):
+            yield Finding(
+                "HTL007",
+                ctx.path,
+                line,
+                f"{name} calls {raiser}() which can raise StaleEpochError "
+                "outside Router.retrying; online resharding would surface "
+                "as caller-visible errors",
+            )
+    for line, message in _loop_findings(ctx.tree):
+        yield Finding("HTL007", ctx.path, line, message)

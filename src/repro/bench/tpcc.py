@@ -467,7 +467,7 @@ class TpccWorkload:
                     if line is not None:
                         seen.add(line[4])
             low = 0
-            for i_id in seen:
+            for i_id in sorted(seen):
                 stock = s.read("stock", (w, i_id))
                 if stock is not None and stock[2] < threshold:
                     low += 1

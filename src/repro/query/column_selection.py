@@ -40,7 +40,9 @@ class AccessTracker:
         self.windows_closed = 0
 
     def record_query(self, table: str, columns: set[str]) -> None:
-        for col in columns:
+        # Sorted so the usage/window dicts build in a deterministic
+        # insertion order (their iteration breaks selection ties).
+        for col in sorted(columns):
             key = (table, col)
             self._window[key] = self._window.get(key, 0) + 1
             usage = self._usage.setdefault(key, ColumnUsage())

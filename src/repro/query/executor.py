@@ -441,9 +441,14 @@ class Executor:
                 posts.append(None)
                 continue
             assert agg.arg is not None
+            # Only the *expected* expression-evaluation failures defer
+            # to the flat kernel (missing column -> QueryError; numpy
+            # type/shape mismatch on encoded or object columns ->
+            # TypeError/ValueError).  Anything else is a kernel bug and
+            # must surface, not degrade into a silent scalar fallback.
             try:
                 values = agg.arg.evaluate(batch)
-            except Exception:
+            except (QueryError, TypeError, ValueError):
                 return None  # the flat kernel owns the error surface
             if is_code_column(values):
                 if agg.func is AggFunc.MIN or agg.func is AggFunc.MAX:
@@ -513,7 +518,7 @@ class Executor:
                         )
                     mask &= valid & cmp
                 return [int(g) for g in np.flatnonzero(mask)]
-            except _Unvectorizable:
+            except _Unvectorizable:  # htaplint: ignore[HTL005] -- control-flow signal, not an error: falls through to the scalar HAVING path below
                 pass
         survivors = []
         for g in range(n_groups):

@@ -90,7 +90,13 @@ class ScanCache:
         return len(self._entries)
 
     def get(self, key: CacheKey) -> Batch | None:
-        """The cached batch for ``key``, or None; counts a hit/miss."""
+        """The cached batch for ``key``, or None; counts a hit/miss.
+
+        Hits hand out a *shallow* copy of the entry: the column arrays
+        (frozen read-only at :meth:`put`) stay shared, but the mapping
+        itself is private — a caller adding/replacing columns in its
+        result batch cannot poison other readers of the same hit.
+        """
         batch = self._entries.get(key)
         if batch is None:
             self.misses += 1
@@ -99,12 +105,26 @@ class ScanCache:
         self._entries.move_to_end(key)
         self.hits += 1
         self._hit_counter.inc()
-        return batch
+        return dict(batch)
 
     def put(self, key: CacheKey, batch: Mapping[str, np.ndarray]) -> None:
         if key in self._entries:
             self.bytes -= self._entry_bytes[key]
-        entry = dict(batch)
+        # Decouple the entry from the caller's mapping and freeze the
+        # array columns as zero-copy read-only views: any consumer that
+        # tries to write through a hit raises instead of silently
+        # corrupting every later hit for this key.  (Producers hand the
+        # cache ownership — scan paths build a fresh batch per miss —
+        # so there is no writable original left to mutate around the
+        # freeze.)
+        entry = {}
+        for name, value in batch.items():
+            if isinstance(value, np.ndarray):
+                view = value.view()
+                view.flags.writeable = False
+                entry[name] = view
+            else:
+                entry[name] = value
         # Columns may be plain ndarrays or encoded CodeColumns; both
         # expose nbytes (codes + dictionary for the latter).
         size = 0

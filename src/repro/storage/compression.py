@@ -65,7 +65,11 @@ class PlainEncoding(Encoding):
         return len(self.data)
 
     def decode(self) -> np.ndarray:
-        return self.data
+        # Zero-copy, but sealed: decode() results feed kernels that
+        # must never write back into the stored segment.
+        view = self.data.view()
+        view.flags.writeable = False
+        return view
 
     def size_bytes(self) -> int:
         if self.data.dtype == object:
@@ -226,7 +230,7 @@ class RunLengthEncoding(Encoding):
 
     def decode(self) -> np.ndarray:
         if len(self.run_ends) == 0:
-            return self.values[:0]
+            return self.values[:0].copy()
         return np.repeat(self.values, self.lengths())
 
     def size_bytes(self) -> int:

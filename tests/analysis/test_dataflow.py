@@ -1,0 +1,235 @@
+"""CFG construction and the guard-dominance queries."""
+
+import ast
+import textwrap
+
+from repro.analysis.dataflow import (
+    ENTRY,
+    EXIT_RAISE,
+    EXIT_RETURN,
+    build_cfg,
+    calls_in_stmt,
+    dominators,
+    establishes_on_all_paths,
+    stmt_nodes,
+    unguarded,
+)
+
+
+def _fn(source: str) -> ast.FunctionDef:
+    tree = ast.parse(textwrap.dedent(source))
+    return tree.body[0]
+
+
+def _call_nodes(cfg, name):
+    def has_call(stmt):
+        return any(
+            isinstance(c.func, ast.Attribute)
+            and c.func.attr == name
+            or isinstance(c.func, ast.Name)
+            and c.func.id == name
+            for c in calls_in_stmt(stmt)
+        )
+
+    return stmt_nodes(cfg, has_call)
+
+
+class TestCfgShapes:
+    def test_straight_line_dominance(self):
+        fn = _fn(
+            """
+            def f(self):
+                self.guard()
+                self.sink()
+            """
+        )
+        cfg = build_cfg(fn)
+        guards = _call_nodes(cfg, "guard")
+        sinks = _call_nodes(cfg, "sink")
+        assert unguarded(cfg, guards, sinks) == set()
+        dom = dominators(cfg)
+        (sink,) = sinks
+        assert guards <= dom[sink]
+
+    def test_branch_around_guard_is_open(self):
+        fn = _fn(
+            """
+            def f(self, flag):
+                if flag:
+                    self.guard()
+                self.sink()
+            """
+        )
+        cfg = build_cfg(fn)
+        sinks = _call_nodes(cfg, "sink")
+        assert unguarded(cfg, _call_nodes(cfg, "guard"), sinks) == sinks
+
+    def test_guard_on_both_arms_is_closed(self):
+        fn = _fn(
+            """
+            def f(self, flag):
+                if flag:
+                    self.guard()
+                else:
+                    self.guard()
+                self.sink()
+            """
+        )
+        cfg = build_cfg(fn)
+        assert (
+            unguarded(cfg, _call_nodes(cfg, "guard"), _call_nodes(cfg, "sink"))
+            == set()
+        )
+
+    def test_for_loop_guard_needs_at_least_once(self):
+        source = """
+        def f(self, shards):
+            for sid in shards:
+                self.guard(sid)
+            self.sink()
+        """
+        fn = _fn(source)
+        strict = build_cfg(fn, loops_execute=False)
+        sinks = _call_nodes(strict, "sink")
+        # Strict semantics: the zero-iteration path skips the guard.
+        assert unguarded(strict, _call_nodes(strict, "guard"), sinks) == sinks
+        assumed = build_cfg(fn, loops_execute=True)
+        assert (
+            unguarded(
+                assumed, _call_nodes(assumed, "guard"), _call_nodes(assumed, "sink")
+            )
+            == set()
+        )
+
+    def test_while_loop_never_gets_the_assumption(self):
+        fn = _fn(
+            """
+            def f(self, cond):
+                while cond:
+                    self.guard()
+                self.sink()
+            """
+        )
+        cfg = build_cfg(fn, loops_execute=True)
+        sinks = _call_nodes(cfg, "sink")
+        assert unguarded(cfg, _call_nodes(cfg, "guard"), sinks) == sinks
+
+    def test_raise_paths_are_separate_exits(self):
+        fn = _fn(
+            """
+            def f(self, ok):
+                if not ok:
+                    raise ValueError("no")
+                return 1
+            """
+        )
+        cfg = build_cfg(fn)
+        assert any(EXIT_RAISE in cfg.succs[n] for n in cfg.nodes())
+        assert any(EXIT_RETURN in cfg.succs[n] for n in cfg.nodes())
+
+    def test_try_body_flows_to_handlers(self):
+        fn = _fn(
+            """
+            def f(self):
+                try:
+                    self.work()
+                except ValueError:
+                    self.recover()
+                self.sink()
+            """
+        )
+        cfg = build_cfg(fn)
+        work = _call_nodes(cfg, "work")
+        recover = _call_nodes(cfg, "recover")
+        (w,) = work
+        # The work statement can transfer into the handler.
+        handler_entries = {
+            n for n in cfg.succs[w] if isinstance(cfg.stmts[n], ast.ExceptHandler)
+        }
+        assert handler_entries
+        assert recover
+
+
+class TestEstablishes:
+    def test_unconditional_guard_establishes(self):
+        fn = _fn(
+            """
+            def f(self, sid):
+                self.guard(sid)
+                return sid
+            """
+        )
+        cfg = build_cfg(fn)
+        assert establishes_on_all_paths(cfg, _call_nodes(cfg, "guard"))
+
+    def test_conditional_guard_does_not_establish(self):
+        fn = _fn(
+            """
+            def f(self, sid):
+                if sid:
+                    self.guard(sid)
+                return sid
+            """
+        )
+        cfg = build_cfg(fn)
+        assert not establishes_on_all_paths(cfg, _call_nodes(cfg, "guard"))
+
+    def test_raising_early_exit_is_exempt(self):
+        # A validation helper that either raises or guards: raise paths
+        # do not count as unguarded escapes.
+        fn = _fn(
+            """
+            def f(self, sid):
+                if sid is None:
+                    raise ValueError("no shard")
+                self.guard(sid)
+                return sid
+            """
+        )
+        cfg = build_cfg(fn)
+        assert establishes_on_all_paths(cfg, _call_nodes(cfg, "guard"))
+
+
+class TestCallsInStmt:
+    def test_compound_headers_only(self):
+        fn = _fn(
+            """
+            def f(self, items):
+                for x in self.iterate(items):
+                    self.body_call(x)
+            """
+        )
+        for_stmt = fn.body[0]
+        names = {
+            c.func.attr
+            for c in calls_in_stmt(for_stmt)
+            if isinstance(c.func, ast.Attribute)
+        }
+        assert names == {"iterate"}  # body calls belong to their own nodes
+
+    def test_lambda_bodies_are_included(self):
+        fn = _fn(
+            """
+            def f(self, router):
+                return router.retrying(lambda: self.commit())
+            """
+        )
+        ret = fn.body[0]
+        names = {
+            c.func.attr
+            for c in calls_in_stmt(ret)
+            if isinstance(c.func, ast.Attribute)
+        }
+        assert names == {"retrying", "commit"}
+
+    def test_nested_def_bodies_are_excluded(self):
+        fn = _fn(
+            """
+            def f(self):
+                def helper():
+                    return self.hidden()
+                return helper
+            """
+        )
+        calls = [c for stmt in fn.body for c in calls_in_stmt(stmt)]
+        assert calls == []

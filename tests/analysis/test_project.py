@@ -1,0 +1,171 @@
+"""Whole-program index: module naming, imports, typing, resolution."""
+
+import ast
+import textwrap
+
+from repro.analysis.project import (
+    FunctionRef,
+    ProjectIndex,
+    load_or_build,
+    tree_digest,
+)
+
+
+def _write(tmp_path, rel, source):
+    path = tmp_path / rel
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(source))
+    return path
+
+
+def _two_module_tree(tmp_path):
+    _write(
+        tmp_path,
+        "store.py",
+        """
+        import numpy as np
+
+        class Segment:
+            def __init__(self, data: np.ndarray):
+                self.data = data
+
+            def decode(self) -> np.ndarray:
+                return self.data.copy()
+
+        class Store:
+            def __init__(self):
+                self.segments: list[Segment] = []
+
+            def read(self, i):
+                return self.segments[i].decode()
+        """,
+    )
+    _write(
+        tmp_path,
+        "engine.py",
+        """
+        from .store import Store
+
+        class Engine:
+            def __init__(self, store=None):
+                self.store = store or Store()
+
+            def fetch(self, i):
+                return self.store.read(i)
+        """,
+    )
+    return ProjectIndex.build(tmp_path)
+
+
+class TestBuild:
+    def test_module_names_rooted_at_tree(self, tmp_path):
+        index = _two_module_tree(tmp_path)
+        root = tmp_path.name
+        assert f"{root}.store" in index.modules
+        assert f"{root}.engine" in index.modules
+        assert index.module_of("engine.py").name == f"{root}.engine"
+
+    def test_ctor_assigned_attribute_types(self, tmp_path):
+        index = _two_module_tree(tmp_path)
+        engine = index.module_of("engine.py").classes["Engine"]
+        # `store or Store()` resolves through the BoolOp fallback.
+        tref = index.attr_type(engine, "store")
+        assert tref is not None
+        assert tref.class_name == "Store"
+
+    def test_annotated_container_elem_type(self, tmp_path):
+        index = _two_module_tree(tmp_path)
+        store = index.module_of("store.py").classes["Store"]
+        tref = index.attr_type(store, "segments")
+        assert tref.qual == "builtins:list"
+        assert tref.elem.class_name == "Segment"
+
+    def test_ndarray_annotation_special_case(self, tmp_path):
+        index = _two_module_tree(tmp_path)
+        seg = index.module_of("store.py").classes["Segment"]
+        assert index.attr_type(seg, "data").qual == "numpy:ndarray"
+
+
+class TestResolution:
+    def test_cross_module_method_resolution(self, tmp_path):
+        index = _two_module_tree(tmp_path)
+        mod = index.module_of("engine.py")
+        engine = mod.classes["Engine"]
+        fetch = FunctionRef(mod, engine, "fetch", engine.methods["fetch"])
+        resolver = index.resolver(fetch)
+        calls = [
+            n for n in ast.walk(fetch.node) if isinstance(n, ast.Call)
+        ]
+        targets = resolver.resolve_call(calls[0])
+        assert [t.name for t in targets] == ["read"]
+        assert targets[0].cls.name == "Store"
+
+    def test_subscript_yields_element_type(self, tmp_path):
+        index = _two_module_tree(tmp_path)
+        mod = index.module_of("store.py")
+        store = mod.classes["Store"]
+        read = FunctionRef(mod, store, "read", store.methods["read"])
+        resolver = index.resolver(read)
+        # self.segments[i].decode() resolves through the list elem type.
+        calls = [n for n in ast.walk(read.node) if isinstance(n, ast.Call)]
+        decode_call = [
+            c
+            for c in calls
+            if isinstance(c.func, ast.Attribute) and c.func.attr == "decode"
+        ][0]
+        targets = resolver.resolve_call(decode_call)
+        assert [t.qual.split("@")[0] for t in targets] == [
+            f"{tmp_path.name}.store:Segment.decode"
+        ]
+
+    def test_callback_args_capture_lambdas(self, tmp_path):
+        _write(
+            tmp_path,
+            "client.py",
+            """
+            class Client:
+                def go(self, router):
+                    return router.retrying(lambda: self.step())
+            """,
+        )
+        index = ProjectIndex.build(tmp_path)
+        mod = index.module_of("client.py")
+        client = mod.classes["Client"]
+        go = FunctionRef(mod, client, "go", client.methods["go"])
+        resolver = index.resolver(go)
+        call = [
+            n
+            for n in ast.walk(go.node)
+            if isinstance(n, ast.Call)
+            and isinstance(n.func, ast.Attribute)
+            and n.func.attr == "retrying"
+        ][0]
+        cbs = resolver.callback_args(call)
+        assert len(cbs) == 1
+        assert isinstance(cbs[0].node, ast.Lambda)
+
+    def test_duck_methods_capped(self, tmp_path):
+        source = "\n".join(
+            f"class C{i}:\n    def apply(self):\n        return {i}\n"
+            for i in range(12)
+        )
+        _write(tmp_path, "many.py", source)
+        index = ProjectIndex.build(tmp_path)
+        assert index.duck_methods("apply") == []  # over the cap -> silent
+        assert len(index.duck_methods("apply", cap=20)) == 12
+
+
+class TestCache:
+    def test_load_or_build_round_trips(self, tmp_path):
+        _write(tmp_path, "m.py", "class A:\n    def f(self):\n        return 1\n")
+        cache = tmp_path / ".cache" / "graph.pickle"
+        first = load_or_build(tmp_path, cache)
+        assert cache.is_file()
+        second = load_or_build(tmp_path, cache)
+        assert sorted(second.modules) == sorted(first.modules)
+
+    def test_digest_changes_with_content(self, tmp_path):
+        target = _write(tmp_path, "m.py", "x = 1\n")
+        before = tree_digest(tmp_path)
+        target.write_text("x = 2\n")
+        assert tree_digest(tmp_path) != before

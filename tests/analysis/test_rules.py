@@ -22,7 +22,17 @@ def rule_ids(found) -> list[str]:
 class TestRegistry:
     def test_all_rules_present(self):
         ids = [info.id for info in all_rules()]
-        assert ids == ["HTL001", "HTL002", "HTL003", "HTL004", "HTL005"]
+        assert ids == [
+            "HTL001",
+            "HTL002",
+            "HTL003",
+            "HTL004",
+            "HTL005",
+            "HTL006",
+            "HTL007",
+            "HTL008",
+            "HTL009",
+        ]
 
 
 class TestHTL000SuppressionAudit:

@@ -27,7 +27,17 @@ class TestCli:
     def test_list_rules(self, capsys):
         assert main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        for rule_id in ("HTL001", "HTL002", "HTL003", "HTL004", "HTL005"):
+        for rule_id in (
+            "HTL001",
+            "HTL002",
+            "HTL003",
+            "HTL004",
+            "HTL005",
+            "HTL006",
+            "HTL007",
+            "HTL008",
+            "HTL009",
+        ):
             assert rule_id in out
 
     def test_unknown_rule_is_usage_error(self, capsys):
@@ -51,6 +61,73 @@ class TestCli:
         (tmp_path / "broken.py").write_text("def f(:\n")
         assert main(["--root", str(tmp_path)]) == 1
         assert "HTL999" in capsys.readouterr().out
+
+    def test_sarif_format(self, tmp_path, capsys):
+        (tmp_path / "bad.py").write_text("import random\n")
+        out_file = tmp_path / "report.sarif"
+        code = main(
+            [
+                "--format",
+                "sarif",
+                "--root",
+                str(tmp_path),
+                "--output",
+                str(out_file),
+            ]
+        )
+        assert code == 1
+        log = json.loads(out_file.read_text())
+        assert log["version"] == "2.1.0"
+        (run,) = log["runs"]
+        assert run["tool"]["driver"]["name"] == "htaplint"
+        rule_ids = [r["id"] for r in run["tool"]["driver"]["rules"]]
+        assert "HTL001" in rule_ids
+        (result,) = run["results"]
+        assert result["ruleId"] == "HTL001"
+        loc = result["locations"][0]["physicalLocation"]
+        assert loc["artifactLocation"]["uri"] == "bad.py"
+        assert loc["region"]["startLine"] == 1
+
+    def test_baseline_round_trip(self, tmp_path, capsys):
+        (tmp_path / "bad.py").write_text("import random\n")
+        baseline = tmp_path / "baseline.json"
+        assert (
+            main(["--root", str(tmp_path), "--write-baseline", str(baseline)])
+            == 0
+        )
+        capsys.readouterr()
+        # Known findings are subtracted: the gate passes...
+        assert (
+            main(["--root", str(tmp_path), "--baseline", str(baseline)]) == 0
+        )
+        capsys.readouterr()
+        # ...until something new appears.
+        (tmp_path / "worse.py").write_text("import random\n")
+        code = main(
+            [
+                "--format",
+                "json",
+                "--root",
+                str(tmp_path),
+                "--baseline",
+                str(baseline),
+            ]
+        )
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert [f["path"] for f in payload["findings"]] == ["worse.py"]
+
+    def test_cache_reuse(self, tmp_path, capsys):
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        cache = tmp_path / ".cache" / "graph.pickle"
+        assert (
+            main(["--root", str(tmp_path), "--cache", str(cache)]) == 0
+        )
+        assert cache.is_file()
+        # Second run loads the pickled index and agrees.
+        assert (
+            main(["--root", str(tmp_path), "--cache", str(cache)]) == 0
+        )
 
 
 class TestRenderers:
