@@ -167,10 +167,17 @@ class TestTable1Claims:
             assert counters[f"engine.sync_calls{{engine={engine_name}}}"] > 0
             assert f"engine.sync_rows{{engine={engine_name}}}" in counters
             if cat == "b":
-                # (b) commits through Raft+2PC over the simulated network.
+                # (b) commits through Raft over the simulated network;
+                # with placement co-location on by default, commits take
+                # the single-shard 1PC / piggybacked paths instead of
+                # classic prepare rounds.
                 assert counters["network.sent"] > 0
                 assert counters["network.delivered"] > 0
-                assert counters["twopc.prepares"] > 0
+                assert (
+                    counters.get("commit.single_shard", 0)
+                    + counters.get("commit.piggybacked", 0)
+                    + counters.get("twopc.prepares", 0)
+                ) > 0
                 assert counters["sync.log_merge.events"] > 0
             else:
                 # (a)/(c)/(d) log through a WAL with group commit.

@@ -14,12 +14,27 @@ node's* BusyLedger time — so scaling efficiency at N nodes vs the
 and near-linear scale-out means efficiency stays close to 1.0 as the
 same work spreads over more shard leaders.
 
+Placement-driven co-location is on by default: customer rows co-locate
+with their history appends (group "cust") and orders with their lines
+(group "order"), so the dominant mix commits on the single-shard 1PC
+fast path; each arm reports its ``single_shard_fraction``.  A
+*protocol comparison* runs the base arm twice — optimized fast paths
+vs the classic two-round 2PC with co-location off — at identical
+simulated-cost parity, which is the fan-out tax in one number.
+
+Strong scaling (fixed work over more nodes) under-reports the large
+arms: 64 shards sharing a fixed transaction count measure workload
+discretization, not the architecture.  The *weak-scaling* arms scale
+work proportionally to nodes (work per node constant); their
+efficiency is tp_N / tp_base directly.
+
 A separate *split arm* proves elasticity is safe, not just fast: keyed
 audit writes flow through the front door's router while a
 :class:`~repro.distributed.resharding.ShardSplit` runs one phase per
 scheduling round, CH reads keep executing mid-split, and afterwards
 every acknowledged write must be present exactly once (zero lost, zero
-duplicated) on both the row path and the re-homed columnar replica.
+duplicated) on both the row path and the re-homed columnar replica —
+with the 1PC and piggybacked commit paths live throughout.
 
 Deterministic, simulated-time only (HTL001):
 ``benchmarks/test_perf_cluster.py`` owns the wall clock.
@@ -32,6 +47,8 @@ from dataclasses import dataclass, field
 from ..common import Column, DataType, Schema
 from ..common.rng import make_rng
 from ..distributed.cluster import WriteKind, WriteOp
+from ..distributed.metadata import RING_SIZE
+from ..distributed.partitioner import placement_point
 from ..distributed.resharding import ShardSplit
 from ..engines.distributed_replica import DistributedReplicaEngine
 from ..scheduler.workload_driven import WorkloadDrivenScheduler
@@ -53,11 +70,13 @@ class SkewedWriteMix:
 
     70% single-row balance updates, 20% payment (customer update +
     history insert), 10% order entry (order + two order lines) — hot
-    customers drawn nurand-style.  The mix deliberately keeps 2PC
-    fan-out at 1-3 rows per transaction: TP scale-out is gated on how
-    the *per-shard* write work spreads, and a mix dominated by wide
-    multi-shard transactions measures 2PC fan-out tax instead (real
-    TPC-C keeps a warehouse's traffic local for the same reason).
+    customers drawn nurand-style.  With the placement policy on, every
+    shape is a placement-group transaction (a customer's history lands
+    with the customer, an order's lines with the order), so the whole
+    mix rides the single-shard 1PC fast path — exactly how TPC-C keeps
+    a warehouse's traffic local in real systems.  With placement off,
+    the hash ring scatters the 2-3 row shapes across shards and the
+    2PC fan-out tax shows up instead.
     """
 
     def __init__(self, cluster, router, scale: TpccScale, seed: int):
@@ -102,7 +121,8 @@ class SkewedWriteMix:
         self._commit([WriteOp(WriteKind.UPDATE, "customer", key, updated)])
 
     def txn_payment(self) -> None:
-        """Customer debit + history append (<= 2 shards)."""
+        """Customer debit + history append (1 shard with placement on,
+        else <= 2)."""
         key = self._pick_customer()
         amount = round(self.rng.uniform(1.0, 5000.0), 2)
         row = self.cluster.read("customer", key, router=self.router)
@@ -117,11 +137,17 @@ class SkewedWriteMix:
         history = (self._history_id, *key, self._history_id, amount)
         self._commit([
             WriteOp(WriteKind.UPDATE, "customer", key, updated),
-            WriteOp(WriteKind.INSERT, "history", self._history_id, history),
+            WriteOp(
+                WriteKind.INSERT,
+                "history",
+                (*key, self._history_id),
+                history,
+            ),
         ])
 
     def txn_order_entry(self) -> None:
-        """Order header + two lines (<= 3 shards)."""
+        """Order header + two lines (1 shard with placement on,
+        else <= 3)."""
         w, d, c = self._pick_customer()
         self._order_id += 1
         o_id = self._order_id
@@ -146,10 +172,18 @@ class ClusterScaleoutConfig:
     n_sessions: int = 24
     #: Every ``olap_every``-th session is an OLAP client.
     olap_every: int = 3
-    #: Fixed total TPC-C transactions per arm.
-    write_txns: int = 180
+    #: Fixed total TPC-C transactions per arm.  Sized so the largest
+    #: strong arm (64 shards) gets enough transactions per shard that
+    #: sampling discretization, not the commit path, stops being the
+    #: visible ceiling (the load-quantile boot boundaries already
+    #: remove the fixed assignment imbalance).
+    write_txns: int = 600
     #: Fixed total CH statement executions per arm.
-    ch_reads: int = 45
+    ch_reads: int = 150
+    #: Per-4-nodes work unit for the weak-scaling arms (work ∝ nodes,
+    #: so the largest arm runs ``weak_write_txns * nodes / base``
+    #: transactions; kept smaller than ``write_txns`` to bound cost).
+    weak_write_txns: int = 75
     #: Generous round budget: the bench measures the cluster, not the
     #: scheduler's slot split, so rounds should drain what they get.
     round_slot_us: float = 200_000.0
@@ -157,7 +191,16 @@ class ClusterScaleoutConfig:
     min_slots: int = 3
     #: Audit writes in the split arm (acknowledged-exactly-once check).
     split_writes: int = 90
-    seed: int = 23
+    seed: int = 7
+    #: Co-locate customer/history and orders/order_line placement
+    #: groups (the co-location arm; off measures the raw hash ring).
+    placement: bool = True
+    #: "fast" = 1PC + piggybacked paths; "baseline" = classic 2PC.
+    commit_protocol: str = "fast"
+    #: Weak-scaling arms: work scales with nodes (work/node constant),
+    #: so the large arms measure the architecture rather than workload
+    #: discretization.  Run alongside the fixed-work strong arms.
+    weak_scaling: bool = True
     #: Wider-than-default key space: the hot-key pool must comfortably
     #: exceed the largest shard count or popularity skew (not the
     #: architecture) caps the busiest leader's share.
@@ -179,12 +222,25 @@ class ScaleoutArm:
     makespan_us: float           # busiest node overall (AP included)
     total_busy_us: float
     router: dict[str, float]
+    #: Commit-path split: how the mix actually committed.
+    single_shard: int = 0
+    piggybacked: int = 0
+    two_phase: int = 0
+    #: Work multiplier vs the base arm (1 for strong scaling).
+    work_factor: int = 1
 
     @property
     def tp_per_sim_s(self) -> float:
         if self.tp_makespan_us <= 0:
             return 0.0
         return self.committed / (self.tp_makespan_us / 1e6)
+
+    @property
+    def single_shard_fraction(self) -> float:
+        total = self.single_shard + self.piggybacked + self.two_phase
+        if total == 0:
+            return 0.0
+        return self.single_shard / total
 
 
 @dataclass
@@ -201,11 +257,26 @@ class SplitCheck:
     tail_writes: int
     stale_retries: float
     retries_exhausted: float
-    epoch: int
+    epoch: int                   # epochs advanced by the split itself
 
     @property
     def exactly_once(self) -> bool:
         return self.lost == 0 and self.duplicates == 0
+
+
+@dataclass
+class ProtocolComparison:
+    """Base arm, optimized vs baseline, identical work and cost model."""
+
+    fast_tp_per_sim_s: float
+    baseline_tp_per_sim_s: float
+    fast_single_shard_fraction: float
+
+    @property
+    def speedup(self) -> float:
+        if self.baseline_tp_per_sim_s <= 0:
+            return 0.0
+        return self.fast_tp_per_sim_s / self.baseline_tp_per_sim_s
 
 
 @dataclass
@@ -215,6 +286,11 @@ class ScaleoutResult:
     #: nodes -> throughput-scaling efficiency vs the smallest arm.
     efficiency: dict[int, float]
     split: SplitCheck
+    #: Weak-scaling arms (work ∝ nodes) and their efficiency — the
+    #: makespan ratio T_base/T_N (throughput ratio over node ratio).
+    weak_arms: list[ScaleoutArm] = field(default_factory=list)
+    weak_efficiency: dict[int, float] = field(default_factory=dict)
+    protocols: ProtocolComparison | None = None
 
 
 class ClusterScaleoutDriver:
@@ -233,7 +309,20 @@ class ClusterScaleoutDriver:
             n_storage_nodes=n_nodes,
             n_regions=n_nodes,      # one shard leader per row node
             seed=cfg.seed,
+            commit_protocol=cfg.commit_protocol,
         )
+        if cfg.placement:
+            # DDL-time co-location: a customer's history rides with the
+            # customer row, an order's lines with the order header.
+            engine.declare_placement("customer", "cust", 3)
+            engine.declare_placement("history", "cust", 3)
+            engine.declare_placement("orders", "order", 3)
+            engine.declare_placement("order_line", "order", 3)
+            # Co-location concentrates each transaction on one placement
+            # point, so equal ring spans leave a fixed busiest-shard
+            # excess; cut the boot map at expected-load quantiles
+            # instead (what a placement driver converges to online).
+            engine.install_boundaries(self._load_sample())
         if audit:
             # DDL must precede the first commit (the TPC-C load).
             engine.create_table(
@@ -263,6 +352,27 @@ class ClusterScaleoutDriver:
         )
         return engine, frontdoor
 
+    def _load_sample(self) -> list[int]:
+        """Expected-load placement-point sample for boundary quantiles.
+
+        Mirrors :class:`SkewedWriteMix`: hot customers (the top quarter,
+        nurand-style 75/25) draw 13x the cold ones — per draw, a hot
+        pair gets ``0.75 / (D*C/4) + 0.25 / (D*C)`` vs a cold pair's
+        ``0.25 / (D*C)``.  Order entries use fresh ids that hash
+        uniformly, so their ~10% traffic share enters as an even stripe
+        across the whole ring.
+        """
+        s = self.config.scale
+        hot = max(1, s.customers // 4)
+        pts: list[int] = []
+        for d in range(1, s.districts + 1):
+            for c in range(1, s.customers + 1):
+                weight = 13 if c <= hot else 1
+                pts.extend([placement_point("cust", (1, d, c))] * weight)
+        n_uniform = max(1, len(pts) // 9)
+        pts.extend((i * RING_SIZE) // n_uniform for i in range(n_uniform))
+        return pts
+
     @staticmethod
     def _sessions(frontdoor: FrontDoor, cfg: ClusterScaleoutConfig):
         sessions = [
@@ -285,7 +395,16 @@ class ClusterScaleoutDriver:
 
     # ------------------------------------------------------------- one arm
 
-    def run_arm(self, n_nodes: int) -> ScaleoutArm:
+    def run_arm(
+        self,
+        n_nodes: int,
+        work_factor: int = 1,
+        base_writes: int | None = None,
+        base_reads: int | None = None,
+    ) -> ScaleoutArm:
+        """One measurement: fixed work (strong scaling) when
+        ``work_factor`` is 1, work ∝ nodes (weak scaling) otherwise;
+        ``base_writes``/``base_reads`` override the per-unit work."""
         cfg = self.config
         engine, frontdoor = self._build(n_nodes)
         cluster = engine.cluster
@@ -298,8 +417,18 @@ class ClusterScaleoutDriver:
         # Loading/sync busy time is setup, not measured work.
         engine.ledger.reset()
         commits0, aborts0 = cluster.commits, cluster.aborts
+        paths0 = (
+            cluster.commits_single_shard,
+            cluster.commits_piggybacked,
+            cluster.commits_two_phase,
+        )
 
-        writes_left, reads_left = cfg.write_txns, cfg.ch_reads
+        writes_left = (
+            base_writes if base_writes is not None else cfg.write_txns
+        ) * work_factor
+        reads_left = (
+            base_reads if base_reads is not None else cfg.ch_reads
+        ) * work_factor
         while writes_left or reads_left:
             for session in oltp:
                 if writes_left:
@@ -323,6 +452,10 @@ class ClusterScaleoutDriver:
             makespan_us=engine.ledger.makespan_us(),
             total_busy_us=engine.ledger.total_us(),
             router=dict(frontdoor.router.stats),
+            single_shard=cluster.commits_single_shard - paths0[0],
+            piggybacked=cluster.commits_piggybacked - paths0[1],
+            two_phase=cluster.commits_two_phase - paths0[2],
+            work_factor=work_factor,
         )
 
     # ------------------------------------------------------------- split arm
@@ -361,6 +494,9 @@ class ClusterScaleoutDriver:
                 )
 
         third = cfg.split_writes // 3
+        # Boundary installation may already have consumed an epoch;
+        # the check below is about the split's own transitions.
+        epoch_before = cluster.metadata.epoch
         # Phase 1: steady state before the split.
         submit_wave(third, 4)
         frontdoor.drain_all()
@@ -398,10 +534,28 @@ class ClusterScaleoutDriver:
             + cluster.router.stats["stale_retries"],
             retries_exhausted=frontdoor.router.stats["retries_exhausted"]
             + cluster.router.stats["retries_exhausted"],
-            epoch=cluster.metadata.epoch,
+            epoch=cluster.metadata.epoch - epoch_before,
         )
 
     # ------------------------------------------------------------- all arms
+
+    def run_protocol_comparison(self) -> ProtocolComparison:
+        """The fan-out tax in one number: the base arm with the fast
+        paths + co-location vs classic 2PC on the raw hash ring, at
+        identical work and simulated-cost parity."""
+        from dataclasses import replace
+
+        base_nodes = self.config.node_counts[0]
+        fast = self.run_arm(base_nodes)
+        baseline_driver = ClusterScaleoutDriver(
+            replace(self.config, placement=False, commit_protocol="baseline")
+        )
+        baseline = baseline_driver.run_arm(base_nodes)
+        return ProtocolComparison(
+            fast_tp_per_sim_s=fast.tp_per_sim_s,
+            baseline_tp_per_sim_s=baseline.tp_per_sim_s,
+            fast_single_shard_fraction=fast.single_shard_fraction,
+        )
 
     def run(self, on_arm=None) -> ScaleoutResult:
         arms = []
@@ -419,6 +573,39 @@ class ClusterScaleoutDriver:
             )
             for arm in arms
         }
+        weak_arms: list[ScaleoutArm] = []
+        weak_efficiency: dict[int, float] = {}
+        if self.config.weak_scaling:
+            cfg = self.config
+            base_nodes = cfg.node_counts[0]
+            weak_reads = max(
+                1, cfg.weak_write_txns * cfg.ch_reads // cfg.write_txns
+            )
+            for n_nodes in cfg.node_counts:
+                factor = max(1, n_nodes // base_nodes)
+                weak_arms.append(
+                    self.run_arm(
+                        n_nodes,
+                        work_factor=factor,
+                        base_writes=cfg.weak_write_txns,
+                        base_reads=weak_reads,
+                    )
+                )
+                if on_arm is not None:
+                    on_arm(weak_arms[-1])
+            weak_base = weak_arms[0]
+            # Work/node is constant, so ideal throughput grows with the
+            # node ratio; efficiency is the makespan ratio T_base/T_N.
+            weak_efficiency = {
+                arm.nodes: (
+                    (arm.tp_per_sim_s / weak_base.tp_per_sim_s)
+                    / (arm.nodes / weak_base.nodes)
+                    if weak_base.tp_per_sim_s > 0
+                    else 0.0
+                )
+                for arm in weak_arms
+            }
+        protocols = self.run_protocol_comparison()
         split = self.run_split()
         if on_arm is not None:
             on_arm(split)
@@ -427,4 +614,7 @@ class ClusterScaleoutDriver:
             arms=arms,
             efficiency=efficiency,
             split=split,
+            weak_arms=weak_arms,
+            weak_efficiency=weak_efficiency,
+            protocols=protocols,
         )

@@ -63,10 +63,13 @@ def tpcc_schemas() -> list[Schema]:
             Column("c_ytd_payment", F), Column("c_payment_cnt", I),
             Column("c_delivery_cnt", I), Column("c_nationkey", I),
         ], ["c_w_id", "c_d_id", "c_id"]),
+        # History has no spec-mandated PK; keying by (customer, h_id)
+        # lets placement-aware engines co-locate a customer's history
+        # with the customer row (h_id alone stays unique).
         Schema("history", [
             Column("h_id", I), Column("h_c_w_id", I), Column("h_c_d_id", I),
             Column("h_c_id", I), Column("h_date", I), Column("h_amount", F),
-        ], ["h_id"]),
+        ], ["h_c_w_id", "h_c_d_id", "h_c_id", "h_id"]),
         Schema("orders", [
             Column("o_w_id", I), Column("o_d_id", I), Column("o_id", I),
             Column("o_c_id", I), Column("o_entry_d", I),

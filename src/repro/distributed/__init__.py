@@ -10,13 +10,20 @@ from .cluster import (
 from .metadata import (
     RING_SIZE,
     MetadataService,
+    PlacementKey,
+    PlacementPolicy,
     Shard,
     ShardMap,
     ShardMapDelta,
     hash_point,
 )
 from .network import SimNetwork
-from .partitioner import HashPartitioner, Partitioner, RangePartitioner
+from .partitioner import (
+    HashPartitioner,
+    Partitioner,
+    RangePartitioner,
+    placement_point,
+)
 from .raft import (
     AppendEntries,
     AppendEntriesReply,
@@ -38,6 +45,7 @@ from .resharding import (
 )
 from .router import Router
 from .two_phase_commit import (
+    PiggybackCoordinator,
     TwoPhaseCoordinator,
     TwoPhaseResult,
     TxnOutcome,
@@ -55,6 +63,9 @@ __all__ = [
     "MetadataService",
     "MigrationTap",
     "Partitioner",
+    "PiggybackCoordinator",
+    "PlacementKey",
+    "PlacementPolicy",
     "RING_SIZE",
     "RaftGroup",
     "RaftNode",
@@ -80,4 +91,5 @@ __all__ = [
     "WriteKind",
     "WriteOp",
     "hash_point",
+    "placement_point",
 ]

@@ -21,8 +21,19 @@ epoch contract by rejecting requests for ring points they no longer own
 (:mod:`~repro.distributed.resharding`) safe under live traffic.
 
 Transactions touching one shard commit through that shard's Raft group
-alone; cross-shard transactions run two-phase commit whose participants
-are Raft-replicated shards ("2PC+Raft+logging").
+alone — the 1PC fast path: validate at the leader, then a single
+"commit1p" propose installs the writes, no coordinator, one fsync
+instead of two.  Cross-shard transactions default to the piggybacked
+one-round protocol (:class:`PiggybackCoordinator`): each participant
+durably logs PREPARED + the write intent in one propose, the
+coordinator's decision record is the commit point, and the commit
+round settles lazily on the next operation that touches each shard.
+The classic two-round 2PC ("2PC+Raft+logging") stays available behind
+``commit_protocol="baseline"`` for differential testing.  A
+:class:`~repro.distributed.metadata.PlacementPolicy` co-locates rows
+sharing a placement-key prefix (a district's customers and history, an
+order and its lines) on one shard, which is what turns the dominant
+TPC-C mix into single-shard transactions in the first place.
 
 Simulated time measures *latency*; per-physical-node busy time in a
 :class:`BusyLedger` measures *throughput* (makespan = the bottleneck
@@ -33,7 +44,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Any, Callable
+from typing import Any, Callable, Iterable
 
 from ..common.clock import LogicalClock, Timestamp
 from ..common.cost import CostModel
@@ -45,13 +56,19 @@ from ..common.errors import (
 )
 from ..common.predicate import ALWAYS_TRUE, Predicate
 from ..common.types import Key, Row, Schema
+from ..obs import get_registry
 from ..storage.column_store import ColumnScanResult
-from .metadata import MetadataService, ShardMap, hash_point
+from .metadata import MetadataService, PlacementPolicy, ShardMap, hash_point
 from .network import SimNetwork
 from .raft import RaftGroup
 from .replica import ColumnarReplica, _runs_by_table
 from .router import Router
-from .two_phase_commit import TwoPhaseCoordinator, TxnOutcome, Vote
+from .two_phase_commit import (
+    PiggybackCoordinator,
+    TwoPhaseCoordinator,
+    TxnOutcome,
+    Vote,
+)
 
 __all__ = [
     "BusyLedger",
@@ -114,11 +131,16 @@ class RegionStateMachine:
     """Deterministic row-store state machine replicated by one Raft group.
 
     Beyond the 2PC commands ("prepare"/"commit"/"abort") and "bulk"
-    loads, it understands the resharding protocol: "install" (staged
-    snapshot from a migration source), "tail" (dual-logged writes that
-    committed on the source after the snapshot barrier), "rehome" (the
-    flip-time authoritative image, also consumed by learners), and
-    "truncate" (drop a ring interval that migrated away)."""
+    loads, it understands the optimized commit paths — "commit1p" (the
+    single-shard 1PC fast path: leader-validated writes installed in
+    one command), "intent" (piggybacked prepare: PREPARED + the write
+    intent durably logged together) and "resolve" (the lazy commit
+    round settling a queued intent) — and the resharding protocol:
+    "install" (staged snapshot from a migration source), "tail"
+    (dual-logged writes that committed on the source after the snapshot
+    barrier), "rehome" (the flip-time authoritative image, also
+    consumed by learners), and "truncate" (drop a ring interval that
+    migrated away)."""
 
     def __init__(
         self,
@@ -131,6 +153,10 @@ class RegionStateMachine:
         self._point_fn = point_fn
         self.rows: dict[str, dict[Key, Row]] = {t: {} for t in schemas}
         self.prepared: dict[int, tuple[list[WriteOp], Timestamp]] = {}
+        #: Piggybacked prepares: durably staged writes awaiting their
+        #: lazy "resolve" (kept apart from 2PC's ``prepared`` so each
+        #: protocol's recovery story stays independently auditable).
+        self.intents: dict[int, tuple[list[WriteOp], Timestamp]] = {}
         self.vote_log: dict[int, bool] = {}
         self.last_commit_ts: Timestamp = 0
         self.applied_commands = 0
@@ -155,6 +181,28 @@ class RegionStateMachine:
             _op, txn_id = command
             self.prepared.pop(txn_id, None)
             self.vote_log.pop(txn_id, None)
+        elif op == "commit1p":
+            # Single-shard 1PC fast path: the leader validated before
+            # proposing, so the one command installs unconditionally.
+            _op, txn_id, writes, commit_ts = command
+            self._install(writes, commit_ts)
+        elif op == "intent":
+            # Piggybacked prepare: PREPARED + the write intent, durably
+            # logged in one command; the decision arrives via "resolve".
+            _op, txn_id, writes, commit_ts = command
+            ok = self._validate(writes)
+            self.vote_log[txn_id] = ok
+            if ok:
+                self.intents[txn_id] = (writes, commit_ts)
+        elif op == "resolve":
+            # The lazy commit round: idempotent — a re-proposed resolve
+            # finds the intent already popped and does nothing.
+            _op, txn_id, committed = command
+            staged = self.intents.pop(txn_id, None)
+            self.vote_log.pop(txn_id, None)
+            if committed and staged is not None:
+                writes, commit_ts = staged
+                self._install(writes, commit_ts)
         elif op in ("bulk", "install", "rehome"):
             # Whole-row upserts: a pre-validated bulk load, a staged
             # migration snapshot, or the flip-time authoritative image.
@@ -221,9 +269,15 @@ class DistributedCluster:
         seed: int = 0,
         vectorized: bool = True,
         point_fn: Callable[[str, Any], int] = hash_point,
+        placement: PlacementPolicy | None = None,
+        commit_protocol: str = "fast",
     ):
         if replication > n_storage_nodes:
             replication = n_storage_nodes
+        if commit_protocol not in ("fast", "baseline"):
+            raise TwoPhaseCommitError(
+                f"unknown commit protocol {commit_protocol!r}"
+            )
         self.cost = cost or CostModel()
         self.clock = clock or LogicalClock()
         self.network = SimNetwork(self.cost)
@@ -234,11 +288,14 @@ class DistributedCluster:
         self._initial_shards = n_regions if n_regions is not None else n_storage_nodes
         self._seed = seed
         self.vectorized = vectorized
-        self.point_of = point_fn
+        self._point_fn = point_fn
+        self.placement = placement or PlacementPolicy()
+        self.commit_protocol = commit_protocol
         self.schemas: dict[str, Schema] = {}
         self.metadata = MetadataService(ShardMap.uniform(self._initial_shards))
-        self.router = Router(self.metadata, cost=self.cost, point_fn=point_fn)
+        self.router = Router(self.metadata, cost=self.cost, point_fn=self.point_of)
         self.coordinator = TwoPhaseCoordinator(cost=self.cost)
+        self.piggyback = PiggybackCoordinator(cost=self.cost)
         self.columnar = ColumnarReplica({}, self.cost, vectorized=vectorized)
         # Grow-only, shard-id-indexed (ids are allocated monotonically;
         # merged-away shards keep their slot so indices never shift).
@@ -246,9 +303,19 @@ class DistributedCluster:
         self._region_sms: list[dict[str, RegionStateMachine]] = []
         self._region_leader_node: list[list[str]] = []  # physical placement
         self._migration_taps: list = []  # resharding dual-log buffers
+        #: Lazy commit rounds: shard id -> [(txn_id, committed, n_writes)].
+        self._pending_resolves: dict[int, list[tuple[int, bool, int]]] = {}
         self._built = False
         self.commits = 0
         self.aborts = 0
+        self.commits_single_shard = 0
+        self.commits_piggybacked = 0
+        self.commits_two_phase = 0
+        reg = get_registry()
+        self._m_commit_1p = reg.counter("commit.single_shard")
+        self._m_commit_pb = reg.counter("commit.piggybacked")
+        self._m_commit_2pc = reg.counter("commit.two_phase")
+        self._h_commit_fanout = reg.histogram("commit.participant_fanout")
 
     # ------------------------------------------------------------- build
 
@@ -257,10 +324,40 @@ class DistributedCluster:
         """Live shard count (grows/shrinks with online resharding)."""
         return self.metadata.current().n_shards
 
+    def point_of(self, table: str, key: Any) -> int:
+        """Ring position of one row: the placement policy's co-location
+        prefix when the table declares one, the plain per-row point
+        function otherwise."""
+        if self.placement.rule(table) is not None:
+            return self.placement.point_of(table, key)
+        return self._point_fn(table, key)
+
     def create_table(self, schema: Schema) -> None:
         if self._built:
             raise TwoPhaseCommitError("create every table before first commit")
         self.schemas[schema.table_name] = schema
+
+    def declare_placement(self, table: str, group: str, prefix_len: int) -> None:
+        """Declare a placement-key prefix for ``table``.  DDL-time only:
+        rows are placed by ``point_of`` from the first commit on, so the
+        point function must never change once any row exists."""
+        if self._built:
+            raise TwoPhaseCommitError("declare placement before first commit")
+        self.placement.declare(table, group, prefix_len)
+
+    def install_boundaries(self, points: Iterable[int]) -> None:
+        """Re-cut the boot shard map at load quantiles of ``points``
+        (an expected-load sample of placement-point positions; repeat a
+        point to weight it).  DDL-time only, same contract as
+        :meth:`declare_placement`: boundaries are a boot decision and
+        must be fixed before the first commit places a row."""
+        if self._built:
+            raise TwoPhaseCommitError(
+                "install boundaries before first commit"
+            )
+        self.metadata.rebound(
+            ShardMap.balanced(points, self._initial_shards)
+        )
 
     def _build(self) -> None:
         if self._built:
@@ -363,6 +460,57 @@ class DistributedCluster:
         for replica_node in self._region_leader_node[sid][1:]:
             self.ledger.charge(replica_node, n_writes * self.cost.wal_append_us)
 
+    def _charge_commit_round(
+        self, sid: int, n_commands: int = 1, n_rows: int = 0
+    ) -> None:
+        """Busy accounting for a metadata-only propose: the 2PC second
+        round, or a batch of lazy intent resolutions.  WAL appends for
+        each command plus one fsync at the leader, appends at the
+        followers; resolved intents add their row installs."""
+        phys = self._phys_node_of_leader(sid)
+        self.ledger.charge(
+            phys,
+            n_commands * self.cost.wal_append_us
+            + self.cost.wal_fsync_us
+            + n_rows * self.cost.row_point_write_us,
+        )
+        for replica_node in self._region_leader_node[sid][1:]:
+            self.ledger.charge(replica_node, n_commands * self.cost.wal_append_us)
+
+    # --------------------------------------------------------- lazy resolves
+
+    def _queue_resolve(
+        self, sid: int, txn_id: int, committed: bool, n_writes: int
+    ) -> None:
+        """The piggybacked protocol's asynchronous commit round: record
+        that ``txn_id``'s intent on shard ``sid`` resolved (from the
+        coordinator's decision record); the next operation touching the
+        shard settles the queue before it reads or validates."""
+        self._pending_resolves.setdefault(sid, []).append(
+            (txn_id, committed, n_writes)
+        )
+
+    def _settle_shard(self, sid: int) -> None:
+        """Flush shard ``sid``'s queued intent resolutions in one
+        batched propose, so its row state reflects every decided
+        transaction before serving a read or validating a write."""
+        pending = self._pending_resolves.pop(sid, None)
+        if not pending:
+            return
+        n_rows = sum(n for _txn, committed, n in pending if committed)
+        self._charge_commit_round(sid, n_commands=len(pending), n_rows=n_rows)
+        self.cost.charge(self.cost.network_rtt_us)
+        self._groups[sid].propose_batch_and_wait(
+            [("resolve", txn, committed) for txn, committed, _n in pending]
+        )
+
+    def settle_all(self) -> None:
+        """Flush every shard's queued resolutions (replication drains
+        and resharding barriers call this so learners, snapshots, and
+        flips always see settled truth)."""
+        for sid in sorted(self._pending_resolves):
+            self._settle_shard(sid)
+
     def _tap_commit(
         self, writes: list[WriteOp], points: list[int], commit_ts: Timestamp
     ) -> None:
@@ -414,23 +562,84 @@ class DistributedCluster:
         # proposed, so a stale route aborts with no partial effects.
         for sid, (_ws, ps) in by_shard.items():
             self._check_ownership(sid, ps)
+        # Dangling intents on the involved shards must resolve before
+        # this transaction validates against their row state.
+        for sid in sorted(by_shard):
+            self._settle_shard(sid)
         commit_ts = self.clock.tick()
+        if self.commit_protocol == "fast" and len(by_shard) == 1:
+            ((sid, (ws, _ps)),) = by_shard.items()
+            self._commit_single_shard(sid, ws, commit_ts)
+            self.commits_single_shard += 1
+            self._m_commit_1p.inc()
+        elif self.commit_protocol == "fast":
+            self._commit_piggybacked(by_shard, commit_ts)
+            self.commits_piggybacked += 1
+            self._m_commit_pb.inc()
+        else:
+            self._commit_two_phase(by_shard, commit_ts)
+            self.commits_two_phase += 1
+            self._m_commit_2pc.inc()
+        self.commits += 1
+        self._h_commit_fanout.observe(float(len(by_shard)))
+        if self._migration_taps:
+            self._tap_commit(writes, points, commit_ts)
+        return commit_ts
+
+    def _commit_single_shard(
+        self, sid: int, writes: list[WriteOp], commit_ts: Timestamp
+    ) -> None:
+        """The 1PC fast path: a transaction wholly owned by one shard
+        skips the coordinator — validate at the leader, then a single
+        "commit1p" propose installs the writes.  One Raft round and one
+        fsync instead of two."""
+        txn_id = self.piggyback.allocate_txn_id()
+        self.cost.charge(self.cost.network_rtt_us)
+        if not self._leader_sm(sid)._validate(writes):
+            self.aborts += 1
+            raise TransactionAborted(txn_id, "shard validation failed")
+        self._charge_group_write(sid, len(writes))
+        self._groups[sid].propose_and_wait(
+            ("commit1p", txn_id, writes, commit_ts)
+        )
+
+    def _commit_piggybacked(
+        self,
+        by_shard: dict[int, tuple[list[WriteOp], list[int]]],
+        commit_ts: Timestamp,
+    ) -> None:
+        """Residual multi-shard transactions: the one-round piggybacked
+        protocol.  Each shard durably logs PREPARED + intent in one
+        propose; the commit round is queued and settles lazily."""
         participants = {
             f"region{sid}": _RaftRegionParticipant(self, sid) for sid in by_shard
         }
         payloads = {
             f"region{sid}": (ws, commit_ts) for sid, (ws, _ps) in by_shard.items()
         }
-        for sid, (ws, _ps) in by_shard.items():
-            self._charge_group_write(sid, len(ws))
+        result = self.piggyback.execute(payloads, participants)
+        if result.outcome is TxnOutcome.ABORTED:
+            self.aborts += 1
+            raise TransactionAborted(result.txn_id, "shard validation failed")
+
+    def _commit_two_phase(
+        self,
+        by_shard: dict[int, tuple[list[WriteOp], list[int]]],
+        commit_ts: Timestamp,
+    ) -> None:
+        """The baseline two-round protocol, kept behind
+        ``commit_protocol="baseline"`` for cost-parity differential
+        testing against the optimized paths."""
+        participants = {
+            f"region{sid}": _RaftRegionParticipant(self, sid) for sid in by_shard
+        }
+        payloads = {
+            f"region{sid}": (ws, commit_ts) for sid, (ws, _ps) in by_shard.items()
+        }
         result = self.coordinator.execute(payloads, participants)
         if result.outcome is TxnOutcome.ABORTED:
             self.aborts += 1
             raise TransactionAborted(result.txn_id, "shard validation failed")
-        self.commits += 1
-        if self._migration_taps:
-            self._tap_commit(writes, points, commit_ts)
-        return commit_ts
 
     def bulk_load(
         self, table: str, rows: list[Row], router: Router | None = None
@@ -463,6 +672,8 @@ class DistributedCluster:
             slot[1].append(point)
         for sid, (_rs, ps) in by_shard.items():
             self._check_ownership(sid, ps)
+        for sid in sorted(by_shard):
+            self._settle_shard(sid)
         commit_ts = self.clock.tick()
         schema = self.schemas[table]
         for sid, (shard_rows, _ps) in by_shard.items():
@@ -493,6 +704,8 @@ class DistributedCluster:
         def attempt() -> Row | None:
             sid = router.shard_for_point(point).shard_id
             self._check_ownership(sid, [point])
+            # A dangling intent could hide a decided write: settle first.
+            self._settle_shard(sid)
             self.cost.charge(self.cost.network_rtt_us)
             sm = self._leader_sm(sid)
             self.cost.charge(self.cost.row_point_read_us)
@@ -503,22 +716,41 @@ class DistributedCluster:
 
         return router.retrying(attempt)
 
-    def row_scan(self, table: str, predicate: Predicate = ALWAYS_TRUE) -> list[Row]:
-        """Scatter-gather scan over every live shard's leader (row path)."""
+    def row_scan(
+        self,
+        table: str,
+        predicate: Predicate = ALWAYS_TRUE,
+        router: Router | None = None,
+    ) -> list[Row]:
+        """Scatter-gather scan over every live shard's leader (row path).
+        Each shard re-validates ownership and settles its queued intent
+        resolutions before serving, so the scan reads decided truth."""
         self._build()
         schema = self.schemas[table]
-        out: list[Row] = []
-        for sid in self._live_sids():
-            self.cost.charge(self.cost.network_rtt_us)
-            sm = self._leader_sm(sid)
-            rows = sm.rows[table]
-            self.cost.charge_rows(self.cost.row_scan_per_row_us, max(len(rows), 1))
-            self.ledger.charge(
-                self._phys_node_of_leader(sid),
-                self.cost.row_scan_per_row_us * max(len(rows), 1),
-            )
-            out.extend(r for r in rows.values() if predicate.matches(r, schema))
-        return out
+        router = router or self.router
+
+        def attempt() -> list[Row]:
+            current = self.metadata.current()
+            out: list[Row] = []
+            for sid in current.shard_ids():
+                self._check_ownership(sid, [current.get(sid).lo])
+                self._settle_shard(sid)
+                self.cost.charge(self.cost.network_rtt_us)
+                sm = self._leader_sm(sid)
+                rows = sm.rows[table]
+                self.cost.charge_rows(
+                    self.cost.row_scan_per_row_us, max(len(rows), 1)
+                )
+                self.ledger.charge(
+                    self._phys_node_of_leader(sid),
+                    self.cost.row_scan_per_row_us * max(len(rows), 1),
+                )
+                out.extend(
+                    r for r in rows.values() if predicate.matches(r, schema)
+                )
+            return out
+
+        return router.retrying(attempt)
 
     def analytic_scan(
         self,
@@ -540,8 +772,11 @@ class DistributedCluster:
         self.network.advance(delta_us)
 
     def drain_replication(self, max_us: float = 50_000.0) -> None:
-        """Advance until learners have applied everything committed."""
+        """Advance until learners have applied everything committed.
+        Queued intent resolutions flush first, so "everything committed"
+        includes every decided piggybacked transaction."""
         self._build()
+        self.settle_all()
         spent = 0.0
         while spent < max_us:
             lagging = any(
@@ -604,12 +839,17 @@ class DistributedCluster:
 
 
 class _RaftRegionParticipant:
-    """Adapts one Raft-replicated shard to the 2PC Participant protocol."""
+    """Adapts one Raft-replicated shard to both commit protocols: the
+    baseline two-round 2PC (prepare/commit/abort) and the one-round
+    piggybacked variant (intent/enqueue_resolution).  Busy-ledger
+    charging lives here, per propose, so the round count of each
+    protocol is exactly what the makespan measures."""
 
     def __init__(self, cluster: DistributedCluster, region: int):
         self._cluster = cluster
         self._region = region
         self._group = cluster._groups[region]
+        self._n_writes = 0
 
     def _leader_sm(self) -> RegionStateMachine:
         leader = self._group.elect_leader()
@@ -617,12 +857,28 @@ class _RaftRegionParticipant:
 
     def prepare(self, txn_id: int, payload: Any) -> Vote:
         writes, commit_ts = payload
+        self._cluster._charge_group_write(self._region, len(writes))
         self._group.propose_and_wait(("prepare", txn_id, writes, commit_ts))
         ok = self._leader_sm().vote_log.get(txn_id, False)
         return Vote.YES if ok else Vote.NO
 
     def commit(self, txn_id: int) -> None:
+        self._cluster._charge_commit_round(self._region)
         self._group.propose_and_wait(("commit", txn_id))
 
     def abort(self, txn_id: int) -> None:
+        self._cluster._charge_commit_round(self._region)
         self._group.propose_and_wait(("abort", txn_id))
+
+    def intent(self, txn_id: int, payload: Any) -> Vote:
+        writes, commit_ts = payload
+        self._n_writes = len(writes)
+        self._cluster._charge_group_write(self._region, len(writes))
+        self._group.propose_and_wait(("intent", txn_id, writes, commit_ts))
+        ok = self._leader_sm().vote_log.get(txn_id, False)
+        return Vote.YES if ok else Vote.NO
+
+    def enqueue_resolution(self, txn_id: int, committed: bool) -> None:
+        self._cluster._queue_resolve(
+            self._region, txn_id, committed, self._n_writes
+        )

@@ -28,7 +28,7 @@ from typing import Any, Iterable, Sequence
 
 from ..common.errors import RoutingError, StorageError
 from ..obs import get_registry
-from .partitioner import _stable_hash
+from .partitioner import _stable_hash, placement_point
 
 #: The hash keyspace tiles the full 64-bit stable-hash ring.
 RING_SIZE = 1 << 64
@@ -41,6 +41,72 @@ DELTA_HISTORY = 64
 def hash_point(table: str, key: Any) -> int:
     """Ring position of one row: stable across processes and runs."""
     return _stable_hash((table, key))
+
+
+@dataclass(frozen=True)
+class PlacementKey:
+    """One table's placement rule: hash only the leading ``prefix_len``
+    key columns, namespaced by ``group``.
+
+    Tables sharing a ``group`` and prefix *values* co-locate exactly —
+    customer ``(w, d, c)`` and history ``(w, d, c, h_id)`` under the
+    same group with ``prefix_len=3`` hash to the identical ring point,
+    so a payment's customer update and history insert always commit on
+    one shard.  Placement changes only the point function, never the
+    ring: routing, the epoch contract, and resharding all keep working
+    on points exactly as before.
+    """
+
+    group: str
+    prefix_len: int
+
+
+class PlacementPolicy:
+    """Table -> :class:`PlacementKey` rules consulted by ``point_of``.
+
+    TiDB placement-rule / F1 table-group style: the policy is declared
+    with the schema (before any row is placed) and is deliberately
+    *not* part of the epoch-versioned shard map — it never changes at
+    runtime, so every component (router caches, shard ownership checks,
+    resharding snapshots and truncates) derives the same point for the
+    same row forever.
+    """
+
+    def __init__(self) -> None:
+        self._rules: dict[str, PlacementKey] = {}
+
+    def declare(self, table: str, group: str, prefix_len: int) -> None:
+        if prefix_len < 1:
+            raise StorageError("placement prefix must keep at least one column")
+        if not group:
+            raise StorageError("placement group name must be non-empty")
+        existing = self._rules.get(table)
+        if existing is not None and existing != PlacementKey(group, prefix_len):
+            raise StorageError(
+                f"table {table!r} already placed in group "
+                f"{existing.group!r} (prefix {existing.prefix_len})"
+            )
+        self._rules[table] = PlacementKey(group, prefix_len)
+
+    def rule(self, table: str) -> PlacementKey | None:
+        return self._rules.get(table)
+
+    def tables(self) -> list[str]:
+        return sorted(self._rules)
+
+    def point_of(self, table: str, key: Any) -> int:
+        """Ring position of one row under this policy; tables without
+        a rule fall back to the plain per-row ``hash_point``."""
+        rule = self._rules.get(table)
+        if rule is None:
+            return hash_point(table, key)
+        prefix = key if isinstance(key, tuple) else (key,)
+        if len(prefix) < rule.prefix_len:
+            raise RoutingError(
+                f"key {key!r} of {table!r} is shorter than its placement "
+                f"prefix ({rule.prefix_len} columns)"
+            )
+        return placement_point(rule.group, prefix[: rule.prefix_len])
 
 
 @dataclass(frozen=True)
@@ -142,6 +208,43 @@ class ShardMap:
             ]
         )
 
+    @staticmethod
+    def balanced(points: Iterable[int], n_shards: int) -> "ShardMap":
+        """Boot map cut at load quantiles instead of equal ring spans.
+
+        ``points`` is an expected-load sample: one entry per anticipated
+        unit of traffic (repeat a point to weight it).  Equal ring spans
+        give every shard equal *hash space*; with placement-driven
+        co-location the traffic rides a finite population of placement
+        points, and equal spans leave the busiest shard holding ~1.5x
+        the mean — a fixed imbalance no amount of extra work shrinks.
+        Cutting at equal-count quantiles of the sample gives every shard
+        equal *expected load* instead, which is what placement drivers
+        in real systems converge to via load-based splitting.
+
+        Falls back to :meth:`uniform` when the sample is too small or
+        too duplicate-heavy to yield ``n_shards`` distinct intervals.
+        """
+        if n_shards < 1:
+            raise StorageError("need at least one shard")
+        sample = sorted(points)
+        if sample and not (0 <= sample[0] and sample[-1] < RING_SIZE):
+            raise StorageError("sample points must lie on the ring")
+        bounds = [0]
+        for i in range(1, n_shards):
+            cut = sample[(i * len(sample)) // n_shards] if sample else 0
+            if cut > bounds[-1]:
+                bounds.append(cut)
+        if len(bounds) < n_shards:
+            return ShardMap.uniform(n_shards)
+        bounds.append(RING_SIZE)
+        return ShardMap(
+            [
+                Shard(shard_id=i, lo=bounds[i], hi=bounds[i + 1])
+                for i in range(n_shards)
+            ]
+        )
+
 
 class MetadataService:
     """The authoritative shard map plus a bounded delta history.
@@ -168,6 +271,24 @@ class MetadataService:
     @property
     def epoch(self) -> int:
         return self._map.epoch
+
+    def rebound(self, new_map: ShardMap) -> ShardMapDelta:
+        """Re-cut every boundary in one epoch transition, keeping the
+        shard-id population (e.g. install :meth:`ShardMap.balanced` load
+        quantiles at boot).  Goes through :meth:`propose` — a boundary
+        change is a map change, and routers that cached the old cut must
+        be able to converge through the delta history like any other
+        transition."""
+        if sorted(new_map.shard_ids()) != sorted(self._map.shard_ids()):
+            raise StorageError(
+                "rebound must keep the same shard ids "
+                f"({sorted(new_map.shard_ids())} vs "
+                f"{sorted(self._map.shard_ids())})"
+            )
+        return self.propose(
+            removed=list(self._map.shard_ids()),
+            added=[new_map.get(sid) for sid in new_map.shard_ids()],
+        )
 
     def current(self) -> ShardMap:
         """The live map, free of charge — for co-located components

@@ -59,6 +59,21 @@ class RangePartitioner(Partitioner):
         return bisect_right(self._boundaries, probe)
 
 
+def placement_point(group: str, prefix: tuple) -> int:
+    """Ring position of a placement-group prefix.
+
+    Placement-driven co-location: every row whose table declares a
+    placement key hashes only ``(group, key-prefix)`` instead of the
+    full ``(table, key)``, so rows sharing the prefix — a district's
+    customers and their history appends, an order and its lines — land
+    on the *same* ring point and therefore the same shard, under any
+    shard map.  The namespace tag keeps placement points from ever
+    colliding semantically with plain ``hash_point`` values for
+    unrelated tables.
+    """
+    return _stable_hash(("placement", group, prefix))
+
+
 def _stable_hash(key: Any) -> int:
     """Deterministic across processes (no PYTHONHASHSEED dependence)."""
     if isinstance(key, tuple):

@@ -99,12 +99,27 @@ class ColumnarReplica:
         from .cluster import WriteKind
 
         op = command[0]
-        if op == "prepare":
+        if op in ("prepare", "intent"):
             _op, txn_id, writes, commit_ts = command
             self._pending[(region, txn_id)] = (writes, commit_ts)
-        elif op == "commit":
-            _op, txn_id = command
-            staged = self._pending.pop((region, txn_id), None)
+        elif op == "commit1p":
+            # Single-shard 1PC: the one command is already the decision.
+            _op, txn_id, writes, commit_ts = command
+            for w in writes:
+                log = self.delta_logs[w.table]
+                if w.kind is WriteKind.INSERT:
+                    log.record_insert(w.row, commit_ts)
+                elif w.kind is WriteKind.UPDATE:
+                    log.record_update(w.row, commit_ts)
+                else:
+                    log.record_delete(w.key, commit_ts)
+            self.applied_ts = max(self.applied_ts, commit_ts)
+        elif op in ("commit", "resolve"):
+            if op == "resolve" and not command[2]:
+                # A resolved abort: drop the staged intent.
+                self._pending.pop((region, command[1]), None)
+                return
+            staged = self._pending.pop((region, command[1]), None)
             if staged is None:
                 return
             writes, commit_ts = staged
@@ -149,14 +164,21 @@ class ColumnarReplica:
         delete_kind = WriteKind.DELETE
         for command in commands:
             op = command[0]
-            if op == "prepare":
+            if op in ("prepare", "intent"):
                 _op, txn_id, writes, commit_ts = command
                 pending[(region, txn_id)] = (writes, commit_ts)
-            elif op == "commit":
-                staged = pending.pop((region, command[1]), None)
-                if staged is None:
+            elif op in ("commit", "resolve", "commit1p"):
+                if op == "commit1p":
+                    _op, _txn_id, writes, commit_ts = command
+                elif op == "resolve" and not command[2]:
+                    # A resolved abort: drop the staged intent.
+                    pending.pop((region, command[1]), None)
                     continue
-                writes, commit_ts = staged
+                else:
+                    staged = pending.pop((region, command[1]), None)
+                    if staged is None:
+                        continue
+                    writes, commit_ts = staged
                 for table, run in _runs_by_table(writes):
                     cols = per_table.get(table)
                     if cols is None:

@@ -148,6 +148,11 @@ class ReshardOperation:
     def _snapshot_at_barrier(self) -> None:
         cluster = self.cluster
         lo, hi = self._moving_range()
+        # Dangling piggybacked intents on the sources must resolve
+        # before the barrier: a snapshot must be committed truth, and
+        # an intent decided *after* the tap installs dual-logs normally.
+        for sid in self._source_sids():
+            cluster._settle_shard(sid)
         # Tap first, read second, same step: the barrier is exact.
         self._tap = MigrationTap(lo, hi)
         cluster._migration_taps.append(self._tap)

@@ -16,6 +16,11 @@ Routers are cheap — a deployment runs many; each keeps its own cache
 and its own staleness, which is exactly what the resharding chaos test
 exercises (a freshly started router with an old snapshot must converge
 through the same retry path).
+
+Placement awareness costs the router nothing: the cluster hands it a
+``point_fn`` that already folds in the
+:class:`~repro.distributed.metadata.PlacementPolicy`, so co-located
+rows map to one point and route with the same bisect as any other.
 """
 
 from __future__ import annotations

@@ -48,6 +48,7 @@ class DistributedReplicaEngine(HTAPEngine):
         n_regions: int | None = None,
         seed: int = 0,
         vectorized: bool = True,
+        commit_protocol: str = "fast",
     ):
         super().__init__(cost, clock)
         self.cluster = DistributedCluster(
@@ -59,6 +60,7 @@ class DistributedReplicaEngine(HTAPEngine):
             clock=self.clock,
             seed=seed,
             vectorized=vectorized,
+            commit_protocol=commit_protocol,
         )
         # One ledger shared with the cluster so all busy time lands in
         # one place.
@@ -81,6 +83,16 @@ class DistributedReplicaEngine(HTAPEngine):
         self._register_adapter(
             schema.table_name, _ReplicaTableAccess(self, schema.table_name)
         )
+
+    def declare_placement(self, table: str, group: str, prefix_len: int) -> None:
+        """Co-locate ``table`` rows by a placement-key prefix (DDL time,
+        before any row exists)."""
+        self.cluster.declare_placement(table, group, prefix_len)
+
+    def install_boundaries(self, points) -> None:
+        """Re-cut the boot shard map at load quantiles of an
+        expected-load placement-point sample (DDL time only)."""
+        self.cluster.install_boundaries(points)
 
     # ------------------------------------------------------------- OLTP
 

@@ -106,6 +106,11 @@ REGISTERED_METRICS: frozenset[str] = frozenset(
         "sync.propagation.events",
         "sync.rebuild.events",
         "sync.rebuild.rows",
+        # commit paths (placement-aware cluster commit routing)
+        "commit.participant_fanout",
+        "commit.piggybacked",
+        "commit.single_shard",
+        "commit.two_phase",
         # two-phase commit
         "twopc.aborts",
         "twopc.commits",

@@ -147,6 +147,43 @@ class TestHTL006MutationOnShippedTree:
             "execute_transaction" in e for e in entries
         )
 
+    def test_mutation_fires_on_new_commit_paths(self, tmp_path):
+        """The optimized sinks are covered too: deleting the guard must
+        expose the single-shard "commit1p" propose and the piggybacked
+        "intent" propose (reached through the coordinator and the
+        duck-widened participant adapter)."""
+        import ast
+
+        target = self._copy_distributed(tmp_path)
+        cluster = target / "cluster.py"
+        mutated = []
+        for line in cluster.read_text().splitlines():
+            stripped = line.lstrip()
+            if stripped.startswith("self._check_ownership("):
+                indent = line[: len(line) - len(stripped)]
+                mutated.append(indent + "pass")
+            else:
+                mutated.append(line)
+        cluster.write_text("\n".join(mutated) + "\n")
+        found = analyze_tree(tmp_path, rule_ids=["HTL006"])
+        flagged = {f.line for f in found if f.path.endswith("cluster.py")}
+        # Locate the two new propose sites by their command tags.
+        sites: dict[str, int] = {}
+        for node in ast.walk(ast.parse(cluster.read_text())):
+            if not isinstance(node, ast.Call):
+                continue
+            for arg in node.args:
+                if (
+                    isinstance(arg, ast.Tuple)
+                    and arg.elts
+                    and isinstance(arg.elts[0], ast.Constant)
+                    and arg.elts[0].value in ("commit1p", "intent")
+                ):
+                    sites[arg.elts[0].value] = node.lineno
+        assert set(sites) == {"commit1p", "intent"}
+        assert sites["commit1p"] in flagged, "1PC fast path not covered"
+        assert sites["intent"] in flagged, "piggybacked path not covered"
+
 
 # --------------------------------------------------------------------- HTL007
 

@@ -59,6 +59,45 @@ class TestShardMap:
         with pytest.raises(RoutingError):
             m.shard_for_point(20)
 
+    def test_balanced_cuts_at_load_quantiles(self):
+        # 4 hot points carry all the load: each must get its own shard.
+        hot = [RING_SIZE // 8 * (2 * i + 1) for i in range(4)]
+        sample = [p for p in hot for _ in range(100)]
+        m = ShardMap.balanced(sample, 4)
+        assert m.n_shards == 4
+        assert m.shards()[0].lo == 0
+        assert m.shards()[-1].hi == RING_SIZE
+        owners = {m.shard_for_point(p).shard_id for p in hot}
+        assert len(owners) == 4
+
+    def test_balanced_weighting_shifts_boundaries(self):
+        # One point with 3x the weight of three others: the cuts land
+        # so that the heavy point's shard holds ~half the sample.
+        pts = [RING_SIZE // 8 * (2 * i + 1) for i in range(4)]
+        sample = [pts[0]] * 300 + [p for p in pts[1:] for _ in range(100)]
+        m = ShardMap.balanced(sample, 2)
+        heavy = m.shard_for_point(pts[0])
+        per_shard: dict[int, int] = {}
+        for p in sample:
+            sid = m.shard_for_point(p).shard_id
+            per_shard[sid] = per_shard.get(sid, 0) + 1
+        assert per_shard[heavy.shard_id] == 300
+
+    def test_balanced_degenerate_sample_falls_back_to_uniform(self):
+        # Too few distinct points to cut n_shards intervals.
+        assert ShardMap.balanced([5] * 100, 4).shards() == (
+            ShardMap.uniform(4).shards()
+        )
+        assert ShardMap.balanced([], 3).shards() == (
+            ShardMap.uniform(3).shards()
+        )
+
+    def test_balanced_rejects_off_ring_sample(self):
+        with pytest.raises(StorageError):
+            ShardMap.balanced([-1, 5], 2)
+        with pytest.raises(StorageError):
+            ShardMap.balanced([RING_SIZE], 2)
+
     def test_apply_delta_splits(self):
         m = ShardMap.uniform(2)
         victim = m.shards()[0]
@@ -117,6 +156,22 @@ class TestMetadataService:
         with pytest.raises(StorageError):
             stale.current().apply(svc.deltas_since(2)[1])
         assert caught_up.shard_ids() == svc.current().shard_ids()
+
+    def test_rebound_is_an_ordinary_epoch_transition(self):
+        svc = uniform_service(2)
+        cut = RING_SIZE // 3
+        svc.rebound(ShardMap([Shard(0, 0, cut), Shard(1, cut, RING_SIZE)]))
+        # Routers that cached the old cut converge through the history.
+        assert svc.epoch == 1
+        assert [d.epoch for d in svc.deltas_since(0)] == [1]
+        assert svc.current().shard_for_point(cut).shard_id == 1
+        assert sorted(svc.current().shard_ids()) == [0, 1]
+
+    def test_rebound_must_keep_shard_ids(self):
+        svc = uniform_service(2)
+        cut = RING_SIZE // 2
+        with pytest.raises(StorageError):
+            svc.rebound(ShardMap([Shard(0, 0, cut), Shard(7, cut, RING_SIZE)]))
 
     def test_shard_ids_allocated_monotonically(self):
         svc = uniform_service(3)
